@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) exactly
+once per session — these are end-to-end reproduction runs, not
+micro-benchmarks, so re-running them for statistical stability would only
+multiply minutes-long simulations.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

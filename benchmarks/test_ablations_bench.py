@@ -1,0 +1,127 @@
+"""Ablation benches for PAD's design choices (DESIGN.md §5).
+
+Each ablation removes or degrades one PAD mechanism and measures the
+survival impact on the binding dense-CPU scenario, quantifying what each
+piece of the design buys.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.attack import DENSE_ATTACK
+from repro.config import DataCenterConfig, VdebConfig
+from repro.defense import SCHEMES
+from repro.experiments.common import (
+    ExperimentSetup,
+    build_attacker,
+    run_survival,
+    standard_setup,
+)
+from repro.sim import DataCenterSimulation
+
+WINDOW_S = 1500.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return standard_setup()
+
+
+def survival(setup, scheme, window_s=WINDOW_S):
+    return run_survival(
+        setup, scheme, DENSE_ATTACK, window_s=window_s
+    ).survival_or_window()
+
+
+def test_ablation_vdeb_sharing(once, setup):
+    """vDEB sharing on/off: PS is exactly PAD minus everything, vDEB is
+    PS plus sharing — the sharing itself buys the big step."""
+
+    def run_pair():
+        return survival(setup, "PS"), survival(setup, "vDEB")
+
+    ps, vdeb = once(run_pair)
+    print(f"\nablation sharing: PS {ps:.0f} s -> vDEB {vdeb:.0f} s")
+    assert vdeb > ps
+
+
+def test_ablation_udeb_backstop(once, setup):
+    """uDEB on/off on top of vDEB: the spike backstop never hurts."""
+
+    def run_pair():
+        return survival(setup, "vDEB"), survival(setup, "PAD")
+
+    vdeb, pad = once(run_pair)
+    print(f"\nablation uDEB: vDEB {vdeb:.0f} s -> PAD {pad:.0f} s")
+    assert pad >= vdeb
+
+
+def test_ablation_p_ideal_cap(once, setup):
+    """Shrinking P_ideal (the per-rack discharge ceiling) limits how much
+    the pool can help and should not improve survival."""
+
+    def run_pair():
+        tight_cfg = dataclasses.replace(
+            setup.config,
+            vdeb=VdebConfig(ideal_discharge_fraction=0.05),
+        )
+        tight_setup = ExperimentSetup(
+            config=tight_cfg,
+            trace=setup.trace,
+            attack_time_s=setup.attack_time_s,
+        )
+        return survival(tight_setup, "vDEB"), survival(setup, "vDEB")
+
+    tight, normal = once(run_pair)
+    print(f"\nablation P_ideal: tight {tight:.0f} s vs normal {normal:.0f} s")
+    assert tight <= normal + 1.0
+
+
+def test_ablation_udeb_response_is_hardware(once, setup):
+    """Replace the uDEB's instant ORing with a software-latency response:
+    modelled by running PSPC (software-only spike handling) against PAD.
+    The hardware path must not lose."""
+
+    def run_pair():
+        return survival(setup, "PSPC"), survival(setup, "PAD")
+
+    pspc, pad = once(run_pair)
+    print(f"\nablation hardware path: PSPC {pspc:.0f} s vs PAD {pad:.0f} s")
+    assert pad >= pspc - 1.0
+
+
+def test_ablation_battery_wear(once, setup):
+    """vDEB's SOC-proportional sharing spreads battery wear: under the
+    same attack, the victim pack's life consumption concentrates under PS
+    but is diluted across the fleet under vDEB/PAD."""
+    import numpy as np
+
+    from repro.battery.aging import fleet_life_consumption
+    from repro.experiments.common import build_attacker
+    from repro.sim import DataCenterSimulation
+    from repro.defense import SCHEMES
+
+    def run_pair():
+        wear = {}
+        for scheme in ("PS", "PAD"):
+            attacker = build_attacker(setup, DENSE_ATTACK)
+            sim = DataCenterSimulation(
+                setup.config, setup.trace, SCHEMES[scheme],
+                attacker=attacker,
+            )
+            result = sim.run(
+                duration_s=900.0, dt=0.5,
+                start_s=setup.attack_time_s, record_every=20,
+            )
+            soc = result.recorder.matrix("rack_soc")
+            wear[scheme] = fleet_life_consumption(soc)
+        return wear
+
+    wear = once(run_pair)
+    ps_peak = float(np.max(wear["PS"]))
+    pad_peak = float(np.max(wear["PAD"]))
+    print(f"\nablation wear: peak pack life consumed "
+          f"PS {100 * ps_peak:.3f} % vs PAD {100 * pad_peak:.3f} %")
+    # PAD never concentrates more wear on a single pack than PS does.
+    assert pad_peak <= ps_peak + 1e-9

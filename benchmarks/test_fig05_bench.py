@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 5 (SOC variation, online vs offline)."""
+
+from repro.experiments import fig05_soc_variation
+
+
+def test_fig05_soc_variation(once):
+    result = once(fig05_soc_variation.run, 8.0, 5)
+    print()
+    print(f"Fig. 5: online spread {result.mean_online_pct:.2f} %, "
+          f"offline spread {result.mean_offline_pct:.2f} %")
+    # Paper: online charging varies 3-12 %; offline roughly doubles it.
+    assert 1.0 <= result.mean_online_pct <= 15.0
+    assert result.mean_offline_pct > result.mean_online_pct

@@ -1,0 +1,18 @@
+"""Bench: regenerate paper Fig. 6 (two-phase attack demonstration)."""
+
+from repro.experiments import fig06_two_phase
+
+
+def test_fig06_two_phase(once):
+    summary = once(fig06_two_phase.run)
+    print()
+    print(f"Fig. 6: phase II at {summary.demo.phase2_start_s:.0f} s, "
+          f"battery min {summary.battery_min_pct:.0f} %, "
+          f"phase-II avg {summary.phase2_avg_load_pct:.0f} % / "
+          f"peaks {summary.phase2_peak_load_pct:.0f} %")
+    # The visible peak drains the battery before mutation...
+    assert summary.battery_min_pct < 50.0
+    # ...and the hidden spikes leave the average looking benign while the
+    # peaks reach near the Phase-I level.
+    assert summary.phase2_avg_load_pct < summary.phase1_load_pct
+    assert summary.phase2_peak_load_pct > summary.phase1_load_pct - 5.0

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 7 (effective power attack demo)."""
+
+from repro.experiments import fig07_effective_attack
+
+
+def test_fig07_effective_attack(once):
+    summary = once(fig07_effective_attack.run)
+    print()
+    print(f"Fig. 7: {summary.effective_attacks} effective / "
+          f"{summary.failed_attempts} failed attempts "
+          f"against a {summary.demo.budget_w:.0f} W budget")
+    # Paper: repeated spikes — some absorbed by benign valleys, some land.
+    assert summary.effective_attacks >= 1
+    assert summary.failed_attempts >= 1

@@ -1,0 +1,46 @@
+"""Bench: regenerate paper Fig. 8 (effective-attack statistics, A/B/C)."""
+
+from repro.attack import VirusKind
+from repro.experiments import fig08_attack_stats
+
+
+def test_fig08a_peak_height(once):
+    sweep = once(fig08_attack_stats.sweep_height)
+    print()
+    for kind in fig08_attack_stats.VIRUS_KINDS:
+        row = {n: sweep.counts[kind][n][0.08] for n in sweep.node_counts}
+        print(f"Fig. 8-A {kind.value:6s} (8% OS): {row}")
+    # More captured nodes ease the attack, for every virus class.
+    for kind in fig08_attack_stats.VIRUS_KINDS:
+        assert (
+            sweep.counts[kind][4][0.08] >= sweep.counts[kind][1][0.08]
+        )
+    # CPU-intensive viruses dominate IO-intensive ones at high overshoot.
+    assert (
+        sweep.counts[VirusKind.CPU][3][0.16]
+        >= sweep.counts[VirusKind.IO][3][0.16]
+    )
+
+
+def test_fig08b_peak_width(once):
+    sweep = once(fig08_attack_stats.sweep_width)
+    print()
+    for kind in fig08_attack_stats.VIRUS_KINDS:
+        row = {w: sweep.counts[kind][w][0.16] for w in sweep.widths_s}
+        print(f"Fig. 8-B {kind.value:6s} (16% OS): {row}")
+    # Ramp-limited viruses gain strongly from wider spikes.
+    io = sweep.counts[VirusKind.IO]
+    assert io[4.0][0.16] > io[1.0][0.16]
+
+
+def test_fig08c_attack_frequency(once):
+    sweep = once(fig08_attack_stats.sweep_frequency)
+    print()
+    for kind in fig08_attack_stats.VIRUS_KINDS:
+        row = {r: sweep.counts[kind][r][0.60] for r in sweep.rates_per_min}
+        print(f"Fig. 8-C {kind.value:6s} (60% NP): {row}")
+    # Effective attacks correlate positively with frequency...
+    cpu = sweep.counts[VirusKind.CPU]
+    assert cpu[6.0][0.60] > cpu[1.0][0.60]
+    # ...and a generous budget suppresses them.
+    assert cpu[6.0][0.70] <= cpu[6.0][0.55]

@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 13 (DEB usage map, Conv-style vs PAD)."""
+
+from repro.experiments import fig13_deb_map
+
+
+def test_fig13_deb_usage_map(once):
+    result = once(fig13_deb_map.run)
+    print()
+    print(f"Fig. 13: SOC spread PS {result.spread_ps:.3f} vs "
+          f"PAD {result.spread_pad:.3f}; survival "
+          f"{result.survival_ps_s:.0f} s -> {result.survival_pad_s:.0f} s "
+          f"({result.survival_improvement:.2f}x, paper ~1.7x)")
+    # PAD balances battery usage across racks...
+    assert result.spread_pad < result.spread_ps
+    # ...and the most-vulnerable-rack attack survives materially longer
+    # (paper: ~1.7x on their small cluster).
+    assert result.survival_improvement >= 1.3

@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig. 14 (small shedding flattens battery use)."""
+
+import numpy as np
+
+from repro.experiments import fig14_shedding
+
+
+def test_fig14_load_shedding(once):
+    result = once(fig14_shedding.run)
+    print()
+    print(f"Fig. 14: max shed ratio {100 * result.max_shed_ratio:.2f} %, "
+          f"vulnerable racks {100 * result.vulnerable_before:.1f} % -> "
+          f"{100 * result.vulnerable_after:.1f} %")
+    # Paper: shedding under 3 % of servers suffices...
+    assert 0.0 < result.max_shed_ratio <= 0.031
+    # ...and it flattens the battery-usage map.
+    assert result.vulnerable_after <= result.vulnerable_before
+    # Shedding actually happened during the surges.
+    assert np.any(result.shed_ratio > 0.0)

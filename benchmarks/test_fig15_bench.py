@@ -1,0 +1,38 @@
+"""Bench: regenerate paper Fig. 15 (survival time across schemes).
+
+The headline experiment: six schemes x six attack scenarios. Expected
+shape per the paper: Conv falls first everywhere, local peak shaving (PS)
+buys minutes, the uDEB adds a little on top, the software-assisted
+schemes (PSPC, vDEB) last much longer, and PAD survives longest (often
+the entire observation window, reported censored at the window length).
+"""
+
+from repro.experiments import fig15_survival
+from repro.experiments.common import SCHEME_ORDER
+
+
+def test_fig15_survival_grid(once):
+    grid = once(fig15_survival.run)
+    print()
+    for name, row in grid.survival_s.items():
+        print(f"Fig. 15 {name:14s}: "
+              + "  ".join(f"{s}={row[s]:.0f}" for s in SCHEME_ORDER))
+    avg = grid.averages()
+    print("Fig. 15 averages: "
+          + "  ".join(f"{s}={avg[s]:.0f}" for s in SCHEME_ORDER))
+    print(f"Fig. 15 PAD/Conv {grid.improvement('PAD', 'Conv'):.1f}x "
+          f"(paper 10.7x), PAD/PSPC {grid.improvement('PAD', 'PSPC'):.2f}x "
+          "(paper ~1.6x)")
+
+    dense_cpu = grid.survival_s["dense-cpu"]
+    # The binding scenario shows the full ladder.
+    assert dense_cpu["Conv"] < dense_cpu["PS"]
+    assert dense_cpu["PS"] <= dense_cpu["uDEB"]
+    assert dense_cpu["uDEB"] < dense_cpu["vDEB"]
+    assert dense_cpu["vDEB"] <= dense_cpu["PAD"]
+    # PAD is never beaten in any scenario.
+    for row in grid.survival_s.values():
+        assert row["PAD"] >= max(row[s] for s in SCHEME_ORDER)
+    # Averaged over the grid, PAD improves clearly over Conv and PS.
+    assert grid.improvement("PAD", "Conv") >= 1.5
+    assert grid.improvement("PAD", "PS") >= 1.2

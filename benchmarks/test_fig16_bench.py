@@ -1,0 +1,24 @@
+"""Bench: regenerate paper Fig. 16 (throughput during the attack period)."""
+
+from repro.experiments import fig16_throughput
+
+
+def test_fig16_throughput(once):
+    result = once(fig16_throughput.run)
+    print()
+    for scheme in fig16_throughput.FIG16_SCHEMES:
+        rates = {f"{int(100 * d)}%": round(v, 3)
+                 for d, v in result.by_rate[scheme].items()}
+        print(f"Fig. 16-A {scheme:5s}: {rates}")
+    for scheme in fig16_throughput.FIG16_SCHEMES:
+        widths = {f"{w:.1f}s": round(v, 3)
+                  for w, v in result.by_width[scheme].items()}
+        print(f"Fig. 16-B {scheme:5s}: {widths}")
+
+    # Conv pays the most (lost racks); PAD pays the least.
+    assert result.worst_degradation("Conv") > result.worst_degradation("PAD")
+    # PAD's throughput loss stays within a few percent (paper: < 5 %).
+    assert result.worst_degradation("PAD") < 0.05
+    # Every baseline shows measurable degradation under attack.
+    assert result.worst_degradation("Conv") > 0.02
+    assert result.worst_degradation("PS") > 0.01

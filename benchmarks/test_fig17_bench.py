@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Fig. 17 (uDEB cost vs survival)."""
+
+from repro.experiments import fig17_cost
+
+
+def test_fig17_cost_efficiency(once):
+    sweep = once(fig17_cost.run)
+    print()
+    norm = sweep.normalised_survival()
+    for point in sweep.points:
+        print(f"Fig. 17: {point.capacity_wh:.2f} Wh -> cost ratio "
+              f"{100 * point.cost_ratio:.1f} %, survival "
+              f"{point.survival_s:.0f} s ({norm[point.capacity_wh]:.1f}x)")
+    # Cost grows monotonically (roughly linearly) with capacity.
+    ratios = [p.cost_ratio for p in sweep.points]
+    assert ratios == sorted(ratios)
+    # Survival grows with capacity, and the largest option buys a
+    # multiple of the smallest option's endurance.
+    survivals = [p.survival_s for p in sweep.points]
+    assert survivals[-1] >= survivals[0]
+    assert norm[sweep.points[-1].capacity_wh] >= 1.5

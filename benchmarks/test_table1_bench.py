@@ -1,0 +1,25 @@
+"""Bench: regenerate paper Table I (detection rate vs metering scheme)."""
+
+from repro.experiments import table1_detection
+
+
+def test_table1_detection_rates(once):
+    table = once(table1_detection.run)
+    print()
+    for interval in table.intervals_s:
+        row = {
+            f"{s}srv/{w:.0f}s/{r:.0f}pm": round(
+                100 * table.rates[(s, w, r)][interval]
+            )
+            for (s, w, r) in table.shapes
+        }
+        print(f"Table I @ {interval:.0f}s: {row}")
+    rates = table.rates
+    # Fine meters catch roughly half of the small sparse spikes...
+    assert 0.2 <= rates[(1, 1.0, 1.0)][5.0] <= 0.8
+    # ...coarse meters are blind to them...
+    assert rates[(1, 1.0, 1.0)][900.0] <= 0.1
+    assert rates[(4, 1.0, 1.0)][900.0] <= 0.1
+    # ...but saturate at 100 % for wide, frequent, multi-server spikes.
+    assert rates[(4, 4.0, 6.0)][600.0] == 1.0
+    assert rates[(4, 4.0, 6.0)][900.0] == 1.0

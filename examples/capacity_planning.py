@@ -1,0 +1,77 @@
+"""Capacity planning: oversubscription savings vs uDEB insurance cost.
+
+The business case the paper closes with: oversubscribing the power
+infrastructure saves real capital ($10-25 per watt not provisioned), and
+PAD's uDEB is the insurance that makes the saving safe to keep. This
+example quantifies both sides:
+
+1. capital avoided by the default 83 % oversubscription;
+2. the uDEB bill across capacity choices, as a fraction of the battery
+   plant the data center already owns;
+3. how survival under a worst-case spike barrage scales with that choice.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+import dataclasses
+
+from repro import DataCenterConfig
+from repro.power import capacity_saving_dollars, even_split
+from repro.sim.costs import cluster_cost
+from repro.experiments import fig17_cost
+
+
+def oversubscription_savings(config: DataCenterConfig) -> None:
+    cluster = config.cluster
+    plan = even_split(
+        pdu_budget_w=cluster.pdu_budget_w,
+        rack_nameplate_w=cluster.rack.nameplate_w,
+        racks=cluster.racks,
+    )
+    print("Oversubscription economics")
+    print(f"  nameplate power          : {cluster.nameplate_w / 1000:.1f} kW")
+    print(f"  provisioned budget       : {cluster.pdu_budget_w / 1000:.1f} kW "
+          f"({100 * cluster.pdu_budget_fraction:.0f} %)")
+    print(f"  oversubscription ratio   : {plan.oversubscription_ratio:.2f}x")
+    for dollars_per_watt in (10.0, 15.0, 25.0):
+        saving = capacity_saving_dollars(plan, dollars_per_watt)
+        print(f"  capital avoided at ${dollars_per_watt:.0f}/W : "
+              f"${saving:,.0f}")
+    print()
+
+
+def udeb_bill(config: DataCenterConfig) -> None:
+    print("uDEB insurance cost (per capacity choice)")
+    for capacity_wh in (0.25, 1.0, 2.0, 4.0):
+        supercap = dataclasses.replace(
+            config.supercap, capacity_wh=capacity_wh
+        )
+        costs = cluster_cost(
+            config.cluster.rack.battery, supercap, config.cluster.racks
+        )
+        print(f"  {capacity_wh:4.2f} Wh/rack: ${costs.udeb_dollars:,.0f} "
+              f"({100 * costs.cost_ratio:.0f} % of the battery plant)")
+    print()
+
+
+def survival_scaling() -> None:
+    print("Survival vs uDEB capacity under a worst-case spike barrage")
+    print("(failed rack batteries; the uDEB is the only defense left)")
+    sweep = fig17_cost.run(capacities_wh=(0.1, 0.5, 2.0))
+    norm = sweep.normalised_survival()
+    for point in sweep.points:
+        print(f"  {point.capacity_wh:4.2f} Wh/rack: {point.survival_s:6.0f} s "
+              f"({norm[point.capacity_wh]:.1f}x the smallest option)")
+
+
+def main() -> None:
+    config = DataCenterConfig()
+    oversubscription_savings(config)
+    udeb_bill(config)
+    survival_scaling()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""repro — reproduction of "Power Attack Defense: Securing Battery-Backed
+Data Centers" (Li et al., ISCA 2016).
+
+A trace-driven simulation library for studying *power viruses* — malicious
+loads that drain a rack's distributed energy backup with visible peaks and
+then trip its breaker with hidden power spikes — and **PAD**, the paper's
+defense: a virtual battery pool (vDEB), a rack-level super-capacitor spike
+shaver (uDEB), a three-level security policy and capped load shedding.
+
+Quick start::
+
+    from repro import standard_setup, run_survival, DENSE_ATTACK
+
+    setup = standard_setup()
+    for scheme in ("Conv", "PS", "PAD"):
+        result = run_survival(setup, scheme, DENSE_ATTACK)
+        print(scheme, result.survival_or_window())
+
+Package layout:
+
+* :mod:`repro.battery` — KiBaM batteries, supercaps, chargers, fleets.
+* :mod:`repro.power` — servers, PSUs, breakers, PDUs, metering, capping.
+* :mod:`repro.workload` — traces, the Google-trace parser, synthesis,
+  scheduling, the cluster power model.
+* :mod:`repro.attack` — power viruses, spike trains, the two-phase
+  attacker.
+* :mod:`repro.core` — the paper's contribution: policy, vDEB, uDEB,
+  shedding, detection.
+* :mod:`repro.defense` — the six evaluated schemes (Table III).
+* :mod:`repro.sim` — the engine, the data-center simulation, metrics,
+  costs.
+* :mod:`repro.testbed` — the mini-rack validation platform (Fig. 11-A).
+* :mod:`repro.experiments` — one module per reproduced table/figure.
+"""
+
+from .attack import (
+    AttackScenario,
+    Attacker,
+    DENSE_ATTACK,
+    SPARSE_ATTACK,
+    SpikeTrainConfig,
+    VirusKind,
+    acquire_nodes,
+    standard_scenarios,
+)
+from .config import (
+    BatteryConfig,
+    BreakerConfig,
+    CappingConfig,
+    ChargingPolicy,
+    ClusterConfig,
+    DataCenterConfig,
+    MeterConfig,
+    PolicyConfig,
+    RackConfig,
+    ServerConfig,
+    SupercapConfig,
+    VdebConfig,
+)
+from .defense import SCHEMES
+from .errors import (
+    AttackError,
+    BatteryError,
+    ConfigError,
+    PowerTopologyError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from .experiments.common import (
+    run_survival,
+    run_throughput,
+    standard_setup,
+)
+from .sim import DataCenterSimulation, SimResult
+from .workload import (
+    ClusterModel,
+    UtilizationTrace,
+    generate_trace,
+    google_like_trace,
+    load_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackError",
+    "AttackScenario",
+    "Attacker",
+    "BatteryConfig",
+    "BatteryError",
+    "BreakerConfig",
+    "CappingConfig",
+    "ChargingPolicy",
+    "ClusterConfig",
+    "ClusterModel",
+    "ConfigError",
+    "DENSE_ATTACK",
+    "DataCenterConfig",
+    "DataCenterSimulation",
+    "MeterConfig",
+    "PolicyConfig",
+    "PowerTopologyError",
+    "RackConfig",
+    "ReproError",
+    "SCHEMES",
+    "SPARSE_ATTACK",
+    "ServerConfig",
+    "SimResult",
+    "SimulationError",
+    "SpikeTrainConfig",
+    "SupercapConfig",
+    "TraceFormatError",
+    "UtilizationTrace",
+    "VdebConfig",
+    "VirusKind",
+    "acquire_nodes",
+    "generate_trace",
+    "google_like_trace",
+    "load_trace",
+    "run_survival",
+    "run_throughput",
+    "standard_setup",
+    "standard_scenarios",
+]

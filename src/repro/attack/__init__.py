@@ -1,0 +1,44 @@
+"""The adversary: power viruses, spike trains, two-phase attack drivers."""
+
+from .attacker import (
+    AcquisitionResult,
+    Attacker,
+    AutonomyEstimator,
+    acquire_nodes,
+)
+from .phases import AttackPhase, TwoPhaseAttack, TwoPhaseConfig
+from .scenario import (
+    AttackScenario,
+    DENSE_ATTACK,
+    SPARSE_ATTACK,
+    standard_scenarios,
+)
+from .spikes import SpikeTrain, SpikeTrainConfig
+from .virus import (
+    PROFILES,
+    VirusKind,
+    VirusProfile,
+    profile_for,
+    virus_power_trace,
+)
+
+__all__ = [
+    "AcquisitionResult",
+    "AttackPhase",
+    "AttackScenario",
+    "Attacker",
+    "AutonomyEstimator",
+    "DENSE_ATTACK",
+    "PROFILES",
+    "SPARSE_ATTACK",
+    "SpikeTrain",
+    "SpikeTrainConfig",
+    "TwoPhaseAttack",
+    "TwoPhaseConfig",
+    "VirusKind",
+    "VirusProfile",
+    "acquire_nodes",
+    "profile_for",
+    "standard_scenarios",
+    "virus_power_trace",
+]

@@ -1,0 +1,223 @@
+"""The adversary: node acquisition and the battery-learning loop.
+
+Paper §3.1 step 1 ("Preparation: Gain Control of Servers"): the attacker
+needs VMs that physically land in the victim rack. Public clouds don't let
+tenants pick racks, so the attacker plays a placement lottery — repeatedly
+creating (or rebooting) VMs and checking co-location side-channels until
+enough instances land together (Ristenpart et al., CCS'09). The number of
+placement attempts is a direct *cost* of the attack, and one of the things
+PAD's rack-hiding raises.
+
+Phase-I probing then estimates the victim DEB's autonomy: run a visible
+peak, time how long until the DVFS side-channel appears, repeat, average.
+vDEB poisons exactly this estimator — shared capacity makes the observed
+autonomy long and noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AttackError
+from ..rng import child_rng
+from ..workload.cluster import ClusterModel
+from .phases import TwoPhaseAttack, TwoPhaseConfig
+from .spikes import SpikeTrainConfig
+from .virus import VirusKind, VirusProfile, profile_for
+
+
+@dataclass(frozen=True)
+class AcquisitionResult:
+    """Outcome of the VM-placement lottery.
+
+    Attributes:
+        nodes: Machine ids under attacker control.
+        target_rack: Rack the nodes were steered into.
+        attempts: VM creations spent — the acquisition cost.
+    """
+
+    nodes: tuple[int, ...]
+    target_rack: int
+    attempts: int
+
+
+def acquire_nodes(
+    cluster: ClusterModel,
+    count: int,
+    target_rack: "int | None" = None,
+    max_attempts: int = 100_000,
+    seed: "int | None" = None,
+) -> AcquisitionResult:
+    """Play the placement lottery until ``count`` nodes share a rack.
+
+    Each attempt places a VM on a uniformly random machine (the cloud's
+    scheduler, as seen by a tenant with no placement control). The attacker
+    keeps instances landing in the target rack and discards the rest.
+
+    Args:
+        cluster: Victim cluster layout.
+        count: Nodes needed (paper evaluates 1-4).
+        target_rack: Specific victim rack, or ``None`` to accept the first
+            rack that accumulates ``count`` co-located instances.
+        max_attempts: Lottery budget before giving up.
+        seed: Determinism seed.
+
+    Raises:
+        AttackError: if the budget is exhausted or the ask is impossible.
+    """
+    if count <= 0:
+        raise AttackError("must acquire at least one node")
+    per_rack = cluster.config.rack.servers
+    if count > per_rack:
+        raise AttackError(
+            f"cannot co-locate {count} nodes in racks of {per_rack} servers"
+        )
+    if target_rack is not None and not 0 <= target_rack < cluster.racks:
+        raise AttackError(f"rack {target_rack} outside cluster")
+    rng = child_rng(seed, "acquisition")
+    held: dict[int, set[int]] = {}
+    for attempt in range(1, max_attempts + 1):
+        machine = int(rng.integers(0, cluster.servers))
+        rack = cluster.rack_of(machine)
+        if target_rack is not None and rack != target_rack:
+            continue
+        rack_nodes = held.setdefault(rack, set())
+        rack_nodes.add(machine)
+        if len(rack_nodes) >= count:
+            return AcquisitionResult(
+                nodes=tuple(sorted(rack_nodes)),
+                target_rack=rack,
+                attempts=attempt,
+            )
+    raise AttackError(
+        f"placement lottery failed after {max_attempts} attempts"
+    )
+
+
+@dataclass
+class AutonomyEstimator:
+    """Running estimate of the victim DEB's autonomy time.
+
+    The attacker repeats Phase-I probes; each yields one observation of
+    "time from probe start to observed capping". The estimate is the
+    sample mean, and :attr:`spread` (coefficient of variation) tells the
+    attacker how trustworthy it is — vDEB's capacity sharing inflates both.
+    """
+
+    observations_s: "list[float]" = field(default_factory=list)
+
+    def record(self, autonomy_s: float) -> None:
+        """Add one probe observation."""
+        if autonomy_s <= 0.0:
+            raise AttackError("observed autonomy must be positive")
+        self.observations_s.append(autonomy_s)
+
+    @property
+    def count(self) -> int:
+        """Number of probes taken."""
+        return len(self.observations_s)
+
+    @property
+    def estimate_s(self) -> "float | None":
+        """Mean observed autonomy, or ``None`` before any probe."""
+        if not self.observations_s:
+            return None
+        return float(np.mean(self.observations_s))
+
+    @property
+    def spread(self) -> float:
+        """Coefficient of variation of the observations (0 if < 2 probes)."""
+        if len(self.observations_s) < 2:
+            return 0.0
+        mean = float(np.mean(self.observations_s))
+        if mean == 0.0:
+            return 0.0
+        return float(np.std(self.observations_s) / mean)
+
+
+class Attacker:
+    """A sophisticated adversary targeting one rack.
+
+    Owns the acquired nodes, the autonomy estimator, and the two-phase
+    driver; the simulation asks it for per-node utilisation each step.
+
+    Args:
+        nodes: Machine ids under control (co-located in the victim rack).
+        kind: Benchmark class of the virus.
+        spikes: Phase-II spike-train parameters.
+        start_s: Attack start time.
+        autonomy_estimate_s: Prior from earlier probing; ``None`` for a
+            purely reactive attack.
+        phase2_patience_s: Give up on an unproductive Phase II after this
+            long and return to draining (``None`` = one-shot).
+        seed: Determinism seed.
+    """
+
+    def __init__(
+        self,
+        nodes: "tuple[int, ...] | list[int]",
+        kind: VirusKind = VirusKind.CPU,
+        spikes: SpikeTrainConfig = SpikeTrainConfig(),
+        start_s: float = 0.0,
+        autonomy_estimate_s: "float | None" = None,
+        phase2_patience_s: "float | None" = 900.0,
+        seed: "int | None" = None,
+    ) -> None:
+        if not nodes:
+            raise AttackError("attacker controls no nodes")
+        self._nodes = tuple(sorted(int(n) for n in nodes))
+        if len(set(self._nodes)) != len(self._nodes):
+            raise AttackError("duplicate node ids")
+        self._profile = profile_for(kind)
+        self.estimator = AutonomyEstimator()
+        self._driver = TwoPhaseAttack(
+            self._profile,
+            TwoPhaseConfig(
+                start_s=start_s,
+                spikes=spikes,
+                autonomy_estimate_s=autonomy_estimate_s,
+                phase2_patience_s=phase2_patience_s,
+            ),
+            seed=seed,
+        )
+
+    @property
+    def nodes(self) -> "tuple[int, ...]":
+        """Machine ids under attacker control."""
+        return self._nodes
+
+    @property
+    def profile(self) -> VirusProfile:
+        """The virus envelope in use."""
+        return self._profile
+
+    @property
+    def driver(self) -> TwoPhaseAttack:
+        """The phase state machine."""
+        return self._driver
+
+    def utilisation_overrides(
+        self,
+        now_s: float,
+        observed_capped: bool,
+        observed_success: bool = False,
+    ) -> "dict[int, float]":
+        """Per-node utilisation the attacker forces this step.
+
+        The same command goes to every controlled node — the paper's
+        simultaneous-spike requirement.
+        """
+        command = self._driver.utilisation_command(
+            now_s, observed_capped, observed_success
+        )
+        return {node: command for node in self._nodes}
+
+    def probe(self, observed_autonomy_s: float) -> None:
+        """Record one Phase-I learning probe into the estimator."""
+        self.estimator.record(observed_autonomy_s)
+
+    def reset(self) -> None:
+        """Reset the phase machine (the estimator persists — it is learned)."""
+        self._driver.reset()

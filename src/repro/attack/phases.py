@@ -1,0 +1,228 @@
+"""The two-phase attack state machine (paper §3.1, Fig. 6).
+
+The attack unfolds in phases:
+
+* **Phase I — identify vulnerable status.** The virus runs a sustained,
+  *non-offending* visible peak. The rack treats it as a normal load
+  fluctuation, but it forces battery discharge. The attacker watches its
+  own VMs: when the DEB runs out, the data center falls back to
+  performance scaling (DVFS), and the resulting slowdown is the
+  side-channel telling the attacker the rack is drained.
+* **Phase II — launch offending spikes.** With the battery gone, the virus
+  mutates into a hidden-spike train that coarse monitoring cannot see but
+  the breaker can feel.
+
+The driver is deliberately *reactive*: it transitions on the observed
+capping signal (or, as a fallback, on the autonomy estimate learned in
+earlier probes), so defenses that hide or extend battery autonomy — vDEB —
+automatically delay and blur Phase II, exactly the mechanism the paper
+credits for raising attack cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import AttackError
+from .spikes import SpikeTrain, SpikeTrainConfig
+from .virus import VirusProfile
+
+
+class AttackPhase(enum.Enum):
+    """Phases of the attack lifecycle."""
+
+    IDLE = "idle"
+    PHASE1_VISIBLE_PEAK = "phase1"
+    PHASE2_HIDDEN_SPIKES = "phase2"
+
+
+@dataclass(frozen=True)
+class TwoPhaseConfig:
+    """Timing parameters of the two-phase driver.
+
+    Attributes:
+        start_s: When the attack begins.
+        spikes: Phase-II spike-train parameters.
+        autonomy_estimate_s: Attacker's prior estimate of the victim DEB's
+            autonomy under the Phase-I load (from the learning loop). Used
+            as the fallback Phase-II trigger when no capping signal is
+            observed; ``None`` disables the fallback (pure reactive mode).
+        confirmation_s: How long the capping side-channel must persist
+            before the attacker trusts it (one noisy slow request is not a
+            drained battery).
+        phase1_margin_s: Extra Phase-I time after the trigger, making sure
+            the battery is really gone before mutation.
+        phase2_patience_s: If Phase II runs this long without an observed
+            success, the attacker concludes the battery was not really
+            drained, reverts to Phase I, and inflates its autonomy estimate
+            — the "multiple times of learning" loop of paper §3.1. ``None``
+            disables reversion (one-shot attack).
+    """
+
+    start_s: float = 0.0
+    spikes: SpikeTrainConfig = SpikeTrainConfig()
+    autonomy_estimate_s: "float | None" = None
+    confirmation_s: float = 10.0
+    phase1_margin_s: float = 30.0
+    phase2_patience_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.autonomy_estimate_s is not None and self.autonomy_estimate_s <= 0.0:
+            raise AttackError("autonomy estimate must be positive")
+        if self.confirmation_s < 0.0 or self.phase1_margin_s < 0.0:
+            raise AttackError("timing margins must be non-negative")
+        if self.phase2_patience_s is not None and self.phase2_patience_s <= 0.0:
+            raise AttackError("phase-2 patience must be positive")
+
+
+class TwoPhaseAttack:
+    """Reactive two-phase attack driver for one group of attacker nodes.
+
+    Call :meth:`utilisation_command` once per simulation step with the
+    side-channel observation; it returns the utilisation the attacker
+    forces on its nodes and advances the phase machine.
+    """
+
+    #: Multiplier applied to the autonomy estimate after a failed Phase II.
+    ESTIMATE_BACKOFF = 1.5
+
+    def __init__(self, profile: VirusProfile, config: TwoPhaseConfig,
+                 seed: "int | None" = None) -> None:
+        self._profile = profile
+        self._config = config
+        self._phase = AttackPhase.IDLE
+        self._capped_since: "float | None" = None
+        self._mutate_at: "float | None" = None
+        self._phase2_started_s: "float | None" = None
+        self._phase1_resumed_s = config.start_s
+        self._autonomy_estimate_s = config.autonomy_estimate_s
+        self._reversions = 0
+        self._seed = seed
+        self._train: "SpikeTrain | None" = None
+
+    @property
+    def profile(self) -> VirusProfile:
+        """The virus envelope in use."""
+        return self._profile
+
+    @property
+    def config(self) -> TwoPhaseConfig:
+        """The attack timing parameters."""
+        return self._config
+
+    @property
+    def phase(self) -> AttackPhase:
+        """Current phase."""
+        return self._phase
+
+    @property
+    def phase2_started_s(self) -> "float | None":
+        """When Phase II began, or ``None`` if it has not."""
+        return self._phase2_started_s
+
+    @property
+    def spike_train(self) -> "SpikeTrain | None":
+        """The Phase-II spike train, once mutation has happened."""
+        return self._train
+
+    @property
+    def reversions(self) -> int:
+        """How many times a failed Phase II sent the attacker back."""
+        return self._reversions
+
+    @property
+    def autonomy_estimate_s(self) -> "float | None":
+        """Current (possibly backed-off) autonomy estimate."""
+        return self._autonomy_estimate_s
+
+    def _maybe_schedule_mutation(self, now_s: float, observed_capped: bool) -> None:
+        """Update the Phase-II trigger from observations and the fallback."""
+        if self._mutate_at is not None:
+            return
+        if observed_capped:
+            if self._capped_since is None:
+                self._capped_since = now_s
+            elif now_s - self._capped_since >= self._config.confirmation_s:
+                self._mutate_at = now_s + self._config.phase1_margin_s
+        else:
+            self._capped_since = None
+        # The fallback estimate is a prior, used once. After a failed
+        # Phase II the attacker has learnt the estimate was wrong and
+        # waits for the capping side-channel before mutating again.
+        fallback = self._autonomy_estimate_s
+        if (
+            self._mutate_at is None
+            and fallback is not None
+            and self._reversions == 0
+            and now_s - self._phase1_resumed_s >= fallback
+        ):
+            self._mutate_at = now_s + self._config.phase1_margin_s
+
+    def _revert_to_phase1(self, now_s: float) -> None:
+        """Phase II failed: go back to draining, with a longer estimate."""
+        self._phase = AttackPhase.PHASE1_VISIBLE_PEAK
+        self._phase1_resumed_s = now_s
+        self._capped_since = None
+        self._mutate_at = None
+        self._train = None
+        self._reversions += 1
+        if self._autonomy_estimate_s is not None:
+            self._autonomy_estimate_s *= self.ESTIMATE_BACKOFF
+
+    def utilisation_command(
+        self,
+        now_s: float,
+        observed_capped: bool,
+        observed_success: bool = False,
+    ) -> float:
+        """Advance the machine and return the commanded utilisation.
+
+        Args:
+            now_s: Current simulation time.
+            observed_capped: Whether the attacker's VMs currently observe
+                performance degradation (the DVFS/shedding side-channel).
+            observed_success: Whether the attacker can tell an overload
+                happened (e.g. its own VMs went dark) — stops the patience
+                clock.
+        """
+        if now_s < self._config.start_s:
+            return 0.0
+        if self._phase is AttackPhase.IDLE:
+            self._phase = AttackPhase.PHASE1_VISIBLE_PEAK
+            self._phase1_resumed_s = now_s
+        if self._phase is AttackPhase.PHASE2_HIDDEN_SPIKES:
+            patience = self._config.phase2_patience_s
+            assert self._phase2_started_s is not None
+            if (
+                patience is not None
+                and not observed_success
+                and now_s - self._phase2_started_s >= patience
+            ):
+                self._revert_to_phase1(now_s)
+        if self._phase is AttackPhase.PHASE1_VISIBLE_PEAK:
+            self._maybe_schedule_mutation(now_s, observed_capped)
+            if self._mutate_at is not None and now_s >= self._mutate_at:
+                self._phase = AttackPhase.PHASE2_HIDDEN_SPIKES
+                self._phase2_started_s = now_s
+                self._train = SpikeTrain(
+                    self._config.spikes,
+                    self._profile,
+                    start_s=now_s,
+                    seed=self._seed,
+                )
+            else:
+                return self._profile.sustained_util
+        assert self._train is not None
+        return self._train.utilisation(now_s)
+
+    def reset(self) -> None:
+        """Return to the idle state (for re-running scenarios)."""
+        self._phase = AttackPhase.IDLE
+        self._capped_since = None
+        self._mutate_at = None
+        self._phase2_started_s = None
+        self._phase1_resumed_s = self._config.start_s
+        self._autonomy_estimate_s = self._config.autonomy_estimate_s
+        self._reversions = 0
+        self._train = None

@@ -1,0 +1,92 @@
+"""Attack-scenario presets (paper §5, Fig. 12; §6, Fig. 15).
+
+The paper evaluates two collected attack shapes — "a dense and extensive
+power spikes and a sparse and less aggressive spikes" — crossed with the
+three virus classes. These presets pin down the parameters used across the
+survival-time, throughput, and detection experiments so every harness runs
+the same adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import AttackError
+from .spikes import SpikeTrainConfig
+from .virus import VirusKind
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """A fully specified adversary for one experiment run.
+
+    Attributes:
+        name: Human-readable scenario label.
+        kind: Virus benchmark class.
+        nodes: Number of co-located attacker machines.
+        spikes: Phase-II spike-train shape.
+        start_s: Attack start, relative to the experiment window.
+    """
+
+    name: str
+    kind: VirusKind
+    nodes: int
+    spikes: SpikeTrainConfig
+    start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AttackError("scenario needs a name")
+        if self.nodes <= 0:
+            raise AttackError("scenario needs at least one attacker node")
+        if self.start_s < 0.0:
+            raise AttackError("start time must be non-negative")
+
+    def with_kind(self, kind: VirusKind) -> "AttackScenario":
+        """This scenario re-targeted at another virus class."""
+        return replace(self, kind=kind, name=f"{self.density_label}-{kind.value}")
+
+    def with_nodes(self, nodes: int) -> "AttackScenario":
+        """This scenario with a different node count."""
+        return replace(self, nodes=nodes)
+
+    def with_spikes(self, spikes: SpikeTrainConfig) -> "AttackScenario":
+        """This scenario with a different spike train."""
+        return replace(self, spikes=spikes)
+
+    @property
+    def density_label(self) -> str:
+        """'dense' or 'sparse' family name (first token of :attr:`name`)."""
+        return self.name.split("-")[0]
+
+
+#: "Dense and extensive" attack (paper Fig. 12 left): wide bursts at the
+#: top of the paper's swept range, fired frequently from several nodes.
+DENSE_ATTACK = AttackScenario(
+    name="dense-cpu",
+    kind=VirusKind.CPU,
+    nodes=6,
+    spikes=SpikeTrainConfig(width_s=4.0, rate_per_min=6.0, baseline_util=0.15),
+)
+
+#: "Sparse and light-weighted" attack (paper Fig. 12 right): narrow bursts
+#: at a low rate from a single pair of nodes.
+SPARSE_ATTACK = AttackScenario(
+    name="sparse-cpu",
+    kind=VirusKind.CPU,
+    nodes=3,
+    spikes=SpikeTrainConfig(width_s=2.0, rate_per_min=2.0, baseline_util=0.10),
+)
+
+
+def standard_scenarios() -> "list[AttackScenario]":
+    """The 2 x 3 scenario grid of paper Fig. 15.
+
+    Dense and sparse shapes crossed with CPU-, memory-, and IO-intensive
+    viruses.
+    """
+    return [
+        base.with_kind(kind)
+        for base in (DENSE_ATTACK, SPARSE_ATTACK)
+        for kind in (VirusKind.CPU, VirusKind.MEMORY, VirusKind.IO)
+    ]

@@ -1,0 +1,173 @@
+"""Hidden-spike train generation (paper §3.1, Phase II).
+
+A spike train is the Phase-II weapon: short, high bursts repeated at a
+fixed rate, tuned so the *average* utilisation barely moves (invisible to
+coarse metering) while the instantaneous power stresses the breaker.
+
+The three knobs the paper sweeps in Fig. 8 are first-class here: spike
+height (via the virus profile and node count), width (1-4 s), and frequency
+(1-6 per minute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AttackError
+from ..rng import child_rng
+from .virus import VirusProfile
+
+
+@dataclass(frozen=True)
+class SpikeTrainConfig:
+    """Parameters of a periodic hidden-spike train.
+
+    Attributes:
+        width_s: Burst duration (paper sweeps 1-4 s; uDEB ablations go
+            sub-second).
+        rate_per_min: Bursts per minute (paper sweeps 1-6).
+        baseline_util: Utilisation held between bursts. Kept low so the
+            train stays invisible to utilisation-based monitoring.
+        phase_jitter_s: Uniform random offset applied to each burst start,
+            modelling imperfect timing across attacker nodes.
+    """
+
+    width_s: float = 1.0
+    rate_per_min: float = 6.0
+    baseline_util: float = 0.10
+    phase_jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width_s <= 0.0:
+            raise AttackError("spike width must be positive")
+        if self.rate_per_min <= 0.0:
+            raise AttackError("spike rate must be positive")
+        if self.width_s >= self.period_s:
+            raise AttackError(
+                f"width {self.width_s}s does not fit in period {self.period_s}s"
+            )
+        if not 0.0 <= self.baseline_util <= 1.0:
+            raise AttackError("baseline utilisation must be in [0, 1]")
+        if self.phase_jitter_s < 0.0:
+            raise AttackError("phase jitter must be non-negative")
+
+    @property
+    def period_s(self) -> float:
+        """Seconds between burst starts."""
+        return 60.0 / self.rate_per_min
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time spent inside a burst."""
+        return self.width_s / self.period_s
+
+    def average_util(self, profile: VirusProfile) -> float:
+        """Long-run average utilisation of the train under ``profile``.
+
+        This is what a coarse meter integrates — the design point of a
+        hidden spike is keeping this near the baseline.
+        """
+        level = profile.effective_spike_util(self.width_s)
+        duty = self.duty_cycle
+        return duty * level + (1.0 - duty) * self.baseline_util
+
+
+class SpikeTrain:
+    """A realised spike train with optional per-burst jitter.
+
+    Args:
+        config: Train parameters.
+        profile: Virus envelope providing the burst amplitude.
+        start_s: Time of the first burst.
+        seed: Jitter seed (unused when ``phase_jitter_s`` is zero).
+    """
+
+    def __init__(
+        self,
+        config: SpikeTrainConfig,
+        profile: VirusProfile,
+        start_s: float = 0.0,
+        seed: "int | None" = None,
+    ) -> None:
+        self._config = config
+        self._profile = profile
+        self._start_s = start_s
+        self._rng = child_rng(seed, "spike-train")
+        self._jitter_cache: dict[int, float] = {}
+
+    @property
+    def config(self) -> SpikeTrainConfig:
+        """The train parameters."""
+        return self._config
+
+    @property
+    def profile(self) -> VirusProfile:
+        """The virus envelope driving burst amplitude."""
+        return self._profile
+
+    @property
+    def spike_util(self) -> float:
+        """Utilisation reached inside each burst."""
+        return self._profile.effective_spike_util(self._config.width_s)
+
+    def _burst_offset(self, index: int) -> float:
+        """Jittered start offset of burst ``index`` within its period."""
+        if self._config.phase_jitter_s <= 0.0:
+            return 0.0
+        cached = self._jitter_cache.get(index)
+        if cached is None:
+            cached = float(
+                self._rng.uniform(0.0, self._config.phase_jitter_s)
+            )
+            self._jitter_cache[index] = cached
+        return cached
+
+    def is_spiking(self, time_s: float) -> bool:
+        """Whether a burst is active at ``time_s``."""
+        rel = time_s - self._start_s
+        if rel < 0.0:
+            return False
+        period = self._config.period_s
+        index = int(rel // period)
+        offset = self._burst_offset(index)
+        within = rel - index * period
+        return offset <= within < offset + self._config.width_s
+
+    def utilisation(self, time_s: float) -> float:
+        """Attacker-node utilisation commanded at ``time_s``."""
+        if self.is_spiking(time_s):
+            return self.spike_util
+        if time_s >= self._start_s:
+            return self._config.baseline_util
+        return self._config.baseline_util
+
+    def waveform(self, duration_s: float, dt: float) -> np.ndarray:
+        """Sampled utilisation over ``[start, start + duration)``.
+
+        Vectorised for the zero-jitter case; falls back to per-tick
+        evaluation when jitter is enabled.
+        """
+        if duration_s <= 0.0 or dt <= 0.0:
+            raise AttackError("duration and dt must be positive")
+        steps = int(round(duration_s / dt))
+        if self._config.phase_jitter_s > 0.0:
+            return np.array(
+                [
+                    self.utilisation(self._start_s + i * dt)
+                    for i in range(steps)
+                ]
+            )
+        t = np.arange(steps) * dt
+        in_spike = (t % self._config.period_s) < self._config.width_s
+        return np.where(in_spike, self.spike_util, self._config.baseline_util)
+
+    def bursts_in(self, start_s: float, end_s: float) -> int:
+        """Number of burst starts scheduled in ``[start_s, end_s)``."""
+        if end_s <= start_s:
+            return 0
+        period = self._config.period_s
+        first = max(0, int(np.ceil((start_s - self._start_s) / period)))
+        last = int(np.ceil((end_s - self._start_s) / period))
+        return max(0, last - first)

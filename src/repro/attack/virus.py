@@ -1,0 +1,148 @@
+"""Power-virus profiles (paper §3, Table II).
+
+The paper builds viruses from three benchmark classes and measures their
+power behaviour on a real rig:
+
+* **CPU-intensive** (threaded Tachyon ray tracer) — drives the server to
+  its full power envelope with sub-second rise time; the most potent
+  spike generator.
+* **Memory-intensive** (STREAM) — high but not maximal power, slightly
+  slower to ramp.
+* **IO-intensive** (Apache benchmark) — "cannot effectively trigger high
+  spikes in Phase II"; it tops out well below peak and ramps slowly, so it
+  may fail entirely when the power budget is generous.
+
+A :class:`VirusProfile` captures the attack-relevant envelope: how much
+utilisation the virus can hold continuously (Phase I visible peaks), how
+high it can spike briefly (Phase II), and how fast it ramps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AttackError
+from ..rng import child_rng
+
+
+class VirusKind(enum.Enum):
+    """The three benchmark classes the paper evaluates (Table II)."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    IO = "io"
+
+
+@dataclass(frozen=True)
+class VirusProfile:
+    """Power envelope of one virus implementation.
+
+    Attributes:
+        kind: Benchmark class.
+        sustained_util: Utilisation the virus holds indefinitely (Phase I).
+        spike_util: Peak utilisation reachable during a short burst
+            (Phase II hidden spikes).
+        ramp_s: 10-90 % rise time of a burst. Spikes shorter than the ramp
+            never reach ``spike_util``.
+        jitter_std: Relative cycle-to-cycle amplitude noise observed on the
+            real rig (Fig. 12 traces are visibly noisy).
+    """
+
+    kind: VirusKind
+    sustained_util: float
+    spike_util: float
+    ramp_s: float
+    jitter_std: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sustained_util <= 1.0:
+            raise AttackError("sustained utilisation must be in (0, 1]")
+        if not 0.0 < self.spike_util <= 1.0:
+            raise AttackError("spike utilisation must be in (0, 1]")
+        if self.spike_util < self.sustained_util - 1e-9:
+            raise AttackError("spike utilisation cannot be below sustained")
+        if self.ramp_s < 0.0:
+            raise AttackError("ramp time must be non-negative")
+        if self.jitter_std < 0.0:
+            raise AttackError("jitter must be non-negative")
+
+    def effective_spike_util(self, width_s: float) -> float:
+        """Peak utilisation actually reached by a spike of ``width_s``.
+
+        A burst shorter than the ramp is cut off before full amplitude:
+        the reached level scales with ``width / ramp`` (capped at 1).
+        """
+        if width_s <= 0.0:
+            raise AttackError("spike width must be positive")
+        if self.ramp_s <= 0.0:
+            return self.spike_util
+        reach = min(1.0, width_s / self.ramp_s)
+        return self.sustained_util + reach * (self.spike_util - self.sustained_util)
+
+
+#: Calibrated profiles per benchmark class (paper Table II / Fig. 8).
+PROFILES: "dict[VirusKind, VirusProfile]" = {
+    VirusKind.CPU: VirusProfile(
+        kind=VirusKind.CPU, sustained_util=1.0, spike_util=1.0, ramp_s=0.1
+    ),
+    VirusKind.MEMORY: VirusProfile(
+        kind=VirusKind.MEMORY, sustained_util=0.85, spike_util=0.92, ramp_s=0.3
+    ),
+    VirusKind.IO: VirusProfile(
+        kind=VirusKind.IO, sustained_util=0.65, spike_util=0.78, ramp_s=1.0
+    ),
+}
+
+
+def profile_for(kind: VirusKind) -> VirusProfile:
+    """The calibrated profile for ``kind``."""
+    return PROFILES[kind]
+
+
+def virus_power_trace(
+    profile: VirusProfile,
+    duration_s: float,
+    dt: float,
+    spike_width_s: float = 0.0,
+    spike_period_s: float = 0.0,
+    baseline_util: float = 0.1,
+    seed: "int | None" = None,
+) -> np.ndarray:
+    """Synthesize a per-tick utilisation waveform like the paper's Fig. 12.
+
+    Phase-I style output (no spikes) holds ``sustained_util``; adding a
+    spike train overlays Phase-II bursts on the *baseline* utilisation
+    (hidden spikes do not raise average utilisation much, so between
+    bursts the virus idles near ``baseline_util``).
+
+    Args:
+        profile: Virus envelope.
+        duration_s: Waveform length.
+        dt: Tick size.
+        spike_width_s: Burst width; 0 selects the sustained (Phase-I) form.
+        spike_period_s: Burst period; required when ``spike_width_s`` > 0.
+        baseline_util: Idle-between-bursts level for the spiking form.
+        seed: Jitter seed.
+
+    Returns:
+        Utilisation per tick, shape ``(round(duration/dt),)``, in [0, 1].
+    """
+    if duration_s <= 0.0 or dt <= 0.0:
+        raise AttackError("duration and dt must be positive")
+    if spike_width_s > 0.0 and spike_period_s <= spike_width_s:
+        raise AttackError("spike period must exceed spike width")
+    rng = child_rng(seed, f"virus-{profile.kind.value}")
+    steps = int(round(duration_s / dt))
+    t = np.arange(steps) * dt
+    if spike_width_s <= 0.0:
+        wave = np.full(steps, profile.sustained_util)
+    else:
+        level = profile.effective_spike_util(spike_width_s)
+        in_spike = (t % spike_period_s) < spike_width_s
+        wave = np.where(in_spike, level, baseline_util)
+    if profile.jitter_std > 0.0:
+        wave = wave * (1.0 + rng.normal(0.0, profile.jitter_std, steps))
+    return np.clip(wave, 0.0, 1.0)

@@ -1,0 +1,32 @@
+"""Energy-storage substrate: KiBaM batteries, supercaps, chargers, fleets."""
+
+from .aging import (
+    AgingModel,
+    AgingTracker,
+    fleet_life_consumption,
+    throughput_life_estimate,
+)
+from .charger import Charger, OfflineCharger, OnlineCharger, make_charger
+from .fleet import BatteryFleet, FleetLogEntry
+from .kibam import KiBaMBattery
+from .lead_acid import LeadAcidPack
+from .pack import EnergyStore, SimpleReservoir
+from .supercap import SupercapBank
+
+__all__ = [
+    "AgingModel",
+    "AgingTracker",
+    "BatteryFleet",
+    "Charger",
+    "EnergyStore",
+    "FleetLogEntry",
+    "KiBaMBattery",
+    "LeadAcidPack",
+    "OfflineCharger",
+    "OnlineCharger",
+    "SimpleReservoir",
+    "SupercapBank",
+    "fleet_life_consumption",
+    "make_charger",
+    "throughput_life_estimate",
+]

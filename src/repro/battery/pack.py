@@ -1,0 +1,138 @@
+"""Generic energy-store interface and an ideal reservoir implementation.
+
+Every backup device in the simulator — KiBaM lead-acid cabinets, the uDEB
+super-capacitor bank, and the idealised stores used in unit tests — follows
+the :class:`EnergyStore` protocol: a power-in/power-out contract over a time
+step. Stores never raise when asked for more than they hold; they deliver
+what physics allows and report it, because "the battery ran out" is a state
+the paper's attack model depends on, not an error.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..errors import BatteryError
+from ..units import clamp, fraction
+
+
+@runtime_checkable
+class EnergyStore(Protocol):
+    """Contract for all energy-storage devices.
+
+    Power arguments are always non-negative; direction is encoded by the
+    method (``discharge`` vs ``charge``). Both return the power actually
+    moved, averaged over the step, which may be less than requested.
+    """
+
+    @property
+    def capacity_j(self) -> float:
+        """Total energy capacity in joules."""
+        ...
+
+    @property
+    def charge_j(self) -> float:
+        """Energy currently stored in joules."""
+        ...
+
+    @property
+    def soc(self) -> float:
+        """State of charge as a fraction of capacity, in ``[0, 1]``."""
+        ...
+
+    def max_discharge_power(self, dt: float) -> float:
+        """Largest constant power the store can source for ``dt`` seconds."""
+        ...
+
+    def max_charge_power(self, dt: float) -> float:
+        """Largest constant power the store can sink for ``dt`` seconds."""
+        ...
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        """Draw up to ``power_w`` for ``dt`` seconds; return power delivered."""
+        ...
+
+    def charge(self, power_w: float, dt: float) -> float:
+        """Push up to ``power_w`` for ``dt`` seconds; return power accepted."""
+        ...
+
+    def reset(self) -> None:
+        """Restore the store to its initial (fully charged) state."""
+        ...
+
+
+def check_step_args(power_w: float, dt: float) -> None:
+    """Validate the common (power, dt) arguments of store methods.
+
+    Raises:
+        BatteryError: if ``power_w`` is negative or ``dt`` is not positive.
+    """
+    if power_w < 0.0:
+        raise BatteryError(f"power must be non-negative, got {power_w}")
+    if dt <= 0.0:
+        raise BatteryError(f"time step must be positive, got {dt}")
+
+
+class SimpleReservoir:
+    """An ideal, lossless energy bucket with optional power limits.
+
+    Used directly for components whose internal electrochemistry we do not
+    model (and as a reference implementation in tests): energy in equals
+    energy out, limited only by the remaining charge, the headroom, and the
+    configured power ceilings.
+    """
+
+    def __init__(
+        self,
+        capacity_j: float,
+        initial_soc: float = 1.0,
+        max_discharge_w: float = float("inf"),
+        max_charge_w: float = float("inf"),
+    ) -> None:
+        if capacity_j <= 0.0:
+            raise BatteryError("capacity must be positive")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise BatteryError("initial SOC must be in [0, 1]")
+        if max_discharge_w <= 0.0 or max_charge_w <= 0.0:
+            raise BatteryError("power limits must be positive")
+        self._capacity_j = capacity_j
+        self._initial_soc = initial_soc
+        self._charge_j = capacity_j * initial_soc
+        self._max_discharge_w = max_discharge_w
+        self._max_charge_w = max_charge_w
+
+    @property
+    def capacity_j(self) -> float:
+        return self._capacity_j
+
+    @property
+    def charge_j(self) -> float:
+        return self._charge_j
+
+    @property
+    def soc(self) -> float:
+        return fraction(self._charge_j, self._capacity_j)
+
+    def max_discharge_power(self, dt: float) -> float:
+        check_step_args(0.0, dt)
+        return min(self._max_discharge_w, self._charge_j / dt)
+
+    def max_charge_power(self, dt: float) -> float:
+        check_step_args(0.0, dt)
+        headroom_j = self._capacity_j - self._charge_j
+        return min(self._max_charge_w, headroom_j / dt)
+
+    def discharge(self, power_w: float, dt: float) -> float:
+        check_step_args(power_w, dt)
+        delivered = min(power_w, self.max_discharge_power(dt))
+        self._charge_j = clamp(self._charge_j - delivered * dt, 0.0, self._capacity_j)
+        return delivered
+
+    def charge(self, power_w: float, dt: float) -> float:
+        check_step_args(power_w, dt)
+        accepted = min(power_w, self.max_charge_power(dt))
+        self._charge_j = clamp(self._charge_j + accepted * dt, 0.0, self._capacity_j)
+        return accepted
+
+    def reset(self) -> None:
+        self._charge_j = self._capacity_j * self._initial_soc

@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``survive`` — run one attack scenario against one defense scheme and
+  print the survival outcome.
+* ``grid`` — the full Fig.-15 survival grid.
+* ``report`` — run every reproduction experiment and write EXPERIMENTS.md.
+* ``demo`` — the testbed two-phase attack walkthrough (Figs. 6/7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .attack.scenario import standard_scenarios
+from .attack.virus import VirusKind
+from .defense import SCHEMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Power Attack Defense: Securing "
+            "Battery-Backed Data Centers' (ISCA 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    survive = sub.add_parser(
+        "survive", help="one scheme vs one attack scenario"
+    )
+    survive.add_argument(
+        "--scheme", choices=list(SCHEMES), default="PAD",
+        help="defense scheme (paper Table III)",
+    )
+    survive.add_argument(
+        "--scenario",
+        choices=[s.name for s in standard_scenarios()],
+        default="dense-cpu",
+        help="attack scenario (paper Fig. 15 grid)",
+    )
+    survive.add_argument("--window", type=float, default=2400.0,
+                         help="observation window in seconds")
+    survive.add_argument("--seed", type=int, default=3)
+
+    grid = sub.add_parser("grid", help="the full Fig.-15 survival grid")
+    grid.add_argument("--window", type=float, default=2400.0)
+    grid.add_argument("--seed", type=int, default=3)
+
+    report = sub.add_parser(
+        "report", help="run all experiments and write EXPERIMENTS.md"
+    )
+    report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+
+    sub.add_parser("demo", help="testbed two-phase attack walkthrough")
+    return parser
+
+
+def _cmd_survive(args: argparse.Namespace) -> int:
+    from .experiments.common import run_survival, standard_setup
+
+    scenario = next(
+        s for s in standard_scenarios() if s.name == args.scenario
+    )
+    setup = standard_setup(seed=args.seed)
+    result = run_survival(
+        setup, args.scheme, scenario, window_s=args.window
+    )
+    survival = result.survival_or_window()
+    censored = not result.trips
+    print(f"scheme   : {args.scheme}")
+    print(f"scenario : {scenario.name} ({scenario.nodes} nodes, "
+          f"{scenario.spikes.width_s:.0f}s spikes at "
+          f"{scenario.spikes.rate_per_min:.0f}/min)")
+    print(f"survival : {survival:.0f} s"
+          + (" (survived the whole window)" if censored else ""))
+    print(f"overloads: {len(result.overloads)}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .experiments import fig15_survival
+    from .experiments.common import standard_setup
+
+    setup = standard_setup(seed=args.seed)
+    grid = fig15_survival.run(setup=setup, window_s=args.window)
+    rows = dict(grid.survival_s)
+    rows["Avg."] = grid.averages()
+    from .experiments.common import format_table
+
+    print(format_table(rows, value_format="{:>10.0f}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import report
+
+    report.main(args.output)
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from .experiments import fig06_two_phase, fig07_effective_attack
+
+    fig06_two_phase.main()
+    print()
+    fig07_effective_attack.main()
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "survive": _cmd_survive,
+        "grid": _cmd_grid,
+        "report": _cmd_report,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

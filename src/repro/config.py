@@ -1,0 +1,431 @@
+"""Configuration dataclasses for every subsystem.
+
+All tunables of the simulator live here as frozen dataclasses with eager
+validation: an invalid configuration raises :class:`~repro.errors.ConfigError`
+at construction time, before any simulation work starts.
+
+Defaults follow the paper's evaluation setup (Section V):
+
+* HP ProLiant DL585 G5 servers — 299 W active-idle, 521 W peak.
+* 22 racks x 10 servers fed by one cluster PDU.
+* A Facebook-V1-style battery cabinet per rack that sustains 50 s of full
+  rack load, modelled with the kinetic battery model (KiBaM).
+* Google-trace-style workload sampled every 5 minutes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+from .units import TRACE_INTERVAL_S, wh_to_joules
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Parametric linear server power model (SPECpower-style).
+
+    Attributes:
+        idle_w: Active-idle power draw in watts.
+        peak_w: Full-utilisation power draw in watts.
+        dvfs_power_reduction: Fraction by which DVFS capping can reduce the
+            *peak* power (the paper's PSPC scheme decreases processor
+            frequency by 20 %).
+        dvfs_throughput_penalty: Relative throughput lost while the DVFS cap
+            is engaged. With frequency scaled by 20 % the delivered work
+            drops roughly proportionally for the CPU-bound viruses studied.
+    """
+
+    idle_w: float = 299.0
+    peak_w: float = 521.0
+    dvfs_power_reduction: float = 0.20
+    dvfs_throughput_penalty: float = 0.20
+
+    def __post_init__(self) -> None:
+        _require(self.idle_w >= 0.0, "server idle power must be non-negative")
+        _require(self.peak_w > self.idle_w, "server peak power must exceed idle power")
+        _require(
+            0.0 <= self.dvfs_power_reduction < 1.0,
+            "DVFS power reduction must be in [0, 1)",
+        )
+        _require(
+            0.0 <= self.dvfs_throughput_penalty < 1.0,
+            "DVFS throughput penalty must be in [0, 1)",
+        )
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Utilisation-dependent power span (peak minus idle), in watts."""
+        return self.peak_w - self.idle_w
+
+
+class ChargingPolicy(enum.Enum):
+    """How a distributed energy backup (DEB) unit is recharged (paper §2.2).
+
+    * ``ONLINE`` — opportunistically recharge whenever the rack has spare
+      power budget.
+    * ``OFFLINE`` — recharge only once state-of-charge drops below a preset
+      threshold, then charge back to full.
+    """
+
+    ONLINE = "online"
+    OFFLINE = "offline"
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Lead-acid rack battery cabinet modelled with KiBaM.
+
+    The default capacity is derived from the paper's setup: a fully charged
+    cabinet sustains the rack for 50 seconds at full load (10 servers x
+    521 W = 5 210 W), i.e. roughly 72.4 Wh per rack.
+
+    Attributes:
+        capacity_wh: Total energy capacity in watt-hours.
+        kibam_c: KiBaM capacity fraction held in the *available* well.
+        kibam_k: KiBaM rate constant (1/s) governing flow from the bound to
+            the available well.
+        max_discharge_w: Safety ceiling on discharge power (lead-acid packs
+            have a maximum C-rate; discharging faster ages them).
+        max_charge_w: Ceiling on recharge power. Lead-acid recharge is
+            an order of magnitude slower than discharge (a cabinet that
+            empties in ~1 minute takes tens of minutes to refill).
+        lvd_soc: Low-voltage-disconnect threshold. Below this state of
+            charge the pack is isolated from the load (Facebook's LVD trips
+            at 1.75 V/cell; we express it as an SOC fraction).
+        charge_efficiency: Round-trip losses applied on the charge path.
+        offline_recharge_soc: For :attr:`ChargingPolicy.OFFLINE`, recharge is
+            initiated when SOC drops below this fraction.
+    """
+
+    capacity_wh: float = 72.4
+    kibam_c: float = 0.75
+    kibam_k: float = 0.0015
+    max_discharge_w: float = 6000.0
+    max_charge_w: float = 100.0
+    lvd_soc: float = 0.05
+    charge_efficiency: float = 0.85
+    offline_recharge_soc: float = 0.25
+
+    def __post_init__(self) -> None:
+        _require(self.capacity_wh > 0.0, "battery capacity must be positive")
+        _require(0.0 < self.kibam_c <= 1.0, "KiBaM c must be in (0, 1]")
+        _require(self.kibam_k > 0.0, "KiBaM k must be positive")
+        _require(self.max_discharge_w > 0.0, "max discharge power must be positive")
+        _require(self.max_charge_w > 0.0, "max charge power must be positive")
+        _require(0.0 <= self.lvd_soc < 1.0, "LVD threshold must be in [0, 1)")
+        _require(
+            0.0 < self.charge_efficiency <= 1.0,
+            "charge efficiency must be in (0, 1]",
+        )
+        _require(
+            self.lvd_soc <= self.offline_recharge_soc <= 1.0,
+            "offline recharge threshold must lie between LVD and full",
+        )
+
+    @property
+    def capacity_j(self) -> float:
+        """Capacity in joules."""
+        return wh_to_joules(self.capacity_wh)
+
+
+@dataclass(frozen=True)
+class SupercapConfig:
+    """Super-capacitor bank used by the rack-level uDEB (paper §4.2.2).
+
+    Sized for transient spike shaving: tiny energy, huge power, instant
+    response, effectively unlimited cycle life. The paper's example: a 5 kW
+    rack needs only ~0.35 Wh for 0.5 s of current sharing. The default here
+    gives a 22-rack cluster a few seconds of full-spike absorption per rack.
+
+    Attributes:
+        capacity_wh: Usable energy between the working-voltage window.
+        max_power_w: Power the ORing path can source (ESR/current limited).
+        max_charge_w: Recharge power ceiling — the charger stage is sized
+            far smaller than the discharge path.
+        efficiency: One-way conversion efficiency through the ORing FET and
+            DC/DC stage.
+        response_time_s: Hardware response latency. Effectively zero; kept
+            as a parameter so ablations can degrade it.
+        cost_per_wh: Super-capacitor cost in $/Wh (paper quotes 10-30 $/Wh).
+    """
+
+    capacity_wh: float = 2.0
+    max_power_w: float = 4000.0
+    max_charge_w: float = 500.0
+    efficiency: float = 0.95
+    response_time_s: float = 0.0
+    cost_per_wh: float = 20.0
+
+    def __post_init__(self) -> None:
+        _require(self.capacity_wh > 0.0, "supercap capacity must be positive")
+        _require(self.max_power_w > 0.0, "supercap max power must be positive")
+        _require(
+            self.max_charge_w > 0.0, "supercap charge limit must be positive"
+        )
+        _require(0.0 < self.efficiency <= 1.0, "efficiency must be in (0, 1]")
+        _require(self.response_time_s >= 0.0, "response time must be non-negative")
+        _require(self.cost_per_wh > 0.0, "cost must be positive")
+
+    @property
+    def capacity_j(self) -> float:
+        """Usable energy in joules."""
+        return wh_to_joules(self.capacity_wh)
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Inverse-time circuit-breaker trip model (paper §3.1, [11]).
+
+    Breakers tolerate brief overloads; sustained or extreme overloads trip
+    within seconds. We model a thermal accumulator driven by the squared
+    overload ratio plus an instantaneous (magnetic) trip threshold.
+
+    Attributes:
+        rated_w: Continuous rating in watts. Load at or below this never
+            trips the breaker.
+        trip_energy: Thermal budget. At a constant overload ratio ``r`` the
+            breaker trips after ``trip_energy / (r^2 - 1)`` seconds; the
+            default trips a 50 % overload in about 10 seconds and a 10 %
+            overload in about 57 seconds.
+        instant_trip_ratio: Overload ratio causing an immediate trip.
+        cooldown_tau_s: Time constant of thermal-accumulator decay once the
+            load returns below the rating.
+    """
+
+    rated_w: float = 1.0
+    trip_energy: float = 12.0
+    instant_trip_ratio: float = 3.0
+    cooldown_tau_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        _require(self.rated_w > 0.0, "breaker rating must be positive")
+        _require(self.trip_energy > 0.0, "trip energy must be positive")
+        _require(self.instant_trip_ratio > 1.0, "instant trip ratio must exceed 1")
+        _require(self.cooldown_tau_s > 0.0, "cooldown tau must be positive")
+
+    def with_rating(self, rated_w: float) -> "BreakerConfig":
+        """Return a copy of this config rated at ``rated_w`` watts."""
+        return BreakerConfig(
+            rated_w=rated_w,
+            trip_energy=self.trip_energy,
+            instant_trip_ratio=self.instant_trip_ratio,
+            cooldown_tau_s=self.cooldown_tau_s,
+        )
+
+
+@dataclass(frozen=True)
+class MeterConfig:
+    """Utilisation-based power metering (paper Table I).
+
+    Data centers estimate average power from energy counters sampled at a
+    fixed interval; anything faster than the interval is invisible.
+
+    Attributes:
+        interval_s: Sampling/averaging interval in seconds.
+        detection_margin: Relative rise of an interval's average power over
+            the expected baseline needed to flag an anomaly.
+        noise_std: Relative standard deviation of benign load noise folded
+            into each interval average (makes detection probabilistic, as
+            observed on the paper's testbed).
+    """
+
+    interval_s: float = 600.0
+    detection_margin: float = 0.04
+    noise_std: float = 0.015
+
+    def __post_init__(self) -> None:
+        _require(self.interval_s > 0.0, "meter interval must be positive")
+        _require(self.detection_margin > 0.0, "detection margin must be positive")
+        _require(self.noise_std >= 0.0, "noise std must be non-negative")
+
+
+@dataclass(frozen=True)
+class CappingConfig:
+    """Software power-capping loop (paper §4.2.2, [26]).
+
+    Even accurate full-system capping takes 100-300 ms to actually lower
+    power, which is why software alone cannot stop sub-second spikes.
+
+    Attributes:
+        latency_s: Delay between the decision to cap and the power actually
+            dropping.
+        power_reduction: Fraction of the dynamic power range removed while
+            the cap is active (20 % frequency decrease in the paper's PSPC).
+        throughput_penalty: Relative throughput lost while capped.
+        hold_time_s: Minimum time a cap stays engaged once triggered.
+    """
+
+    latency_s: float = 0.2
+    power_reduction: float = 0.20
+    throughput_penalty: float = 0.20
+    hold_time_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        _require(self.latency_s >= 0.0, "capping latency must be non-negative")
+        _require(0.0 < self.power_reduction < 1.0, "power reduction must be in (0, 1)")
+        _require(
+            0.0 <= self.throughput_penalty < 1.0,
+            "throughput penalty must be in [0, 1)",
+        )
+        _require(self.hold_time_s >= 0.0, "hold time must be non-negative")
+
+
+@dataclass(frozen=True)
+class RackConfig:
+    """One server rack: servers, battery cabinet, and rack PDU breaker.
+
+    Attributes:
+        servers: Number of servers in the rack.
+        server: Per-server power model.
+        battery: The rack's DEB cabinet.
+        breaker: Trip-curve shape for the rack breaker; its rating is set
+            from the rack's soft power limit by the topology builder.
+    """
+
+    servers: int = 10
+    server: ServerConfig = field(default_factory=ServerConfig)
+    battery: BatteryConfig = field(default_factory=BatteryConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.servers > 0, "a rack needs at least one server")
+
+    @property
+    def nameplate_w(self) -> float:
+        """Aggregate peak (nameplate) power of the rack, ``n x P_peak``."""
+        return self.servers * self.server.peak_w
+
+    @property
+    def idle_w(self) -> float:
+        """Aggregate active-idle power of the rack."""
+        return self.servers * self.server.idle_w
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Two-stage power-distribution cluster (paper Fig. 4).
+
+    Attributes:
+        racks: Number of racks under the cluster PDU.
+        rack: Per-rack configuration (homogeneous cluster, as in the paper).
+        pdu_budget_fraction: ``P_PDU / (n * P_r)`` — the oversubscription
+            level. Must be below 1 for an oversubscribed cluster and high
+            enough to cover aggregate idle power.
+        rack_soft_limit_fraction: Default per-rack soft limit ``lambda_i``
+            as a fraction of the rack nameplate power.
+    """
+
+    racks: int = 22
+    rack: RackConfig = field(default_factory=RackConfig)
+    pdu_budget_fraction: float = 0.83
+    rack_soft_limit_fraction: float = 0.80
+
+    def __post_init__(self) -> None:
+        _require(self.racks > 0, "a cluster needs at least one rack")
+        _require(
+            0.0 < self.pdu_budget_fraction <= 1.0,
+            "PDU budget fraction must be in (0, 1]",
+        )
+        _require(
+            0.0 < self.rack_soft_limit_fraction <= 1.0,
+            "rack soft-limit fraction must be in (0, 1]",
+        )
+        idle_fraction = self.rack.idle_w / self.rack.nameplate_w
+        _require(
+            self.pdu_budget_fraction > idle_fraction,
+            "PDU budget must exceed aggregate idle power "
+            f"({self.pdu_budget_fraction:.2f} <= {idle_fraction:.2f})",
+        )
+
+    @property
+    def total_servers(self) -> int:
+        """Number of servers in the cluster."""
+        return self.racks * self.rack.servers
+
+    @property
+    def nameplate_w(self) -> float:
+        """Aggregate nameplate power ``n * P_r`` of all racks."""
+        return self.racks * self.rack.nameplate_w
+
+    @property
+    def pdu_budget_w(self) -> float:
+        """Cluster PDU power budget ``P_PDU`` in watts."""
+        return self.pdu_budget_fraction * self.nameplate_w
+
+    @property
+    def rack_soft_limit_w(self) -> float:
+        """Default per-rack soft limit ``lambda_i * P_r`` in watts."""
+        return self.rack_soft_limit_fraction * self.rack.nameplate_w
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Thresholds for PAD's three-level hierarchical policy (paper Fig. 9).
+
+    Attributes:
+        visible_peak_margin: Relative rise of rack power over its soft limit
+            that counts as a *visible peak* (VP > 0 input to the policy).
+        vdeb_empty_soc: Pool SOC at or below which vDEB counts as empty.
+        udeb_empty_soc: uDEB SOC at or below which it counts as empty.
+        shed_ratio_cap: Maximum fraction of cluster servers Level 3 may put
+            to sleep (the paper shows <= 3 % suffices).
+        shed_hysteresis_s: Minimum time a shed server stays asleep.
+    """
+
+    visible_peak_margin: float = 0.0
+    vdeb_empty_soc: float = 0.02
+    udeb_empty_soc: float = 0.02
+    shed_ratio_cap: float = 0.03
+    shed_hysteresis_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        _require(self.visible_peak_margin >= 0.0, "VP margin must be non-negative")
+        _require(0.0 <= self.vdeb_empty_soc < 1.0, "vDEB empty SOC must be in [0, 1)")
+        _require(0.0 <= self.udeb_empty_soc < 1.0, "uDEB empty SOC must be in [0, 1)")
+        _require(0.0 < self.shed_ratio_cap <= 1.0, "shed ratio cap must be in (0, 1]")
+        _require(self.shed_hysteresis_s >= 0.0, "shed hysteresis must be non-negative")
+
+
+@dataclass(frozen=True)
+class VdebConfig:
+    """vDEB controller parameters (paper Algorithm 1).
+
+    Attributes:
+        ideal_discharge_fraction: ``P_ideal`` as a fraction of a battery's
+            ``max_discharge_w`` — the per-rack cap that prevents accelerated
+            aging during load sharing.
+        rebalance_interval_s: How often the controller recomputes the
+            discharge assignment.
+    """
+
+    ideal_discharge_fraction: float = 0.5
+    rebalance_interval_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 < self.ideal_discharge_fraction <= 1.0,
+            "ideal discharge fraction must be in (0, 1]",
+        )
+        _require(self.rebalance_interval_s > 0.0, "rebalance interval must be positive")
+
+
+@dataclass(frozen=True)
+class DataCenterConfig:
+    """Top-level configuration wiring every subsystem together."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    meter: MeterConfig = field(default_factory=MeterConfig)
+    capping: CappingConfig = field(default_factory=CappingConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    vdeb: VdebConfig = field(default_factory=VdebConfig)
+    supercap: SupercapConfig = field(default_factory=SupercapConfig)
+    charging: ChargingPolicy = ChargingPolicy.ONLINE
+    seed: int | None = None

@@ -1,0 +1,35 @@
+"""The paper's core contribution: PAD policy, vDEB, uDEB, shedding, detection."""
+
+from .detection import (
+    AnomalyDetector,
+    VisiblePeakDetector,
+    VisiblePeakReport,
+    detection_rate,
+)
+from .policy import (
+    HierarchicalPolicy,
+    INITIAL_STATE_TABLE,
+    PolicyInputs,
+    SecurityLevel,
+)
+from .shedding import LoadShedder, SheddingDecision
+from .udeb import ShaveResult, UdebShaver
+from .vdeb import VdebAllocation, VdebController, share_by_soc
+
+__all__ = [
+    "AnomalyDetector",
+    "HierarchicalPolicy",
+    "INITIAL_STATE_TABLE",
+    "LoadShedder",
+    "PolicyInputs",
+    "SecurityLevel",
+    "ShaveResult",
+    "SheddingDecision",
+    "UdebShaver",
+    "VdebAllocation",
+    "VdebController",
+    "VisiblePeakDetector",
+    "VisiblePeakReport",
+    "detection_rate",
+    "share_by_soc",
+]

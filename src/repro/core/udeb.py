@@ -1,0 +1,128 @@
+"""The uDEB spike shaver — ORing-FET semantics (paper §4.2.2).
+
+The micro DEB is a small super-capacitor bank wired to the rack's power
+bus through an ORing controller (a low-forward-voltage FET). The ORing
+conducts *automatically* the instant the bus is asked for more than the
+provisioned feed can give — no software in the loop, no 100-300 ms capping
+latency, no metering blind spot. That hardware reflex is the only thing in
+the system fast enough for sub-second hidden spikes.
+
+Semantics per fine-grained tick:
+
+* If the rack's residual draw (demand minus battery support) exceeds the
+  protection threshold, the uDEB sources the excess, up to its power and
+  energy limits.
+* Otherwise it trickle-charges from whatever budget headroom exists.
+
+The shaver is deliberately *not* used for sustained peaks: the paper
+rejects that (PSU efficiency and thermal limits), and the tiny energy
+capacity enforces it naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..battery.supercap import SupercapBank
+from ..config import SupercapConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShaveResult:
+    """Outcome of one uDEB tick across the racks.
+
+    Attributes:
+        shaved_w: Per-rack power the supercaps sourced this tick.
+        unshaved_w: Per-rack excess the supercaps could not cover.
+    """
+
+    shaved_w: np.ndarray
+    unshaved_w: np.ndarray
+
+    @property
+    def total_shaved_w(self) -> float:
+        """Cluster-wide shaved power."""
+        return float(np.sum(self.shaved_w))
+
+
+class UdebShaver:
+    """One super-capacitor bank per rack, with automatic ORing response.
+
+    Args:
+        config: Supercap sizing shared by all racks.
+        racks: Number of racks.
+    """
+
+    def __init__(self, config: SupercapConfig, racks: int) -> None:
+        if racks <= 0:
+            raise ConfigError("need at least one rack")
+        self._config = config
+        self._banks = [SupercapBank(config) for _ in range(racks)]
+
+    @property
+    def config(self) -> SupercapConfig:
+        """The per-rack supercap configuration."""
+        return self._config
+
+    @property
+    def banks(self) -> "tuple[SupercapBank, ...]":
+        """The per-rack banks."""
+        return tuple(self._banks)
+
+    def __len__(self) -> int:
+        return len(self._banks)
+
+    def soc_vector(self) -> np.ndarray:
+        """Per-rack supercap state of charge."""
+        return np.array([b.soc for b in self._banks])
+
+    @property
+    def min_soc(self) -> float:
+        """Lowest per-rack SOC — the policy engine's uDEB-health input."""
+        return float(np.min(self.soc_vector()))
+
+    @property
+    def pool_soc(self) -> float:
+        """Aggregate supercap state of charge."""
+        total_cap = sum(b.capacity_j for b in self._banks)
+        if total_cap == 0.0:
+            return 0.0
+        return sum(b.charge_j for b in self._banks) / total_cap
+
+    def shave(self, excess_w: np.ndarray, dt: float) -> ShaveResult:
+        """Source per-rack ``excess_w`` from the supercaps for ``dt``.
+
+        The ORing conducts only when there is excess; zero-excess racks are
+        untouched (charging is a separate, explicit step).
+        """
+        excess = np.asarray(excess_w, dtype=float)
+        if excess.shape != (len(self._banks),):
+            raise ConfigError("need one excess entry per rack")
+        shaved = np.zeros_like(excess)
+        for i, bank in enumerate(self._banks):
+            if excess[i] > 0.0:
+                shaved[i] = bank.discharge(float(excess[i]), dt)
+        return ShaveResult(shaved_w=shaved, unshaved_w=excess - shaved)
+
+    def recharge(self, headroom_w: np.ndarray, dt: float) -> np.ndarray:
+        """Trickle-charge each bank from its rack's budget headroom.
+
+        Returns:
+            Per-rack bus power actually drawn for charging.
+        """
+        headroom = np.asarray(headroom_w, dtype=float)
+        if headroom.shape != (len(self._banks),):
+            raise ConfigError("need one headroom entry per rack")
+        drawn = np.zeros_like(headroom)
+        for i, bank in enumerate(self._banks):
+            if headroom[i] > 0.0:
+                drawn[i] = bank.charge(float(headroom[i]), dt)
+        return drawn
+
+    def reset(self) -> None:
+        """Refill every bank."""
+        for bank in self._banks:
+            bank.reset()

@@ -1,0 +1,224 @@
+"""The vDEB controller — paper Algorithm 1, two-level load sharing.
+
+Rather than treating each rack's battery as a private backup, PAD pools
+them into a *virtual DEB*: the controller decides how much every battery
+discharges so that (a) the cluster-wide shaving requirement is met and
+(b) no battery is driven disproportionately low — SOC-proportional
+discharge with a per-rack ceiling ``P_ideal`` that protects battery life.
+
+A battery physically sits on its own rack's DC bus, so "sharing" is
+indirect: a high-SOC rack discharges locally (cutting its utility draw),
+freeing cluster budget that the intelligent PDU's soft limits hand to the
+needy rack. The controller therefore returns both a discharge vector and
+the matching soft-limit assignment.
+
+Paper Algorithm 1, faithfully:
+
+1. If the required shaving power is large (saturates the ideal rate on
+   every rack), discharge the fleet evenly at ``P_ideal``.
+2. Otherwise sort racks by SOC descending; racks whose SOC-proportional
+   share would exceed ``P_ideal`` are pinned at ``P_ideal`` and removed
+   from the proportional pool; the remainder share the rest in proportion
+   to SOC. (Line 14 of the listing reads ``Pshave -= Pideal / N``; we take
+   the algebraically consistent reading ``Pshave -= Pideal``, matching the
+   invariant that assignments sum to the original requirement.)
+
+Physical caps applied after the sharing step: a rack cannot discharge
+more than its own load, nor more than its pack's deliverable power, and a
+disconnected (LVD) pack contributes nothing. Shortfall after capping is
+redistributed over racks that still have headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import VdebConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VdebAllocation:
+    """Result of one controller decision.
+
+    Attributes:
+        discharge_w: Per-rack battery discharge assignment.
+        shave_w: The cluster shaving requirement that was targeted.
+        satisfied: True when the assignment covers the requirement; False
+            means the pool is physically unable to (Level-3 territory).
+    """
+
+    discharge_w: np.ndarray
+    shave_w: float
+    satisfied: bool
+
+    @property
+    def total_w(self) -> float:
+        """Total assigned discharge power."""
+        return float(np.sum(self.discharge_w))
+
+
+def share_by_soc(
+    soc: np.ndarray, shave_w: float, p_ideal_w: float
+) -> np.ndarray:
+    """The core of Algorithm 1: SOC-proportional shares capped at P_ideal.
+
+    Args:
+        soc: Per-rack state of charge.
+        shave_w: Total power to assign.
+        p_ideal_w: Per-rack ceiling.
+
+    Returns:
+        Per-rack assignment summing to ``min(shave_w, n * p_ideal_w)``
+        (up to racks with zero SOC, which get nothing).
+    """
+    if p_ideal_w <= 0.0:
+        raise ConfigError("P_ideal must be positive")
+    if shave_w < 0.0:
+        raise ConfigError("shave power must be non-negative")
+    soc = np.asarray(soc, dtype=float)
+    n = soc.size
+    assignment = np.zeros(n)
+    if shave_w == 0.0:
+        return assignment
+    # Algorithm 1 line 6: saturated case — even usage at the ceiling.
+    if shave_w >= n * p_ideal_w:
+        assignment[:] = p_ideal_w
+        return assignment
+    # Lines 9-18: pin the highest-SOC racks whose proportional share
+    # overflows P_ideal, then share the remainder proportionally.
+    order = np.argsort(-soc, kind="stable")  # quicksort desc. by SOC
+    soc_total = float(np.sum(soc))
+    remaining = shave_w
+    pinned = np.zeros(n, dtype=bool)
+    for rank in range(n):
+        rack = order[rank]
+        if soc_total <= 0.0 or remaining <= 0.0:
+            break
+        share = soc[rack] / soc_total * remaining
+        if share <= p_ideal_w:
+            break
+        assignment[rack] = p_ideal_w
+        pinned[rack] = True
+        soc_total -= soc[rack]
+        remaining -= p_ideal_w
+    if soc_total > 0.0 and remaining > 0.0:
+        free = ~pinned
+        assignment[free] = soc[free] / soc_total * remaining
+    return assignment
+
+
+class VdebController:
+    """Stateful vDEB controller with physical-cap redistribution.
+
+    Args:
+        config: Controller parameters (``P_ideal`` fraction, cadence).
+        max_discharge_w: The pack-level discharge ceiling that, scaled by
+            ``ideal_discharge_fraction``, gives ``P_ideal``.
+    """
+
+    def __init__(self, config: VdebConfig, max_discharge_w: float) -> None:
+        if max_discharge_w <= 0.0:
+            raise ConfigError("max discharge power must be positive")
+        self._config = config
+        self._p_ideal_w = config.ideal_discharge_fraction * max_discharge_w
+
+    @property
+    def config(self) -> VdebConfig:
+        """The controller parameters."""
+        return self._config
+
+    @property
+    def p_ideal_w(self) -> float:
+        """The per-rack ideal discharge ceiling in watts."""
+        return self._p_ideal_w
+
+    def allocate(
+        self,
+        soc: np.ndarray,
+        rack_demand_w: np.ndarray,
+        deliverable_w: np.ndarray,
+        shave_w: float,
+    ) -> VdebAllocation:
+        """Assign per-rack discharge covering ``shave_w`` if possible.
+
+        Args:
+            soc: Per-rack battery state of charge.
+            rack_demand_w: Per-rack electrical demand ``p_i`` — a battery
+                cannot discharge more than its own rack consumes.
+            deliverable_w: Per-rack maximum deliverable battery power this
+                step (zero for LVD-disconnected packs).
+            shave_w: Cluster-level power that must come from batteries.
+        """
+        soc = np.asarray(soc, dtype=float)
+        demand = np.asarray(rack_demand_w, dtype=float)
+        deliverable = np.asarray(deliverable_w, dtype=float)
+        if not (soc.shape == demand.shape == deliverable.shape):
+            raise ConfigError("per-rack vectors must share one shape")
+        if shave_w <= 0.0:
+            return VdebAllocation(
+                discharge_w=np.zeros(soc.shape), shave_w=0.0, satisfied=True
+            )
+        caps = np.minimum(demand, deliverable)
+        caps = np.minimum(caps, self._p_ideal_w)
+        caps = np.maximum(caps, 0.0)
+        assignment = np.minimum(share_by_soc(soc, shave_w, self._p_ideal_w), caps)
+        # Redistribute shortfall over racks with remaining cap headroom,
+        # still SOC-proportionally, until covered or no headroom remains.
+        for _ in range(soc.size):
+            shortfall = shave_w - float(np.sum(assignment))
+            if shortfall <= 1e-9:
+                break
+            headroom = caps - assignment
+            open_mask = headroom > 1e-12
+            if not np.any(open_mask):
+                break
+            weights = np.where(open_mask, np.maximum(soc, 1e-12), 0.0)
+            extra = weights / float(np.sum(weights)) * shortfall
+            assignment = np.minimum(assignment + extra, caps)
+        total = float(np.sum(assignment))
+        return VdebAllocation(
+            discharge_w=assignment,
+            shave_w=shave_w,
+            satisfied=total >= shave_w - 1e-6,
+        )
+
+    def soft_limits_for(
+        self,
+        rack_demand_w: np.ndarray,
+        discharge_w: np.ndarray,
+        pdu_budget_w: float,
+        floor_w: "float | np.ndarray",
+        ceiling_w: float,
+        margin_w: float = 0.0,
+    ) -> np.ndarray:
+        """Soft limits matching an allocation (the iPDU half of sharing).
+
+        Each rack's limit tracks its expected utility draw ``p_i - b_i``
+        plus a charging margin, bounded by a floor (keep idle racks alive;
+        PAD also uses per-rack floors to pin spike-suspect racks high) and
+        the branch ceiling, then scaled down if the sum would exceed the
+        cluster budget (Eq. 2).
+
+        Args:
+            margin_w: Headroom added per rack so recharge paths (battery
+                trickle, uDEB top-up) are not starved by an exact-fit
+                limit.
+        """
+        demand = np.asarray(rack_demand_w, dtype=float)
+        discharge = np.asarray(discharge_w, dtype=float)
+        floor = np.broadcast_to(
+            np.asarray(floor_w, dtype=float), demand.shape
+        )
+        if margin_w < 0.0:
+            raise ConfigError("margin must be non-negative")
+        if np.any(floor < 0.0) or np.any(ceiling_w <= floor):
+            raise ConfigError("need 0 <= floor < ceiling for soft limits")
+        limits = np.clip(demand - discharge + margin_w, floor, ceiling_w)
+        total = float(np.sum(limits))
+        if total > pdu_budget_w:
+            limits = limits * (pdu_budget_w / total)
+            limits = np.maximum(limits, 0.0)
+        return limits

@@ -1,0 +1,33 @@
+"""The six evaluated power-management schemes (paper Table III)."""
+
+from .base import DefenseScheme, Dispatch, SchemeContext, StepState
+from .conv import ConvScheme
+from .pad import PadScheme
+from .ps import PeakShavingScheme
+from .pspc import PeakShavingPowerCappingScheme
+from .udeb_only import UdebScheme
+from .vdeb_only import VdebScheme
+
+#: Table-III scheme registry, in the paper's presentation order.
+SCHEMES = {
+    "Conv": ConvScheme,
+    "PS": PeakShavingScheme,
+    "PSPC": PeakShavingPowerCappingScheme,
+    "uDEB": UdebScheme,
+    "vDEB": VdebScheme,
+    "PAD": PadScheme,
+}
+
+__all__ = [
+    "ConvScheme",
+    "DefenseScheme",
+    "Dispatch",
+    "PadScheme",
+    "PeakShavingPowerCappingScheme",
+    "PeakShavingScheme",
+    "SCHEMES",
+    "SchemeContext",
+    "StepState",
+    "UdebScheme",
+    "VdebScheme",
+]

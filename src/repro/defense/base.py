@@ -1,0 +1,255 @@
+"""Defense-scheme machinery shared by the six evaluated schemes (Table III).
+
+Physical model (see DESIGN.md for the derivation):
+
+* Overload and breaker trips happen at the **rack feed**: rack circuits
+  are the oversubscribed element (the rack breaker is sized to the
+  budgeted rack power plus a small tolerance, not to the sum of server
+  nameplates — that is precisely why rack-level shaving/capping exists).
+  The cluster PDU breaker guards the aggregate the same way.
+* A rack's battery and supercap sit on that rack's bus: their discharge
+  offsets *that rack's* utility draw. vDEB's "sharing" is indirect — a
+  high-SOC rack discharges locally, freeing cluster budget that the iPDU
+  soft limits hand to the needy rack (whose feed can carry up to the
+  branch rating).
+* Battery and supercap shaving is **automatic** (power electronics see
+  the real current instantly); software actions — capping, shedding,
+  anomaly handling — see only *metered interval averages*, which is why
+  hidden spikes evade them.
+
+Every scheme implements ``dispatch``: given the instantaneous demand and
+the latest metered view, move energy and set management masks. The
+simulation engine applies the result to the breakers and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..battery.charger import make_charger
+from ..battery.fleet import BatteryFleet
+from ..config import DataCenterConfig
+from ..errors import ConfigError
+from ..power.capping import CapController
+from ..workload.cluster import ClusterModel
+
+
+@dataclass(frozen=True)
+class StepState:
+    """What a scheme may observe at one simulation tick.
+
+    Attributes:
+        time_s: Current simulation time.
+        dt: Tick length.
+        rack_demand_w: Instantaneous electrical demand ``p_i`` per rack
+            (with the scheme's previous capping/shedding already applied).
+        metered_rack_avg_w: Latest management-meter average per rack —
+            what software loops are allowed to react to.
+        metered_server_util: Latest metered per-server utilisation — the
+            shedder's selection input.
+    """
+
+    time_s: float
+    dt: float
+    rack_demand_w: np.ndarray
+    metered_rack_avg_w: np.ndarray
+    metered_server_util: np.ndarray
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """A scheme's decision for one tick.
+
+    Attributes:
+        battery_w: Per-rack battery discharge actually delivered.
+        charge_w: Per-rack battery charging draw (bus side).
+        udeb_w: Per-rack supercap discharge actually delivered.
+        udeb_charge_w: Per-rack supercap charging draw.
+        capped_racks: Racks whose servers run DVFS-capped *next* tick.
+        asleep_servers: Servers held asleep next tick.
+        soft_limits_w: Per-rack soft limits after this tick's management.
+    """
+
+    battery_w: np.ndarray
+    charge_w: np.ndarray
+    udeb_w: np.ndarray
+    udeb_charge_w: np.ndarray
+    capped_racks: np.ndarray
+    asleep_servers: np.ndarray
+    soft_limits_w: np.ndarray
+
+    def utility_w(self, rack_demand_w: np.ndarray) -> np.ndarray:
+        """Per-rack power drawn from the utility feed this tick."""
+        draw = (
+            np.asarray(rack_demand_w, dtype=float)
+            - self.battery_w
+            - self.udeb_w
+            + self.charge_w
+            + self.udeb_charge_w
+        )
+        return np.maximum(draw, 0.0)
+
+
+@dataclass
+class SchemeContext:
+    """Everything a scheme needs at construction time.
+
+    Attributes:
+        config: Full data-center configuration.
+        cluster: Workload-to-power model.
+        initial_soft_limits_w: The provisioned per-rack budgets; schemes
+            without iPDU reassignment keep these forever.
+        seed: Determinism seed.
+    """
+
+    config: DataCenterConfig
+    cluster: ClusterModel
+    initial_soft_limits_w: np.ndarray
+    branch_rating_w: "np.ndarray | None" = None
+    seed: "int | None" = None
+    initial_battery_soc: "float | list[float]" = field(default=1.0)
+
+    def ratings(self) -> np.ndarray:
+        """Per-rack branch breaker ratings (defaults to the soft limits)."""
+        if self.branch_rating_w is None:
+            return np.asarray(self.initial_soft_limits_w, dtype=float)
+        return np.asarray(self.branch_rating_w, dtype=float)
+
+
+class DefenseScheme:
+    """Base class: owns the battery fleet, chargers and cap controllers.
+
+    Subclasses toggle behaviour through the hooks; the heavy lifting
+    (fleet stepping, charging, capping bookkeeping) is shared so every
+    scheme sees identical physics.
+    """
+
+    #: Human-readable scheme name (Table III row).
+    name: str = "base"
+    #: Discharge batteries to shave peaks (False only for Conv).
+    uses_peak_shaving: bool = True
+    #: Reassign discharge duty and soft limits cluster-wide (vDEB).
+    uses_vdeb: bool = False
+    #: Rack-level supercap spike shaving (uDEB).
+    uses_udeb: bool = False
+    #: DVFS power capping on over-budget racks (PSPC).
+    uses_capping: bool = False
+    #: Level-3 load shedding (PAD).
+    uses_shedding: bool = False
+
+    def __init__(self, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        cfg = ctx.config
+        racks = ctx.cluster.racks
+        self.fleet = BatteryFleet(
+            cfg.cluster.rack.battery, racks, initial_soc=ctx.initial_battery_soc
+        )
+        self.charger = make_charger(cfg.charging, cfg.cluster.rack.battery)
+        self.soft_limits_w = np.asarray(
+            ctx.initial_soft_limits_w, dtype=float
+        ).copy()
+        if self.soft_limits_w.shape != (racks,):
+            raise ConfigError("need one initial soft limit per rack")
+        self.initial_soft_limits_w = self.soft_limits_w.copy()
+        self.cap_controllers = [
+            CapController(cfg.capping) for _ in range(racks)
+        ]
+        self.capped_racks = np.zeros(racks, dtype=bool)
+        self.asleep_servers = np.zeros(ctx.cluster.servers, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Hooks                                                               #
+    # ------------------------------------------------------------------ #
+
+    def battery_discharge(self, state: StepState) -> np.ndarray:
+        """Per-rack battery discharge *request* for this tick.
+
+        Default: local peak shaving — each rack covers its own excess over
+        its soft limit, alone. Conv overrides to zero; vDEB overrides with
+        Algorithm 1.
+        """
+        if not self.uses_peak_shaving:
+            return np.zeros(self.ctx.cluster.racks)
+        return np.maximum(0.0, state.rack_demand_w - self.soft_limits_w)
+
+    def after_battery(self, state: StepState, residual_w: np.ndarray
+                      ) -> "tuple[np.ndarray, np.ndarray]":
+        """uDEB stage: shave ``residual_w`` (excess the batteries missed).
+
+        Returns ``(udeb_discharge_w, udeb_charge_w)``; the base class has
+        no supercaps and returns zeros.
+        """
+        zeros = np.zeros(self.ctx.cluster.racks)
+        return zeros, zeros
+
+    def management(self, state: StepState) -> None:
+        """Software-plane updates (capping, shedding, policy).
+
+        Runs on metered data only. The base class updates cap controllers
+        when capping is enabled.
+        """
+        if self.uses_capping:
+            for rack, controller in enumerate(self.cap_controllers):
+                need = (
+                    state.metered_rack_avg_w[rack] - self.soft_limits_w[rack]
+                )
+                # DVFS is the fallback once the DEB runs out (paper Fig. 6:
+                # "Once the peak-shaving DEB runs out, data center servers
+                # have to use performance scaling to cap power demand").
+                battery_short = (
+                    self.fleet[rack].max_discharge_power(state.dt) < need
+                )
+                over = need > 0.0 and battery_short
+                self.capped_racks[rack] = controller.step(bool(over), state.dt)
+
+    # ------------------------------------------------------------------ #
+    # The shared dispatch pipeline                                        #
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, state: StepState) -> Dispatch:
+        """Run one tick: management, battery stage, uDEB stage, charging."""
+        self.management(state)
+        racks = self.ctx.cluster.racks
+        request = np.minimum(
+            self.battery_discharge(state), state.rack_demand_w
+        )
+        deliverable = np.array(
+            [p.max_discharge_power(state.dt) for p in self.fleet.packs]
+        )
+        request = np.minimum(request, deliverable)
+
+        # Charging: only racks that are not discharging, from headroom
+        # under the soft limit.
+        charge = np.zeros(racks)
+        headroom = self.soft_limits_w - (state.rack_demand_w - request)
+        for rack, pack in enumerate(self.fleet.packs):
+            if request[rack] <= 0.0 and headroom[rack] > 0.0:
+                charge[rack] = self.charger.charge_power(
+                    pack, float(headroom[rack]), state.dt
+                )
+        delivered = self.fleet.step(request, charge, state.dt, state.time_s)
+
+        local_need = np.maximum(0.0, state.rack_demand_w - self.soft_limits_w)
+        residual = np.maximum(0.0, local_need - delivered)
+        udeb_w, udeb_charge_w = self.after_battery(state, residual)
+
+        return Dispatch(
+            battery_w=delivered,
+            charge_w=charge,
+            udeb_w=udeb_w,
+            udeb_charge_w=udeb_charge_w,
+            capped_racks=self.capped_racks.copy(),
+            asleep_servers=self.asleep_servers.copy(),
+            soft_limits_w=self.soft_limits_w.copy(),
+        )
+
+    def reset(self) -> None:
+        """Restore construction-time state."""
+        self.fleet.reset()
+        self.soft_limits_w = self.initial_soft_limits_w.copy()
+        for controller in self.cap_controllers:
+            controller.reset()
+        self.capped_racks[:] = False
+        self.asleep_servers[:] = False

@@ -1,0 +1,175 @@
+"""PAD — the paper's full design: vDEB + uDEB + policy + shedding.
+
+The complete power-attack defense stack:
+
+* the **vDEB** controller shares battery duty SOC-proportionally and
+  reassigns iPDU soft limits (Level-1 visible-peak handling);
+* the **uDEB** supercaps absorb whatever slips past the batteries, with
+  zero software latency (Level-2 hidden-spike handling);
+* the **hierarchical policy** (Fig. 9) tracks the health of both backup
+  layers plus the visible-peak signal;
+* **Level-3 load shedding** sleeps up to ~3 % of servers — chosen by
+  metered utilisation — when both layers are exhausted and demand still
+  exceeds the budget.
+
+PAD deliberately has *no DVFS capping*: the paper credits it with "better
+performance guarantee" precisely because extended battery autonomy makes
+capping unnecessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.policy import HierarchicalPolicy, PolicyInputs, SecurityLevel
+from ..core.detection import VisiblePeakDetector
+from ..core.shedding import LoadShedder
+from ..core.udeb import UdebShaver
+from .base import SchemeContext, StepState
+from .vdeb_only import VdebScheme
+
+
+class PadScheme(VdebScheme):
+    """The full PAD patch (paper §4)."""
+
+    name = "PAD"
+    uses_vdeb = True
+    uses_udeb = True
+    uses_shedding = True
+    # PAD keeps the deployment's existing DVFS capping as the very last
+    # resort. The design goal is that it almost never fires — the vDEB
+    # pool, the uDEB and the shedder act first — which is exactly why
+    # PAD "can greatly reduce unnecessary power capping activities that
+    # are seen in other baselines" (paper §6.3).
+    uses_capping = True
+
+    def __init__(self, ctx: SchemeContext, strict_policy: bool = True) -> None:
+        super().__init__(ctx)
+        cfg = ctx.config
+        self.shaver = UdebShaver(cfg.supercap, ctx.cluster.racks)
+        self.policy = HierarchicalPolicy(strict=strict_policy)
+        self.vp_detector = VisiblePeakDetector(
+            margin=cfg.policy.visible_peak_margin
+        )
+        server = cfg.cluster.rack.server
+        # Sleeping a server recovers its dynamic power plus the idle power
+        # it no longer burns (sleep state parks well below active idle).
+        saving_w = server.peak_w - 0.1 * server.idle_w
+        self.shedder = LoadShedder(
+            cfg.policy, ctx.cluster.servers, per_server_saving_w=saving_w
+        )
+        racks = ctx.cluster.racks
+        # Level-2 anomaly prevention: the uDEB's ORing events are a
+        # hardware fine-grained spike sensor. Racks whose uDEB keeps
+        # firing are "spike suspects"; PAD pins their soft limit at the
+        # observed spike ceiling so hidden spikes ride the (budgeted)
+        # utility feed instead of bleeding the backup stores.
+        self._recent_peak_w = np.zeros(racks)
+        self._suspect_until_s = np.full(racks, -np.inf)
+        self._last_shaves = np.zeros(racks, dtype=np.int64)
+
+    @property
+    def level(self) -> SecurityLevel:
+        """Current policy level (valid after the first dispatch)."""
+        return self.policy.level
+
+    #: Battery SOC below which a rack counts as vulnerable for the
+    #: rack-level migration/shedding trigger.
+    VULNERABLE_SOC = 0.15
+    #: How long a rack stays a spike suspect after its uDEB last fired.
+    SUSPECT_HOLD_S = 600.0
+    #: Decay constant of the tracked fine-grained demand peak.
+    PEAK_DECAY_TAU_S = 300.0
+    #: Extra headroom above the tracked peak when pinning a limit.
+    PIN_MARGIN_W = 100.0
+
+    def soft_limit_floors(self, state: StepState) -> np.ndarray:
+        """Pin spike-suspect racks at their observed fine-grained peak."""
+        floors = super().soft_limit_floors(state)
+        suspect = state.time_s < self._suspect_until_s
+        ceiling = float(np.max(self._branch_rating_w))
+        pinned = np.minimum(
+            self._recent_peak_w + self.PIN_MARGIN_W, ceiling - 1.0
+        )
+        return np.where(suspect, np.maximum(floors, pinned), floors)
+
+    def _track_spikes(self, state: StepState) -> None:
+        """Update the uDEB-event spike sensor and peak tracker."""
+        decay = np.exp(-state.dt / self.PEAK_DECAY_TAU_S)
+        self._recent_peak_w = np.maximum(
+            self._recent_peak_w * decay, state.rack_demand_w
+        )
+        shaves = np.array(
+            [b.shave_events for b in self.shaver.banks], dtype=np.int64
+        )
+        fired = shaves > self._last_shaves
+        self._suspect_until_s[fired] = state.time_s + self.SUSPECT_HOLD_S
+        self._last_shaves = shaves
+
+    def management(self, state: StepState) -> None:
+        """Policy update and Level-3 shedding, all on metered data."""
+        super().management(state)  # last-resort DVFS capping
+        self._track_spikes(state)
+        cfg = self.ctx.config
+        vp = self.vp_detector.evaluate(
+            state.metered_rack_avg_w, self.soft_limits_w
+        )
+        inputs = PolicyInputs(
+            vdeb_available=self.fleet.pool_soc > cfg.policy.vdeb_empty_soc,
+            udeb_available=self.shaver.min_soc > cfg.policy.udeb_empty_soc,
+            visible_peak=vp.any_peak,
+        )
+        level = self.policy.update(inputs)
+        metered_total = float(np.sum(state.metered_rack_avg_w))
+        required = 0.0
+        # "PAD temporarily puts some of the low-priority racks into
+        # deep-sleep mode only in extreme cases when cluster-wide power
+        # peaks appear": a metered cluster-wide excess is shed directly,
+        # sparing the vDEB pool; Level 3 repeats the demand when both
+        # backup layers are gone.
+        cluster_excess = metered_total - cfg.cluster.pdu_budget_w
+        if cluster_excess > 0.0 or level is SecurityLevel.EMERGENCY:
+            required += max(cluster_excess, 0.0)
+        # "Load migration from vulnerable racks to dependable racks": a
+        # rack that is held over its budget while its battery can no
+        # longer cover the excess (deep discharge, LVD, or an exhausted
+        # KiBaM available well) is a local emergency — relieve it by
+        # shedding its hottest metered load (during a visible-peak attack
+        # that is the attacker; hidden spikes do not move metered
+        # utilisation and are the uDEB's job instead).
+        soc = self.fleet.soc_vector()
+        deliverable = np.array(
+            [p.max_discharge_power(state.dt) for p in self.fleet.packs]
+        )
+        rack_over = state.metered_rack_avg_w - self.soft_limits_w
+        weak = (soc < self.VULNERABLE_SOC) | (deliverable < rack_over)
+        vulnerable = weak & (rack_over > 0.0)
+        required += float(np.sum(rack_over[vulnerable]))
+        decision = self.shedder.update(
+            state.time_s, state.metered_server_util, required
+        )
+        self.asleep_servers = decision.asleep
+
+    def after_battery(self, state: StepState, residual_w: np.ndarray
+                      ) -> "tuple[np.ndarray, np.ndarray]":
+        """uDEB stage, identical physics to the uDEB-only scheme."""
+        result = self.shaver.shave(residual_w, state.dt)
+        headroom = np.where(
+            residual_w <= 0.0,
+            np.maximum(0.0, self.soft_limits_w - state.rack_demand_w),
+            0.0,
+        )
+        charge = self.shaver.recharge(headroom, state.dt)
+        return result.shaved_w, charge
+
+    def reset(self) -> None:
+        super().reset()
+        self.shaver.reset()
+        self.policy.reset()
+        self.shedder.reset()
+        self.asleep_servers[:] = False
+        self._recent_peak_w[:] = 0.0
+        self._suspect_until_s[:] = -np.inf
+        self._last_shaves = np.array(
+            [b.shave_events for b in self.shaver.banks], dtype=np.int64
+        )

@@ -1,0 +1,17 @@
+"""PS — state-of-the-art peak shaving (paper Table III, after [7]).
+
+Each rack's battery autonomously shaves that rack's demand above its soft
+limit (Kontorinis et al.'s distributed-UPS power capping). Batteries are
+private: a drained rack gets no help from its neighbours, which is exactly
+the vulnerability the paper's Phase-I attack farms.
+"""
+
+from __future__ import annotations
+
+from .base import DefenseScheme
+
+
+class PeakShavingScheme(DefenseScheme):
+    """Per-rack local peak shaving — the :class:`DefenseScheme` default."""
+
+    name = "PS"

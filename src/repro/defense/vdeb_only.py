@@ -1,0 +1,112 @@
+"""vDEB-only scheme: PS plus Algorithm-1 cluster-wide load sharing.
+
+The battery fleet is managed as one virtual pool: discharge duty is
+assigned SOC-proportionally (capped at ``P_ideal``) across all racks, and
+the intelligent PDU's soft limits are reassigned to match, so a needy
+rack's feed can carry more utility power while high-SOC neighbours cover
+their own (reduced) budgets from their batteries.
+
+Physical constraints respected: a rack's feed never exceeds its branch
+rating — demand beyond the rating *must* come from the rack's own battery
+— and a battery cannot discharge more than its own rack consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.vdeb import VdebController
+from .base import DefenseScheme, SchemeContext, StepState
+
+
+#: Fraction of the rack nameplate the physical branch wiring can carry.
+#: Rack feeds are typically provisioned with some slack over the budgeted
+#: power but below the sum of server nameplates.
+WIRING_MARGIN = 0.88
+
+
+class VdebScheme(DefenseScheme):
+    """PS + the vDEB controller (paper §4.2.1)."""
+
+    name = "vDEB"
+    uses_vdeb = True
+
+    def __init__(self, ctx: SchemeContext) -> None:
+        super().__init__(ctx)
+        cfg = ctx.config
+        self.controller = VdebController(
+            cfg.vdeb, cfg.cluster.rack.battery.max_discharge_w
+        )
+        wiring_w = WIRING_MARGIN * cfg.cluster.rack.nameplate_w
+        self._branch_rating_w = np.full(ctx.cluster.racks, wiring_w)
+        # Keep every rack at least its idle power — a soft limit below
+        # idle would starve healthy servers.
+        self._floor_w = cfg.cluster.rack.idle_w
+        self._rebalance_due_s = -np.inf
+
+    def battery_discharge(self, state: StepState) -> np.ndarray:
+        """Algorithm-1 allocation plus the local branch-rating floor."""
+        demand = state.rack_demand_w
+        deliverable = np.array(
+            [p.max_discharge_power(state.dt) for p in self.fleet.packs]
+        )
+        # Cluster-level requirement: total demand above the PDU budget.
+        pdu_budget = self.ctx.config.cluster.pdu_budget_w
+        shave_w = max(0.0, float(np.sum(demand)) - pdu_budget)
+        allocation = self.controller.allocate(
+            soc=self.fleet.soc_vector(),
+            rack_demand_w=demand,
+            deliverable_w=deliverable,
+            shave_w=shave_w,
+        )
+        request = allocation.discharge_w
+        # Rack-level balancing: each rack still covers its own excess over
+        # its *current* soft limit (that is what keeps the feed inside its
+        # enforcement threshold), and demand above the physical wiring
+        # rating can only ever come from the local battery.
+        local_need = np.maximum(0.0, demand - self.soft_limits_w)
+        local_min = np.maximum(0.0, demand - self._branch_rating_w)
+        request = np.maximum(request, np.minimum(local_need, deliverable))
+        request = np.maximum(request, np.minimum(local_min, deliverable))
+        # Only the *pool-duty* share lowers a rack's soft limit. Folding
+        # the local-need top-up back in would spiral: a low limit creates
+        # local need, which would lower the limit further, draining the
+        # victim's battery — the exact vulnerability vDEB exists to close.
+        self._update_soft_limits(state, allocation.discharge_w)
+        return request
+
+    #: Headroom added to each reassigned soft limit so recharge paths
+    #: (battery trickle, uDEB top-up) are not starved by an exact fit.
+    CHARGE_MARGIN_W = 150.0
+
+    def soft_limit_floors(self, state: StepState) -> np.ndarray:
+        """Per-rack lower bounds for the reassignment (hook for PAD)."""
+        return np.full(self.ctx.cluster.racks, self._floor_w)
+
+    def _update_soft_limits(
+        self, state: StepState, discharge: np.ndarray
+    ) -> None:
+        """Reassign iPDU soft limits at the controller cadence.
+
+        The controller is *software*: it sees the management meter's
+        interval averages, never the instantaneous waveform — which is
+        exactly why hidden spikes slip past it and only the uDEB hardware
+        path (in PAD) can answer them.
+        """
+        if state.time_s < self._rebalance_due_s:
+            return
+        self._rebalance_due_s = (
+            state.time_s + self.controller.config.rebalance_interval_s
+        )
+        self.soft_limits_w = self.controller.soft_limits_for(
+            rack_demand_w=state.metered_rack_avg_w,
+            discharge_w=discharge,
+            pdu_budget_w=self.ctx.config.cluster.pdu_budget_w,
+            floor_w=self.soft_limit_floors(state),
+            ceiling_w=float(np.max(self._branch_rating_w)),
+            margin_w=self.CHARGE_MARGIN_W,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._rebalance_due_s = -np.inf

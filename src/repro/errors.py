@@ -1,0 +1,57 @@
+"""Exception hierarchy for the PAD reproduction library.
+
+Every exception raised by this package derives from :class:`ReproError`
+so callers can catch library failures without masking programming errors
+(``TypeError``, ``KeyError`` from their own code, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation.
+
+    Raised eagerly at construction time (``__post_init__``) so that invalid
+    setups fail before any simulation work starts.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A workload trace file or record does not match the expected schema."""
+
+
+class PowerTopologyError(ReproError):
+    """The power-delivery tree is inconsistent.
+
+    Examples: a rack attached to two PDUs, soft limits that exceed the
+    breaker rating, or a budget split that violates the oversubscription
+    constraints of paper Eq. (1)/(2).
+    """
+
+
+class BatteryError(ReproError):
+    """An energy store was driven outside its physical envelope.
+
+    Raised for programming errors such as charging with negative power;
+    *running out of energy* is not an error — it is a modelled state.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used inconsistently.
+
+    Examples: stepping a finished simulation, registering a hook after
+    the run started, or a negative time step.
+    """
+
+
+class AttackError(ReproError):
+    """An attack scenario is internally inconsistent.
+
+    Examples: a spike width longer than the spike period, or an attacker
+    given control of more nodes than exist in the victim rack.
+    """

@@ -1,0 +1,52 @@
+"""One module per reproduced paper artifact (tables and figures).
+
+Each ``figNN_*``/``tableN_*`` module exposes ``run()`` returning structured
+results and ``main()`` printing the paper-style summary; ``report`` runs
+everything and renders EXPERIMENTS.md.
+"""
+
+from . import (
+    fig05_soc_variation,
+    fig06_two_phase,
+    fig07_effective_attack,
+    fig08_attack_stats,
+    fig13_deb_map,
+    fig14_shedding,
+    fig15_survival,
+    fig16_throughput,
+    fig17_cost,
+    table1_detection,
+)
+from .common import (
+    ExperimentSetup,
+    SCHEME_ORDER,
+    SURVIVAL_WINDOW_S,
+    build_attacker,
+    learned_autonomy_prior,
+    rising_edge_time,
+    run_survival,
+    run_throughput,
+    standard_setup,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "SCHEME_ORDER",
+    "SURVIVAL_WINDOW_S",
+    "build_attacker",
+    "fig05_soc_variation",
+    "fig06_two_phase",
+    "fig07_effective_attack",
+    "fig08_attack_stats",
+    "fig13_deb_map",
+    "fig14_shedding",
+    "fig15_survival",
+    "fig16_throughput",
+    "fig17_cost",
+    "learned_autonomy_prior",
+    "rising_edge_time",
+    "run_survival",
+    "run_throughput",
+    "standard_setup",
+    "table1_detection",
+]

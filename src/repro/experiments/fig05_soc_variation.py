@@ -1,0 +1,114 @@
+"""Paper Fig. 5 — uneven utilisation of the distributed battery system.
+
+Reproduces the standard deviation of remaining capacity (SOC) across the
+rack batteries at each 5-minute timestamp, for online vs offline charging,
+over a multi-day trace. The paper observes roughly 3-12 % variation with
+online charging and nearly double that under offline charging.
+
+The driver of the variation is per-rack demand diversity: bursty machines
+force *their* rack's battery to shave while neighbours idle, and the
+offline policy then leaves drained packs sitting low until the recharge
+threshold — exactly the vulnerable racks the Phase-I attacker scouts for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ChargingPolicy, ClusterConfig, DataCenterConfig
+from ..defense import SCHEMES
+from ..sim.datacenter import DataCenterSimulation
+from ..units import TRACE_INTERVAL_S
+from ..workload.synthetic import SyntheticTraceConfig, generate_trace
+from ..units import days
+
+
+@dataclass(frozen=True)
+class SocVariationResult:
+    """Fig.-5 output.
+
+    Attributes:
+        time_s: Timestamps (5-minute grid).
+        std_online: SOC standard deviation (percent) under online charging.
+        std_offline: Same under offline charging.
+    """
+
+    time_s: np.ndarray
+    std_online: np.ndarray
+    std_offline: np.ndarray
+
+    @property
+    def mean_online_pct(self) -> float:
+        """Mean SOC spread under online charging, in percent."""
+        return float(np.mean(self.std_online))
+
+    @property
+    def mean_offline_pct(self) -> float:
+        """Mean SOC spread under offline charging, in percent."""
+        return float(np.mean(self.std_offline))
+
+
+def run(duration_days: float = 4.0, seed: int = 5) -> SocVariationResult:
+    """Run the Fig.-5 study.
+
+    Args:
+        duration_days: Trace length; the paper uses a month (8 000+
+            5-minute stamps) — pass 30 to match, the default keeps the
+            harness quick while preserving several full diurnal cycles.
+        seed: Workload seed.
+    """
+    # A slightly tighter budget plus heavier bursts makes battery usage
+    # routine, as in the paper's aggressively provisioned data center.
+    trace_cfg = SyntheticTraceConfig(
+        duration_s=days(duration_days),
+        burst_rate_per_day=4.0,
+        burst_height=0.22,
+    )
+    trace = generate_trace(trace_cfg, seed=seed)
+    series: dict[ChargingPolicy, np.ndarray] = {}
+    time_s: np.ndarray = np.array([])
+    for policy in (ChargingPolicy.ONLINE, ChargingPolicy.OFFLINE):
+        config = DataCenterConfig(
+            cluster=ClusterConfig(pdu_budget_fraction=0.81),
+            charging=policy,
+            seed=seed,
+        )
+        sim = DataCenterSimulation(
+            config,
+            trace,
+            SCHEMES["PS"],
+            management_interval_s=TRACE_INTERVAL_S,
+        )
+        result = sim.run(
+            duration_s=trace.duration_s,
+            dt=TRACE_INTERVAL_S,
+            record_every=1,
+        )
+        series[policy] = 100.0 * result.recorder.series("fleet_soc_std")
+        time_s = result.recorder.series("time_s")
+    return SocVariationResult(
+        time_s=time_s,
+        std_online=series[ChargingPolicy.ONLINE],
+        std_offline=series[ChargingPolicy.OFFLINE],
+    )
+
+
+def main() -> SocVariationResult:
+    """Run and print the Fig.-5 summary."""
+    result = run()
+    print("Fig. 5 — SOC standard deviation across rack batteries")
+    print(f"  online charging : mean {result.mean_online_pct:5.2f} %"
+          f"  max {float(np.max(result.std_online)):5.2f} %")
+    print(f"  offline charging: mean {result.mean_offline_pct:5.2f} %"
+          f"  max {float(np.max(result.std_offline)):5.2f} %")
+    ratio = result.mean_offline_pct / max(result.mean_online_pct, 1e-9)
+    print(f"  offline / online spread ratio: {ratio:.2f}x"
+          " (paper: offline nearly doubles the variation)")
+    return result
+
+
+if __name__ == "__main__":
+    main()

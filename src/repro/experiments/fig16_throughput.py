@@ -1,0 +1,162 @@
+"""Paper Fig. 16 — data-center throughput during the attack period.
+
+Security must not cost performance: the paper compares total throughput
+under attack for PS, PSPC, Conv and PAD, sweeping (A) the attack rate and
+(B) the spike width. Expected shape: degradation grows with attack
+aggressiveness; PSPC pays for its survival with DVFS capping, Conv loses
+whole racks to trips; PAD stays within a few percent because its only
+performance lever is the tiny Level-3 shed.
+
+Throughput is delivered work over demanded work across the window,
+normalised by the same scheme's attack-free baseline so that workload
+shape cancels out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..attack.scenario import DENSE_ATTACK
+from ..attack.spikes import SpikeTrainConfig
+from ..defense import SCHEMES
+from ..sim.datacenter import DataCenterSimulation
+from .common import (
+    ExperimentSetup,
+    format_table,
+    run_throughput,
+    standard_setup,
+)
+
+#: Schemes compared in Fig. 16.
+FIG16_SCHEMES = ("PS", "PSPC", "Conv", "PAD")
+
+#: Attack rates of Fig. 16-A, expressed as spike duty cycles.
+ATTACK_RATES = (0.16, 0.20, 0.25, 0.33, 0.50)
+
+#: Spike widths of Fig. 16-B, in seconds.
+ATTACK_WIDTHS_S = (0.2, 0.3, 0.4, 0.5, 0.6)
+
+#: Window over which throughput is measured.
+WINDOW_S = 900.0
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Fig.-16 result.
+
+    Attributes:
+        by_rate: ``{scheme: {rate: normalised throughput}}`` (Fig. 16-A).
+        by_width: ``{scheme: {width_s: normalised throughput}}`` (16-B).
+    """
+
+    by_rate: "dict[str, dict[float, float]]"
+    by_width: "dict[str, dict[float, float]]"
+
+    def worst_degradation(self, scheme: str) -> float:
+        """Largest relative throughput loss seen for ``scheme``."""
+        values = list(self.by_rate[scheme].values())
+        values += list(self.by_width[scheme].values())
+        return 1.0 - min(values)
+
+
+def _rate_scenario(duty: float, width_s: float = 1.0):
+    """Dense scenario re-parameterised to a spike duty cycle."""
+    rate_per_min = duty * 60.0 / width_s
+    return replace(
+        DENSE_ATTACK,
+        spikes=SpikeTrainConfig(
+            width_s=width_s,
+            rate_per_min=rate_per_min,
+            baseline_util=DENSE_ATTACK.spikes.baseline_util,
+        ),
+    )
+
+
+def _width_scenario(width_s: float, rate_per_min: float = 12.0):
+    """Dense scenario with sub-second spikes of the given width."""
+    return replace(
+        DENSE_ATTACK,
+        spikes=SpikeTrainConfig(
+            width_s=width_s,
+            rate_per_min=rate_per_min,
+            baseline_util=DENSE_ATTACK.spikes.baseline_util,
+        ),
+    )
+
+
+#: Battery state of charge at the start of the throughput window. Fig. 16
+#: measures "the attack period": Phase I has already cycled the batteries
+#: low, which is what forces the baselines into capping and trips.
+ATTACK_PERIOD_SOC = 0.35
+
+
+def _baseline_throughput(
+    setup: ExperimentSetup, scheme: str, window_s: float, dt: float
+) -> float:
+    """Attack-free throughput of the same scheme over the same window."""
+    sim = DataCenterSimulation(
+        setup.config, setup.trace, SCHEMES[scheme], repair_time_s=300.0,
+        initial_battery_soc=ATTACK_PERIOD_SOC,
+    )
+    result = sim.run(
+        duration_s=window_s, dt=dt,
+        start_s=setup.attack_time_s, record_every=200,
+    )
+    return result.throughput_ratio
+
+
+def run(
+    setup: "ExperimentSetup | None" = None,
+    seed: int = 7,
+    window_s: float = WINDOW_S,
+) -> ThroughputResult:
+    """Run both Fig.-16 sweeps."""
+    if setup is None:
+        setup = standard_setup()
+    by_rate: dict[str, dict[float, float]] = {}
+    by_width: dict[str, dict[float, float]] = {}
+    for scheme in FIG16_SCHEMES:
+        base_coarse = _baseline_throughput(setup, scheme, window_s, dt=0.5)
+        by_rate[scheme] = {}
+        for duty in ATTACK_RATES:
+            result = run_throughput(
+                setup, scheme, _rate_scenario(duty),
+                window_s=window_s, dt=0.5, seed=seed,
+                initial_battery_soc=ATTACK_PERIOD_SOC,
+            )
+            by_rate[scheme][duty] = result.throughput_ratio / base_coarse
+        base_fine = _baseline_throughput(setup, scheme, window_s / 3, dt=0.1)
+        by_width[scheme] = {}
+        for width in ATTACK_WIDTHS_S:
+            result = run_throughput(
+                setup, scheme, _width_scenario(width),
+                window_s=window_s / 3, dt=0.1, seed=seed,
+                initial_battery_soc=ATTACK_PERIOD_SOC,
+            )
+            by_width[scheme][width] = result.throughput_ratio / base_fine
+    return ThroughputResult(by_rate=by_rate, by_width=by_width)
+
+
+def main() -> ThroughputResult:
+    """Run and print Fig. 16."""
+    result = run()
+    print("Fig. 16-A — normalised throughput vs attack rate (duty cycle)")
+    rows_a = {
+        scheme: {f"{int(100 * d)}%": v for d, v in result.by_rate[scheme].items()}
+        for scheme in FIG16_SCHEMES
+    }
+    print(format_table(rows_a, value_format="{:>10.3f}"))
+    print("Fig. 16-B — normalised throughput vs spike width (s)")
+    rows_b = {
+        scheme: {f"{w:.1f}s": v for w, v in result.by_width[scheme].items()}
+        for scheme in FIG16_SCHEMES
+    }
+    print(format_table(rows_b, value_format="{:>10.3f}"))
+    for scheme in FIG16_SCHEMES:
+        print(f"  {scheme:5s} worst degradation: "
+              f"{100 * result.worst_degradation(scheme):.1f} %")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Paper Table I — detection rate under different power metering schemes.
+
+How often does interval-average metering notice a hidden spike? The sweep
+crosses metering interval (5 s ... 15 min) with the attack shape (1 vs 4
+malicious servers, 1 vs 4 s spikes, 1 vs 6 per minute) on the testbed
+replica, using the anomaly detector of :mod:`repro.core.detection`.
+
+Expected shape (paper Table I): fine meters catch roughly half of the
+small spikes; coarse meters are totally blind to sparse 1-second spikes
+(0 %) yet saturate at 100 % for wide frequent spikes from several servers,
+because those shift the interval *average* beyond the detection margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..attack.spikes import SpikeTrain, SpikeTrainConfig
+from ..attack.virus import VirusKind, profile_for
+from ..config import MeterConfig
+from ..core.detection import AnomalyDetector, detection_rate
+from ..power.meter import PowerMeter
+from ..testbed.platform import TestbedConfig, TestbedPlatform
+from ..units import minutes
+
+#: Metering intervals of paper Table I, in seconds.
+METERING_INTERVALS_S = (5.0, 10.0, 30.0, 60.0, minutes(5), minutes(10), minutes(15))
+
+#: Attack-shape columns of paper Table I: (servers, width_s, rate_per_min).
+ATTACK_SHAPES = (
+    (1, 1.0, 1.0),
+    (1, 1.0, 6.0),
+    (1, 4.0, 1.0),
+    (1, 4.0, 6.0),
+    (4, 1.0, 1.0),
+    (4, 1.0, 6.0),
+    (4, 4.0, 1.0),
+    (4, 4.0, 6.0),
+)
+
+#: Waveform sample period.
+DT_S = 0.5
+
+#: Observation length. The paper evaluates 15 minutes; longer windows give
+#: coarse meters enough intervals for a meaningful rate, so we use one
+#: hour plus a learning warm-up and report the steady-state rate.
+WINDOW_S = 3600.0
+WARMUP_S = 1800.0
+
+
+@dataclass(frozen=True)
+class DetectionTable:
+    """Table-I result: ``rates[(servers, width, rate)][interval]``."""
+
+    shapes: tuple[tuple[int, float, float], ...]
+    intervals_s: tuple[float, ...]
+    rates: "dict[tuple[int, float, float], dict[float, float]]"
+
+
+def measure_detection_rate(
+    servers: int,
+    width_s: float,
+    rate_per_min: float,
+    interval_s: float,
+    seed: int = 29,
+) -> float:
+    """Detection rate for one attack shape under one metering interval."""
+    testbed = TestbedConfig(noise_sigma=0.015)
+    platform = TestbedPlatform(testbed)
+    spikes = SpikeTrainConfig(
+        width_s=width_s, rate_per_min=rate_per_min, baseline_util=0.30
+    )
+    total_s = WARMUP_S + WINDOW_S
+    normal, attacked = platform.attack_waveform(
+        VirusKind.CPU, attacker_nodes=servers, spikes=spikes,
+        duration_s=total_s, dt=DT_S, seed=seed,
+    )
+    # The attack begins after the warm-up: the detector baselines on the
+    # clean load first, as a deployed monitor would.
+    warmup_samples = int(WARMUP_S / DT_S)
+    attacked = np.concatenate(
+        [normal[:warmup_samples], attacked[warmup_samples:]]
+    )
+    meter_cfg = MeterConfig(interval_s=interval_s)
+    meter = PowerMeter(meter_cfg)
+    detector = AnomalyDetector(meter_cfg, seed=seed)
+    for power in attacked:
+        for sample in meter.step(float(power), DT_S):
+            detector.observe(sample)
+    flagged = [s for s in detector.flagged if s.start_s >= WARMUP_S]
+    train = SpikeTrain(spikes, profile_for(VirusKind.CPU), start_s=0.0)
+    period = train.config.period_s
+    first = int(np.ceil(WARMUP_S / period))
+    last = int(total_s / period)
+    spike_times = [i * period for i in range(first, last)]
+    del train  # times only; the waveform above already contains the spikes
+    if not spike_times:
+        return 0.0
+    return detection_rate(spike_times, flagged)
+
+
+def run(seed: int = 29) -> DetectionTable:
+    """Compute the full Table-I grid."""
+    rates: dict[tuple[int, float, float], dict[float, float]] = {}
+    for shape in ATTACK_SHAPES:
+        servers, width, rate = shape
+        rates[shape] = {
+            interval: measure_detection_rate(
+                servers, width, rate, interval, seed=seed
+            )
+            for interval in METERING_INTERVALS_S
+        }
+    return DetectionTable(
+        shapes=ATTACK_SHAPES,
+        intervals_s=METERING_INTERVALS_S,
+        rates=rates,
+    )
+
+
+def main() -> DetectionTable:
+    """Run and print Table I."""
+    table = run()
+    print("Table I — detection rate (%) under different metering schemes")
+    header = f"{'interval':>10}" + "".join(
+        f"  {s}srv/{w:.0f}s/{r:.0f}pm" for s, w, r in table.shapes
+    )
+    print(header)
+    for interval in table.intervals_s:
+        label = (
+            f"{interval:.0f}s" if interval < 60
+            else f"{interval / 60:.0f}m"
+        )
+        cells = "".join(
+            f"  {100 * table.rates[shape][interval]:10.1f}"
+            for shape in table.shapes
+        )
+        print(f"{label:>10}{cells}")
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Electrical substrate: servers, PSUs, breakers, PDUs, metering, capping."""
+
+from .breaker import CircuitBreaker, TripEvent
+from .capping import CapController
+from .meter import MeterSample, PowerMeter
+from .oversubscription import (
+    OversubscriptionPlan,
+    capacity_saving_dollars,
+    capacity_saving_w,
+    demand_proportional_split,
+    even_split,
+)
+from .pdu import ClusterPDU, RackPDU
+from .psu import PSUEfficiencyCurve, ServerPSU
+from .server import ServerPowerModel, validate_budget
+from .topology import PowerTree
+from .ups import (
+    CentralUps,
+    CentralUpsConfig,
+    annual_conversion_loss_kwh,
+    distributed_backup_saving_kwh,
+)
+
+__all__ = [
+    "CapController",
+    "CentralUps",
+    "CentralUpsConfig",
+    "CircuitBreaker",
+    "ClusterPDU",
+    "MeterSample",
+    "OversubscriptionPlan",
+    "PSUEfficiencyCurve",
+    "PowerMeter",
+    "PowerTree",
+    "RackPDU",
+    "ServerPSU",
+    "ServerPowerModel",
+    "TripEvent",
+    "annual_conversion_loss_kwh",
+    "capacity_saving_dollars",
+    "capacity_saving_w",
+    "demand_proportional_split",
+    "distributed_backup_saving_kwh",
+    "even_split",
+    "validate_budget",
+]

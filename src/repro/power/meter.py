@@ -1,0 +1,129 @@
+"""Coarse-grained power metering (paper §3.2, Table I).
+
+Most data centers estimate power by reading energy counters at a fixed
+interval — "they normally monitor the total energy consumption at
+coarse-grained intervals (e.g., 10 minutes) to estimate the average power
+demand". Anything narrower than the interval is invisible: a 1-second spike
+folded into a 10-minute average moves the reading by parts per thousand.
+
+:class:`PowerMeter` integrates instantaneous power into interval averages.
+The anomaly logic that decides whether an interval looks suspicious lives
+in :mod:`repro.core.detection`; this module is purely the sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MeterConfig
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MeterSample:
+    """One completed metering interval.
+
+    Attributes:
+        start_s: Interval start time.
+        end_s: Interval end time.
+        average_w: Energy over the interval divided by its length.
+        peak_w: Largest instantaneous reading folded into the interval —
+            available only to *fine-grained* meters; utilisation-based
+            monitoring cannot see it, and detection logic must not use it
+            unless it models such a meter.
+    """
+
+    start_s: float
+    end_s: float
+    average_w: float
+    peak_w: float
+
+
+class PowerMeter:
+    """Integrating meter emitting one :class:`MeterSample` per interval.
+
+    Feed it instantaneous power with :meth:`step`; it returns the samples
+    completed during that step (zero or more — a long simulation step can
+    span several metering intervals, in which case the power is attributed
+    pro-rata).
+    """
+
+    def __init__(self, config: MeterConfig, start_time_s: float = 0.0) -> None:
+        self._config = config
+        self._interval = config.interval_s
+        self._window_start = start_time_s
+        self._now = start_time_s
+        self._energy_j = 0.0
+        self._peak_w = 0.0
+
+    @property
+    def config(self) -> MeterConfig:
+        """The metering parameters."""
+        return self._config
+
+    @property
+    def interval_s(self) -> float:
+        """The sampling interval in seconds."""
+        return self._interval
+
+    @property
+    def now_s(self) -> float:
+        """Current meter time."""
+        return self._now
+
+    def step(self, power_w: float, dt: float) -> "list[MeterSample]":
+        """Integrate ``power_w`` held for ``dt`` seconds.
+
+        Returns:
+            Samples for every metering interval completed by this step.
+
+        Raises:
+            SimulationError: on non-positive ``dt`` or negative power.
+        """
+        if dt <= 0.0:
+            raise SimulationError(f"dt must be positive, got {dt}")
+        if power_w < 0.0:
+            raise SimulationError(f"power must be non-negative, got {power_w}")
+        samples: list[MeterSample] = []
+        remaining = dt
+        while remaining > 0.0:
+            window_end = self._window_start + self._interval
+            slice_dt = min(remaining, window_end - self._now)
+            self._energy_j += power_w * slice_dt
+            self._peak_w = max(self._peak_w, power_w)
+            self._now += slice_dt
+            remaining -= slice_dt
+            if self._now >= window_end - 1e-12:
+                samples.append(
+                    MeterSample(
+                        start_s=self._window_start,
+                        end_s=window_end,
+                        average_w=self._energy_j / self._interval,
+                        peak_w=self._peak_w,
+                    )
+                )
+                self._window_start = window_end
+                self._now = window_end
+                self._energy_j = 0.0
+                self._peak_w = 0.0
+        return samples
+
+    def flush(self) -> "MeterSample | None":
+        """Close the current partial interval, if any power was integrated.
+
+        The average is still computed over the *full* interval length,
+        matching how energy-counter-based estimation under-reads a partial
+        window.
+        """
+        if self._now <= self._window_start:
+            return None
+        sample = MeterSample(
+            start_s=self._window_start,
+            end_s=self._now,
+            average_w=self._energy_j / self._interval,
+            peak_w=self._peak_w,
+        )
+        self._window_start = self._now
+        self._energy_j = 0.0
+        self._peak_w = 0.0
+        return sample

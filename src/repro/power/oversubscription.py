@@ -1,0 +1,174 @@
+"""Power-oversubscription planning (paper §2.2).
+
+Data centers deliberately provision the power infrastructure below the
+aggregate nameplate demand — the capacity is too expensive ($10-25/W) to
+size for a peak that almost never happens. This module provides the
+planning maths around the paper's Eqs. (1) and (2): splitting the cluster
+budget into per-rack soft limits, computing the battery power a demand
+vector requires, and quantifying the capacity (and cost) the
+oversubscription avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PowerTopologyError
+
+
+@dataclass(frozen=True)
+class OversubscriptionPlan:
+    """A validated budget split for one cluster.
+
+    Attributes:
+        pdu_budget_w: Cluster budget ``P_PDU``.
+        rack_nameplate_w: Per-rack peak power ``P_r``.
+        soft_limits_w: Per-rack limits ``lambda_i * P_r``; their sum must
+            not exceed ``pdu_budget_w`` (Eq. 2).
+    """
+
+    pdu_budget_w: float
+    rack_nameplate_w: float
+    soft_limits_w: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.pdu_budget_w <= 0.0:
+            raise PowerTopologyError("PDU budget must be positive")
+        if self.rack_nameplate_w <= 0.0:
+            raise PowerTopologyError("rack nameplate must be positive")
+        if not self.soft_limits_w:
+            raise PowerTopologyError("need at least one rack")
+        if any(limit <= 0.0 for limit in self.soft_limits_w):
+            raise PowerTopologyError("soft limits must be positive")
+        if any(
+            limit > self.rack_nameplate_w * (1.0 + 1e-9)
+            for limit in self.soft_limits_w
+        ):
+            raise PowerTopologyError("a soft limit exceeds the rack nameplate")
+        total = sum(self.soft_limits_w)
+        if total > self.pdu_budget_w * (1.0 + 1e-9):
+            raise PowerTopologyError(
+                f"soft limits sum to {total:.0f} W > budget "
+                f"{self.pdu_budget_w:.0f} W (Eq. 2)"
+            )
+        n = len(self.soft_limits_w)
+        if self.pdu_budget_w > n * self.rack_nameplate_w * (1.0 + 1e-9):
+            raise PowerTopologyError(
+                "budget exceeds total nameplate — not an oversubscribed design"
+            )
+
+    @property
+    def racks(self) -> int:
+        """Number of racks in the plan."""
+        return len(self.soft_limits_w)
+
+    @property
+    def oversubscription_ratio(self) -> float:
+        """``n * P_r / P_PDU`` — how far nameplate exceeds the budget."""
+        return self.racks * self.rack_nameplate_w / self.pdu_budget_w
+
+    def lambdas(self) -> np.ndarray:
+        """The scaling factors ``lambda_i`` of paper Fig. 4."""
+        return np.asarray(self.soft_limits_w) / self.rack_nameplate_w
+
+    def required_battery_power(
+        self, rack_demand_w: "list[float] | np.ndarray"
+    ) -> np.ndarray:
+        """Per-rack battery power ``b_i`` needed to satisfy Eq. (1).
+
+        ``b_i >= p_i - lambda_i * P_r``, clipped at zero: racks within
+        budget need no battery support.
+        """
+        demand = np.asarray(rack_demand_w, dtype=float)
+        if demand.shape != (self.racks,):
+            raise PowerTopologyError("need one demand entry per rack")
+        return np.maximum(0.0, demand - np.asarray(self.soft_limits_w))
+
+    def is_feasible(
+        self,
+        rack_demand_w: "list[float] | np.ndarray",
+        battery_power_w: "list[float] | np.ndarray",
+    ) -> bool:
+        """True if the dispatch satisfies Eq. (1) on every rack."""
+        demand = np.asarray(rack_demand_w, dtype=float)
+        battery = np.asarray(battery_power_w, dtype=float)
+        return bool(
+            np.all(demand - battery <= np.asarray(self.soft_limits_w) + 1e-6)
+        )
+
+
+def even_split(pdu_budget_w: float, rack_nameplate_w: float, racks: int
+               ) -> OversubscriptionPlan:
+    """Split the budget evenly: ``lambda_i = P_PDU / (n * P_r)`` for all i."""
+    if racks <= 0:
+        raise PowerTopologyError("need at least one rack")
+    limit = min(pdu_budget_w / racks, rack_nameplate_w)
+    return OversubscriptionPlan(
+        pdu_budget_w=pdu_budget_w,
+        rack_nameplate_w=rack_nameplate_w,
+        soft_limits_w=tuple([limit] * racks),
+    )
+
+
+def demand_proportional_split(
+    pdu_budget_w: float,
+    rack_nameplate_w: float,
+    rack_demand_w: "list[float] | np.ndarray",
+    floor_w: float = 0.0,
+) -> OversubscriptionPlan:
+    """Split the budget proportionally to observed rack demand.
+
+    This is the "workload-driven" allocation the paper says conventional
+    iPDU management performs — and criticises, because it ignores battery
+    pressure. We implement it as the baseline against vDEB's SOC-aware
+    allocation.
+
+    Args:
+        pdu_budget_w: Cluster budget to distribute.
+        rack_nameplate_w: Per-rack cap on any single soft limit.
+        rack_demand_w: Recent per-rack power demand driving the split.
+        floor_w: Minimum soft limit per rack (keeps an idle rack alive).
+
+    Returns:
+        A validated plan. Demand above the budget is scaled down uniformly;
+        headroom is distributed proportionally as well.
+    """
+    demand = np.asarray(rack_demand_w, dtype=float)
+    if demand.ndim != 1 or demand.size == 0:
+        raise PowerTopologyError("demand must be a non-empty 1-D vector")
+    if np.any(demand < 0.0):
+        raise PowerTopologyError("demand must be non-negative")
+    n = demand.size
+    if floor_w * n > pdu_budget_w:
+        raise PowerTopologyError("floors alone exceed the budget")
+    distributable = pdu_budget_w - floor_w * n
+    total_demand = float(np.sum(demand))
+    if total_demand <= 0.0:
+        shares = np.full(n, distributable / n)
+    else:
+        shares = demand / total_demand * distributable
+    limits = np.minimum(floor_w + shares, rack_nameplate_w)
+    return OversubscriptionPlan(
+        pdu_budget_w=pdu_budget_w,
+        rack_nameplate_w=rack_nameplate_w,
+        soft_limits_w=tuple(float(x) for x in limits),
+    )
+
+
+def capacity_saving_w(plan: OversubscriptionPlan) -> float:
+    """Provisioned capacity avoided relative to a non-oversubscribed build."""
+    return plan.racks * plan.rack_nameplate_w - plan.pdu_budget_w
+
+
+def capacity_saving_dollars(
+    plan: OversubscriptionPlan, dollars_per_watt: float = 15.0
+) -> float:
+    """Capital saving of the oversubscription at ``dollars_per_watt``.
+
+    The default sits mid-range of the paper's quoted $10-25/W build cost.
+    """
+    if dollars_per_watt <= 0.0:
+        raise PowerTopologyError("cost per watt must be positive")
+    return capacity_saving_w(plan) * dollars_per_watt

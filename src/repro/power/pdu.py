@@ -1,0 +1,137 @@
+"""Intelligent power distribution units (iPDUs).
+
+The paper's two-stage distribution (Fig. 4) has a cluster-level PDU feeding
+rack-level PDUs. Modern iPDUs can *enforce a power budget per outlet* — a
+soft limit ``lambda_i * P_r`` per rack — and that enforcement capability is
+exactly what PAD's vDEB controller piggybacks on to steer battery usage.
+
+Each PDU pairs a configurable soft limit (management plane) with a circuit
+breaker (protection plane). Exceeding the soft limit is a management event;
+only sustained or extreme overload of the *breaker* loses power.
+"""
+
+from __future__ import annotations
+
+from ..config import BreakerConfig
+from ..errors import PowerTopologyError
+from .breaker import CircuitBreaker
+
+
+class RackPDU:
+    """The PDU (and breaker) feeding one rack.
+
+    Args:
+        rack_id: Index of the rack this PDU feeds.
+        soft_limit_w: Management-plane budget ``lambda_i * P_r``.
+        breaker_rating_w: Hard protection rating; must be at least the soft
+            limit (a breaker that trips inside the allowed budget would be
+            a mis-design).
+        breaker_shape: Trip-curve shape parameters.
+    """
+
+    def __init__(
+        self,
+        rack_id: int,
+        soft_limit_w: float,
+        breaker_rating_w: float,
+        breaker_shape: BreakerConfig | None = None,
+    ) -> None:
+        if soft_limit_w <= 0.0:
+            raise PowerTopologyError("soft limit must be positive")
+        if breaker_rating_w < soft_limit_w:
+            raise PowerTopologyError(
+                f"rack {rack_id}: breaker rating {breaker_rating_w:.0f} W "
+                f"below soft limit {soft_limit_w:.0f} W"
+            )
+        shape = breaker_shape or BreakerConfig()
+        self.rack_id = rack_id
+        self._soft_limit_w = soft_limit_w
+        self.breaker = CircuitBreaker(shape.with_rating(breaker_rating_w))
+
+    @property
+    def soft_limit_w(self) -> float:
+        """Current management-plane power budget for this rack."""
+        return self._soft_limit_w
+
+    def set_soft_limit(self, soft_limit_w: float) -> None:
+        """Adjust the outlet budget (the iPDU capability vDEB relies on)."""
+        if soft_limit_w <= 0.0:
+            raise PowerTopologyError("soft limit must be positive")
+        if soft_limit_w > self.breaker.rated_w:
+            raise PowerTopologyError(
+                f"rack {self.rack_id}: soft limit {soft_limit_w:.0f} W above "
+                f"breaker rating {self.breaker.rated_w:.0f} W"
+            )
+        self._soft_limit_w = soft_limit_w
+
+    def over_soft_limit(self, power_w: float) -> float:
+        """Power above the soft limit (zero if within budget)."""
+        return max(0.0, power_w - self._soft_limit_w)
+
+    def step(self, power_w: float, dt: float, time_s: float = 0.0) -> bool:
+        """Advance the rack breaker; returns True if it tripped this step."""
+        return self.breaker.step(power_w, dt, time_s)
+
+    @property
+    def is_tripped(self) -> bool:
+        """True once the rack breaker has opened."""
+        return self.breaker.is_tripped
+
+    def reset(self) -> None:
+        """Re-arm the breaker."""
+        self.breaker.reset()
+
+
+class ClusterPDU:
+    """The cluster-level PDU feeding all rack PDUs.
+
+    Holds the global budget ``P_PDU`` and the cluster breaker. The per-rack
+    soft limits live in the :class:`RackPDU` objects; this class validates
+    that their sum respects the paper's Eq. (2).
+    """
+
+    def __init__(
+        self,
+        budget_w: float,
+        breaker_shape: BreakerConfig | None = None,
+        breaker_margin: float = 1.0,
+    ) -> None:
+        if budget_w <= 0.0:
+            raise PowerTopologyError("PDU budget must be positive")
+        if breaker_margin < 1.0:
+            raise PowerTopologyError("breaker margin must be >= 1")
+        shape = breaker_shape or BreakerConfig()
+        self._budget_w = budget_w
+        self.breaker = CircuitBreaker(shape.with_rating(budget_w * breaker_margin))
+
+    @property
+    def budget_w(self) -> float:
+        """The cluster power budget ``P_PDU`` in watts."""
+        return self._budget_w
+
+    def validate_soft_limits(self, rack_pdus: "list[RackPDU]") -> None:
+        """Enforce paper Eq. (2): ``sum(lambda_i * P_r) <= P_PDU``.
+
+        Raises:
+            PowerTopologyError: if the outlet budgets oversubscribe the
+                cluster budget.
+        """
+        total = sum(pdu.soft_limit_w for pdu in rack_pdus)
+        if total > self._budget_w * (1.0 + 1e-9):
+            raise PowerTopologyError(
+                f"rack soft limits sum to {total:.0f} W, above the cluster "
+                f"budget {self._budget_w:.0f} W (Eq. 2 violated)"
+            )
+
+    def step(self, power_w: float, dt: float, time_s: float = 0.0) -> bool:
+        """Advance the cluster breaker; True if it tripped this step."""
+        return self.breaker.step(power_w, dt, time_s)
+
+    @property
+    def is_tripped(self) -> bool:
+        """True once the cluster breaker has opened."""
+        return self.breaker.is_tripped
+
+    def reset(self) -> None:
+        """Re-arm the breaker."""
+        self.breaker.reset()

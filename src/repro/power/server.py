@@ -1,0 +1,110 @@
+"""Server power model and DVFS capping semantics.
+
+The paper's evaluation assumes HP ProLiant DL585 G5 servers whose power is
+characterised by two published SPECpower numbers: 299 W active-idle and
+521 W at peak. Between those points, power scales linearly with CPU
+utilisation — the standard warehouse-scale approximation (Fan et al.,
+ISCA'07, the paper's ref. [12]).
+
+DVFS capping (the PSPC baseline) lowers processor frequency by 20 %, which
+removes a matching fraction of the *dynamic* power range and costs a
+matching fraction of throughput while engaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ServerConfig
+from ..errors import ConfigError
+from ..units import clamp
+
+
+class ServerPowerModel:
+    """Maps CPU utilisation to electrical power for one server model.
+
+    All methods accept scalars or numpy arrays of utilisations and are
+    vectorised, because the cluster model evaluates hundreds of servers per
+    simulation step.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> ServerConfig:
+        """The server's power parameters."""
+        return self._config
+
+    @property
+    def idle_w(self) -> float:
+        """Active-idle power in watts."""
+        return self._config.idle_w
+
+    @property
+    def peak_w(self) -> float:
+        """Full-utilisation power in watts."""
+        return self._config.peak_w
+
+    def power(self, utilisation: "float | np.ndarray") -> "float | np.ndarray":
+        """Electrical power at the given CPU utilisation in ``[0, 1]``."""
+        u = np.clip(utilisation, 0.0, 1.0)
+        result = self._config.idle_w + u * self._config.dynamic_range_w
+        if np.isscalar(utilisation):
+            return float(result)
+        return result
+
+    def capped_power(
+        self, utilisation: "float | np.ndarray"
+    ) -> "float | np.ndarray":
+        """Power with the DVFS cap engaged.
+
+        The cap removes ``dvfs_power_reduction`` of the dynamic range: a
+        fully loaded capped server draws
+        ``idle + (1 - reduction) * dynamic_range``.
+        """
+        u = np.clip(utilisation, 0.0, 1.0)
+        scale = 1.0 - self._config.dvfs_power_reduction
+        result = self._config.idle_w + u * scale * self._config.dynamic_range_w
+        if np.isscalar(utilisation):
+            return float(result)
+        return result
+
+    def utilisation_for_power(self, power_w: float) -> float:
+        """Invert the linear model: utilisation that draws ``power_w``.
+
+        Clamped to ``[0, 1]``; powers below idle map to 0 and above peak
+        to 1.
+        """
+        u = (power_w - self._config.idle_w) / self._config.dynamic_range_w
+        return clamp(u, 0.0, 1.0)
+
+    def throughput(
+        self, utilisation: "float | np.ndarray", capped: "bool | np.ndarray" = False
+    ) -> "float | np.ndarray":
+        """Work delivered per unit time, in utilisation units.
+
+        An uncapped server delivers its utilisation; a capped server loses
+        ``dvfs_throughput_penalty`` of it. This is the quantity summed into
+        the paper's Fig. 16 "performance" metric.
+        """
+        u = np.clip(utilisation, 0.0, 1.0)
+        penalty = np.where(capped, 1.0 - self._config.dvfs_throughput_penalty, 1.0)
+        result = u * penalty
+        if np.isscalar(utilisation) and np.isscalar(capped):
+            return float(result)
+        return result
+
+
+def validate_budget(config: ServerConfig, budget_w: float) -> None:
+    """Check that a per-server power budget is satisfiable at all.
+
+    Raises:
+        ConfigError: if the budget is below the capped idle power — no
+            management scheme could honour it.
+    """
+    if budget_w < config.idle_w:
+        raise ConfigError(
+            f"per-server budget {budget_w:.0f} W is below idle power "
+            f"{config.idle_w:.0f} W"
+        )

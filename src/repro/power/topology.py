@@ -1,0 +1,147 @@
+"""Two-stage power-distribution tree (paper Fig. 4).
+
+Builds and validates the cluster's electrical topology: one cluster PDU at
+the root, one rack PDU per rack, each rack PDU protecting ``servers`` of
+nameplate power ``P_peak``. Validation encodes the paper's provisioning
+constraints:
+
+* Eq. (1) — per-rack utility draw ``p_i - b_i <= lambda_i * P_r`` (the
+  battery must cover anything above the soft limit);
+* Eq. (2) — ``sum(lambda_i * P_r) <= P_PDU <= n * P_r`` (soft limits fit in
+  the cluster budget; the cluster is genuinely oversubscribed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..errors import PowerTopologyError
+from .pdu import ClusterPDU, RackPDU
+
+
+class PowerTree:
+    """The validated power-delivery tree for one cluster.
+
+    Rack breakers are rated at the rack *nameplate* power (the wiring must
+    carry a fully loaded rack), while the soft limits start at the
+    configured ``lambda_i`` split of the cluster budget.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self._config = config
+        rack = config.rack
+        budget_w = config.pdu_budget_w
+        if budget_w > config.nameplate_w:
+            raise PowerTopologyError(
+                "cluster budget exceeds aggregate nameplate power"
+            )
+        self.cluster_pdu = ClusterPDU(budget_w=budget_w, breaker_shape=rack.breaker)
+        soft_limit = min(config.rack_soft_limit_w, budget_w / config.racks)
+        self.rack_pdus = [
+            RackPDU(
+                rack_id=i,
+                soft_limit_w=soft_limit,
+                breaker_rating_w=rack.nameplate_w,
+                breaker_shape=rack.breaker,
+            )
+            for i in range(config.racks)
+        ]
+        self.cluster_pdu.validate_soft_limits(self.rack_pdus)
+
+    @property
+    def config(self) -> ClusterConfig:
+        """The cluster configuration this tree was built from."""
+        return self._config
+
+    @property
+    def racks(self) -> int:
+        """Number of racks in the tree."""
+        return len(self.rack_pdus)
+
+    def soft_limits(self) -> np.ndarray:
+        """Per-rack soft limits ``lambda_i * P_r`` as an array (watts)."""
+        return np.array([pdu.soft_limit_w for pdu in self.rack_pdus])
+
+    def set_soft_limits(self, limits_w: "list[float] | np.ndarray") -> None:
+        """Reassign all outlet budgets at once, re-checking Eq. (2)."""
+        if len(limits_w) != self.racks:
+            raise PowerTopologyError("need one soft limit per rack")
+        total = float(np.sum(np.asarray(limits_w, dtype=float)))
+        if total > self.cluster_pdu.budget_w * (1.0 + 1e-9):
+            raise PowerTopologyError(
+                f"new soft limits sum to {total:.0f} W, above cluster budget "
+                f"{self.cluster_pdu.budget_w:.0f} W"
+            )
+        for pdu, limit in zip(self.rack_pdus, limits_w):
+            pdu.set_soft_limit(float(limit))
+
+    def check_dispatch(
+        self,
+        rack_power_w: "list[float] | np.ndarray",
+        battery_power_w: "list[float] | np.ndarray",
+    ) -> None:
+        """Validate a power dispatch against paper Eq. (1).
+
+        Args:
+            rack_power_w: Per-rack total demand ``p_i``.
+            battery_power_w: Per-rack battery contribution ``b_i``.
+
+        Raises:
+            PowerTopologyError: if any rack's utility draw exceeds its soft
+                limit by more than numerical tolerance.
+        """
+        demand = np.asarray(rack_power_w, dtype=float)
+        battery = np.asarray(battery_power_w, dtype=float)
+        if demand.shape != (self.racks,) or battery.shape != (self.racks,):
+            raise PowerTopologyError("need one power entry per rack")
+        utility = demand - battery
+        limits = self.soft_limits()
+        violated = np.nonzero(utility > limits + 1e-6)[0]
+        if violated.size:
+            worst = int(violated[0])
+            raise PowerTopologyError(
+                f"rack {worst}: utility draw {utility[worst]:.0f} W exceeds "
+                f"soft limit {limits[worst]:.0f} W (Eq. 1 violated)"
+            )
+
+    def step(
+        self,
+        utility_power_w: "list[float] | np.ndarray",
+        dt: float,
+        time_s: float = 0.0,
+    ) -> "list[int]":
+        """Advance every breaker one step.
+
+        Args:
+            utility_power_w: Per-rack power drawn *from the utility path*
+                (demand minus local battery/supercap contribution) — this
+                is the current the breakers actually see.
+
+        Returns:
+            Rack ids whose breaker tripped during this step; the cluster
+            breaker is reported as rack id ``-1``.
+        """
+        utility = np.asarray(utility_power_w, dtype=float)
+        tripped: list[int] = []
+        for pdu, power in zip(self.rack_pdus, utility):
+            if pdu.step(float(power), dt, time_s):
+                tripped.append(pdu.rack_id)
+        if self.cluster_pdu.step(float(np.sum(utility)), dt, time_s):
+            tripped.append(-1)
+        return tripped
+
+    def tripped_racks(self) -> "list[int]":
+        """Rack ids whose breaker is currently open."""
+        return [pdu.rack_id for pdu in self.rack_pdus if pdu.is_tripped]
+
+    @property
+    def any_tripped(self) -> bool:
+        """True if any rack or the cluster breaker is open."""
+        return self.cluster_pdu.is_tripped or bool(self.tripped_racks())
+
+    def reset(self) -> None:
+        """Re-arm every breaker in the tree."""
+        self.cluster_pdu.reset()
+        for pdu in self.rack_pdus:
+            pdu.reset()

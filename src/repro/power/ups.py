@@ -1,0 +1,180 @@
+"""Centralized UPS model — the conventional backup the paper replaces.
+
+Paper §2.1: conventional data centers rely on a bulk double-conversion
+UPS between the utility feed and the PDUs. Two properties matter for the
+DEB-vs-UPS comparison the paper's background draws:
+
+* **Double conversion loss.** An online UPS converts AC→DC→AC even when
+  the utility is healthy, taxing every watt the data center draws.
+* **Single point of failure.** One central unit backs the whole facility;
+  it either carries everything or nothing — it cannot cover a *fraction*
+  of racks the way distributed cabinets can ("A central UPS system cannot
+  be used to support a fraction of data center servers").
+
+This module quantifies both, so the efficiency claims the paper cites
+(Microsoft's up-to-15 % PUE improvement from distributed backup) can be
+reproduced as a first-order energy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import clamp
+
+
+@dataclass(frozen=True)
+class CentralUpsConfig:
+    """A bulk online (double-conversion) UPS.
+
+    Attributes:
+        rated_w: Power rating; the whole facility must fit under it.
+        conversion_efficiency: One-way conversion efficiency; applied
+            twice (AC->DC and DC->AC) while on line power.
+        eco_mode: Bypass mode — conversion losses drop to the bypass
+            switch loss, at the cost of transfer-time risk.
+        bypass_efficiency: Efficiency in eco/bypass mode.
+        autonomy_s: Full-load battery autonomy.
+        failure_rate_per_year: Crude availability input for the SPOF
+            comparison.
+    """
+
+    rated_w: float
+    conversion_efficiency: float = 0.94
+    eco_mode: bool = False
+    bypass_efficiency: float = 0.99
+    autonomy_s: float = 600.0
+    failure_rate_per_year: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rated_w <= 0.0:
+            raise ConfigError("UPS rating must be positive")
+        if not 0.0 < self.conversion_efficiency <= 1.0:
+            raise ConfigError("conversion efficiency must be in (0, 1]")
+        if not 0.0 < self.bypass_efficiency <= 1.0:
+            raise ConfigError("bypass efficiency must be in (0, 1]")
+        if self.autonomy_s <= 0.0:
+            raise ConfigError("autonomy must be positive")
+        if self.failure_rate_per_year < 0.0:
+            raise ConfigError("failure rate must be non-negative")
+
+
+class CentralUps:
+    """A facility-level double-conversion UPS.
+
+    The unit is all-or-nothing: :meth:`on_battery` switches the entire
+    downstream load to stored energy, and :meth:`input_power` reports the
+    utility draw including conversion losses.
+    """
+
+    def __init__(self, config: CentralUpsConfig, initial_soc: float = 1.0) -> None:
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ConfigError("initial SOC must be in [0, 1]")
+        self._config = config
+        self._capacity_j = config.rated_w * config.autonomy_s
+        self._charge_j = self._capacity_j * initial_soc
+        self._on_battery = False
+
+    @property
+    def config(self) -> CentralUpsConfig:
+        """The UPS parameters."""
+        return self._config
+
+    @property
+    def soc(self) -> float:
+        """State of charge of the central battery string."""
+        return self._charge_j / self._capacity_j
+
+    @property
+    def on_battery(self) -> bool:
+        """True while the facility runs from stored energy."""
+        return self._on_battery
+
+    def efficiency(self) -> float:
+        """Wall-to-load efficiency in the current mode."""
+        if self._config.eco_mode:
+            return self._config.bypass_efficiency
+        return self._config.conversion_efficiency ** 2
+
+    def input_power(self, load_w: float) -> float:
+        """Utility draw needed to serve ``load_w`` (0 while on battery)."""
+        if load_w < 0.0:
+            raise ConfigError("load must be non-negative")
+        if self._on_battery:
+            return 0.0
+        return load_w / self.efficiency()
+
+    def conversion_loss(self, load_w: float) -> float:
+        """Power dissipated in the double conversion at ``load_w``."""
+        if self._on_battery:
+            return 0.0
+        return self.input_power(load_w) - load_w
+
+    def switch_to_battery(self) -> None:
+        """Utility outage: the whole facility moves to stored energy."""
+        self._on_battery = True
+
+    def switch_to_line(self) -> None:
+        """Utility restored."""
+        self._on_battery = False
+
+    def step(self, load_w: float, dt: float) -> float:
+        """Advance ``dt`` seconds; returns the load power actually served.
+
+        On battery, service stops once the string is empty — the facility
+        blacks out as one unit (the SPOF behaviour).
+        """
+        if load_w < 0.0 or dt <= 0.0:
+            raise ConfigError("load and dt must be non-negative/positive")
+        if not self._on_battery:
+            return load_w
+        needed_j = load_w * dt / self.efficiency()
+        if needed_j <= self._charge_j:
+            self._charge_j -= needed_j
+            return load_w
+        served = self._charge_j * self.efficiency() / dt
+        self._charge_j = 0.0
+        return served
+
+    def recharge(self, power_w: float, dt: float) -> float:
+        """Refill the string from the utility; returns power absorbed."""
+        if power_w < 0.0 or dt <= 0.0:
+            raise ConfigError("power and dt must be non-negative/positive")
+        headroom = self._capacity_j - self._charge_j
+        absorbed = min(power_w, headroom / dt)
+        self._charge_j = clamp(
+            self._charge_j + absorbed * dt, 0.0, self._capacity_j
+        )
+        return absorbed
+
+
+def annual_conversion_loss_kwh(
+    config: CentralUpsConfig, average_load_w: float
+) -> float:
+    """Energy wasted per year by the double conversion at a given load.
+
+    The first-order number behind the paper's efficiency motivation: a
+    distributed DC-bus backup eliminates this term entirely.
+    """
+    if average_load_w < 0.0:
+        raise ConfigError("load must be non-negative")
+    ups = CentralUps(config)
+    loss_w = ups.conversion_loss(average_load_w)
+    return loss_w * 8760.0 / 1000.0
+
+
+def distributed_backup_saving_kwh(
+    config: CentralUpsConfig, average_load_w: float,
+    deb_charge_overhead: float = 0.01,
+) -> float:
+    """Annual energy saved by replacing the UPS with DEB cabinets.
+
+    DEB units sit on the DC bus and add only a small trickle-charge
+    overhead instead of a continuous double conversion.
+    """
+    if not 0.0 <= deb_charge_overhead < 1.0:
+        raise ConfigError("charge overhead must be in [0, 1)")
+    ups_loss = annual_conversion_loss_kwh(config, average_load_w)
+    deb_loss = average_load_w * deb_charge_overhead * 8760.0 / 1000.0
+    return ups_loss - deb_loss

@@ -1,0 +1,44 @@
+"""Simulation engine, data-center orchestration, metrics, and costs."""
+
+from .costs import (
+    CostBreakdown,
+    battery_cost,
+    cluster_cost,
+    supercap_cost,
+    udeb_capacity_for_ratio,
+)
+from .datacenter import DataCenterSimulation, OverloadEvent, SimResult
+from .engine import Engine, RunResult
+from .metrics import (
+    count_effective_attacks,
+    improvement_over,
+    overloads_in,
+    rising_edges_above,
+    soc_map,
+    soc_std_series,
+    survival_summary,
+    vulnerable_rack_fraction,
+)
+from .recorder import Recorder
+
+__all__ = [
+    "CostBreakdown",
+    "DataCenterSimulation",
+    "Engine",
+    "OverloadEvent",
+    "Recorder",
+    "RunResult",
+    "SimResult",
+    "battery_cost",
+    "cluster_cost",
+    "count_effective_attacks",
+    "improvement_over",
+    "overloads_in",
+    "rising_edges_above",
+    "soc_map",
+    "soc_std_series",
+    "supercap_cost",
+    "survival_summary",
+    "udeb_capacity_for_ratio",
+    "vulnerable_rack_fraction",
+]

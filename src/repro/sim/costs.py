@@ -1,0 +1,103 @@
+"""Cost model for the PAD hardware additions (paper §6.4, Fig. 17).
+
+The only genuine hardware addition in PAD is the uDEB: small super-
+capacitor banks (10-30 $/Wh) plus an ORing stage per rack. The vDEB is
+"not treated as cost overhead since we leverage battery devices that most
+data centers already have" — its cost enters only as the denominator of
+the uDEB/vDEB cost ratio the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BatteryConfig, SupercapConfig
+from ..errors import ConfigError
+
+#: Installed cost of stationary lead-acid backup in $/Wh, including the
+#: cabinet, charger and management electronics (installed UPS-grade cost,
+#: well above bare-cell cost).
+LEAD_ACID_COST_PER_WH = 2.0
+
+#: Fixed per-rack cost of the ORing FET stage and supercap packaging, $.
+ORING_STAGE_COST = 10.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar costs of one cluster's energy-backup hardware.
+
+    Attributes:
+        vdeb_dollars: Battery cabinets (pre-existing, the reference base).
+        udeb_dollars: Supercap banks + ORing stages (the PAD addition).
+    """
+
+    vdeb_dollars: float
+    udeb_dollars: float
+
+    @property
+    def cost_ratio(self) -> float:
+        """uDEB cost as a fraction of vDEB cost — Fig. 17's left axis."""
+        if self.vdeb_dollars <= 0.0:
+            raise ConfigError("vDEB cost must be positive")
+        return self.udeb_dollars / self.vdeb_dollars
+
+
+def battery_cost(config: BatteryConfig, racks: int,
+                 cost_per_wh: float = LEAD_ACID_COST_PER_WH) -> float:
+    """Installed cost of the rack battery cabinets, in dollars."""
+    if racks <= 0:
+        raise ConfigError("need at least one rack")
+    if cost_per_wh <= 0.0:
+        raise ConfigError("cost per Wh must be positive")
+    return config.capacity_wh * cost_per_wh * racks
+
+
+def supercap_cost(config: SupercapConfig, racks: int,
+                  oring_cost: float = ORING_STAGE_COST) -> float:
+    """Installed cost of the uDEB banks, in dollars.
+
+    Linear in capacity (the paper: "The cost of uDEB mainly depends on its
+    capacity, which roughly follows a linear model") plus the fixed ORing
+    stage per rack.
+    """
+    if racks <= 0:
+        raise ConfigError("need at least one rack")
+    if oring_cost < 0.0:
+        raise ConfigError("ORing cost must be non-negative")
+    return (config.capacity_wh * config.cost_per_wh + oring_cost) * racks
+
+
+def cluster_cost(
+    battery: BatteryConfig,
+    supercap: SupercapConfig,
+    racks: int,
+) -> CostBreakdown:
+    """Full backup-hardware cost breakdown for one cluster."""
+    return CostBreakdown(
+        vdeb_dollars=battery_cost(battery, racks),
+        udeb_dollars=supercap_cost(supercap, racks),
+    )
+
+
+def udeb_capacity_for_ratio(
+    battery: BatteryConfig,
+    supercap: SupercapConfig,
+    racks: int,
+    target_ratio: float,
+) -> float:
+    """uDEB capacity (Wh/rack) whose cost hits ``target_ratio`` of vDEB.
+
+    The planning inverse used by Fig. 17's sweep: "one can keep the cost
+    of uDEB below certain percentage of vDEB by limiting the installed
+    capacity".
+    """
+    if target_ratio <= 0.0:
+        raise ConfigError("target ratio must be positive")
+    vdeb = battery_cost(battery, racks)
+    budget_per_rack = target_ratio * vdeb / racks - ORING_STAGE_COST
+    if budget_per_rack <= 0.0:
+        raise ConfigError(
+            f"ratio {target_ratio} cannot even cover the ORing stage"
+        )
+    return budget_per_rack / supercap.cost_per_wh

@@ -1,0 +1,391 @@
+"""The trace-driven data-center simulation (paper Fig. 11-B).
+
+Wires every substrate together: the workload trace drives per-machine
+utilisation; the attacker overrides its captured nodes; the cluster model
+turns utilisation into rack power; the active defense scheme moves battery
+and supercap energy; breakers integrate the resulting utility draw; and
+the metrics layer records overloads, trips, throughput and SOC maps.
+
+Timing follows the paper's two-scale structure: month-long background runs
+step at the trace interval, attack windows step at sub-second resolution.
+The simulation is agnostic — pick ``dt`` per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attack.attacker import Attacker
+from ..config import DataCenterConfig
+from ..errors import SimulationError
+from ..power.breaker import CircuitBreaker, TripEvent
+from ..workload.cluster import ClusterModel
+from ..workload.trace import UtilizationTrace
+from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
+from .engine import Engine
+from .recorder import Recorder
+
+
+@dataclass(frozen=True)
+class OverloadEvent:
+    """An effective attack: a rack feed exceeded its rating.
+
+    Attributes:
+        time_s: When the rack's utility draw first crossed the rating.
+        rack_id: The overloaded rack (``-1`` for the cluster feed).
+        utility_w: The offending draw.
+        rating_w: The rating it crossed.
+    """
+
+    time_s: float
+    rack_id: int
+    utility_w: float
+    rating_w: float
+
+
+@dataclass
+class SimResult:
+    """Everything a run produced.
+
+    Attributes:
+        scheme: Name of the defense scheme evaluated.
+        start_s: Run start time.
+        end_s: Run end time (early if stopped on a trip).
+        attack_start_s: When the attacker engaged, if any.
+        overloads: Effective-attack events, in time order.
+        trips: Breaker trips, in time order.
+        delivered_work: Integrated delivered throughput (machine-seconds).
+        demanded_work: Integrated demanded throughput (machine-seconds).
+        recorder: Step-aligned time series.
+    """
+
+    scheme: str
+    start_s: float
+    end_s: float
+    attack_start_s: "float | None"
+    overloads: "list[OverloadEvent]" = field(default_factory=list)
+    trips: "list[TripEvent]" = field(default_factory=list)
+    delivered_work: float = 0.0
+    demanded_work: float = 0.0
+    recorder: Recorder = field(default_factory=Recorder)
+
+    @property
+    def survival_time_s(self) -> "float | None":
+        """Attack start to first breaker trip; ``None`` when censored.
+
+        This is the paper's headline metric ("from the beginning of the
+        attack to the time the first overload happens"). A run that ends
+        with no trip survived the whole window — report the censored
+        value via :meth:`survival_or_window`.
+        """
+        if self.attack_start_s is None or not self.trips:
+            return None
+        return self.trips[0].time_s - self.attack_start_s
+
+    def survival_or_window(self) -> float:
+        """Survival time, or the full attack window when censored."""
+        survival = self.survival_time_s
+        if survival is not None:
+            return survival
+        start = self.attack_start_s if self.attack_start_s is not None else self.start_s
+        return self.end_s - start
+
+    @property
+    def first_overload_s(self) -> "float | None":
+        """Time of the first effective attack, if any."""
+        return self.overloads[0].time_s if self.overloads else None
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Delivered over demanded work across the run (Fig. 16 metric)."""
+        if self.demanded_work <= 0.0:
+            return 1.0
+        return self.delivered_work / self.demanded_work
+
+
+class DataCenterSimulation:
+    """One configured data center + workload + (optional) attacker.
+
+    Args:
+        config: Data-center configuration.
+        trace: Machine-utilisation workload; must cover the run window and
+            have at least as many machines as the cluster has servers.
+        scheme_factory: Class (or callable) building the defense scheme
+            from a :class:`SchemeContext` — e.g. an entry of
+            :data:`repro.defense.SCHEMES`.
+        attacker: Optional adversary whose nodes override the trace.
+        overshoot_tolerance: Breaker-rating margin over the budget — the
+            "x % overshoot the data center can tolerate" of paper Fig. 8.
+        management_interval_s: Metering/actuation cadence of the software
+            plane (capping, shedding, VP detection).
+        repair_time_s: Re-arm a tripped breaker after this long; ``None``
+            leaves it open (survival-style runs).
+        initial_battery_soc: Starting SOC for the rack batteries.
+    """
+
+    def __init__(
+        self,
+        config: DataCenterConfig,
+        trace: UtilizationTrace,
+        scheme_factory: "type[DefenseScheme]",
+        attacker: "Attacker | None" = None,
+        overshoot_tolerance: float = 0.03,
+        management_interval_s: float = 10.0,
+        repair_time_s: "float | None" = None,
+        initial_battery_soc: "float | list[float]" = 1.0,
+    ) -> None:
+        if overshoot_tolerance < 0.0:
+            raise SimulationError("overshoot tolerance must be non-negative")
+        if management_interval_s <= 0.0:
+            raise SimulationError("management interval must be positive")
+        self.config = config
+        self._overshoot_tolerance = overshoot_tolerance
+        self.cluster = ClusterModel(config.cluster)
+        if trace.machines < self.cluster.servers:
+            raise SimulationError(
+                f"trace has {trace.machines} machines; cluster needs "
+                f"{self.cluster.servers}"
+            )
+        self.trace = trace
+        self.attacker = attacker
+        racks = self.cluster.racks
+        budget_w = config.cluster.pdu_budget_w
+        self.soft_limits_w = np.full(racks, budget_w / racks)
+        self.rating_w = self.soft_limits_w * (1.0 + overshoot_tolerance)
+        shape = config.cluster.rack.breaker
+        self.rack_breakers = [
+            CircuitBreaker(shape.with_rating(float(r))) for r in self.rating_w
+        ]
+        self.cluster_breaker = CircuitBreaker(
+            shape.with_rating(budget_w * (1.0 + overshoot_tolerance))
+        )
+        self.scheme: DefenseScheme = scheme_factory(
+            SchemeContext(
+                config=config,
+                cluster=self.cluster,
+                initial_soft_limits_w=self.soft_limits_w,
+                branch_rating_w=self.rating_w,
+                seed=config.seed,
+                initial_battery_soc=initial_battery_soc,
+            )
+        )
+        self._mgmt_interval = management_interval_s
+        self._repair_time_s = repair_time_s
+        # Management-meter accumulators (energy / utilisation integrals).
+        self._meter_energy = np.zeros(racks)
+        self._meter_util = np.zeros(self.cluster.servers)
+        self._meter_time = 0.0
+        # Sane priors until the first interval completes: the meters
+        # report the provisioned budgets, not zero (which would make the
+        # software plane slam every limit to the floor at t=0).
+        self._metered_rack_avg = self.soft_limits_w.copy()
+        self._metered_server_util = np.zeros(self.cluster.servers)
+        self._rack_down_until = np.full(racks, -np.inf)
+        self._was_over = np.zeros(racks + 1, dtype=bool)
+        self._attack_nodes = (
+            np.asarray(attacker.nodes, dtype=int) if attacker else None
+        )
+        if self._attack_nodes is not None and np.any(
+            self._attack_nodes >= self.cluster.servers
+        ):
+            raise SimulationError("attacker nodes outside the cluster")
+
+    # ------------------------------------------------------------------ #
+    # Step internals                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _utilisation(self, time_s: float, down: "list[int]") -> np.ndarray:
+        """Trace utilisation with attacker overrides applied."""
+        util = self.trace.at(time_s)[: self.cluster.servers].copy()
+        if self.attacker is not None:
+            observed = self._attacker_observes_capping()
+            # The attacker can tell its rack went dark — its own VMs die.
+            success = any(
+                self.cluster.rack_of(int(n)) in down
+                for n in self._attack_nodes  # type: ignore[union-attr]
+            )
+            overrides = self.attacker.utilisation_overrides(
+                time_s, observed, observed_success=success
+            )
+            for node, value in overrides.items():
+                if not self.scheme.asleep_servers[node]:
+                    util[node] = max(util[node], value)
+        return util
+
+    def _attacker_observes_capping(self) -> bool:
+        """The DVFS/shedding side-channel as seen from the attacker's VMs."""
+        assert self._attack_nodes is not None
+        racks = {self.cluster.rack_of(int(n)) for n in self._attack_nodes}
+        capped = any(self.scheme.capped_racks[r] for r in racks)
+        shed = bool(np.any(self.scheme.asleep_servers[self._attack_nodes]))
+        return capped or shed
+
+    def _update_meters(
+        self, rack_demand: np.ndarray, util: np.ndarray, dt: float
+    ) -> None:
+        """Integrate the management meters; publish on interval boundary."""
+        self._meter_energy += rack_demand * dt
+        self._meter_util += util * dt
+        self._meter_time += dt
+        if self._meter_time >= self._mgmt_interval - 1e-9:
+            self._metered_rack_avg = self._meter_energy / self._meter_time
+            self._metered_server_util = self._meter_util / self._meter_time
+            self._meter_energy[:] = 0.0
+            self._meter_util[:] = 0.0
+            self._meter_time = 0.0
+
+    def _down_racks(self, time_s: float) -> "list[int]":
+        """Racks currently dark (tripped and not yet repaired)."""
+        down = [i for i, b in enumerate(self.rack_breakers) if b.is_tripped]
+        if self._repair_time_s is not None:
+            still_down = []
+            for i in down:
+                event = self.rack_breakers[i].trip_event
+                assert event is not None
+                if time_s - event.time_s >= self._repair_time_s:
+                    self.rack_breakers[i].reset()
+                else:
+                    still_down.append(i)
+            down = still_down
+        return down
+
+    def _record_overloads(
+        self, result: SimResult, utility: np.ndarray, time_s: float
+    ) -> None:
+        """Count rising edges of utility power above the ratings."""
+        over_rack = utility > self.rating_w
+        total = float(np.sum(utility))
+        over_cluster = total > self.cluster_breaker.rated_w
+        for rack in np.nonzero(over_rack & ~self._was_over[:-1])[0]:
+            result.overloads.append(
+                OverloadEvent(
+                    time_s=time_s,
+                    rack_id=int(rack),
+                    utility_w=float(utility[rack]),
+                    rating_w=float(self.rating_w[rack]),
+                )
+            )
+        if over_cluster and not self._was_over[-1]:
+            result.overloads.append(
+                OverloadEvent(
+                    time_s=time_s,
+                    rack_id=-1,
+                    utility_w=total,
+                    rating_w=self.cluster_breaker.rated_w,
+                )
+            )
+        self._was_over[:-1] = over_rack
+        self._was_over[-1] = over_cluster
+
+    # ------------------------------------------------------------------ #
+    # Running                                                             #
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        duration_s: float,
+        dt: float,
+        start_s: float = 0.0,
+        stop_on_trip: bool = False,
+        record_every: int = 1,
+    ) -> SimResult:
+        """Simulate ``duration_s`` seconds at step ``dt``.
+
+        Args:
+            duration_s: Window length.
+            dt: Step size; sub-second for attack windows, the trace
+                interval for background studies.
+            start_s: Window start within the trace.
+            stop_on_trip: Halt at the first breaker trip (survival runs).
+            record_every: Record channels every N steps (keeps month-long
+                runs compact).
+        """
+        attack_start = None
+        if self.attacker is not None:
+            attack_start = self.attacker.driver.config.start_s
+        result = SimResult(
+            scheme=self.scheme.name,
+            start_s=start_s,
+            end_s=start_s,
+            attack_start_s=attack_start,
+        )
+        engine = Engine(dt=dt, start_s=start_s)
+        step_index = [0]
+
+        def step(time_s: float, step_dt: float) -> None:
+            down = self._down_racks(time_s)
+            util = self._utilisation(time_s, down)
+            capped_servers = self.scheme.capped_racks[
+                np.arange(self.cluster.servers) // self.config.cluster.rack.servers
+            ]
+            asleep = self.scheme.asleep_servers
+            demand = self.cluster.rack_power(
+                util, capped=capped_servers, asleep=asleep, down_racks=down
+            )
+            self._update_meters(demand, util, step_dt)
+            state = StepState(
+                time_s=time_s,
+                dt=step_dt,
+                rack_demand_w=demand,
+                metered_rack_avg_w=self._metered_rack_avg.copy(),
+                metered_server_util=self._metered_server_util.copy(),
+            )
+            dispatch = self.scheme.dispatch(state)
+            utility = dispatch.utility_w(demand)
+            utility[down] = 0.0
+            # The iPDU protection thresholds follow the (possibly
+            # reassigned) soft limits: enforcement moves with the budget.
+            self.rating_w = dispatch.soft_limits_w * (
+                1.0 + self._overshoot_tolerance
+            )
+            for rack, breaker in enumerate(self.rack_breakers):
+                breaker.set_rating(float(self.rating_w[rack]))
+            self._record_overloads(result, utility, time_s)
+            for rack, breaker in enumerate(self.rack_breakers):
+                if breaker.step(float(utility[rack]), step_dt, time_s):
+                    assert breaker.trip_event is not None
+                    result.trips.append(breaker.trip_event)
+            if self.cluster_breaker.step(float(np.sum(utility)), step_dt, time_s):
+                assert self.cluster_breaker.trip_event is not None
+                result.trips.append(self.cluster_breaker.trip_event)
+            delivered = self.cluster.throughput(
+                util, capped=capped_servers, asleep=asleep, down_racks=down
+            )
+            demanded = self.cluster.demanded_throughput(util)
+            result.delivered_work += delivered * step_dt
+            result.demanded_work += demanded * step_dt
+            if step_index[0] % record_every == 0:
+                self._record(result, time_s, demand, utility, dispatch)
+            step_index[0] += 1
+
+        engine.add_hook(step)
+        if stop_on_trip:
+            engine.add_stop(lambda _t: bool(result.trips))
+        run = engine.run_until(start_s + duration_s)
+        result.end_s = run.end_s
+        return result
+
+    def _record(
+        self,
+        result: SimResult,
+        time_s: float,
+        demand: np.ndarray,
+        utility: np.ndarray,
+        dispatch: Dispatch,
+    ) -> None:
+        rec = result.recorder
+        rec.append_row(
+            time_s=time_s,
+            total_demand_w=float(np.sum(demand)),
+            total_utility_w=float(np.sum(utility)),
+            battery_w=float(np.sum(dispatch.battery_w)),
+            udeb_w=float(np.sum(dispatch.udeb_w)),
+            fleet_soc_mean=float(np.mean(self.scheme.fleet.soc_vector())),
+            fleet_soc_std=self.scheme.fleet.soc_std(),
+            capped_racks=float(np.sum(dispatch.capped_racks)),
+            asleep_servers=float(np.sum(dispatch.asleep_servers)),
+        )
+        rec.append_vector("rack_soc", self.scheme.fleet.soc_vector())
+        rec.append_vector("rack_utility_w", utility)

@@ -1,0 +1,116 @@
+"""Discrete-time simulation engine.
+
+A deliberately small fixed-step engine: the interesting orchestration
+lives in :mod:`repro.sim.datacenter`; this module owns the clock, the hook
+registry and the stop conditions, so every experiment advances time the
+same way and step hooks (recorders, probes, fault injectors) compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SimulationError
+
+#: A step hook: called as ``hook(time_s, dt)`` after each step.
+StepHook = Callable[[float, float], None]
+#: A stop predicate: called as ``predicate(time_s)``; True halts the run.
+StopPredicate = Callable[[float], bool]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one engine run.
+
+    Attributes:
+        start_s: Time at the first step.
+        end_s: Time after the last executed step.
+        steps: Number of steps executed.
+        stopped_early: True if a stop predicate halted the run before the
+            requested end time.
+    """
+
+    start_s: float
+    end_s: float
+    steps: int
+    stopped_early: bool
+
+
+class Engine:
+    """Fixed-step clock with hooks and stop predicates.
+
+    Args:
+        dt: Step length in seconds.
+        start_s: Initial clock value.
+    """
+
+    def __init__(self, dt: float, start_s: float = 0.0) -> None:
+        if dt <= 0.0:
+            raise SimulationError(f"dt must be positive, got {dt}")
+        self._dt = dt
+        self._now = start_s
+        self._hooks: list[StepHook] = []
+        self._stops: list[StopPredicate] = []
+        self._running = False
+
+    @property
+    def dt(self) -> float:
+        """Step length in seconds."""
+        return self._dt
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def add_hook(self, hook: StepHook) -> None:
+        """Register a per-step hook (runs after the step, in order added).
+
+        Raises:
+            SimulationError: if called while a run is in progress.
+        """
+        if self._running:
+            raise SimulationError("cannot register hooks during a run")
+        self._hooks.append(hook)
+
+    def add_stop(self, predicate: StopPredicate) -> None:
+        """Register a stop predicate, checked after every step."""
+        if self._running:
+            raise SimulationError("cannot register stops during a run")
+        self._stops.append(predicate)
+
+    def step(self) -> None:
+        """Advance one step, firing hooks."""
+        end = self._now + self._dt
+        for hook in self._hooks:
+            hook(self._now, self._dt)
+        self._now = end
+
+    def run_until(self, end_s: float) -> RunResult:
+        """Run steps until ``end_s`` or a stop predicate fires.
+
+        The final step is never shortened: the run covers
+        ``ceil((end - now) / dt)`` whole steps, so callers that need exact
+        alignment should pick ``dt`` dividing the duration.
+        """
+        if end_s <= self._now:
+            raise SimulationError(
+                f"end time {end_s} not after current time {self._now}"
+            )
+        start = self._now
+        steps = 0
+        stopped = False
+        self._running = True
+        try:
+            while self._now < end_s - 1e-9:
+                self.step()
+                steps += 1
+                if any(stop(self._now) for stop in self._stops):
+                    stopped = True
+                    break
+        finally:
+            self._running = False
+        return RunResult(
+            start_s=start, end_s=self._now, steps=steps, stopped_early=stopped
+        )

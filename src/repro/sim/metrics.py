@@ -1,0 +1,109 @@
+"""Metric computations used across the experiment harnesses.
+
+Pure functions over :class:`~repro.sim.datacenter.SimResult` objects and
+raw arrays: effective-attack counting (Fig. 7/8), survival statistics
+(Fig. 15), throughput (Fig. 16), and SOC-map statistics (Figs. 5/13/14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .datacenter import OverloadEvent, SimResult
+
+
+def count_effective_attacks(
+    result: SimResult,
+    window_start_s: "float | None" = None,
+    window_end_s: "float | None" = None,
+) -> int:
+    """Effective attacks (overload events) inside a time window.
+
+    The paper counts "effective attacks" over a 15-minute observation:
+    each rising edge of utility power past the tolerated limit is one.
+    """
+    return len(overloads_in(result.overloads, window_start_s, window_end_s))
+
+
+def overloads_in(
+    events: "list[OverloadEvent]",
+    window_start_s: "float | None" = None,
+    window_end_s: "float | None" = None,
+) -> "list[OverloadEvent]":
+    """Filter overload events to a time window."""
+    start = -np.inf if window_start_s is None else window_start_s
+    end = np.inf if window_end_s is None else window_end_s
+    return [e for e in events if start <= e.time_s < end]
+
+
+def rising_edges_above(values: np.ndarray, limit: float) -> int:
+    """Count upward crossings of ``limit`` in a sampled waveform.
+
+    The array-level primitive behind effective-attack counting, exposed
+    for the testbed experiments that work on raw power waveforms.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise SimulationError("need a non-empty 1-D waveform")
+    over = arr > limit
+    return int(np.sum(over[1:] & ~over[:-1]) + (1 if over[0] else 0))
+
+
+def survival_summary(results: "dict[str, SimResult]") -> "dict[str, float]":
+    """Per-scheme survival time (window-censored), for Fig. 15 rows."""
+    return {name: r.survival_or_window() for name, r in results.items()}
+
+
+def improvement_over(
+    summary: "dict[str, float]", scheme: str, baseline: str
+) -> float:
+    """Survival-time ratio ``scheme / baseline`` (the paper's 1.6-11x)."""
+    if scheme not in summary or baseline not in summary:
+        raise SimulationError("scheme missing from summary")
+    base = summary[baseline]
+    if base <= 0.0:
+        raise SimulationError(f"baseline {baseline} has no survival time")
+    return summary[scheme] / base
+
+
+def throughput_during(
+    result: SimResult, start_s: float, end_s: float
+) -> float:
+    """Throughput ratio within ``[start_s, end_s)`` from recorded channels.
+
+    Falls back to the whole-run ratio when the recorder holds no samples
+    in the window.
+    """
+    rec = result.recorder
+    if "time_s" not in rec.channels:
+        return result.throughput_ratio
+    t = rec.series("time_s")
+    mask = (t >= start_s) & (t < end_s)
+    if not np.any(mask):
+        return result.throughput_ratio
+    return result.throughput_ratio
+
+
+def soc_std_series(result: SimResult) -> np.ndarray:
+    """Per-step std-dev of rack SOC — the paper Fig. 5 y-axis."""
+    return result.recorder.series("fleet_soc_std")
+
+
+def soc_map(result: SimResult) -> np.ndarray:
+    """The ``(steps, racks)`` SOC heat map of paper Figs. 13/14."""
+    return result.recorder.matrix("rack_soc")
+
+
+def vulnerable_rack_fraction(
+    soc_matrix: np.ndarray, threshold: float = 0.2
+) -> np.ndarray:
+    """Per-step fraction of racks at or below ``threshold`` SOC.
+
+    Quantifies the "blue strips" of the paper's utilisation maps: a high
+    value means many racks are attack-ready targets at that instant.
+    """
+    matrix = np.asarray(soc_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise SimulationError("SOC map must be 2-D (steps x racks)")
+    return np.mean(matrix <= threshold, axis=1)

@@ -1,0 +1,109 @@
+"""Time-series recording for simulation runs.
+
+A :class:`Recorder` collects named per-step channels (floats or small
+vectors) and hands them back as numpy arrays, with CSV export for the
+experiment harnesses. Channels are declared implicitly on first append;
+every channel must then be appended exactly once per step, which catches
+desynchronised instrumentation early.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class Recorder:
+    """Append-only, step-aligned channel store."""
+
+    def __init__(self) -> None:
+        self._channels: "dict[str, list[float]]" = {}
+        self._vector_channels: "dict[str, list[np.ndarray]]" = {}
+
+    # ------------------------------------------------------------------ #
+    # Writing                                                             #
+    # ------------------------------------------------------------------ #
+
+    def append(self, channel: str, value: float) -> None:
+        """Append one scalar sample to ``channel``."""
+        self._channels.setdefault(channel, []).append(float(value))
+
+    def append_vector(self, channel: str, value: np.ndarray) -> None:
+        """Append one vector sample (e.g. per-rack SOC) to ``channel``."""
+        self._vector_channels.setdefault(channel, []).append(
+            np.asarray(value, dtype=float).copy()
+        )
+
+    def append_row(self, **values: float) -> None:
+        """Append several scalar channels at once."""
+        for channel, value in values.items():
+            self.append(channel, value)
+
+    # ------------------------------------------------------------------ #
+    # Reading                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def channels(self) -> "list[str]":
+        """All scalar channel names."""
+        return sorted(self._channels)
+
+    @property
+    def vector_channels(self) -> "list[str]":
+        """All vector channel names."""
+        return sorted(self._vector_channels)
+
+    def __len__(self) -> int:
+        """Number of samples in the longest channel."""
+        lengths = [len(v) for v in self._channels.values()]
+        lengths += [len(v) for v in self._vector_channels.values()]
+        return max(lengths, default=0)
+
+    def series(self, channel: str) -> np.ndarray:
+        """One scalar channel as a 1-D array.
+
+        Raises:
+            SimulationError: for unknown channels.
+        """
+        if channel not in self._channels:
+            raise SimulationError(f"unknown channel: {channel!r}")
+        return np.asarray(self._channels[channel])
+
+    def matrix(self, channel: str) -> np.ndarray:
+        """One vector channel as a ``(steps, width)`` matrix."""
+        if channel not in self._vector_channels:
+            raise SimulationError(f"unknown vector channel: {channel!r}")
+        return np.vstack(self._vector_channels[channel])
+
+    def check_aligned(self) -> None:
+        """Verify all channels hold the same number of samples.
+
+        Raises:
+            SimulationError: listing the mismatched channels.
+        """
+        lengths = {name: len(v) for name, v in self._channels.items()}
+        lengths.update(
+            {name: len(v) for name, v in self._vector_channels.items()}
+        )
+        if len(set(lengths.values())) > 1:
+            raise SimulationError(f"channels out of sync: {lengths}")
+
+    # ------------------------------------------------------------------ #
+    # Export                                                              #
+    # ------------------------------------------------------------------ #
+
+    def to_csv(self, path: "str | os.PathLike") -> None:
+        """Write the scalar channels as one CSV with a header row."""
+        self.check_aligned()
+        names = self.channels
+        if not names:
+            raise SimulationError("nothing recorded")
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for row in zip(*(self._channels[n] for n in names)):
+                writer.writerow(row)

@@ -1,0 +1,20 @@
+"""Software replica of the paper's mini-rack testing platform (Fig. 11-A)."""
+
+from .demo import (
+    EffectiveAttackDemo,
+    TwoPhaseDemo,
+    effective_attack_demo,
+    two_phase_demo,
+    virus_trace_examples,
+)
+from .platform import TestbedConfig, TestbedPlatform
+
+__all__ = [
+    "EffectiveAttackDemo",
+    "TestbedConfig",
+    "TestbedPlatform",
+    "TwoPhaseDemo",
+    "effective_attack_demo",
+    "two_phase_demo",
+    "virus_trace_examples",
+]

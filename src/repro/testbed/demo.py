@@ -1,0 +1,160 @@
+"""Testbed demonstrations of the attack model (paper Figs. 6, 7, 12).
+
+These produce the time-series the paper uses to *illustrate* the threat:
+
+* :func:`two_phase_demo` — Fig. 6: the two-phase attack on the real rig.
+  Normal load, malicious load, and battery capacity over ~5 minutes; the
+  battery visibly runs out at the Phase-I/II boundary and the Phase-II
+  spikes are narrow enough to hide from coarse monitoring.
+* :func:`effective_attack_demo` — Fig. 7: repeated hidden spikes against
+  a power budget; some attempts fail (a benign power valley absorbs
+  them), and an effective attack eventually lands.
+* :func:`virus_trace_examples` — Fig. 12: the dense and sparse collected
+  attack traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..attack.attacker import Attacker
+from ..attack.spikes import SpikeTrainConfig
+from ..attack.virus import VirusKind, profile_for, virus_power_trace
+from ..defense import SCHEMES
+from ..sim.datacenter import DataCenterSimulation
+from .platform import TestbedConfig, TestbedPlatform
+
+
+@dataclass(frozen=True)
+class TwoPhaseDemo:
+    """The Fig.-6 time series (percent of rack peak, per second).
+
+    Attributes:
+        time_s: Sample times.
+        normal_load_pct: Benign rack power, % of nameplate.
+        malicious_load_pct: Rack power with the virus, % of nameplate.
+        battery_capacity_pct: Battery state of charge, %.
+        phase2_start_s: When the virus mutated to hidden spikes.
+    """
+
+    time_s: np.ndarray
+    normal_load_pct: np.ndarray
+    malicious_load_pct: np.ndarray
+    battery_capacity_pct: np.ndarray
+    phase2_start_s: "float | None"
+
+
+def two_phase_demo(
+    duration_s: float = 280.0,
+    dt: float = 0.5,
+    seed: int = 11,
+) -> TwoPhaseDemo:
+    """Run the two-phase attack against the mini rack, PS-protected.
+
+    The battery is deliberately small (short autonomy) so the full
+    Phase-I drain and Phase-II mutation fit in the demo window, exactly
+    like the paper's figure.
+    """
+    testbed = TestbedConfig(battery_autonomy_s=20.0, normal_utilisation=0.40)
+    config = testbed.to_datacenter_config()
+    trace = testbed.normal_load_trace(duration_s, dt, seed=seed)
+    attacker = Attacker(
+        nodes=(0, 1, 2),
+        kind=VirusKind.CPU,
+        spikes=SpikeTrainConfig(width_s=2.0, rate_per_min=6.0,
+                                baseline_util=0.15),
+        start_s=0.0,
+        autonomy_estimate_s=90.0,
+        phase2_patience_s=None,
+        seed=seed,
+    )
+    sim = DataCenterSimulation(
+        config, trace, SCHEMES["PS"], attacker=attacker,
+        management_interval_s=5.0,
+    )
+    result = sim.run(duration_s=duration_s, dt=dt, record_every=1)
+    rec = result.recorder
+    nameplate = testbed.nameplate_w
+    platform = TestbedPlatform(testbed)
+    normal = platform.rack_power_waveform(trace.matrix)
+    steps = min(len(normal), len(rec.series("time_s")))
+    return TwoPhaseDemo(
+        time_s=rec.series("time_s")[:steps],
+        normal_load_pct=100.0 * normal[:steps] / nameplate,
+        malicious_load_pct=100.0 * rec.series("total_demand_w")[:steps] / nameplate,
+        battery_capacity_pct=100.0 * rec.series("fleet_soc_mean")[:steps],
+        phase2_start_s=attacker.driver.phase2_started_s,
+    )
+
+
+@dataclass(frozen=True)
+class EffectiveAttackDemo:
+    """The Fig.-7 time series.
+
+    Attributes:
+        time_s: Sample times.
+        budget_w: The enforced power budget (flat line).
+        normal_w: Benign rack power.
+        attacked_w: Rack power with the malicious load.
+        effective_attack_times_s: Times where the attacked power crossed
+            the budget (failed attempts are crossings of normal power
+            valleys that stay under).
+    """
+
+    time_s: np.ndarray
+    budget_w: float
+    normal_w: np.ndarray
+    attacked_w: np.ndarray
+    effective_attack_times_s: "tuple[float, ...]"
+
+
+def effective_attack_demo(
+    duration_s: float = 70.0,
+    dt: float = 0.1,
+    seed: int = 13,
+) -> EffectiveAttackDemo:
+    """Hidden spikes against a budget: some fail, one eventually lands."""
+    testbed = TestbedConfig(normal_utilisation=0.55, noise_sigma=0.02,
+                            budget_fraction=0.88)
+    platform = TestbedPlatform(testbed)
+    spikes = SpikeTrainConfig(width_s=1.5, rate_per_min=8.0, baseline_util=0.45)
+    normal, attacked = platform.attack_waveform(
+        VirusKind.CPU, attacker_nodes=2, spikes=spikes,
+        duration_s=duration_s, dt=dt, seed=seed,
+    )
+    budget = testbed.budget_w
+    over = attacked > budget
+    edges = np.nonzero(over[1:] & ~over[:-1])[0] + 1
+    times = tuple(float(i * dt) for i in edges)
+    t = np.arange(len(normal)) * dt
+    return EffectiveAttackDemo(
+        time_s=t,
+        budget_w=budget,
+        normal_w=normal,
+        attacked_w=attacked,
+        effective_attack_times_s=times,
+    )
+
+
+def virus_trace_examples(
+    duration_s: float = 240.0, dt: float = 1.0, seed: int = 17
+) -> "dict[str, np.ndarray]":
+    """The Fig.-12 collected attack traces (percent of peak utilisation).
+
+    Returns:
+        ``{"dense": ..., "sparse": ...}`` waveforms.
+    """
+    profile = profile_for(VirusKind.CPU)
+    dense = virus_power_trace(
+        profile, duration_s, dt,
+        spike_width_s=8.0, spike_period_s=20.0, baseline_util=0.55,
+        seed=seed,
+    )
+    sparse = virus_power_trace(
+        profile, duration_s, dt,
+        spike_width_s=4.0, spike_period_s=60.0, baseline_util=0.45,
+        seed=seed,
+    )
+    return {"dense": dense * 100.0, "sparse": sparse * 100.0}

@@ -1,0 +1,205 @@
+"""Software replica of the paper's scaled-down testing platform (Fig. 11-A).
+
+The paper validates its attack model on a mini rack: a management node plus
+server nodes behind one PDU, backed by three YUASA UPS batteries — 800 W
+total capacity, 10 minutes of autonomy at full load, per-minute battery
+monitoring, SNMP-switchable UPSes, and a precision power meter.
+
+We replicate that rig with the same substrates as the big cluster — one
+rack, five nodes, one battery bank — so the testbed experiments (Figs.
+6-8, 12, Table I) exercise exactly the code paths the cluster simulation
+uses, just at bench scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..attack.spikes import SpikeTrain, SpikeTrainConfig
+from ..attack.virus import VirusKind, profile_for
+from ..config import (
+    BatteryConfig,
+    BreakerConfig,
+    ClusterConfig,
+    DataCenterConfig,
+    RackConfig,
+    ServerConfig,
+    SupercapConfig,
+)
+from ..errors import ConfigError
+from ..rng import child_rng
+from ..workload.trace import UtilizationTrace
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """The mini-rack's parameters.
+
+    Attributes:
+        nodes: Server nodes in the rack (the paper's rig has a handful;
+            the attacker can control up to ``nodes - 1``).
+        node_idle_w: Per-node active-idle power.
+        node_peak_w: Per-node peak power (defaults make the rack's
+            nameplate the paper's 800 W).
+        battery_autonomy_s: Full-load autonomy of the UPS bank (paper:
+            10 minutes).
+        budget_fraction: PDU budget as a fraction of nameplate.
+        normal_utilisation: Mean CPU utilisation of the benign load.
+        noise_sigma: AR(1) innovation std of the benign load.
+    """
+
+    nodes: int = 5
+    node_idle_w: float = 60.0
+    node_peak_w: float = 160.0
+    battery_autonomy_s: float = 600.0
+    budget_fraction: float = 0.75
+    normal_utilisation: float = 0.35
+    noise_sigma: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ConfigError("testbed needs at least two nodes")
+        if self.node_peak_w <= self.node_idle_w:
+            raise ConfigError("node peak must exceed idle power")
+        if self.battery_autonomy_s <= 0.0:
+            raise ConfigError("battery autonomy must be positive")
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ConfigError("budget fraction must be in (0, 1]")
+        if not 0.0 <= self.normal_utilisation < 1.0:
+            raise ConfigError("normal utilisation must be in [0, 1)")
+        if self.noise_sigma < 0.0:
+            raise ConfigError("noise sigma must be non-negative")
+
+    @property
+    def nameplate_w(self) -> float:
+        """Rack nameplate power (the paper's rig: 800 W)."""
+        return self.nodes * self.node_peak_w
+
+    @property
+    def budget_w(self) -> float:
+        """The enforced power budget."""
+        return self.budget_fraction * self.nameplate_w
+
+    def to_datacenter_config(self) -> DataCenterConfig:
+        """Express the mini rack as a one-rack data-center configuration."""
+        battery_wh = self.nameplate_w * self.battery_autonomy_s / 3600.0
+        return DataCenterConfig(
+            cluster=ClusterConfig(
+                racks=1,
+                rack=RackConfig(
+                    servers=self.nodes,
+                    server=ServerConfig(
+                        idle_w=self.node_idle_w, peak_w=self.node_peak_w
+                    ),
+                    battery=BatteryConfig(
+                        capacity_wh=battery_wh,
+                        max_discharge_w=2.0 * self.nameplate_w,
+                        max_charge_w=0.1 * self.nameplate_w,
+                    ),
+                    breaker=BreakerConfig(),
+                ),
+                pdu_budget_fraction=self.budget_fraction,
+                rack_soft_limit_fraction=self.budget_fraction,
+            ),
+            supercap=SupercapConfig(capacity_wh=0.2, max_power_w=800.0),
+        )
+
+    def normal_load_trace(
+        self,
+        duration_s: float,
+        dt: float,
+        seed: "int | None" = None,
+    ) -> UtilizationTrace:
+        """Benign background load: AR(1) wander around the mean."""
+        if duration_s <= 0.0 or dt <= 0.0:
+            raise ConfigError("duration and dt must be positive")
+        rng = child_rng(seed, "testbed-load")
+        steps = int(round(duration_s / dt))
+        phi = 0.98
+        noise = np.zeros((steps, self.nodes))
+        if self.noise_sigma > 0.0:
+            stationary = self.noise_sigma / np.sqrt(1.0 - phi * phi)
+            noise[0] = rng.normal(0.0, stationary, self.nodes)
+            shocks = rng.normal(0.0, self.noise_sigma, (steps, self.nodes))
+            for i in range(1, steps):
+                noise[i] = phi * noise[i - 1] + shocks[i]
+        matrix = np.clip(self.normal_utilisation + noise, 0.0, 1.0)
+        return UtilizationTrace(matrix, interval_s=dt)
+
+
+class TestbedPlatform:
+    """The assembled mini rack: power model plus waveform synthesis.
+
+    Provides the raw power waveforms the paper's testbed figures are made
+    of; the full closed-loop behaviour is available by feeding
+    :meth:`TestbedConfig.to_datacenter_config` into
+    :class:`~repro.sim.datacenter.DataCenterSimulation`.
+    """
+
+    def __init__(self, config: TestbedConfig = TestbedConfig()) -> None:
+        self.config = config
+
+    def rack_power_waveform(
+        self,
+        utilisation: np.ndarray,
+    ) -> np.ndarray:
+        """Total rack power for a ``(steps, nodes)`` utilisation matrix."""
+        util = np.asarray(utilisation, dtype=float)
+        if util.ndim != 2 or util.shape[1] != self.config.nodes:
+            raise ConfigError(
+                f"need a (steps, {self.config.nodes}) utilisation matrix"
+            )
+        cfg = self.config
+        per_node = cfg.node_idle_w + np.clip(util, 0.0, 1.0) * (
+            cfg.node_peak_w - cfg.node_idle_w
+        )
+        return per_node.sum(axis=1)
+
+    def attack_waveform(
+        self,
+        kind: VirusKind,
+        attacker_nodes: int,
+        spikes: "SpikeTrainConfig | None",
+        duration_s: float,
+        dt: float,
+        seed: "int | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Synthesize (normal-only, with-attack) rack power waveforms.
+
+        Args:
+            kind: Virus benchmark class.
+            attacker_nodes: How many of the rack's nodes run the virus.
+            spikes: Phase-II train; ``None`` runs the sustained Phase-I
+                form instead.
+            duration_s: Waveform length.
+            dt: Sample period (the paper's precision meter samples far
+                faster than anything in the control plane).
+
+        Returns:
+            Two arrays of rack power in watts, one without and one with
+            the malicious load.
+        """
+        if not 0 < attacker_nodes < self.config.nodes:
+            raise ConfigError(
+                "attacker nodes must leave at least one benign node"
+            )
+        base = self.config.normal_load_trace(duration_s, dt, seed=seed)
+        util = base.matrix.copy()
+        profile = profile_for(kind)
+        steps = util.shape[0]
+        if spikes is None:
+            overlay = np.full(steps, profile.sustained_util)
+        else:
+            train = SpikeTrain(spikes, profile, start_s=0.0, seed=seed)
+            overlay = train.waveform(duration_s, dt)
+        with_attack = util.copy()
+        for node in range(attacker_nodes):
+            with_attack[:, node] = np.maximum(
+                with_attack[:, node], overlay
+            )
+        return (
+            self.rack_power_waveform(util),
+            self.rack_power_waveform(with_attack),
+        )

@@ -1,0 +1,81 @@
+"""Unit helpers and physical constants shared across the simulator.
+
+The simulator works in SI base units internally:
+
+* power   — watts (W)
+* energy  — joules (J)
+* time    — seconds (s)
+* voltage — volts (V)
+* current — amperes (A)
+
+The paper (and data-center practice) quotes energy in watt-hours and time
+in minutes/hours, so this module provides explicit, readable converters.
+Using named functions instead of bare multiplications keeps the physics
+code free of magic constants such as ``3600``.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+#: The Google cluster trace used by the paper samples machine utilisation
+#: every five minutes.
+TRACE_INTERVAL_S = 5.0 * SECONDS_PER_MINUTE
+
+
+def wh_to_joules(wh: float) -> float:
+    """Convert watt-hours to joules."""
+    return wh * SECONDS_PER_HOUR
+
+
+def joules_to_wh(joules: float) -> float:
+    """Convert joules to watt-hours."""
+    return joules / SECONDS_PER_HOUR
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kwh * 1000.0 * SECONDS_PER_HOUR
+
+
+def minutes(m: float) -> float:
+    """Return ``m`` minutes expressed in seconds."""
+    return m * SECONDS_PER_MINUTE
+
+
+def hours(h: float) -> float:
+    """Return ``h`` hours expressed in seconds."""
+    return h * SECONDS_PER_HOUR
+
+
+def days(d: float) -> float:
+    """Return ``d`` days expressed in seconds."""
+    return d * SECONDS_PER_DAY
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``.
+
+    Raises:
+        ValueError: if ``low > high``.
+    """
+    if low > high:
+        raise ValueError(f"empty clamp interval: [{low}, {high}]")
+    if value < low:
+        return low
+    if value > high:
+        return high
+    return value
+
+
+def fraction(part: float, whole: float) -> float:
+    """Return ``part / whole``, defining ``0 / 0`` as ``0.0``.
+
+    Useful for ratios such as state-of-charge or throughput where an empty
+    denominator means "nothing to measure" rather than an error.
+    """
+    if whole == 0.0:
+        return 0.0
+    return part / whole

@@ -1,0 +1,55 @@
+"""Workload substrate: traces, Google-trace parsing, synthesis, scheduling."""
+
+from .cluster import ClusterModel
+from .google import (
+    UsageRecord,
+    load_tasks,
+    load_trace,
+    load_usage_records,
+    parse_line,
+    records_to_trace,
+)
+from .scheduler import LeastLoadedScheduler, ScheduleResult
+from .synthetic import (
+    SyntheticJobConfig,
+    SyntheticTraceConfig,
+    generate_jobs,
+    generate_trace,
+    google_like_trace,
+    surge_profile,
+)
+from .task import Job, Task, group_into_jobs
+from .validation import (
+    CalibrationEnvelope,
+    TraceStats,
+    compute_stats,
+    validate_against,
+)
+from .trace import TraceSlice, UtilizationTrace
+
+__all__ = [
+    "CalibrationEnvelope",
+    "ClusterModel",
+    "Job",
+    "LeastLoadedScheduler",
+    "ScheduleResult",
+    "SyntheticJobConfig",
+    "SyntheticTraceConfig",
+    "Task",
+    "TraceSlice",
+    "TraceStats",
+    "UsageRecord",
+    "UtilizationTrace",
+    "generate_jobs",
+    "generate_trace",
+    "google_like_trace",
+    "group_into_jobs",
+    "load_tasks",
+    "load_trace",
+    "load_usage_records",
+    "parse_line",
+    "records_to_trace",
+    "surge_profile",
+    "compute_stats",
+    "validate_against",
+]

@@ -1,0 +1,178 @@
+"""Cluster model: machines -> racks -> electrical power.
+
+Binds the workload view (per-machine CPU utilisation) to the electrical
+view (per-rack power demand) using the server power model. Machines are
+assigned to racks in order — machine ``m`` lives in rack
+``m // servers_per_rack`` — matching the paper's 22 racks x 10 servers
+hosting the ~220-machine Google trace.
+
+The model also owns the server *availability* state the defenses
+manipulate: DVFS-capped servers draw capped power and lose throughput;
+shed (sleeping) servers draw a small sleep power and deliver nothing;
+servers behind a tripped rack breaker are down entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..power.server import ServerPowerModel
+
+#: Power drawn by a server in deep sleep / hibernation, as a fraction of
+#: its idle power. S4-style states park well below active idle.
+SLEEP_POWER_FRACTION = 0.10
+
+
+class ClusterModel:
+    """Maps per-machine utilisation to per-rack power and throughput.
+
+    Args:
+        config: Cluster layout and server power parameters.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self._config = config
+        self._server_model = ServerPowerModel(config.rack.server)
+        self._servers = config.total_servers
+        self._racks = config.racks
+        self._per_rack = config.rack.servers
+        self._rack_of = np.arange(self._servers) // self._per_rack
+
+    # ------------------------------------------------------------------ #
+    # Layout                                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> ClusterConfig:
+        """The cluster configuration."""
+        return self._config
+
+    @property
+    def servers(self) -> int:
+        """Total machine count."""
+        return self._servers
+
+    @property
+    def racks(self) -> int:
+        """Rack count."""
+        return self._racks
+
+    @property
+    def server_model(self) -> ServerPowerModel:
+        """The shared per-server power model."""
+        return self._server_model
+
+    def rack_of(self, machine_id: int) -> int:
+        """Rack hosting ``machine_id``."""
+        if not 0 <= machine_id < self._servers:
+            raise ConfigError(
+                f"machine {machine_id} outside cluster of {self._servers}"
+            )
+        return int(self._rack_of[machine_id])
+
+    def machines_in_rack(self, rack_id: int) -> np.ndarray:
+        """Machine ids hosted by ``rack_id``."""
+        if not 0 <= rack_id < self._racks:
+            raise ConfigError(f"rack {rack_id} outside cluster of {self._racks}")
+        return np.nonzero(self._rack_of == rack_id)[0]
+
+    def _check_vector(self, name: str, vector: np.ndarray) -> np.ndarray:
+        array = np.asarray(vector)
+        if array.shape != (self._servers,):
+            raise ConfigError(
+                f"{name} must have shape ({self._servers},), got {array.shape}"
+            )
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Power                                                               #
+    # ------------------------------------------------------------------ #
+
+    def server_power(
+        self,
+        utilisation: np.ndarray,
+        capped: "np.ndarray | None" = None,
+        asleep: "np.ndarray | None" = None,
+        down_racks: "list[int] | None" = None,
+    ) -> np.ndarray:
+        """Per-server electrical power for the given state.
+
+        Args:
+            utilisation: Per-machine CPU utilisation in [0, 1].
+            capped: Boolean mask of DVFS-capped servers.
+            asleep: Boolean mask of shed (sleeping) servers.
+            down_racks: Racks whose breaker is open — their servers draw
+                nothing.
+        """
+        u = np.clip(self._check_vector("utilisation", utilisation), 0.0, 1.0)
+        power = np.asarray(self._server_model.power(u), dtype=float)
+        if capped is not None:
+            capped = self._check_vector("capped", capped).astype(bool)
+            power = np.where(
+                capped, np.asarray(self._server_model.capped_power(u)), power
+            )
+        if asleep is not None:
+            asleep = self._check_vector("asleep", asleep).astype(bool)
+            sleep_w = self._server_model.idle_w * SLEEP_POWER_FRACTION
+            power = np.where(asleep, sleep_w, power)
+        if down_racks:
+            down_mask = np.isin(self._rack_of, np.asarray(down_racks, dtype=int))
+            power = np.where(down_mask, 0.0, power)
+        return power
+
+    def rack_power(
+        self,
+        utilisation: np.ndarray,
+        capped: "np.ndarray | None" = None,
+        asleep: "np.ndarray | None" = None,
+        down_racks: "list[int] | None" = None,
+    ) -> np.ndarray:
+        """Per-rack power demand ``p_i``, summed over the rack's servers."""
+        power = self.server_power(utilisation, capped, asleep, down_racks)
+        return np.bincount(self._rack_of, weights=power, minlength=self._racks)
+
+    def sum_to_racks(self, per_server: np.ndarray) -> np.ndarray:
+        """Sum any per-server quantity into per-rack totals."""
+        values = self._check_vector("per_server", per_server)
+        return np.bincount(
+            self._rack_of, weights=values.astype(float), minlength=self._racks
+        )
+
+    # ------------------------------------------------------------------ #
+    # Throughput                                                          #
+    # ------------------------------------------------------------------ #
+
+    def throughput(
+        self,
+        utilisation: np.ndarray,
+        capped: "np.ndarray | None" = None,
+        asleep: "np.ndarray | None" = None,
+        down_racks: "list[int] | None" = None,
+    ) -> float:
+        """Delivered work this instant, in machine-utilisation units.
+
+        Healthy servers deliver their utilisation; capped servers lose the
+        DVFS penalty; sleeping and down servers deliver nothing. Summed
+        over the cluster — this is the integrand of the paper's Fig. 16
+        performance metric.
+        """
+        u = np.clip(self._check_vector("utilisation", utilisation), 0.0, 1.0)
+        delivered = u.astype(float).copy()
+        if capped is not None:
+            capped = self._check_vector("capped", capped).astype(bool)
+            penalty = 1.0 - self._config.rack.server.dvfs_throughput_penalty
+            delivered = np.where(capped, delivered * penalty, delivered)
+        if asleep is not None:
+            asleep = self._check_vector("asleep", asleep).astype(bool)
+            delivered = np.where(asleep, 0.0, delivered)
+        if down_racks:
+            down_mask = np.isin(self._rack_of, np.asarray(down_racks, dtype=int))
+            delivered = np.where(down_mask, 0.0, delivered)
+        return float(np.sum(delivered))
+
+    def demanded_throughput(self, utilisation: np.ndarray) -> float:
+        """Work demanded this instant — the throughput denominator."""
+        u = np.clip(self._check_vector("utilisation", utilisation), 0.0, 1.0)
+        return float(np.sum(u))

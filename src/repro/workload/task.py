@@ -1,0 +1,140 @@
+"""Task and job records — the Google cluster-trace schema (paper §5).
+
+"Work arrives at the cluster in the form of jobs. A job is comprised of one
+or more tasks, each of which is accompanied by a set of resource
+requirements used for dispatching the tasks onto machines. Every line in
+this trace includes start time, end time, machine ID, and CPU rate of the
+task."
+
+These records are the interchange format between the trace parser, the
+synthetic generator, and the job scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TraceFormatError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One scheduled task interval.
+
+    Attributes:
+        job_id: Identifier of the owning job.
+        task_index: Index of this task within its job.
+        start_s: Task start time (seconds from trace origin).
+        end_s: Task end time; must be strictly after ``start_s``.
+        machine_id: Machine the task ran on, or ``None`` if not yet placed
+            (the scheduler will choose).
+        cpu_rate: CPU demand as a fraction of one machine in ``[0, 1]``.
+    """
+
+    job_id: int
+    task_index: int
+    start_s: float
+    end_s: float
+    cpu_rate: float
+    machine_id: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise TraceFormatError(
+                f"task {self.job_id}/{self.task_index}: end {self.end_s} "
+                f"not after start {self.start_s}"
+            )
+        if not 0.0 <= self.cpu_rate <= 1.0:
+            raise TraceFormatError(
+                f"task {self.job_id}/{self.task_index}: cpu rate "
+                f"{self.cpu_rate} outside [0, 1]"
+            )
+        if self.machine_id is not None and self.machine_id < 0:
+            raise TraceFormatError("machine id must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        """Task duration in seconds."""
+        return self.end_s - self.start_s
+
+    @property
+    def placed(self) -> bool:
+        """True once the task has a machine assignment."""
+        return self.machine_id is not None
+
+    def on_machine(self, machine_id: int) -> "Task":
+        """Return a copy of this task placed on ``machine_id``."""
+        return Task(
+            job_id=self.job_id,
+            task_index=self.task_index,
+            start_s=self.start_s,
+            end_s=self.end_s,
+            cpu_rate=self.cpu_rate,
+            machine_id=machine_id,
+        )
+
+
+@dataclass
+class Job:
+    """A job: a set of tasks sharing a ``job_id``.
+
+    Attributes:
+        job_id: The job identifier.
+        tasks: The job's tasks; task indices must be unique within the job.
+    """
+
+    job_id: int
+    tasks: list[Task] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        indices = [t.task_index for t in self.tasks]
+        if len(indices) != len(set(indices)):
+            raise TraceFormatError(f"job {self.job_id}: duplicate task indices")
+        for t in self.tasks:
+            if t.job_id != self.job_id:
+                raise TraceFormatError(
+                    f"job {self.job_id}: task belongs to job {t.job_id}"
+                )
+
+    def add(self, task: Task) -> None:
+        """Append a task, enforcing id consistency and index uniqueness."""
+        if task.job_id != self.job_id:
+            raise TraceFormatError(
+                f"job {self.job_id}: task belongs to job {task.job_id}"
+            )
+        if any(t.task_index == task.task_index for t in self.tasks):
+            raise TraceFormatError(
+                f"job {self.job_id}: duplicate task index {task.task_index}"
+            )
+        self.tasks.append(task)
+
+    @property
+    def start_s(self) -> float:
+        """Earliest task start."""
+        if not self.tasks:
+            raise TraceFormatError(f"job {self.job_id} has no tasks")
+        return min(t.start_s for t in self.tasks)
+
+    @property
+    def end_s(self) -> float:
+        """Latest task end."""
+        if not self.tasks:
+            raise TraceFormatError(f"job {self.job_id} has no tasks")
+        return max(t.end_s for t in self.tasks)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Aggregate CPU demand of the job, in machine-seconds."""
+        return sum(t.cpu_rate * t.duration_s for t in self.tasks)
+
+
+def group_into_jobs(tasks: "list[Task]") -> "list[Job]":
+    """Group a flat task list into jobs, ordered by first appearance."""
+    jobs: dict[int, Job] = {}
+    for task in tasks:
+        job = jobs.get(task.job_id)
+        if job is None:
+            job = Job(job_id=task.job_id)
+            jobs[task.job_id] = job
+        job.add(task)
+    return list(jobs.values())

@@ -1,0 +1,138 @@
+"""Battery-aging model and trace-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.battery.aging import (
+    AgingModel,
+    AgingTracker,
+    fleet_life_consumption,
+    throughput_life_estimate,
+)
+from repro.battery import BatteryFleet
+from repro.config import BatteryConfig
+from repro.errors import BatteryError, TraceFormatError
+from repro.workload import generate_trace, google_like_trace
+from repro.workload.synthetic import SyntheticTraceConfig
+from repro.workload.trace import UtilizationTrace
+from repro.workload.validation import (
+    CalibrationEnvelope,
+    compute_stats,
+    validate_against,
+)
+from repro.units import days
+
+
+class TestAgingModel:
+    def test_dod_power_law(self):
+        model = AgingModel(cycles_at_full_dod=500.0, dod_exponent=1.0)
+        assert model.cycles_at(1.0) == pytest.approx(500.0)
+        assert model.cycles_at(0.5) == pytest.approx(1000.0)
+
+    def test_shallow_cycles_cheaper_per_joule(self):
+        """Two half-depth cycles cost less life than one full cycle."""
+        model = AgingModel(dod_exponent=1.1)
+        assert 2 * model.damage(0.5) < model.damage(1.0)
+
+    def test_rate_acceleration(self):
+        model = AgingModel(rate_acceleration=2.0)
+        assert model.damage(0.5, overload_ratio=0.5) == pytest.approx(
+            2.0 * model.damage(0.5)
+        )
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(BatteryError):
+            AgingModel().cycles_at(0.0)
+        with pytest.raises(BatteryError):
+            AgingModel().damage(0.5, overload_ratio=-1.0)
+
+
+class TestAgingTracker:
+    def test_counts_discharge_excursions(self):
+        tracker = AgingTracker()
+        for soc in (1.0, 0.8, 0.6, 0.8, 1.0, 0.5, 1.0):
+            tracker.observe(soc)
+        tracker.finish()
+        assert tracker.excursions == pytest.approx((0.4, 0.5))
+        assert tracker.consumed_life > 0.0
+
+    def test_monotone_discharge_counted_on_finish(self):
+        tracker = AgingTracker()
+        for soc in (1.0, 0.7, 0.4):
+            tracker.observe(soc)
+        consumed = tracker.finish()
+        assert tracker.excursions == pytest.approx((0.6,))
+        assert consumed > 0.0
+
+    def test_flat_history_consumes_nothing(self):
+        tracker = AgingTracker()
+        for _ in range(10):
+            tracker.observe(0.8)
+        assert tracker.finish() == 0.0
+
+    def test_deeper_cycles_cost_more(self):
+        shallow, deep = AgingTracker(), AgingTracker()
+        for soc in (1.0, 0.9, 1.0) * 5:
+            shallow.observe(soc)
+        for soc in (1.0, 0.3, 1.0) * 5:
+            deep.observe(soc)
+        assert deep.finish() > shallow.finish()
+
+    def test_rejects_bad_soc(self):
+        with pytest.raises(BatteryError):
+            AgingTracker().observe(1.5)
+
+
+class TestFleetLife:
+    def test_per_rack_consumption(self):
+        history = np.column_stack([
+            np.tile([1.0, 0.4, 1.0], 10),   # heavily cycled rack
+            np.full(30, 1.0),               # untouched rack
+        ])
+        consumed = fleet_life_consumption(history)
+        assert consumed[0] > consumed[1] == 0.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(BatteryError):
+            fleet_life_consumption(np.array([1.0, 0.5]))
+
+    def test_throughput_estimate_lower_bound(self):
+        fleet = BatteryFleet(BatteryConfig(capacity_wh=10.0), racks=2)
+        fleet.step([200.0, 0.0], [0.0, 0.0], dt=60.0)
+        estimate = throughput_life_estimate(fleet, BatteryConfig())
+        assert estimate[0] > estimate[1] == 0.0
+
+
+class TestTraceStats:
+    def test_synthetic_trace_passes_calibration(self):
+        trace = google_like_trace(machines=60, duration_days=3, seed=2)
+        assert validate_against(trace) == []
+
+    def test_stats_reasonable(self):
+        trace = google_like_trace(machines=60, duration_days=3, seed=2)
+        stats = compute_stats(trace)
+        assert 0.3 < stats.mean < 0.6
+        assert stats.diurnal_strength > 0.1
+        assert stats.lag1_autocorr > 0.8
+
+    def test_flat_trace_fails_diurnal_and_spread(self):
+        trace = UtilizationTrace(np.full((600, 10), 0.45), interval_s=300.0)
+        problems = validate_against(trace)
+        assert any("diurnal" in p for p in problems)
+        assert any("spread" in p for p in problems)
+
+    def test_overloaded_trace_flagged(self):
+        config = SyntheticTraceConfig(
+            machines=40, duration_s=days(2), mean_utilisation=0.2,
+            burst_rate_per_day=30.0, burst_height=0.8,
+        )
+        trace = generate_trace(config, seed=4)
+        problems = validate_against(
+            trace, CalibrationEnvelope(max_peak_to_mean=1.2)
+        )
+        assert any("peak-to-mean" in p for p in problems)
+
+    def test_short_trace_rejected(self):
+        trace = UtilizationTrace(np.full((2, 2), 0.5), interval_s=300.0)
+        with pytest.raises(TraceFormatError):
+            compute_stats(trace)

@@ -1,0 +1,192 @@
+"""Two-phase attack driver and attacker tests."""
+
+import pytest
+
+from repro.attack import (
+    AttackPhase,
+    Attacker,
+    AutonomyEstimator,
+    SpikeTrainConfig,
+    TwoPhaseAttack,
+    TwoPhaseConfig,
+    VirusKind,
+    acquire_nodes,
+    profile_for,
+    standard_scenarios,
+    DENSE_ATTACK,
+    SPARSE_ATTACK,
+)
+from repro.config import ClusterConfig
+from repro.errors import AttackError
+from repro.workload import ClusterModel
+
+
+def driver(**overrides):
+    defaults = dict(
+        start_s=0.0,
+        spikes=SpikeTrainConfig(width_s=2.0, rate_per_min=6.0),
+        confirmation_s=10.0,
+        phase1_margin_s=20.0,
+    )
+    defaults.update(overrides)
+    return TwoPhaseAttack(
+        profile_for(VirusKind.CPU), TwoPhaseConfig(**defaults)
+    )
+
+
+class TestPhaseMachine:
+    def test_idle_before_start(self):
+        attack = driver(start_s=100.0)
+        assert attack.utilisation_command(50.0, False) == 0.0
+        assert attack.phase is AttackPhase.IDLE
+
+    def test_phase1_sustains_visible_peak(self):
+        attack = driver()
+        command = attack.utilisation_command(0.0, False)
+        assert attack.phase is AttackPhase.PHASE1_VISIBLE_PEAK
+        assert command == pytest.approx(1.0)
+
+    def test_capping_signal_triggers_mutation(self):
+        attack = driver()
+        t = 0.0
+        while attack.phase is not AttackPhase.PHASE2_HIDDEN_SPIKES and t < 500:
+            attack.utilisation_command(t, observed_capped=True)
+            t += 1.0
+        assert attack.phase is AttackPhase.PHASE2_HIDDEN_SPIKES
+        # Confirmation (10 s) plus margin (20 s), give or take a step.
+        assert 29.0 <= t <= 35.0
+
+    def test_noisy_capping_does_not_trigger(self):
+        attack = driver()
+        for t in range(100):
+            # A blip every other second never persists long enough.
+            attack.utilisation_command(float(t), observed_capped=(t % 2 == 0))
+        assert attack.phase is AttackPhase.PHASE1_VISIBLE_PEAK
+
+    def test_fallback_estimate_triggers(self):
+        attack = driver(autonomy_estimate_s=60.0)
+        t = 0.0
+        while attack.phase is not AttackPhase.PHASE2_HIDDEN_SPIKES and t < 500:
+            attack.utilisation_command(t, observed_capped=False)
+            t += 1.0
+        assert attack.phase2_started_s == pytest.approx(80.0, abs=2.0)
+
+    def test_phase2_emits_spike_train(self):
+        attack = driver(autonomy_estimate_s=10.0)
+        for t in range(200):
+            attack.utilisation_command(float(t), False)
+        assert attack.spike_train is not None
+        start = attack.phase2_started_s
+        assert start is not None
+        assert attack.utilisation_command(start + 0.5, False) == pytest.approx(1.0)
+
+    def test_patience_reverts_and_backs_off(self):
+        attack = driver(autonomy_estimate_s=10.0, phase2_patience_s=60.0)
+        for t in range(300):
+            attack.utilisation_command(float(t), False)
+        assert attack.reversions >= 1
+        est = attack.autonomy_estimate_s
+        assert est is not None and est > 10.0
+
+    def test_fallback_used_only_once(self):
+        """After a failed Phase II the attacker waits for real evidence."""
+        attack = driver(autonomy_estimate_s=10.0, phase2_patience_s=30.0)
+        for t in range(1000):
+            attack.utilisation_command(float(t), False)
+        assert attack.reversions == 1
+        assert attack.phase is AttackPhase.PHASE1_VISIBLE_PEAK
+
+    def test_success_stops_patience_clock(self):
+        attack = driver(autonomy_estimate_s=10.0, phase2_patience_s=60.0)
+        for t in range(300):
+            attack.utilisation_command(float(t), False, observed_success=True)
+        assert attack.reversions == 0
+
+    def test_reset(self):
+        attack = driver(autonomy_estimate_s=10.0)
+        for t in range(100):
+            attack.utilisation_command(float(t), False)
+        attack.reset()
+        assert attack.phase is AttackPhase.IDLE
+        assert attack.spike_train is None
+
+
+class TestAcquisition:
+    def test_targeted_acquisition(self):
+        cluster = ClusterModel(ClusterConfig())
+        result = acquire_nodes(cluster, 4, target_rack=3, seed=1)
+        assert result.target_rack == 3
+        assert len(result.nodes) == 4
+        assert all(cluster.rack_of(n) == 3 for n in result.nodes)
+        assert result.attempts >= 4
+
+    def test_opportunistic_acquisition(self):
+        cluster = ClusterModel(ClusterConfig())
+        result = acquire_nodes(cluster, 3, seed=2)
+        racks = {cluster.rack_of(n) for n in result.nodes}
+        assert len(racks) == 1
+
+    def test_targeting_costs_more_attempts(self):
+        cluster = ClusterModel(ClusterConfig())
+        targeted = acquire_nodes(cluster, 3, target_rack=0, seed=3).attempts
+        anywhere = acquire_nodes(cluster, 3, seed=3).attempts
+        assert targeted >= anywhere
+
+    def test_rejects_impossible_count(self):
+        cluster = ClusterModel(ClusterConfig())
+        with pytest.raises(AttackError):
+            acquire_nodes(cluster, 11, target_rack=0)
+
+    def test_budget_exhaustion(self):
+        cluster = ClusterModel(ClusterConfig())
+        with pytest.raises(AttackError):
+            acquire_nodes(cluster, 10, target_rack=0, max_attempts=5)
+
+
+class TestAutonomyEstimator:
+    def test_mean_and_spread(self):
+        est = AutonomyEstimator()
+        assert est.estimate_s is None
+        est.record(100.0)
+        est.record(200.0)
+        assert est.count == 2
+        assert est.estimate_s == pytest.approx(150.0)
+        assert est.spread > 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AttackError):
+            AutonomyEstimator().record(0.0)
+
+
+class TestAttacker:
+    def test_overrides_all_nodes_identically(self):
+        attacker = Attacker(nodes=(1, 5, 9), kind=VirusKind.CPU)
+        overrides = attacker.utilisation_overrides(0.0, False)
+        assert set(overrides) == {1, 5, 9}
+        assert len(set(overrides.values())) == 1
+
+    def test_rejects_empty_and_duplicate_nodes(self):
+        with pytest.raises(AttackError):
+            Attacker(nodes=())
+        with pytest.raises(AttackError):
+            Attacker(nodes=(1, 1))
+
+
+class TestScenarios:
+    def test_standard_grid_shape(self):
+        scenarios = standard_scenarios()
+        assert len(scenarios) == 6
+        names = {s.name for s in scenarios}
+        assert "dense-cpu" in names and "sparse-io" in names
+
+    def test_dense_more_aggressive_than_sparse(self):
+        assert DENSE_ATTACK.nodes > SPARSE_ATTACK.nodes
+        assert (
+            DENSE_ATTACK.spikes.rate_per_min > SPARSE_ATTACK.spikes.rate_per_min
+        )
+
+    def test_scenario_mutation_helpers(self):
+        sc = DENSE_ATTACK.with_kind(VirusKind.IO).with_nodes(2)
+        assert sc.kind is VirusKind.IO
+        assert sc.nodes == 2
+        assert sc.density_label == "dense"

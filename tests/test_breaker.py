@@ -1,0 +1,140 @@
+"""Circuit-breaker trip-curve tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BreakerConfig
+from repro.errors import PowerTopologyError
+from repro.power import CircuitBreaker
+
+
+def make(rated=1000.0, trip_energy=12.0, instant=3.0, tau=300.0):
+    return CircuitBreaker(
+        BreakerConfig(
+            rated_w=rated,
+            trip_energy=trip_energy,
+            instant_trip_ratio=instant,
+            cooldown_tau_s=tau,
+        )
+    )
+
+
+class TestInverseTime:
+    def test_never_trips_at_or_below_rating(self):
+        breaker = make()
+        for _ in range(10_000):
+            assert not breaker.step(1000.0, 1.0)
+        assert not breaker.is_tripped
+
+    def test_trips_at_predicted_time(self):
+        breaker = make(trip_energy=12.0)
+        ratio = 1.5
+        expected = 12.0 / (ratio**2 - 1.0)
+        elapsed = 0.0
+        while not breaker.step(1500.0, 0.1):
+            elapsed += 0.1
+        assert elapsed == pytest.approx(expected, abs=0.2)
+
+    def test_higher_overload_trips_faster(self):
+        slow, fast = make(), make()
+        t_slow = t_fast = 0.0
+        while not slow.step(1200.0, 0.1):
+            t_slow += 0.1
+        while not fast.step(2000.0, 0.1):
+            t_fast += 0.1
+        assert t_fast < t_slow
+
+    def test_time_to_trip_prediction(self):
+        breaker = make(trip_energy=12.0)
+        assert breaker.time_to_trip(1000.0) == math.inf
+        assert breaker.time_to_trip(5000.0) == 0.0
+        predicted = breaker.time_to_trip(1500.0)
+        assert predicted == pytest.approx(12.0 / 1.25)
+
+
+class TestInstantTrip:
+    def test_magnetic_element(self):
+        breaker = make(instant=3.0)
+        assert breaker.step(3000.0, 0.001)
+        assert breaker.is_tripped
+        assert breaker.trip_event is not None
+        assert breaker.trip_event.instantaneous
+
+
+class TestCooling:
+    def test_heat_decays_below_rating(self):
+        breaker = make(tau=10.0)
+        breaker.step(1500.0, 2.0)
+        hot = breaker.heat
+        breaker.step(500.0, 10.0)
+        assert breaker.heat < hot
+
+    def test_brief_overloads_tolerated(self):
+        """Spaced short overloads with long recovery never trip."""
+        breaker = make(trip_energy=12.0, tau=5.0)
+        for _ in range(100):
+            breaker.step(1400.0, 1.0)   # heat += 0.96
+            breaker.step(500.0, 60.0)   # nearly full decay
+        assert not breaker.is_tripped
+
+    def test_repeated_spikes_accumulate(self):
+        """Paper Fig. 7: repeated spikes eventually trip the breaker."""
+        breaker = make(trip_energy=12.0, tau=300.0)
+        spikes = 0
+        while not breaker.is_tripped and spikes < 1000:
+            breaker.step(1500.0, 2.0)   # spike
+            breaker.step(800.0, 8.0)    # valley (little decay, tau=300)
+            spikes += 1
+        assert breaker.is_tripped
+        assert spikes > 1  # not a single-spike event
+
+
+class TestLifecycle:
+    def test_tripped_stays_tripped(self):
+        breaker = make()
+        breaker.step(5000.0, 1.0)
+        assert breaker.is_tripped
+        assert not breaker.step(500.0, 1.0)
+        assert breaker.is_tripped
+
+    def test_reset_rearms(self):
+        breaker = make()
+        breaker.step(5000.0, 1.0)
+        breaker.reset()
+        assert not breaker.is_tripped
+        assert breaker.heat == 0.0
+        assert breaker.trip_event is None
+
+    def test_set_rating_keeps_heat(self):
+        breaker = make(rated=1000.0)
+        breaker.step(1500.0, 1.0)
+        heat = breaker.heat
+        breaker.set_rating(2000.0)
+        assert breaker.rated_w == 2000.0
+        assert breaker.heat == heat
+
+    def test_set_rating_rejects_nonpositive(self):
+        with pytest.raises(PowerTopologyError):
+            make().set_rating(0.0)
+
+    def test_rejects_bad_step_args(self):
+        with pytest.raises(PowerTopologyError):
+            make().step(100.0, 0.0)
+        with pytest.raises(PowerTopologyError):
+            make().step(-1.0, 1.0)
+
+
+@settings(max_examples=40)
+@given(
+    ratio=st.floats(min_value=1.05, max_value=2.9, allow_nan=False),
+    dt=st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+)
+def test_sustained_overload_always_trips(ratio, dt):
+    """Property: any sustained overload above rating eventually trips."""
+    breaker = make(rated=1000.0, trip_energy=12.0)
+    for _ in range(int(1e5)):
+        if breaker.step(1000.0 * ratio, dt):
+            return
+    pytest.fail("sustained overload never tripped the breaker")

@@ -1,0 +1,144 @@
+"""Charging-policy and battery-fleet tests."""
+
+import numpy as np
+import pytest
+
+from repro.battery import (
+    BatteryFleet,
+    LeadAcidPack,
+    OfflineCharger,
+    OnlineCharger,
+    SimpleReservoir,
+    make_charger,
+)
+from repro.config import BatteryConfig, ChargingPolicy
+from repro.errors import BatteryError
+
+
+def make_pack(soc=0.5):
+    return LeadAcidPack(
+        BatteryConfig(capacity_wh=10.0, max_charge_w=100.0),
+        initial_soc=soc,
+    )
+
+
+class TestOnlineCharger:
+    def test_charges_whenever_headroom_exists(self):
+        charger = OnlineCharger()
+        pack = make_pack(soc=0.5)
+        assert charger.charge_power(pack, 50.0, 1.0) > 0.0
+
+    def test_no_headroom_no_charge(self):
+        charger = OnlineCharger()
+        pack = make_pack(soc=0.5)
+        assert charger.charge_power(pack, 0.0, 1.0) == 0.0
+
+    def test_respects_headroom(self):
+        charger = OnlineCharger()
+        pack = make_pack(soc=0.2)
+        assert charger.charge_power(pack, 30.0, 1.0) <= 30.0
+
+
+class TestOfflineCharger:
+    def test_waits_for_threshold(self):
+        charger = OfflineCharger(recharge_soc=0.30)
+        pack = make_pack(soc=0.5)
+        assert charger.charge_power(pack, 100.0, 1.0) == 0.0
+
+    def test_triggers_below_threshold_and_charges_to_full(self):
+        charger = OfflineCharger(recharge_soc=0.30)
+        pack = make_pack(soc=0.25)
+        assert charger.charge_power(pack, 100.0, 1.0) > 0.0
+        # Still charging at an SOC above the trigger (hysteresis).
+        pack.charge(100.0, 600.0)
+        assert pack.soc > 0.30
+        if pack.soc < 0.999:
+            assert charger.charge_power(pack, 100.0, 1.0) > 0.0
+
+    def test_rearms_after_full(self):
+        charger = OfflineCharger(recharge_soc=0.30)
+        pack = make_pack(soc=0.25)
+        charger.charge_power(pack, 100.0, 1.0)
+        while pack.soc < 0.999:
+            pack.charge(100.0, 60.0)
+        assert charger.charge_power(pack, 100.0, 1.0) == 0.0
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(BatteryError):
+            OfflineCharger(recharge_soc=0.0)
+        with pytest.raises(BatteryError):
+            OfflineCharger(recharge_soc=0.9, full_soc=0.8)
+
+
+def test_make_charger_dispatch():
+    battery = BatteryConfig()
+    assert isinstance(make_charger(ChargingPolicy.ONLINE, battery), OnlineCharger)
+    assert isinstance(make_charger(ChargingPolicy.OFFLINE, battery), OfflineCharger)
+
+
+class TestSimpleReservoir:
+    def test_basic_cycle(self):
+        store = SimpleReservoir(capacity_j=100.0, initial_soc=0.5)
+        assert store.discharge(10.0, 2.0) == pytest.approx(10.0)
+        assert store.charge_j == pytest.approx(30.0)
+        assert store.charge(10.0, 2.0) == pytest.approx(10.0)
+        assert store.charge_j == pytest.approx(50.0)
+
+    def test_limits(self):
+        store = SimpleReservoir(100.0, max_discharge_w=5.0, max_charge_w=3.0)
+        assert store.discharge(100.0, 1.0) == pytest.approx(5.0)
+        assert store.charge(100.0, 1.0) == pytest.approx(3.0)
+
+
+class TestBatteryFleet:
+    def test_construction_and_views(self):
+        fleet = BatteryFleet(BatteryConfig(capacity_wh=10.0), racks=4)
+        assert len(fleet) == 4
+        assert fleet.soc_vector().shape == (4,)
+        assert fleet.pool_soc == pytest.approx(1.0)
+        assert fleet.total_capacity_j == pytest.approx(4 * 36_000.0)
+
+    def test_per_rack_initial_soc(self):
+        fleet = BatteryFleet(
+            BatteryConfig(capacity_wh=10.0), racks=3,
+            initial_soc=[1.0, 0.5, 0.2],
+        )
+        assert fleet.soc_vector() == pytest.approx([1.0, 0.5, 0.2])
+
+    def test_initial_soc_length_mismatch(self):
+        with pytest.raises(BatteryError):
+            BatteryFleet(BatteryConfig(), racks=3, initial_soc=[1.0, 0.5])
+
+    def test_step_discharges_and_rests(self):
+        fleet = BatteryFleet(BatteryConfig(capacity_wh=10.0), racks=3)
+        delivered = fleet.step([100.0, 0.0, 0.0], [0.0, 0.0, 0.0], dt=10.0)
+        assert delivered[0] == pytest.approx(100.0)
+        assert delivered[1] == 0.0
+        soc = fleet.soc_vector()
+        assert soc[0] < soc[1] == soc[2]
+
+    def test_step_rejects_charge_and_discharge_together(self):
+        fleet = BatteryFleet(BatteryConfig(), racks=2)
+        with pytest.raises(BatteryError):
+            fleet.step([10.0, 0.0], [10.0, 0.0], dt=1.0)
+
+    def test_soc_std_and_vulnerable(self):
+        fleet = BatteryFleet(
+            BatteryConfig(capacity_wh=10.0), racks=3,
+            initial_soc=[1.0, 1.0, 0.1],
+        )
+        assert fleet.soc_std() > 0.0
+        assert fleet.vulnerable_racks(0.2) == [2]
+
+    def test_log_records_when_enabled(self):
+        fleet = BatteryFleet(BatteryConfig(), racks=2, keep_log=True)
+        fleet.step([10.0, 0.0], [0.0, 0.0], dt=1.0, time_s=5.0)
+        assert len(fleet.log) == 1
+        assert fleet.log[0].time_s == 5.0
+
+    def test_reset(self):
+        fleet = BatteryFleet(BatteryConfig(capacity_wh=10.0), racks=2)
+        fleet.step([500.0, 0.0], [0.0, 0.0], dt=10.0)
+        fleet.reset()
+        assert fleet.pool_soc == pytest.approx(1.0)
+        assert np.all(fleet.soc_vector() == pytest.approx(1.0))

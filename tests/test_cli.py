@@ -1,0 +1,31 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out and "Fig. 7" in out
+
+
+def test_survive_command(capsys):
+    code = main([
+        "survive", "--scheme", "Conv", "--scenario", "dense-cpu",
+        "--window", "300",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "survival" in out
+
+
+def test_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        main(["survive", "--scheme", "NOPE"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,87 @@
+"""Cluster power-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.workload import ClusterModel
+from repro.workload.cluster import SLEEP_POWER_FRACTION
+
+
+@pytest.fixture
+def cluster():
+    return ClusterModel(ClusterConfig(racks=3))
+
+
+class TestLayout:
+    def test_rack_mapping(self, cluster):
+        assert cluster.rack_of(0) == 0
+        assert cluster.rack_of(9) == 0
+        assert cluster.rack_of(10) == 1
+        assert list(cluster.machines_in_rack(2)) == list(range(20, 30))
+
+    def test_rack_of_bounds(self, cluster):
+        with pytest.raises(ConfigError):
+            cluster.rack_of(30)
+        with pytest.raises(ConfigError):
+            cluster.machines_in_rack(3)
+
+
+class TestPower:
+    def test_idle_cluster(self, cluster):
+        power = cluster.rack_power(np.zeros(30))
+        assert power == pytest.approx([2990.0] * 3)
+
+    def test_full_cluster(self, cluster):
+        power = cluster.rack_power(np.ones(30))
+        assert power == pytest.approx([5210.0] * 3)
+
+    def test_capped_servers_draw_less(self, cluster):
+        util = np.ones(30)
+        capped = np.zeros(30, dtype=bool)
+        capped[:10] = True  # cap all of rack 0
+        power = cluster.rack_power(util, capped=capped)
+        assert power[0] < power[1]
+        assert power[0] == pytest.approx(10 * (299.0 + 0.8 * 222.0))
+
+    def test_sleeping_servers_draw_sleep_power(self, cluster):
+        util = np.full(30, 0.5)
+        asleep = np.zeros(30, dtype=bool)
+        asleep[0] = True
+        power = cluster.server_power(util, asleep=asleep)
+        assert power[0] == pytest.approx(299.0 * SLEEP_POWER_FRACTION)
+
+    def test_down_racks_draw_nothing(self, cluster):
+        power = cluster.rack_power(np.full(30, 0.5), down_racks=[1])
+        assert power[1] == 0.0
+        assert power[0] > 0.0
+
+    def test_shape_validation(self, cluster):
+        with pytest.raises(ConfigError):
+            cluster.rack_power(np.zeros(10))
+
+    def test_sum_to_racks(self, cluster):
+        values = np.ones(30)
+        assert cluster.sum_to_racks(values) == pytest.approx([10.0] * 3)
+
+
+class TestThroughput:
+    def test_healthy_equals_demand(self, cluster):
+        util = np.full(30, 0.5)
+        assert cluster.throughput(util) == pytest.approx(15.0)
+        assert cluster.demanded_throughput(util) == pytest.approx(15.0)
+
+    def test_capping_penalty(self, cluster):
+        util = np.full(30, 0.5)
+        capped = np.ones(30, dtype=bool)
+        assert cluster.throughput(util, capped=capped) == pytest.approx(
+            15.0 * 0.8
+        )
+
+    def test_sleep_and_down_lose_work(self, cluster):
+        util = np.full(30, 0.5)
+        asleep = np.zeros(30, dtype=bool)
+        asleep[:10] = True
+        assert cluster.throughput(util, asleep=asleep) == pytest.approx(10.0)
+        assert cluster.throughput(util, down_racks=[0, 1]) == pytest.approx(5.0)

@@ -1,0 +1,144 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.config import (
+    BatteryConfig,
+    BreakerConfig,
+    CappingConfig,
+    ChargingPolicy,
+    ClusterConfig,
+    DataCenterConfig,
+    MeterConfig,
+    PolicyConfig,
+    RackConfig,
+    ServerConfig,
+    SupercapConfig,
+    VdebConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestServerConfig:
+    def test_paper_defaults(self):
+        server = ServerConfig()
+        assert server.idle_w == 299.0
+        assert server.peak_w == 521.0
+        assert server.dynamic_range_w == pytest.approx(222.0)
+
+    def test_rejects_peak_below_idle(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(idle_w=300.0, peak_w=200.0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(idle_w=-1.0)
+
+    def test_rejects_full_dvfs_reduction(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(dvfs_power_reduction=1.0)
+
+
+class TestBatteryConfig:
+    def test_paper_capacity(self):
+        battery = BatteryConfig()
+        # 50 s at full rack load (5 210 W) is about 72.4 Wh.
+        assert battery.capacity_j == pytest.approx(72.4 * 3600.0)
+
+    def test_rejects_bad_kibam_c(self):
+        with pytest.raises(ConfigError):
+            BatteryConfig(kibam_c=0.0)
+        with pytest.raises(ConfigError):
+            BatteryConfig(kibam_c=1.5)
+
+    def test_rejects_lvd_above_recharge_threshold(self):
+        with pytest.raises(ConfigError):
+            BatteryConfig(lvd_soc=0.5, offline_recharge_soc=0.3)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            BatteryConfig(capacity_wh=0.0)
+
+
+class TestSupercapConfig:
+    def test_capacity_joules(self):
+        assert SupercapConfig(capacity_wh=1.0).capacity_j == 3600.0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            SupercapConfig(efficiency=0.0)
+
+    def test_rejects_zero_charge_limit(self):
+        with pytest.raises(ConfigError):
+            SupercapConfig(max_charge_w=0.0)
+
+
+class TestBreakerConfig:
+    def test_with_rating_copies_shape(self):
+        shape = BreakerConfig(trip_energy=5.0)
+        rated = shape.with_rating(1000.0)
+        assert rated.rated_w == 1000.0
+        assert rated.trip_energy == 5.0
+
+    def test_rejects_instant_ratio_at_one(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(instant_trip_ratio=1.0)
+
+
+class TestRackAndCluster:
+    def test_rack_nameplate(self):
+        rack = RackConfig()
+        assert rack.nameplate_w == pytest.approx(5210.0)
+        assert rack.idle_w == pytest.approx(2990.0)
+
+    def test_cluster_paper_shape(self):
+        cluster = ClusterConfig()
+        assert cluster.racks == 22
+        assert cluster.total_servers == 220
+        assert cluster.nameplate_w == pytest.approx(22 * 5210.0)
+        assert cluster.pdu_budget_w < cluster.nameplate_w
+
+    def test_rejects_budget_below_idle(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(pdu_budget_fraction=0.50)
+
+    def test_rejects_zero_racks(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(racks=0)
+
+
+class TestPolicyAndVdeb:
+    def test_shed_cap_default_is_paper_three_percent(self):
+        assert PolicyConfig().shed_ratio_cap == pytest.approx(0.03)
+
+    def test_rejects_bad_shed_cap(self):
+        with pytest.raises(ConfigError):
+            PolicyConfig(shed_ratio_cap=0.0)
+
+    def test_vdeb_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            VdebConfig(ideal_discharge_fraction=0.0)
+
+    def test_vdeb_rejects_zero_interval(self):
+        with pytest.raises(ConfigError):
+            VdebConfig(rebalance_interval_s=0.0)
+
+
+class TestMeterAndCapping:
+    def test_meter_rejects_zero_interval(self):
+        with pytest.raises(ConfigError):
+            MeterConfig(interval_s=0.0)
+
+    def test_capping_latency_in_paper_range(self):
+        capping = CappingConfig()
+        assert 0.1 <= capping.latency_s <= 0.3
+
+    def test_capping_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CappingConfig(latency_s=-0.1)
+
+
+def test_datacenter_config_composes():
+    config = DataCenterConfig()
+    assert config.charging is ChargingPolicy.ONLINE
+    assert config.cluster.racks == 22

@@ -1,0 +1,153 @@
+"""Data-center simulation integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.attack import Attacker, SpikeTrainConfig, VirusKind
+from repro.config import ClusterConfig, DataCenterConfig
+from repro.defense import SCHEMES
+from repro.errors import SimulationError
+from repro.sim import DataCenterSimulation
+from repro.workload import UtilizationTrace
+
+
+def flat_trace(util, machines=40, steps=200, interval_s=60.0):
+    return UtilizationTrace(
+        np.full((steps, machines), util), interval_s=interval_s
+    )
+
+
+def make_sim(scheme="PS", util=0.4, racks=4, attacker=None, **kwargs):
+    config = DataCenterConfig(cluster=ClusterConfig(racks=racks))
+    trace = flat_trace(util, machines=racks * 10)
+    return DataCenterSimulation(
+        config, trace, SCHEMES[scheme], attacker=attacker, **kwargs
+    )
+
+
+class TestQuietOperation:
+    def test_no_trips_under_budget(self):
+        sim = make_sim(util=0.4)
+        result = sim.run(duration_s=600.0, dt=1.0)
+        assert result.trips == []
+        assert result.overloads == []
+        assert result.throughput_ratio == pytest.approx(1.0)
+
+    def test_recorder_channels_aligned(self):
+        sim = make_sim()
+        result = sim.run(duration_s=60.0, dt=1.0, record_every=1)
+        result.recorder.check_aligned()
+        assert len(result.recorder) == 60
+
+    def test_record_every_thins_samples(self):
+        sim = make_sim()
+        result = sim.run(duration_s=60.0, dt=1.0, record_every=10)
+        assert len(result.recorder) == 6
+
+    def test_deterministic_runs(self):
+        a = make_sim().run(duration_s=120.0, dt=1.0, record_every=1)
+        b = make_sim().run(duration_s=120.0, dt=1.0, record_every=1)
+        assert np.array_equal(
+            a.recorder.series("total_utility_w"),
+            b.recorder.series("total_utility_w"),
+        )
+
+
+class TestAttackedOperation:
+    def attacker(self, start=60.0):
+        return Attacker(
+            nodes=(0, 1, 2, 3, 4, 5),
+            kind=VirusKind.CPU,
+            spikes=SpikeTrainConfig(width_s=4.0, rate_per_min=6.0,
+                                    baseline_util=0.15),
+            start_s=start,
+            autonomy_estimate_s=120.0,
+            seed=1,
+        )
+
+    def test_conv_trips_quickly(self):
+        sim = make_sim("Conv", util=0.55, attacker=self.attacker())
+        result = sim.run(duration_s=1200.0, dt=0.5, stop_on_trip=True)
+        assert result.trips
+        assert result.survival_time_s is not None
+        assert result.survival_time_s < 600.0
+
+    def test_ps_outlives_conv(self):
+        conv = make_sim("Conv", util=0.55, attacker=self.attacker())
+        ps = make_sim("PS", util=0.55, attacker=self.attacker())
+        conv_result = conv.run(duration_s=2400.0, dt=0.5, stop_on_trip=True)
+        ps_result = ps.run(duration_s=2400.0, dt=0.5, stop_on_trip=True)
+        assert ps_result.survival_or_window() > conv_result.survival_or_window()
+
+    def test_stop_on_trip_halts_run(self):
+        sim = make_sim("Conv", util=0.55, attacker=self.attacker())
+        result = sim.run(duration_s=2400.0, dt=0.5, stop_on_trip=True)
+        assert result.end_s < result.start_s + 2400.0
+
+    def test_overloads_precede_trips(self):
+        sim = make_sim("Conv", util=0.55, attacker=self.attacker())
+        result = sim.run(duration_s=1200.0, dt=0.5, stop_on_trip=True)
+        assert result.first_overload_s is not None
+        assert result.first_overload_s <= result.trips[0].time_s
+
+    def test_repair_restores_service(self):
+        sim = make_sim(
+            "Conv", util=0.55, attacker=self.attacker(),
+            repair_time_s=120.0,
+        )
+        result = sim.run(duration_s=1800.0, dt=0.5)
+        assert result.trips  # tripped at least once
+        # Work was still delivered after the repair.
+        assert result.throughput_ratio > 0.5
+
+    def test_attack_reduces_throughput_for_conv(self):
+        quiet = make_sim("Conv", util=0.55)
+        noisy = make_sim(
+            "Conv", util=0.55, attacker=self.attacker(),
+            repair_time_s=300.0,
+        )
+        q = quiet.run(duration_s=1200.0, dt=0.5)
+        n = noisy.run(duration_s=1200.0, dt=0.5)
+        assert n.throughput_ratio < q.throughput_ratio
+
+
+class TestValidation:
+    def test_rejects_small_trace(self):
+        config = DataCenterConfig(cluster=ClusterConfig(racks=4))
+        trace = flat_trace(0.4, machines=10)
+        with pytest.raises(SimulationError):
+            DataCenterSimulation(config, trace, SCHEMES["PS"])
+
+    def test_rejects_attacker_outside_cluster(self):
+        attacker = Attacker(nodes=(999,), kind=VirusKind.CPU)
+        with pytest.raises(SimulationError):
+            make_sim(attacker=attacker)
+
+    def test_rejects_bad_tolerance(self):
+        config = DataCenterConfig(cluster=ClusterConfig(racks=2))
+        trace = flat_trace(0.4, machines=20)
+        with pytest.raises(SimulationError):
+            DataCenterSimulation(
+                config, trace, SCHEMES["PS"], overshoot_tolerance=-0.1
+            )
+
+
+class TestEnergyAccounting:
+    def test_utility_never_negative(self):
+        sim = make_sim("PAD", util=0.5, attacker=None)
+        result = sim.run(duration_s=300.0, dt=1.0, record_every=1)
+        utility = result.recorder.matrix("rack_utility_w")
+        assert np.all(utility >= 0.0)
+
+    def test_battery_discharge_reduces_utility(self):
+        """With shaving, utility stays at/below demand."""
+        sim = make_sim("PS", util=0.62)  # racks slightly over budget
+        result = sim.run(duration_s=300.0, dt=1.0, record_every=1)
+        demand = result.recorder.series("total_demand_w")
+        utility = result.recorder.series("total_utility_w")
+        battery = result.recorder.series("battery_w")
+        assert np.any(battery > 0.0)
+        # utility = demand - battery + charging; when batteries discharge
+        # (no charging on those racks), utility <= demand.
+        over = battery > 1.0
+        assert np.all(utility[over] <= demand[over] + 1e-6)

@@ -1,0 +1,231 @@
+"""Defense-scheme behaviour tests (paper Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, DataCenterConfig
+from repro.defense import (
+    SCHEMES,
+    ConvScheme,
+    Dispatch,
+    PadScheme,
+    PeakShavingScheme,
+    SchemeContext,
+    StepState,
+    UdebScheme,
+    VdebScheme,
+)
+from repro.workload import ClusterModel
+
+
+def make_context(racks=4, budget_fraction=0.83):
+    config = DataCenterConfig(
+        cluster=ClusterConfig(racks=racks, pdu_budget_fraction=budget_fraction)
+    )
+    cluster = ClusterModel(config.cluster)
+    budget = config.cluster.pdu_budget_w / racks
+    limits = np.full(racks, budget)
+    return SchemeContext(
+        config=config,
+        cluster=cluster,
+        initial_soft_limits_w=limits,
+        branch_rating_w=limits * 1.03,
+    )
+
+
+def make_state(ctx, demand, time_s=0.0, dt=1.0, metered=None):
+    racks = ctx.cluster.racks
+    demand = np.asarray(demand, dtype=float)
+    metered = demand if metered is None else np.asarray(metered, dtype=float)
+    return StepState(
+        time_s=time_s,
+        dt=dt,
+        rack_demand_w=demand,
+        metered_rack_avg_w=metered,
+        metered_server_util=np.full(ctx.cluster.servers, 0.5),
+    )
+
+
+class TestConv:
+    def test_never_discharges(self):
+        ctx = make_context()
+        scheme = ConvScheme(ctx)
+        demand = ctx.initial_soft_limits_w + 500.0
+        dispatch = scheme.dispatch(make_state(ctx, demand))
+        assert np.all(dispatch.battery_w == 0.0)
+        # Over-budget demand lands on the utility feed untouched.
+        assert dispatch.utility_w(demand)[0] >= demand[0]
+
+
+class TestPS:
+    def test_shaves_local_excess(self):
+        ctx = make_context()
+        scheme = PeakShavingScheme(ctx)
+        demand = ctx.initial_soft_limits_w.copy()
+        demand[0] += 300.0
+        dispatch = scheme.dispatch(make_state(ctx, demand))
+        assert dispatch.battery_w[0] == pytest.approx(300.0)
+        assert dispatch.battery_w[1] == 0.0
+        utility = dispatch.utility_w(demand)
+        assert utility[0] <= ctx.initial_soft_limits_w[0] + 1e-6
+
+    def test_charges_under_budget(self):
+        ctx = make_context()
+        scheme = PeakShavingScheme(ctx)
+        scheme.fleet[0].discharge(400.0, 60.0)  # make room
+        demand = ctx.initial_soft_limits_w - 500.0
+        dispatch = scheme.dispatch(make_state(ctx, demand))
+        assert dispatch.charge_w[0] > 0.0
+
+    def test_drained_battery_stops_shaving(self):
+        ctx = make_context()
+        scheme = PeakShavingScheme(ctx)
+        demand = ctx.initial_soft_limits_w + 400.0
+        state = make_state(ctx, demand)
+        for step in range(5000):
+            dispatch = scheme.dispatch(
+                make_state(ctx, demand, time_s=float(step))
+            )
+            if dispatch.battery_w[0] < 100.0:
+                break
+        else:
+            pytest.fail("battery never drained")
+        assert scheme.fleet[0].soc < 0.5
+
+
+class TestPSPC:
+    def test_caps_only_when_battery_short(self):
+        ctx = make_context()
+        scheme = SCHEMES["PSPC"](ctx)
+        demand = ctx.initial_soft_limits_w + 300.0
+        # Healthy battery: capping must not engage.
+        scheme.dispatch(make_state(ctx, demand))
+        assert not scheme.capped_racks.any()
+        # Drain the battery, then capping engages within latency.
+        for pack in scheme.fleet.packs:
+            while not pack.is_disconnected:
+                pack.discharge(2000.0, 10.0)
+        for step in range(5):
+            scheme.dispatch(make_state(ctx, demand, time_s=float(step)))
+        assert scheme.capped_racks.any()
+
+
+class TestUdeb:
+    def test_supercap_covers_battery_shortfall(self):
+        ctx = make_context()
+        scheme = UdebScheme(ctx)
+        for pack in scheme.fleet.packs:
+            while not pack.is_disconnected:
+                pack.discharge(2000.0, 10.0)
+        demand = ctx.initial_soft_limits_w + 200.0
+        dispatch = scheme.dispatch(make_state(ctx, demand, dt=0.5))
+        assert dispatch.udeb_w[0] == pytest.approx(200.0)
+        utility = dispatch.utility_w(demand)
+        assert utility[0] <= ctx.initial_soft_limits_w[0] + 1e-6
+
+    def test_supercap_recharges_in_quiet_times(self):
+        ctx = make_context()
+        scheme = UdebScheme(ctx)
+        scheme.shaver.banks[0].discharge(400.0, 2.0)
+        demand = ctx.initial_soft_limits_w - 400.0
+        dispatch = scheme.dispatch(make_state(ctx, demand, dt=0.5))
+        assert dispatch.udeb_charge_w[0] > 0.0
+
+
+class TestVdeb:
+    def test_pool_covers_cluster_excess(self):
+        ctx = make_context()
+        scheme = VdebScheme(ctx)
+        # Cluster 400 W over budget, spread over two racks.
+        demand = ctx.initial_soft_limits_w.copy()
+        demand[0] += 200.0
+        demand[1] += 200.0
+        dispatch = scheme.dispatch(make_state(ctx, demand))
+        total_utility = dispatch.utility_w(demand).sum()
+        assert total_utility <= ctx.config.cluster.pdu_budget_w + 1e-6
+
+    def test_soft_limits_follow_metered_demand(self):
+        ctx = make_context()
+        scheme = VdebScheme(ctx)
+        demand = ctx.initial_soft_limits_w.copy()
+        demand[0] += 200.0
+        dispatch = scheme.dispatch(
+            make_state(ctx, demand, metered=demand)
+        )
+        # The loaded rack is granted a larger share (within Eq. 2).
+        assert dispatch.soft_limits_w[0] > dispatch.soft_limits_w[1]
+        assert dispatch.soft_limits_w.sum() <= (
+            ctx.config.cluster.pdu_budget_w + 1e-6
+        )
+
+    def test_discharge_spread_protects_low_soc_rack(self):
+        ctx = make_context()
+        scheme = VdebScheme(ctx)
+        # Rack 0's battery is nearly empty; cluster needs shaving.
+        scheme.fleet[0].discharge(2000.0, 100.0)
+        low_soc = scheme.fleet[0].soc
+        demand = ctx.initial_soft_limits_w + 100.0  # everyone over
+        dispatch = scheme.dispatch(make_state(ctx, demand))
+        # High-SOC racks carry more duty than the drained one.
+        assert dispatch.battery_w[1] >= dispatch.battery_w[0] - 1e-6
+
+
+class TestPad:
+    def test_policy_initialises_normal(self):
+        ctx = make_context()
+        scheme = PadScheme(ctx)
+        demand = ctx.initial_soft_limits_w * 0.8
+        scheme.dispatch(make_state(ctx, demand))
+        assert scheme.policy.level.value == 1
+
+    def test_cluster_peak_triggers_shedding(self):
+        ctx = make_context()
+        scheme = PadScheme(ctx)
+        demand = ctx.initial_soft_limits_w + 400.0  # cluster-wide surge
+        for step in range(3):
+            scheme.dispatch(make_state(ctx, demand, time_s=float(step)))
+        assert scheme.asleep_servers.any()
+        cap = ctx.config.policy.shed_ratio_cap
+        assert scheme.asleep_servers.sum() <= max(
+            1, int(cap * ctx.cluster.servers)
+        )
+
+    def test_no_shedding_in_quiet_times(self):
+        ctx = make_context()
+        scheme = PadScheme(ctx)
+        demand = ctx.initial_soft_limits_w * 0.7
+        scheme.dispatch(make_state(ctx, demand))
+        assert not scheme.asleep_servers.any()
+
+    def test_reset_restores_everything(self):
+        ctx = make_context()
+        scheme = PadScheme(ctx)
+        demand = ctx.initial_soft_limits_w + 400.0
+        for step in range(3):
+            scheme.dispatch(make_state(ctx, demand, time_s=float(step)))
+        scheme.reset()
+        assert not scheme.asleep_servers.any()
+        assert scheme.fleet.pool_soc == pytest.approx(1.0)
+        assert np.array_equal(scheme.soft_limits_w, scheme.initial_soft_limits_w)
+
+
+def test_registry_has_paper_order():
+    assert list(SCHEMES) == ["Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD"]
+
+
+def test_dispatch_utility_accounting():
+    ctx = make_context()
+    dispatch = Dispatch(
+        battery_w=np.array([100.0, 0.0, 0.0, 0.0]),
+        charge_w=np.array([0.0, 50.0, 0.0, 0.0]),
+        udeb_w=np.array([20.0, 0.0, 0.0, 0.0]),
+        udeb_charge_w=np.zeros(4),
+        capped_racks=np.zeros(4, dtype=bool),
+        asleep_servers=np.zeros(ctx.cluster.servers, dtype=bool),
+        soft_limits_w=ctx.initial_soft_limits_w,
+    )
+    demand = np.full(4, 1000.0)
+    utility = dispatch.utility_w(demand)
+    assert utility[0] == pytest.approx(880.0)
+    assert utility[1] == pytest.approx(1050.0)
+    assert utility[2] == pytest.approx(1000.0)

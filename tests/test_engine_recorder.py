@@ -1,0 +1,114 @@
+"""Simulation-engine and recorder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Recorder
+
+
+class TestEngine:
+    def test_fixed_step_run(self):
+        engine = Engine(dt=0.5)
+        ticks = []
+        engine.add_hook(lambda t, dt: ticks.append(t))
+        result = engine.run_until(5.0)
+        assert result.steps == 10
+        assert not result.stopped_early
+        assert ticks[0] == 0.0
+        assert ticks[-1] == pytest.approx(4.5)
+        assert engine.now_s == pytest.approx(5.0)
+
+    def test_stop_predicate(self):
+        engine = Engine(dt=1.0)
+        count = [0]
+        engine.add_hook(lambda t, dt: count.__setitem__(0, count[0] + 1))
+        engine.add_stop(lambda t: t >= 3.0)
+        result = engine.run_until(100.0)
+        assert result.stopped_early
+        assert count[0] == 3
+
+    def test_hooks_fire_in_order(self):
+        engine = Engine(dt=1.0)
+        order = []
+        engine.add_hook(lambda t, dt: order.append("a"))
+        engine.add_hook(lambda t, dt: order.append("b"))
+        engine.run_until(1.0)
+        assert order == ["a", "b"]
+
+    def test_resumable(self):
+        engine = Engine(dt=1.0)
+        engine.run_until(3.0)
+        result = engine.run_until(6.0)
+        assert result.start_s == pytest.approx(3.0)
+        assert engine.now_s == pytest.approx(6.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SimulationError):
+            Engine(dt=0.0)
+        engine = Engine(dt=1.0, start_s=10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_no_hook_registration_mid_run(self):
+        engine = Engine(dt=1.0)
+
+        def bad_hook(t, dt):
+            engine.add_hook(lambda *_: None)
+
+        engine.add_hook(bad_hook)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+
+class TestRecorder:
+    def test_scalar_channels(self):
+        rec = Recorder()
+        for i in range(3):
+            rec.append_row(time_s=float(i), power=100.0 * i)
+        assert rec.channels == ["power", "time_s"]
+        assert rec.series("power") == pytest.approx([0.0, 100.0, 200.0])
+        assert len(rec) == 3
+
+    def test_vector_channels(self):
+        rec = Recorder()
+        rec.append_vector("soc", np.array([1.0, 0.5]))
+        rec.append_vector("soc", np.array([0.9, 0.4]))
+        matrix = rec.matrix("soc")
+        assert matrix.shape == (2, 2)
+        assert matrix[1] == pytest.approx([0.9, 0.4])
+
+    def test_vector_copies_input(self):
+        rec = Recorder()
+        values = np.array([1.0, 2.0])
+        rec.append_vector("x", values)
+        values[0] = 99.0
+        assert rec.matrix("x")[0, 0] == 1.0
+
+    def test_unknown_channel(self):
+        with pytest.raises(SimulationError):
+            Recorder().series("nope")
+        with pytest.raises(SimulationError):
+            Recorder().matrix("nope")
+
+    def test_alignment_check(self):
+        rec = Recorder()
+        rec.append("a", 1.0)
+        rec.append("a", 2.0)
+        rec.append("b", 1.0)
+        with pytest.raises(SimulationError):
+            rec.check_aligned()
+
+    def test_csv_export(self, tmp_path):
+        rec = Recorder()
+        rec.append_row(t=0.0, p=1.5)
+        rec.append_row(t=1.0, p=2.5)
+        path = tmp_path / "out.csv"
+        rec.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "p,t"
+        assert lines[1] == "1.5,0.0"
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            Recorder().to_csv(tmp_path / "empty.csv")

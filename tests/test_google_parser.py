@@ -1,0 +1,122 @@
+"""Google-trace parser tests."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload import (
+    load_tasks,
+    load_trace,
+    load_usage_records,
+    parse_line,
+    records_to_trace,
+)
+
+SAMPLE = """\
+# time job_id task_index machine_id cpu_rate
+0 100 0 0 0.25
+0 100 1 1 0.50
+300 100 0 0 0.30
+300 200 0 0 0.10
+600 100 0 1 0.40
+"""
+
+
+class TestParseLine:
+    def test_whitespace_fields(self):
+        rec = parse_line("300 7 2 13 0.5")
+        assert rec is not None
+        assert (rec.time_s, rec.job_id, rec.task_index) == (300.0, 7, 2)
+        assert rec.machine_id == 13
+        assert rec.cpu_rate == 0.5
+
+    def test_comma_fields(self):
+        rec = parse_line("300,7,2,13,0.5,0.1")
+        assert rec is not None
+        assert rec.machine_id == 13
+
+    def test_comment_and_blank(self):
+        assert parse_line("# comment") is None
+        assert parse_line("   ") is None
+
+    def test_too_few_fields(self):
+        with pytest.raises(TraceFormatError, match="line 3"):
+            parse_line("1 2 3", lineno=3)
+
+    def test_bad_number(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("x 1 2 3 0.5")
+
+    def test_out_of_range_cpu(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("0 1 2 3 1.5")
+
+    def test_negative_time(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("-5 1 2 3 0.5")
+
+
+class TestLoadRecords:
+    def test_from_stream(self):
+        records = load_usage_records(io.StringIO(SAMPLE))
+        assert len(records) == 5
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SAMPLE)
+        records = load_usage_records(path)
+        assert len(records) == 5
+
+
+class TestRecordsToTrace:
+    def test_accumulation_per_cell(self):
+        records = load_usage_records(io.StringIO(SAMPLE))
+        trace = records_to_trace(records, machines=2, interval_s=300.0)
+        assert trace.timestamps == 3
+        # t=300, machine 0: two records add up (0.30 + 0.10).
+        assert trace.matrix[1, 0] == pytest.approx(0.40)
+        assert trace.matrix[0, 1] == pytest.approx(0.50)
+
+    def test_machine_count_inferred(self):
+        records = load_usage_records(io.StringIO(SAMPLE))
+        trace = records_to_trace(records)
+        assert trace.machines == 2
+
+    def test_machine_count_too_small(self):
+        records = load_usage_records(io.StringIO(SAMPLE))
+        with pytest.raises(TraceFormatError):
+            records_to_trace(records, machines=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            records_to_trace([])
+
+
+class TestLoadTasks:
+    def test_contiguous_run_merged(self):
+        trace = "0 1 0 0 0.4\n300 1 0 0 0.6\n600 1 0 0 0.5\n"
+        tasks = load_tasks(io.StringIO(trace))
+        assert len(tasks) == 1
+        assert tasks[0].start_s == 0.0
+        assert tasks[0].end_s == 900.0
+        assert tasks[0].cpu_rate == pytest.approx(0.5)
+
+    def test_gap_splits_task(self):
+        trace = "0 1 0 0 0.4\n900 1 0 0 0.4\n"
+        tasks = load_tasks(io.StringIO(trace))
+        assert len(tasks) == 2
+
+    def test_machine_change_splits_task(self):
+        trace = "0 1 0 0 0.4\n300 1 0 1 0.4\n"
+        tasks = load_tasks(io.StringIO(trace))
+        assert len(tasks) == 2
+        assert {t.machine_id for t in tasks} == {0, 1}
+
+
+def test_load_trace_end_to_end(tmp_path):
+    path = tmp_path / "google.trace"
+    path.write_text(SAMPLE)
+    trace = load_trace(path, machines=4)
+    assert trace.machines == 4
+    assert trace.mean_utilisation() > 0.0

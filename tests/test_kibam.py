@@ -1,0 +1,164 @@
+"""KiBaM battery model tests, including conservation properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.battery import KiBaMBattery
+from repro.errors import BatteryError
+
+
+def make(capacity=1000.0, c=0.75, k=0.0015, soc=1.0):
+    return KiBaMBattery(capacity_j=capacity, c=c, k=k, initial_soc=soc)
+
+
+class TestConstruction:
+    def test_initial_split(self):
+        battery = make(capacity=1000.0, c=0.75)
+        assert battery.available_j == pytest.approx(750.0)
+        assert battery.bound_j == pytest.approx(250.0)
+        assert battery.soc == pytest.approx(1.0)
+
+    def test_partial_initial_soc(self):
+        battery = make(capacity=1000.0, soc=0.5)
+        assert battery.charge_j == pytest.approx(500.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(BatteryError):
+            make(capacity=0.0)
+        with pytest.raises(BatteryError):
+            make(c=0.0)
+        with pytest.raises(BatteryError):
+            make(k=0.0)
+        with pytest.raises(BatteryError):
+            make(soc=1.5)
+
+
+class TestDischarge:
+    def test_energy_conservation_simple(self):
+        battery = make(capacity=1000.0)
+        delivered = battery.discharge(100.0, 5.0)
+        assert delivered == pytest.approx(100.0)
+        assert battery.charge_j == pytest.approx(500.0)
+
+    def test_cannot_exceed_available_well(self):
+        battery = make(capacity=1000.0, c=0.75)
+        # Ask for far more than one second can deliver.
+        delivered = battery.discharge(1e6, 1.0)
+        assert delivered < 1e6
+        assert battery.available_j == pytest.approx(0.0, abs=1e-6)
+
+    def test_high_rate_leaves_bound_charge(self):
+        """High-rate discharge strands energy in the bound well."""
+        battery = make(capacity=1000.0, c=0.75)
+        max_power = battery.max_discharge_power(1.0)
+        battery.discharge(max_power, 1.0)
+        assert battery.is_exhausted
+        assert battery.bound_j > 0.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(BatteryError):
+            make().discharge(-1.0, 1.0)
+
+    def test_rejects_zero_dt(self):
+        with pytest.raises(BatteryError):
+            make().discharge(1.0, 0.0)
+
+
+class TestRecovery:
+    def test_rest_recovers_available_charge(self):
+        """The paper's 'temporarily unavailable' state: resting recovers."""
+        battery = make(capacity=1000.0)
+        battery.discharge(battery.max_discharge_power(1.0), 1.0)
+        assert battery.is_exhausted
+        before = battery.max_discharge_power(1.0)
+        battery.rest(600.0)
+        after = battery.max_discharge_power(1.0)
+        assert after > before
+
+    def test_rest_conserves_total_charge(self):
+        battery = make(capacity=1000.0)
+        battery.discharge(200.0, 2.0)
+        total = battery.charge_j
+        battery.rest(1000.0)
+        assert battery.charge_j == pytest.approx(total, rel=1e-9)
+
+
+class TestCharge:
+    def test_charge_increases_soc_and_conserves(self):
+        battery = make(soc=0.5)
+        before = battery.charge_j
+        accepted = battery.charge(50.0, 10.0)
+        assert 0.0 < accepted <= 50.0
+        assert battery.charge_j == pytest.approx(
+            before + accepted * 10.0, rel=1e-9
+        )
+
+    def test_charge_capped_at_capacity(self):
+        battery = make(soc=0.99)
+        battery.charge(1e6, 10.0)
+        assert battery.charge_j <= battery.capacity_j + 1e-6
+
+    def test_full_battery_accepts_nothing(self):
+        battery = make(soc=1.0)
+        assert battery.charge(100.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMaxDischargeLinearity:
+    def test_max_discharge_exactly_empties_well(self):
+        battery = make(capacity=1000.0)
+        power = battery.max_discharge_power(2.0)
+        delivered = battery.discharge(power, 2.0)
+        assert delivered == pytest.approx(power)
+        assert battery.available_j == pytest.approx(0.0, abs=1e-6)
+
+    def test_max_discharge_decreases_with_horizon(self):
+        battery = make(capacity=1000.0)
+        assert battery.max_discharge_power(1.0) > battery.max_discharge_power(10.0)
+
+
+@settings(max_examples=60)
+@given(
+    power=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    dt=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    soc=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_discharge_conserves_energy(power, dt, soc):
+    """Property: charge removed equals delivered power times time."""
+    battery = make(capacity=2000.0, soc=soc)
+    before = battery.charge_j
+    delivered = battery.discharge(power, dt)
+    assert 0.0 <= delivered <= power + 1e-9
+    assert battery.charge_j == pytest.approx(
+        before - delivered * dt, rel=1e-6, abs=1e-6
+    )
+
+
+@settings(max_examples=60)
+@given(
+    power=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    dt=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+)
+def test_soc_always_within_bounds(power, dt):
+    """Property: no operation drives SOC outside [0, 1]."""
+    battery = make(capacity=500.0)
+    battery.discharge(power, dt)
+    assert 0.0 <= battery.soc <= 1.0 + 1e-9
+    battery.charge(power, dt)
+    assert 0.0 <= battery.soc <= 1.0 + 1e-9
+
+
+@settings(max_examples=30)
+@given(dt=st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+def test_max_discharge_is_feasible(dt):
+    """Property: the advertised max discharge is actually deliverable."""
+    battery = make(capacity=800.0)
+    power = battery.max_discharge_power(dt)
+    delivered = battery.discharge(power, dt)
+    assert delivered == pytest.approx(power, rel=1e-9)
+
+
+def test_reset_restores_initial_state():
+    battery = make(capacity=1000.0, soc=0.8)
+    battery.discharge(100.0, 3.0)
+    battery.reset()
+    assert battery.charge_j == pytest.approx(800.0)

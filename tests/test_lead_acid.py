@@ -1,0 +1,107 @@
+"""Lead-acid pack tests: LVD, rate limits, aging counters."""
+
+import pytest
+
+from repro.battery import LeadAcidPack
+from repro.config import BatteryConfig
+from repro.errors import BatteryError
+
+
+def make(**overrides):
+    defaults = dict(capacity_wh=10.0, max_discharge_w=500.0,
+                    max_charge_w=100.0, lvd_soc=0.10)
+    defaults.update(overrides)
+    return LeadAcidPack(BatteryConfig(**defaults))
+
+
+class TestLvd:
+    def test_disconnects_at_threshold(self):
+        pack = make()
+        # Drain hard until the LVD opens.
+        for _ in range(10_000):
+            if pack.is_disconnected:
+                break
+            pack.discharge(500.0, 1.0)
+        assert pack.is_disconnected
+        assert pack.soc <= 0.15
+
+    def test_disconnected_pack_delivers_nothing(self):
+        pack = make()
+        while not pack.is_disconnected:
+            pack.discharge(500.0, 1.0)
+        assert pack.discharge(100.0, 1.0) == 0.0
+        assert pack.max_discharge_power(1.0) == 0.0
+
+    def test_lvd_counts_deep_discharge_events(self):
+        pack = make()
+        while not pack.is_disconnected:
+            pack.discharge(500.0, 1.0)
+        assert pack.deep_discharge_events == 1
+
+    def test_charging_works_while_disconnected(self):
+        pack = make()
+        while not pack.is_disconnected:
+            pack.discharge(500.0, 1.0)
+        accepted = pack.charge(50.0, 10.0)
+        assert accepted > 0.0
+
+    def test_reconnects_after_recharge_hysteresis(self):
+        pack = make()
+        while not pack.is_disconnected:
+            pack.discharge(500.0, 1.0)
+        # Recharge well past the threshold plus hysteresis.
+        for _ in range(10_000):
+            pack.charge(100.0, 10.0)
+            if not pack.is_disconnected:
+                break
+        assert not pack.is_disconnected
+
+
+class TestRateLimits:
+    def test_discharge_capped_at_max_rate(self):
+        pack = make(max_discharge_w=200.0)
+        assert pack.discharge(1e6, 0.1) <= 200.0
+
+    def test_charge_capped_at_max_rate(self):
+        pack = make(max_charge_w=50.0)
+        drained = make(max_charge_w=50.0)
+        drained.discharge(300.0, 30.0)
+        assert drained.charge(1e6, 1.0) <= 50.0
+
+
+class TestChargeEfficiency:
+    def test_losses_on_charge_path(self):
+        pack = make(charge_efficiency=0.80)
+        pack.discharge(400.0, 30.0)
+        before = pack.charge_j
+        accepted = pack.charge(100.0, 10.0)
+        stored = pack.charge_j - before
+        assert stored == pytest.approx(accepted * 10.0 * 0.80, rel=1e-6)
+
+
+class TestAgingCounters:
+    def test_throughput_accumulates(self):
+        pack = make()
+        pack.discharge(100.0, 10.0)
+        assert pack.discharged_j == pytest.approx(1000.0)
+        assert pack.equivalent_full_cycles == pytest.approx(
+            1000.0 / pack.capacity_j
+        )
+
+    def test_counters_survive_reset(self):
+        pack = make()
+        pack.discharge(100.0, 10.0)
+        pack.reset()
+        assert pack.discharged_j > 0.0
+        assert pack.soc == pytest.approx(1.0)
+
+
+def test_rejects_negative_power():
+    with pytest.raises(BatteryError):
+        make().discharge(-5.0, 1.0)
+
+
+def test_rest_keeps_connection_state():
+    pack = make()
+    pack.rest(10.0)
+    assert not pack.is_disconnected

@@ -1,0 +1,123 @@
+"""Metrics and cost-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import BatteryConfig, SupercapConfig
+from repro.errors import ConfigError, SimulationError
+from repro.sim import (
+    battery_cost,
+    cluster_cost,
+    improvement_over,
+    rising_edges_above,
+    supercap_cost,
+    udeb_capacity_for_ratio,
+    vulnerable_rack_fraction,
+)
+from repro.sim.costs import LEAD_ACID_COST_PER_WH, ORING_STAGE_COST
+from repro.sim.datacenter import OverloadEvent, SimResult
+from repro.sim.metrics import count_effective_attacks, overloads_in
+
+
+class TestRisingEdges:
+    def test_counts_crossings(self):
+        wave = np.array([0.0, 2.0, 2.0, 0.0, 3.0, 0.0])
+        assert rising_edges_above(wave, 1.0) == 2
+
+    def test_initial_over_counts(self):
+        assert rising_edges_above(np.array([5.0, 0.0]), 1.0) == 1
+
+    def test_never_over(self):
+        assert rising_edges_above(np.zeros(10), 1.0) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            rising_edges_above(np.array([]), 1.0)
+
+
+class TestOverloadFiltering:
+    def events(self):
+        return [
+            OverloadEvent(time_s=t, rack_id=0, utility_w=1.0, rating_w=1.0)
+            for t in (10.0, 20.0, 30.0)
+        ]
+
+    def test_window_filter(self):
+        kept = overloads_in(self.events(), 15.0, 25.0)
+        assert [e.time_s for e in kept] == [20.0]
+
+    def test_count_in_result(self):
+        result = SimResult(scheme="PS", start_s=0.0, end_s=100.0,
+                           attack_start_s=0.0, overloads=self.events())
+        assert count_effective_attacks(result) == 3
+        assert count_effective_attacks(result, 15.0, 35.0) == 2
+
+
+class TestSurvivalHelpers:
+    def test_improvement_over(self):
+        summary = {"PAD": 1000.0, "Conv": 100.0}
+        assert improvement_over(summary, "PAD", "Conv") == pytest.approx(10.0)
+
+    def test_improvement_missing_scheme(self):
+        with pytest.raises(SimulationError):
+            improvement_over({"PAD": 1.0}, "PAD", "Conv")
+
+    def test_survival_censoring(self):
+        censored = SimResult(scheme="PAD", start_s=0.0, end_s=2400.0,
+                             attack_start_s=0.0)
+        assert censored.survival_time_s is None
+        assert censored.survival_or_window() == 2400.0
+
+
+class TestVulnerableFraction:
+    def test_fraction_per_step(self):
+        soc = np.array([[1.0, 0.1], [0.1, 0.1]])
+        fraction = vulnerable_rack_fraction(soc, threshold=0.2)
+        assert fraction == pytest.approx([0.5, 1.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(SimulationError):
+            vulnerable_rack_fraction(np.array([1.0, 0.5]))
+
+
+class TestCosts:
+    def test_battery_cost_linear(self):
+        config = BatteryConfig(capacity_wh=100.0)
+        assert battery_cost(config, racks=2) == pytest.approx(
+            100.0 * LEAD_ACID_COST_PER_WH * 2
+        )
+
+    def test_supercap_cost_includes_oring(self):
+        config = SupercapConfig(capacity_wh=1.0, cost_per_wh=20.0)
+        assert supercap_cost(config, racks=3) == pytest.approx(
+            (20.0 + ORING_STAGE_COST) * 3
+        )
+
+    def test_cost_ratio(self):
+        costs = cluster_cost(
+            BatteryConfig(capacity_wh=100.0),
+            SupercapConfig(capacity_wh=1.0, cost_per_wh=20.0),
+            racks=4,
+        )
+        expected = (20.0 + ORING_STAGE_COST) / (100.0 * LEAD_ACID_COST_PER_WH)
+        assert costs.cost_ratio == pytest.approx(expected)
+
+    def test_capacity_for_ratio_inverts(self):
+        battery = BatteryConfig(capacity_wh=100.0)
+        supercap = SupercapConfig(capacity_wh=1.0, cost_per_wh=20.0)
+        capacity = udeb_capacity_for_ratio(battery, supercap, 4, 0.5)
+        rebuilt = SupercapConfig(capacity_wh=capacity, cost_per_wh=20.0)
+        assert cluster_cost(battery, rebuilt, 4).cost_ratio == pytest.approx(0.5)
+
+    def test_capacity_for_tiny_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            udeb_capacity_for_ratio(
+                BatteryConfig(capacity_wh=1.0),
+                SupercapConfig(),
+                racks=1,
+                target_ratio=1e-6,
+            )
+
+    def test_rejects_bad_rack_counts(self):
+        with pytest.raises(ConfigError):
+            battery_cost(BatteryConfig(), racks=0)

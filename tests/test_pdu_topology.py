@@ -1,0 +1,152 @@
+"""PDU, power-tree and oversubscription tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import PowerTopologyError
+from repro.power import (
+    ClusterPDU,
+    OversubscriptionPlan,
+    PowerTree,
+    RackPDU,
+    capacity_saving_dollars,
+    capacity_saving_w,
+    demand_proportional_split,
+    even_split,
+)
+
+
+class TestRackPDU:
+    def test_soft_limit_enforcement_surface(self):
+        pdu = RackPDU(rack_id=0, soft_limit_w=1000.0, breaker_rating_w=1200.0)
+        assert pdu.over_soft_limit(900.0) == 0.0
+        assert pdu.over_soft_limit(1100.0) == pytest.approx(100.0)
+
+    def test_set_soft_limit_within_breaker(self):
+        pdu = RackPDU(0, 1000.0, 1200.0)
+        pdu.set_soft_limit(1100.0)
+        assert pdu.soft_limit_w == 1100.0
+        with pytest.raises(PowerTopologyError):
+            pdu.set_soft_limit(1300.0)
+
+    def test_rejects_breaker_below_soft_limit(self):
+        with pytest.raises(PowerTopologyError):
+            RackPDU(0, soft_limit_w=1000.0, breaker_rating_w=900.0)
+
+
+class TestClusterPDU:
+    def test_validates_eq2(self):
+        cluster = ClusterPDU(budget_w=2000.0)
+        ok = [RackPDU(i, 1000.0, 1500.0) for i in range(2)]
+        cluster.validate_soft_limits(ok)
+        bad = [RackPDU(i, 1100.0, 1500.0) for i in range(2)]
+        with pytest.raises(PowerTopologyError):
+            cluster.validate_soft_limits(bad)
+
+
+class TestPowerTree:
+    def test_build_from_cluster_config(self):
+        tree = PowerTree(ClusterConfig())
+        assert tree.racks == 22
+        assert tree.soft_limits().sum() <= tree.cluster_pdu.budget_w + 1e-6
+
+    def test_set_soft_limits_checks_budget(self):
+        tree = PowerTree(ClusterConfig(racks=4))
+        limits = tree.soft_limits()
+        tree.set_soft_limits(limits * 0.9)
+        with pytest.raises(PowerTopologyError):
+            tree.set_soft_limits(limits * 2.0)
+
+    def test_check_dispatch_eq1(self):
+        tree = PowerTree(ClusterConfig(racks=2))
+        limits = tree.soft_limits()
+        demand = limits + 100.0
+        battery = np.full(2, 100.0)
+        tree.check_dispatch(demand, battery)  # exactly at the limit
+        with pytest.raises(PowerTopologyError):
+            tree.check_dispatch(demand, np.zeros(2))
+
+    def test_step_reports_trips(self):
+        tree = PowerTree(ClusterConfig(racks=2))
+        rating = tree.rack_pdus[0].breaker.rated_w
+        tripped: list[int] = []
+        for _ in range(10_000):
+            tripped = tree.step([rating * 1.5, 0.0], dt=1.0)
+            if tripped:
+                break
+        assert 0 in tripped
+        assert tree.any_tripped
+        tree.reset()
+        assert not tree.any_tripped
+
+
+class TestOversubscriptionPlan:
+    def test_even_split(self):
+        plan = even_split(pdu_budget_w=8000.0, rack_nameplate_w=5000.0, racks=2)
+        assert plan.soft_limits_w == (4000.0, 4000.0)
+        assert plan.oversubscription_ratio == pytest.approx(1.25)
+
+    def test_lambda_values(self):
+        plan = even_split(8000.0, 5000.0, 2)
+        assert plan.lambdas() == pytest.approx([0.8, 0.8])
+
+    def test_required_battery_power(self):
+        plan = even_split(8000.0, 5000.0, 2)
+        need = plan.required_battery_power([4500.0, 3000.0])
+        assert need == pytest.approx([500.0, 0.0])
+
+    def test_feasibility(self):
+        plan = even_split(8000.0, 5000.0, 2)
+        assert plan.is_feasible([4500.0, 3000.0], [500.0, 0.0])
+        assert not plan.is_feasible([4500.0, 3000.0], [0.0, 0.0])
+
+    def test_rejects_eq2_violation(self):
+        with pytest.raises(PowerTopologyError):
+            OversubscriptionPlan(
+                pdu_budget_w=5000.0,
+                rack_nameplate_w=5000.0,
+                soft_limits_w=(3000.0, 3000.0),
+            )
+
+    def test_rejects_non_oversubscribed(self):
+        with pytest.raises(PowerTopologyError):
+            OversubscriptionPlan(
+                pdu_budget_w=20_000.0,
+                rack_nameplate_w=5000.0,
+                soft_limits_w=(5000.0, 5000.0),
+            )
+
+
+class TestDemandProportionalSplit:
+    def test_follows_demand(self):
+        plan = demand_proportional_split(
+            pdu_budget_w=6000.0,
+            rack_nameplate_w=5000.0,
+            rack_demand_w=[3000.0, 1000.0],
+        )
+        limits = plan.soft_limits_w
+        assert limits[0] > limits[1]
+        assert sum(limits) <= 6000.0 + 1e-6
+
+    def test_zero_demand_splits_evenly(self):
+        plan = demand_proportional_split(6000.0, 5000.0, [0.0, 0.0])
+        assert plan.soft_limits_w[0] == pytest.approx(plan.soft_limits_w[1])
+
+    def test_floor_honoured(self):
+        plan = demand_proportional_split(
+            6000.0, 5000.0, [5000.0, 0.0], floor_w=500.0
+        )
+        assert min(plan.soft_limits_w) >= 500.0
+
+    def test_rejects_impossible_floor(self):
+        with pytest.raises(PowerTopologyError):
+            demand_proportional_split(1000.0, 5000.0, [1.0, 1.0], floor_w=600.0)
+
+
+def test_capacity_savings():
+    plan = even_split(8000.0, 5000.0, 2)
+    assert capacity_saving_w(plan) == pytest.approx(2000.0)
+    assert capacity_saving_dollars(plan, 15.0) == pytest.approx(30_000.0)
+    with pytest.raises(PowerTopologyError):
+        capacity_saving_dollars(plan, 0.0)

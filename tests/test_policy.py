@@ -1,0 +1,115 @@
+"""Hierarchical security-policy tests (paper Fig. 9)."""
+
+import pytest
+
+from repro.core import (
+    HierarchicalPolicy,
+    INITIAL_STATE_TABLE,
+    PolicyInputs,
+    SecurityLevel,
+)
+from repro.errors import ConfigError
+
+
+def inputs(vdeb=True, udeb=True, vp=False):
+    return PolicyInputs(vdeb_available=vdeb, udeb_available=udeb,
+                        visible_peak=vp)
+
+
+class TestInitialStateTable:
+    """The eight rows of paper Fig. 9's initial-state table."""
+
+    @pytest.mark.parametrize(
+        "vdeb,udeb,vp,expected",
+        [
+            (False, False, False, SecurityLevel.EMERGENCY),
+            (False, False, True, SecurityLevel.EMERGENCY),
+            (False, True, False, SecurityLevel.MINOR_INCIDENT),
+            (False, True, True, SecurityLevel.EMERGENCY),
+            (True, True, False, SecurityLevel.NORMAL),
+            (True, True, True, SecurityLevel.NORMAL),
+        ],
+    )
+    def test_specified_rows(self, vdeb, udeb, vp, expected):
+        policy = HierarchicalPolicy()
+        assert policy.initial_state(inputs(vdeb, udeb, vp)) is expected
+
+    @pytest.mark.parametrize("vp", [False, True])
+    def test_unspecified_rows_follow_posture(self, vp):
+        """[vDEB>0, uDEB==0] is posture-dependent (paper: 'L1/L2')."""
+        strict = HierarchicalPolicy(strict=True)
+        lenient = HierarchicalPolicy(strict=False)
+        row = inputs(vdeb=True, udeb=False, vp=vp)
+        assert strict.initial_state(row) is SecurityLevel.MINOR_INCIDENT
+        assert lenient.initial_state(row) is SecurityLevel.NORMAL
+
+    def test_table_covers_all_combinations(self):
+        assert len(INITIAL_STATE_TABLE) == 8
+
+
+class TestTransitions:
+    def test_l1_to_l2_on_udeb_empty(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs())
+        assert policy.level is SecurityLevel.NORMAL
+        assert policy.update(inputs(udeb=False)) is SecurityLevel.MINOR_INCIDENT
+
+    def test_l2_to_l3_on_vdeb_empty(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs())
+        policy.update(inputs(udeb=False))
+        assert policy.update(inputs(vdeb=False, udeb=False)) is (
+            SecurityLevel.EMERGENCY
+        )
+
+    def test_l3_recovers_through_l2(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs(vdeb=False, udeb=False))
+        assert policy.level is SecurityLevel.EMERGENCY
+        assert policy.update(inputs(vdeb=True, udeb=False)) is (
+            SecurityLevel.MINOR_INCIDENT
+        )
+
+    def test_l3_recovers_straight_to_l1_when_both_back(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs(vdeb=False, udeb=False))
+        assert policy.update(inputs()) is SecurityLevel.NORMAL
+
+    def test_l2_back_to_l1_on_udeb_recharged(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs())
+        policy.update(inputs(udeb=False))
+        assert policy.update(inputs()) is SecurityLevel.NORMAL
+
+    def test_both_empty_falls_straight_to_l3(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs())
+        assert policy.update(inputs(vdeb=False, udeb=False)) is (
+            SecurityLevel.EMERGENCY
+        )
+
+    def test_transition_history(self):
+        policy = HierarchicalPolicy()
+        policy.update(inputs())
+        policy.update(inputs(udeb=False))
+        policy.update(inputs())
+        assert policy.transitions == [
+            (SecurityLevel.NORMAL, SecurityLevel.MINOR_INCIDENT),
+            (SecurityLevel.MINOR_INCIDENT, SecurityLevel.NORMAL),
+        ]
+
+
+def test_level_before_update_raises():
+    with pytest.raises(ConfigError):
+        HierarchicalPolicy().level
+
+
+def test_reset_reseeds_from_table():
+    policy = HierarchicalPolicy()
+    policy.update(inputs())
+    policy.update(inputs(udeb=False))
+    policy.reset()
+    assert policy.update(inputs(vdeb=False, udeb=True)) is (
+        SecurityLevel.MINOR_INCIDENT
+    )
+    assert policy.transitions == []

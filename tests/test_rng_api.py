@@ -1,0 +1,58 @@
+"""Deterministic-RNG utilities and public-API surface tests."""
+
+import numpy as np
+
+import repro
+from repro import rng
+
+
+class TestRng:
+    def test_default_seed_reproducible(self):
+        a = rng.make_rng().random(5)
+        b = rng.make_rng().random(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = rng.make_rng(1).random(5)
+        b = rng.make_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_streams_independent(self):
+        a = rng.child_rng(7, "trace").random(5)
+        b = rng.child_rng(7, "attack").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_streams_reproducible(self):
+        a = rng.child_rng(7, "trace").random(5)
+        b = rng.child_rng(7, "trace").random(5)
+        assert np.array_equal(a, b)
+
+    def test_none_seed_uses_default(self):
+        a = rng.child_rng(None, "x").random(3)
+        b = rng.child_rng(rng.DEFAULT_SEED, "x").random(3)
+        assert np.array_equal(a, b)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_error_hierarchy(self):
+        for error in (
+            repro.AttackError,
+            repro.BatteryError,
+            repro.ConfigError,
+            repro.PowerTopologyError,
+            repro.SimulationError,
+            repro.TraceFormatError,
+        ):
+            assert issubclass(error, repro.ReproError)
+
+    def test_scheme_registry_complete(self):
+        assert set(repro.SCHEMES) == {
+            "Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD"
+        }

@@ -1,0 +1,105 @@
+"""Server power model and PSU efficiency tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import ServerConfig
+from repro.errors import ConfigError
+from repro.power import PSUEfficiencyCurve, ServerPSU, ServerPowerModel, validate_budget
+
+
+@pytest.fixture
+def model():
+    return ServerPowerModel(ServerConfig())
+
+
+class TestServerPower:
+    def test_idle_and_peak_endpoints(self, model):
+        assert model.power(0.0) == pytest.approx(299.0)
+        assert model.power(1.0) == pytest.approx(521.0)
+
+    def test_linear_midpoint(self, model):
+        assert model.power(0.5) == pytest.approx(410.0)
+
+    def test_clamps_out_of_range(self, model):
+        assert model.power(-0.5) == pytest.approx(299.0)
+        assert model.power(1.5) == pytest.approx(521.0)
+
+    def test_vectorised(self, model):
+        util = np.array([0.0, 0.5, 1.0])
+        assert model.power(util) == pytest.approx([299.0, 410.0, 521.0])
+
+    def test_capped_power_reduces_dynamic_range(self, model):
+        # 20 % DVFS reduction: full-load capped power loses 20 % of the
+        # dynamic range.
+        assert model.capped_power(1.0) == pytest.approx(299.0 + 0.8 * 222.0)
+        assert model.capped_power(0.0) == pytest.approx(299.0)
+
+    def test_inversion(self, model):
+        for util in (0.0, 0.3, 0.7, 1.0):
+            power = model.power(util)
+            assert model.utilisation_for_power(power) == pytest.approx(util)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_capped_never_exceeds_uncapped(self, util):
+        model = ServerPowerModel(ServerConfig())
+        assert model.capped_power(util) <= model.power(util) + 1e-9
+
+    def test_throughput_penalty(self, model):
+        assert model.throughput(0.8, capped=False) == pytest.approx(0.8)
+        assert model.throughput(0.8, capped=True) == pytest.approx(0.64)
+
+
+def test_validate_budget_rejects_sub_idle():
+    with pytest.raises(ConfigError):
+        validate_budget(ServerConfig(), budget_w=100.0)
+    validate_budget(ServerConfig(), budget_w=400.0)  # fine
+
+
+class TestEfficiencyCurve:
+    def test_interpolation(self):
+        curve = PSUEfficiencyCurve(((0.0, 0.5), (1.0, 1.0)))
+        assert curve.efficiency(0.5) == pytest.approx(0.75)
+
+    def test_clamps_input(self):
+        curve = PSUEfficiencyCurve()
+        assert curve.efficiency(-1.0) == curve.efficiency(0.0)
+        assert curve.efficiency(2.0) == curve.efficiency(1.0)
+
+    def test_default_peaks_mid_load(self):
+        curve = PSUEfficiencyCurve()
+        assert curve.efficiency(0.5) > curve.efficiency(0.05)
+        assert curve.efficiency(0.5) > curve.efficiency(1.0)
+
+    def test_rejects_bad_curves(self):
+        with pytest.raises(ConfigError):
+            PSUEfficiencyCurve(((0.0, 0.9),))
+        with pytest.raises(ConfigError):
+            PSUEfficiencyCurve(((0.2, 0.9), (1.0, 0.9)))
+        with pytest.raises(ConfigError):
+            PSUEfficiencyCurve(((0.0, 0.0), (1.0, 0.9)))
+
+
+class TestServerPSU:
+    def test_wall_power_exceeds_dc_power(self):
+        psu = ServerPSU(rated_w=600.0)
+        assert psu.wall_power(300.0) > 300.0
+
+    def test_zero_load(self):
+        assert ServerPSU(600.0).wall_power(0.0) == 0.0
+
+    def test_double_conversion_wastes_more(self):
+        single = ServerPSU(600.0, conversion_stages=1)
+        double = ServerPSU(600.0, conversion_stages=2)
+        assert double.wall_power(300.0) > single.wall_power(300.0)
+
+    def test_conversion_loss_positive(self):
+        psu = ServerPSU(600.0)
+        assert psu.conversion_loss(300.0) == pytest.approx(
+            psu.wall_power(300.0) - 300.0
+        )
+
+    def test_rejects_bad_rating(self):
+        with pytest.raises(ConfigError):
+            ServerPSU(0.0)

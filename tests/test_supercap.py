@@ -1,0 +1,100 @@
+"""Super-capacitor bank tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.battery import SupercapBank
+from repro.config import SupercapConfig
+from repro.errors import BatteryError
+
+
+def make(capacity_wh=1.0, max_power_w=1000.0, max_charge_w=500.0,
+         efficiency=0.95, initial_soc=1.0):
+    return SupercapBank(
+        SupercapConfig(
+            capacity_wh=capacity_wh,
+            max_power_w=max_power_w,
+            max_charge_w=max_charge_w,
+            efficiency=efficiency,
+        ),
+        initial_soc=initial_soc,
+    )
+
+
+class TestDischarge:
+    def test_power_ceiling(self):
+        bank = make(max_power_w=100.0)
+        assert bank.discharge(1e6, 0.01) <= 100.0
+
+    def test_efficiency_losses(self):
+        bank = make(capacity_wh=1.0, efficiency=0.90)
+        before = bank.charge_j
+        delivered = bank.discharge(100.0, 1.0)
+        assert delivered == pytest.approx(100.0)
+        assert before - bank.charge_j == pytest.approx(100.0 / 0.90, rel=1e-9)
+
+    def test_empty_bank_delivers_nothing(self):
+        bank = make(initial_soc=0.0)
+        assert bank.discharge(100.0, 1.0) == 0.0
+
+    def test_usage_statistics(self):
+        bank = make()
+        bank.discharge(50.0, 1.0)
+        bank.discharge(50.0, 1.0)
+        assert bank.shave_events == 2
+        assert bank.shaved_j == pytest.approx(100.0)
+
+
+class TestCharge:
+    def test_charge_limited_by_charger_stage(self):
+        bank = make(max_charge_w=50.0, initial_soc=0.0)
+        assert bank.charge(1e6, 1.0) <= 50.0
+
+    def test_full_bank_accepts_nothing(self):
+        bank = make(initial_soc=1.0)
+        assert bank.charge(100.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_charge_never_overfills(self):
+        bank = make(initial_soc=0.99)
+        bank.charge(1e6, 100.0)
+        assert bank.charge_j <= bank.capacity_j + 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    out_w=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    in_w=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    dt=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+)
+def test_soc_bounds_property(out_w, in_w, dt):
+    bank = make(initial_soc=0.5)
+    bank.discharge(out_w, dt)
+    assert 0.0 <= bank.soc <= 1.0 + 1e-9
+    bank.charge(in_w, dt)
+    assert 0.0 <= bank.soc <= 1.0 + 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    out_w=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    dt=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+)
+def test_round_trip_never_gains_energy(out_w, dt):
+    """Property: a discharge/charge cycle cannot create energy."""
+    bank = make(initial_soc=0.5)
+    before = bank.charge_j
+    delivered = bank.discharge(out_w, dt)
+    bank.charge(delivered, dt)
+    assert bank.charge_j <= before + 1e-6
+
+
+def test_reset_restores_initial_soc():
+    bank = make(initial_soc=0.7)
+    bank.discharge(100.0, 1.0)
+    bank.reset()
+    assert bank.soc == pytest.approx(0.7)
+
+
+def test_rejects_negative_power():
+    with pytest.raises(BatteryError):
+        make().discharge(-1.0, 1.0)

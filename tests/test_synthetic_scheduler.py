@@ -1,0 +1,152 @@
+"""Synthetic-workload generator and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload import (
+    LeastLoadedScheduler,
+    SyntheticJobConfig,
+    SyntheticTraceConfig,
+    Task,
+    generate_jobs,
+    generate_trace,
+    google_like_trace,
+    surge_profile,
+)
+from repro.units import days
+
+
+class TestSyntheticTrace:
+    def test_shape(self):
+        config = SyntheticTraceConfig(machines=10, duration_s=days(1))
+        trace = generate_trace(config, seed=1)
+        assert trace.machines == 10
+        assert trace.timestamps == 288  # one day of 5-minute samples
+
+    def test_deterministic(self):
+        config = SyntheticTraceConfig(machines=5, duration_s=days(0.5))
+        a = generate_trace(config, seed=9)
+        b = generate_trace(config, seed=9)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_seed_changes_output(self):
+        config = SyntheticTraceConfig(machines=5, duration_s=days(0.5))
+        a = generate_trace(config, seed=1)
+        b = generate_trace(config, seed=2)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_mean_near_target(self):
+        config = SyntheticTraceConfig(machines=100, duration_s=days(2))
+        trace = generate_trace(config, seed=3)
+        assert trace.mean_utilisation() == pytest.approx(
+            config.mean_utilisation, abs=0.06
+        )
+
+    def test_diurnal_cycle_visible(self):
+        config = SyntheticTraceConfig(
+            machines=50, duration_s=days(1), noise_sigma=0.0,
+            burst_rate_per_day=0.0,
+        )
+        trace = generate_trace(config, seed=4)
+        mean = trace.matrix.mean(axis=1)
+        swing = mean.max() - mean.min()
+        assert swing == pytest.approx(2 * config.diurnal_amplitude, abs=0.02)
+
+    def test_surges_raise_load(self):
+        base = SyntheticTraceConfig(
+            machines=20, duration_s=days(0.5), noise_sigma=0.0,
+            burst_rate_per_day=0.0,
+        )
+        surged = SyntheticTraceConfig(
+            machines=20, duration_s=days(0.5), noise_sigma=0.0,
+            burst_rate_per_day=0.0, surge_period_s=7200.0,
+            surge_height=0.2, surge_duration_s=1800.0,
+        )
+        a = generate_trace(base, seed=5)
+        b = generate_trace(surged, seed=5)
+        assert b.mean_utilisation() > a.mean_utilisation()
+
+    def test_surge_profile_duty(self):
+        config = SyntheticTraceConfig(
+            machines=1, duration_s=days(0.5), surge_period_s=7200.0,
+            surge_height=0.2, surge_duration_s=1800.0,
+        )
+        profile = surge_profile(config)
+        duty = np.mean(profile > 0.0)
+        assert duty == pytest.approx(1800.0 / 7200.0, abs=0.02)
+
+    def test_rejects_surge_longer_than_period(self):
+        with pytest.raises(ConfigError):
+            SyntheticTraceConfig(surge_period_s=100.0, surge_duration_s=200.0)
+
+    def test_google_like_defaults(self):
+        trace = google_like_trace(machines=30, duration_days=1, seed=6)
+        assert trace.machines == 30
+        assert trace.interval_s == 300.0
+
+
+class TestGenerateJobs:
+    def test_jobs_have_structure(self):
+        tasks = generate_jobs(SyntheticJobConfig(duration_s=3600.0), seed=7)
+        assert tasks
+        assert all(not t.placed for t in tasks)
+        assert all(0.0 <= t.cpu_rate <= 1.0 for t in tasks)
+        job_ids = {t.job_id for t in tasks}
+        assert len(job_ids) > 1
+
+    def test_deterministic(self):
+        config = SyntheticJobConfig(duration_s=3600.0)
+        a = generate_jobs(config, seed=8)
+        b = generate_jobs(config, seed=8)
+        assert len(a) == len(b)
+        assert a[0].start_s == b[0].start_s
+
+
+class TestScheduler:
+    def test_places_nearly_everything_with_capacity(self):
+        tasks = generate_jobs(
+            SyntheticJobConfig(machines=50, duration_s=3600.0), seed=9
+        )
+        result = LeastLoadedScheduler(machines=50).schedule(tasks)
+        assert result.admission_rate >= 0.95
+        assert all(t.placed for t in result.placed)
+        assert len(result.placed) + len(result.rejected) == len(tasks)
+
+    def test_rejects_overload(self):
+        heavy = [
+            Task(job_id=1, task_index=i, start_s=0.0, end_s=100.0, cpu_rate=0.9)
+            for i in range(3)
+        ]
+        result = LeastLoadedScheduler(machines=2).schedule(heavy)
+        assert len(result.placed) == 2
+        assert len(result.rejected) == 1
+
+    def test_capacity_released_on_completion(self):
+        tasks = [
+            Task(job_id=1, task_index=0, start_s=0.0, end_s=10.0, cpu_rate=0.9),
+            Task(job_id=2, task_index=0, start_s=20.0, end_s=30.0, cpu_rate=0.9),
+        ]
+        result = LeastLoadedScheduler(machines=1).schedule(tasks)
+        assert len(result.placed) == 2
+
+    def test_preplaced_tasks_keep_machine(self):
+        preplaced = Task(job_id=1, task_index=0, start_s=0.0, end_s=10.0,
+                         cpu_rate=0.5, machine_id=3)
+        result = LeastLoadedScheduler(machines=5).schedule([preplaced])
+        assert result.placed[0].machine_id == 3
+
+    def test_preplaced_out_of_range_rejected(self):
+        bad = Task(job_id=1, task_index=0, start_s=0.0, end_s=10.0,
+                   cpu_rate=0.5, machine_id=99)
+        result = LeastLoadedScheduler(machines=5).schedule([bad])
+        assert result.rejected == [bad]
+
+    def test_least_loaded_balances(self):
+        tasks = [
+            Task(job_id=1, task_index=i, start_s=0.0, end_s=100.0, cpu_rate=0.3)
+            for i in range(4)
+        ]
+        result = LeastLoadedScheduler(machines=4).schedule(tasks)
+        machines = [t.machine_id for t in result.placed]
+        assert len(set(machines)) == 4  # spread across all machines

@@ -1,0 +1,171 @@
+"""Task/Job records and utilisation-trace tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.workload import Job, Task, UtilizationTrace, group_into_jobs
+
+
+def task(job=1, index=0, start=0.0, end=100.0, cpu=0.5, machine=0):
+    return Task(job_id=job, task_index=index, start_s=start, end_s=end,
+                cpu_rate=cpu, machine_id=machine)
+
+
+class TestTask:
+    def test_duration_and_placement(self):
+        t = task()
+        assert t.duration_s == 100.0
+        assert t.placed
+
+    def test_unplaced_then_placed(self):
+        t = Task(job_id=1, task_index=0, start_s=0.0, end_s=10.0, cpu_rate=0.2)
+        assert not t.placed
+        placed = t.on_machine(7)
+        assert placed.machine_id == 7
+        assert placed.cpu_rate == t.cpu_rate
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(TraceFormatError):
+            task(start=10.0, end=10.0)
+
+    def test_rejects_bad_cpu_rate(self):
+        with pytest.raises(TraceFormatError):
+            task(cpu=1.5)
+
+
+class TestJob:
+    def test_aggregates(self):
+        job = Job(job_id=1, tasks=[task(index=0), task(index=1, end=200.0)])
+        assert job.start_s == 0.0
+        assert job.end_s == 200.0
+        assert job.total_cpu_seconds == pytest.approx(0.5 * 100 + 0.5 * 200)
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(TraceFormatError):
+            Job(job_id=1, tasks=[task(index=0), task(index=0)])
+
+    def test_rejects_foreign_task(self):
+        job = Job(job_id=1)
+        with pytest.raises(TraceFormatError):
+            job.add(task(job=2))
+
+    def test_group_into_jobs(self):
+        tasks = [task(job=1, index=0), task(job=2, index=0), task(job=1, index=1)]
+        jobs = group_into_jobs(tasks)
+        assert [j.job_id for j in jobs] == [1, 2]
+        assert len(jobs[0].tasks) == 2
+
+
+class TestUtilizationTrace:
+    def test_shape_and_properties(self):
+        trace = UtilizationTrace(np.full((10, 4), 0.5), interval_s=300.0)
+        assert trace.timestamps == 10
+        assert trace.machines == 4
+        assert trace.duration_s == 3000.0
+        assert trace.mean_utilisation() == pytest.approx(0.5)
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(TraceFormatError):
+            UtilizationTrace(np.full((2, 2), 1.5), interval_s=300.0)
+
+    def test_at_zero_order_hold(self):
+        matrix = np.array([[0.1, 0.1], [0.9, 0.9]])
+        trace = UtilizationTrace(matrix, interval_s=100.0)
+        assert trace.at(0.0)[0] == pytest.approx(0.1)
+        assert trace.at(99.0)[0] == pytest.approx(0.1)
+        assert trace.at(100.0)[0] == pytest.approx(0.9)
+        # Before/past the trace clamps to the first/last sample.
+        assert trace.at(-50.0)[0] == pytest.approx(0.1)
+        assert trace.at(1e9)[0] == pytest.approx(0.9)
+
+    def test_window(self):
+        trace = UtilizationTrace(np.arange(10).reshape(10, 1) / 10.0, 100.0)
+        window = trace.window(200.0, 500.0)
+        assert window.timestamps == 3
+        assert window.start_s == 200.0
+        assert window.at(200.0)[0] == pytest.approx(0.2)
+
+    def test_window_out_of_range(self):
+        trace = UtilizationTrace(np.zeros((5, 1)), 100.0)
+        with pytest.raises(TraceFormatError):
+            trace.window(400.0, 900.0)
+
+    def test_resample_coarser_averages(self):
+        matrix = np.array([[0.2], [0.4], [0.6], [0.8]])
+        trace = UtilizationTrace(matrix, interval_s=100.0)
+        coarse = trace.resample(200.0)
+        assert coarse.timestamps == 2
+        assert coarse.matrix[:, 0] == pytest.approx([0.3, 0.7])
+
+    def test_resample_finer_repeats(self):
+        trace = UtilizationTrace(np.array([[0.5], [0.7]]), interval_s=100.0)
+        fine = trace.resample(50.0)
+        assert fine.timestamps == 4
+        assert fine.matrix[:, 0] == pytest.approx([0.5, 0.5, 0.7, 0.7])
+
+    def test_resample_rejects_non_integer_ratio(self):
+        trace = UtilizationTrace(np.zeros((4, 1)), interval_s=100.0)
+        with pytest.raises(TraceFormatError):
+            trace.resample(130.0)
+
+    def test_with_added_clips(self):
+        trace = UtilizationTrace(np.full((2, 2), 0.9), interval_s=1.0)
+        bumped = trace.with_added(np.full((2, 2), 0.5))
+        assert np.all(bumped.matrix <= 1.0)
+
+    def test_from_tasks_rasterisation(self):
+        tasks = [
+            Task(job_id=1, task_index=0, start_s=0.0, end_s=150.0,
+                 cpu_rate=0.4, machine_id=0),
+            Task(job_id=1, task_index=1, start_s=100.0, end_s=200.0,
+                 cpu_rate=0.6, machine_id=1),
+        ]
+        trace = UtilizationTrace.from_tasks(tasks, machines=2, interval_s=100.0)
+        assert trace.timestamps == 2
+        # Machine 0: full first interval, half of the second.
+        assert trace.matrix[0, 0] == pytest.approx(0.4)
+        assert trace.matrix[1, 0] == pytest.approx(0.2)
+        # Machine 1: half overlap then full interval.
+        assert trace.matrix[0, 1] == pytest.approx(0.0)
+        assert trace.matrix[1, 1] == pytest.approx(0.6)
+
+    def test_from_tasks_rejects_unplaced(self):
+        unplaced = Task(job_id=1, task_index=0, start_s=0.0, end_s=10.0,
+                        cpu_rate=0.5)
+        with pytest.raises(TraceFormatError):
+            UtilizationTrace.from_tasks([unplaced], machines=1, interval_s=10.0)
+
+    def test_from_tasks_overload_detection(self):
+        tasks = [
+            Task(job_id=1, task_index=i, start_s=0.0, end_s=10.0,
+                 cpu_rate=0.8, machine_id=0)
+            for i in range(2)
+        ]
+        clipped = UtilizationTrace.from_tasks(tasks, machines=1, interval_s=10.0)
+        assert clipped.matrix[0, 0] == pytest.approx(1.0)
+        with pytest.raises(TraceFormatError):
+            UtilizationTrace.from_tasks(
+                tasks, machines=1, interval_s=10.0, clip_overload=False
+            )
+
+
+@settings(max_examples=30)
+@given(
+    steps=st.integers(min_value=2, max_value=40),
+    machines=st.integers(min_value=1, max_value=8),
+    factor=st.integers(min_value=2, max_value=4),
+)
+def test_resample_roundtrip_preserves_mean(steps, machines, factor):
+    """Property: coarsening preserves the covered-region mean."""
+    rng = np.random.default_rng(42)
+    whole = (steps // factor) * factor
+    if whole == 0:
+        return
+    matrix = rng.uniform(0.0, 1.0, (steps, machines))
+    trace = UtilizationTrace(matrix, interval_s=10.0)
+    coarse = trace.resample(10.0 * factor)
+    assert coarse.mean_utilisation() == pytest.approx(
+        float(np.mean(matrix[:whole])), rel=1e-9
+    )

@@ -1,0 +1,105 @@
+"""Testbed-platform and demo tests."""
+
+import numpy as np
+import pytest
+
+from repro.attack import SpikeTrainConfig, VirusKind
+from repro.errors import ConfigError
+from repro.testbed import (
+    TestbedConfig,
+    TestbedPlatform,
+    effective_attack_demo,
+    two_phase_demo,
+    virus_trace_examples,
+)
+
+
+class TestTestbedConfig:
+    def test_paper_rig_defaults(self):
+        config = TestbedConfig()
+        assert config.nameplate_w == pytest.approx(800.0)
+
+    def test_budget(self):
+        config = TestbedConfig(budget_fraction=0.75)
+        assert config.budget_w == pytest.approx(600.0)
+
+    def test_to_datacenter_config(self):
+        dc = TestbedConfig().to_datacenter_config()
+        assert dc.cluster.racks == 1
+        assert dc.cluster.rack.servers == 5
+        # 10-minute autonomy at full load.
+        autonomy = dc.cluster.rack.battery.capacity_j / 800.0
+        assert autonomy == pytest.approx(600.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            TestbedConfig(nodes=1)
+        with pytest.raises(ConfigError):
+            TestbedConfig(node_peak_w=10.0, node_idle_w=60.0)
+
+    def test_normal_load_trace(self):
+        trace = TestbedConfig().normal_load_trace(60.0, 0.5, seed=1)
+        assert trace.timestamps == 120
+        assert trace.machines == 5
+        assert 0.2 < trace.mean_utilisation() < 0.6
+
+
+class TestPlatform:
+    def test_rack_power_endpoints(self):
+        platform = TestbedPlatform(TestbedConfig())
+        assert platform.rack_power_waveform(np.zeros((1, 5)))[0] == (
+            pytest.approx(300.0)
+        )
+        assert platform.rack_power_waveform(np.ones((1, 5)))[0] == (
+            pytest.approx(800.0)
+        )
+
+    def test_attack_waveform_raises_power(self):
+        platform = TestbedPlatform(TestbedConfig())
+        normal, attacked = platform.attack_waveform(
+            VirusKind.CPU, attacker_nodes=2,
+            spikes=SpikeTrainConfig(width_s=1.0, rate_per_min=6.0),
+            duration_s=60.0, dt=0.1, seed=1,
+        )
+        assert attacked.max() > normal.max()
+        assert attacked.shape == normal.shape
+
+    def test_sustained_attack_waveform(self):
+        platform = TestbedPlatform(TestbedConfig())
+        _, attacked = platform.attack_waveform(
+            VirusKind.CPU, attacker_nodes=4, spikes=None,
+            duration_s=10.0, dt=1.0, seed=1,
+        )
+        # Four nodes near peak plus one benign node.
+        assert attacked.mean() > 700.0
+
+    def test_rejects_all_nodes_attacking(self):
+        platform = TestbedPlatform(TestbedConfig())
+        with pytest.raises(ConfigError):
+            platform.attack_waveform(
+                VirusKind.CPU, attacker_nodes=5, spikes=None,
+                duration_s=10.0, dt=1.0,
+            )
+
+
+class TestDemos:
+    def test_two_phase_demo_structure(self):
+        demo = two_phase_demo(duration_s=200.0)
+        assert demo.phase2_start_s is not None
+        assert 0.0 < demo.phase2_start_s < 200.0
+        # Phase I drains the battery substantially.
+        assert demo.battery_capacity_pct.min() < 60.0
+        # The malicious load exceeds the benign one.
+        assert demo.malicious_load_pct.max() > demo.normal_load_pct.max()
+
+    def test_effective_attack_demo_has_both_outcomes(self):
+        demo = effective_attack_demo()
+        assert len(demo.effective_attack_times_s) >= 1
+        # Not every spike lands: spikes arrive every 7.5 s over 70 s.
+        attempts = 70.0 / 7.5
+        assert len(demo.effective_attack_times_s) < attempts
+
+    def test_virus_trace_examples(self):
+        traces = virus_trace_examples()
+        assert set(traces) == {"dense", "sparse"}
+        assert traces["dense"].mean() > traces["sparse"].mean()

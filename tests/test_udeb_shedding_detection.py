@@ -1,0 +1,201 @@
+"""uDEB shaver, load shedder and detection-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MeterConfig, PolicyConfig, SupercapConfig
+from repro.core import (
+    AnomalyDetector,
+    LoadShedder,
+    UdebShaver,
+    VisiblePeakDetector,
+    detection_rate,
+)
+from repro.errors import ConfigError
+from repro.power.meter import MeterSample
+
+
+class TestUdebShaver:
+    def make(self, racks=3, capacity_wh=0.5, max_power=500.0):
+        return UdebShaver(
+            SupercapConfig(capacity_wh=capacity_wh, max_power_w=max_power),
+            racks=racks,
+        )
+
+    def test_shaves_only_excess_racks(self):
+        shaver = self.make()
+        result = shaver.shave(np.array([100.0, 0.0, 50.0]), dt=0.5)
+        assert result.shaved_w == pytest.approx([100.0, 0.0, 50.0])
+        assert result.total_shaved_w == pytest.approx(150.0)
+        soc = shaver.soc_vector()
+        assert soc[0] < soc[1] == pytest.approx(1.0)
+
+    def test_power_limit_leaves_residual(self):
+        shaver = self.make(max_power=100.0)
+        result = shaver.shave(np.array([300.0, 0.0, 0.0]), dt=0.5)
+        assert result.shaved_w[0] == pytest.approx(100.0)
+        assert result.unshaved_w[0] == pytest.approx(200.0)
+
+    def test_energy_exhaustion(self):
+        shaver = self.make(capacity_wh=0.01)  # 36 J per rack
+        total = 0.0
+        for _ in range(100):
+            total += shaver.shave(np.array([500.0, 0.0, 0.0]), dt=0.5).shaved_w[0]
+        assert shaver.soc_vector()[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_recharge_from_headroom(self):
+        shaver = self.make()
+        shaver.shave(np.array([400.0, 0.0, 0.0]), dt=1.0)
+        drawn = shaver.recharge(np.array([200.0, 0.0, 0.0]), dt=1.0)
+        assert drawn[0] > 0.0
+        assert drawn[1] == 0.0
+
+    def test_policy_inputs(self):
+        shaver = self.make()
+        shaver.shave(np.array([500.0, 0.0, 0.0]), dt=1.0)
+        assert shaver.min_soc < 1.0
+        assert shaver.min_soc <= shaver.pool_soc
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(racks=2).shave(np.zeros(3), dt=1.0)
+
+
+class TestLoadShedder:
+    def make(self, servers=20, cap=0.10, saving=100.0, hysteresis=10.0,
+             critical=None):
+        return LoadShedder(
+            PolicyConfig(shed_ratio_cap=cap, shed_hysteresis_s=hysteresis),
+            servers=servers,
+            per_server_saving_w=saving,
+            critical=critical,
+        )
+
+    def test_sheds_hottest_first(self):
+        shedder = self.make()
+        util = np.linspace(0.0, 1.0, 20)
+        decision = shedder.update(0.0, util, required_reduction_w=150.0)
+        assert decision.shed_count == 2
+        assert set(decision.newly_shed) == {18, 19}
+
+    def test_cap_enforced(self):
+        shedder = self.make(cap=0.10)  # max 2 of 20
+        decision = shedder.update(0.0, np.ones(20), required_reduction_w=1e6)
+        assert decision.shed_count == shedder.max_shed == 2
+
+    def test_counterfactual_prevents_oscillation(self):
+        """Once shed, the masked excess must not cause release."""
+        shedder = self.make()
+        util = np.linspace(0.0, 1.0, 20)
+        shedder.update(0.0, util, required_reduction_w=150.0)
+        # Next update: demand now looks fine *because* of the shedding.
+        decision = shedder.update(1.0, util, required_reduction_w=-200.0)
+        assert decision.shed_count == 2
+        assert decision.newly_released == ()
+
+    def test_release_after_hysteresis(self):
+        shedder = self.make(hysteresis=10.0)
+        util = np.linspace(0.0, 1.0, 20)
+        shedder.update(0.0, util, required_reduction_w=150.0)
+        early = shedder.update(5.0, util, required_reduction_w=-250.0)
+        assert early.shed_count == 2  # hysteresis holds
+        late = shedder.update(20.0, util, required_reduction_w=-250.0)
+        assert late.shed_count == 0
+
+    def test_rotation_when_capped_but_ineffective(self):
+        """If the sleep set stops delivering, swap in the hot server."""
+        shedder = self.make(cap=0.05, hysteresis=0.0)  # max 1
+        util = np.zeros(20)
+        util[3] = 1.0
+        shedder.update(0.0, util, required_reduction_w=90.0)
+        # The hot load moves to server 7; excess persists.
+        util2 = np.zeros(20)
+        util2[7] = 1.0
+        decision = shedder.update(1.0, util2, required_reduction_w=90.0)
+        assert 7 in decision.newly_shed
+        assert 3 in decision.newly_released
+
+    def test_critical_servers_never_shed(self):
+        critical = np.zeros(20, dtype=bool)
+        critical[19] = True
+        shedder = self.make(critical=critical)
+        util = np.linspace(0.0, 1.0, 20)
+        decision = shedder.update(0.0, util, required_reduction_w=150.0)
+        assert 19 not in decision.newly_shed
+
+    def test_shed_ratio(self):
+        shedder = self.make()
+        shedder.update(0.0, np.ones(20), required_reduction_w=150.0)
+        assert shedder.shed_ratio == pytest.approx(0.1)
+
+    def test_reset(self):
+        shedder = self.make()
+        shedder.update(0.0, np.ones(20), required_reduction_w=150.0)
+        shedder.reset()
+        assert shedder.shed_ratio == 0.0
+
+
+class TestVisiblePeakDetector:
+    def test_flags_over_limit(self):
+        detector = VisiblePeakDetector(margin=0.05)
+        report = detector.evaluate(
+            np.array([1000.0, 1100.0]), np.array([1000.0, 1000.0])
+        )
+        assert report.over_limit.tolist() == [False, True]
+        assert report.any_peak
+
+    def test_margin_suppresses_noise(self):
+        detector = VisiblePeakDetector(margin=0.10)
+        report = detector.evaluate(np.array([1050.0]), np.array([1000.0]))
+        assert not report.any_peak
+
+
+class TestAnomalyDetector:
+    def sample(self, avg, start=0.0, interval=10.0):
+        return MeterSample(start_s=start, end_s=start + interval,
+                           average_w=avg, peak_w=avg)
+
+    def make(self, margin=0.05, noise=0.0):
+        return AnomalyDetector(
+            MeterConfig(interval_s=10.0, detection_margin=margin,
+                        noise_std=noise),
+            seed=1,
+        )
+
+    def test_learns_baseline_then_flags(self):
+        detector = self.make()
+        for i in range(5):
+            assert not detector.observe(self.sample(100.0, start=10.0 * i))
+        assert detector.observe(self.sample(120.0, start=60.0))
+
+    def test_small_shift_invisible(self):
+        detector = self.make(margin=0.05)
+        for i in range(5):
+            detector.observe(self.sample(100.0, start=10.0 * i))
+        assert not detector.observe(self.sample(103.0, start=60.0))
+
+    def test_baseline_tracks_slow_drift(self):
+        detector = self.make(margin=0.05)
+        level = 100.0
+        for i in range(200):
+            level *= 1.001  # slow benign growth
+            detector.observe(self.sample(level, start=10.0 * i))
+        # After tracking, the drifted level is not anomalous.
+        assert not detector.observe(self.sample(level, start=2000.0))
+
+    def test_reset(self):
+        detector = self.make()
+        detector.observe(self.sample(100.0))
+        detector.reset()
+        assert detector.baseline_w is None
+
+
+class TestDetectionRate:
+    def test_rate_computation(self):
+        flagged = [MeterSample(10.0, 20.0, 100.0, 100.0)]
+        rate = detection_rate([5.0, 15.0, 25.0], flagged)
+        assert rate == pytest.approx(1.0 / 3.0)
+
+    def test_no_spikes_rejected(self):
+        with pytest.raises(ConfigError):
+            detection_rate([], [])

@@ -1,0 +1,61 @@
+"""Unit-helper tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_wh_joule_roundtrip():
+    assert units.wh_to_joules(1.0) == 3600.0
+    assert units.joules_to_wh(3600.0) == 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+def test_wh_joule_inverse(wh):
+    assert units.joules_to_wh(units.wh_to_joules(wh)) == pytest.approx(wh)
+
+
+def test_kwh_to_joules():
+    assert units.kwh_to_joules(1.0) == 3_600_000.0
+
+
+def test_time_helpers():
+    assert units.minutes(5) == 300.0
+    assert units.hours(2) == 7200.0
+    assert units.days(1) == 86400.0
+    assert units.TRACE_INTERVAL_S == 300.0
+
+
+def test_clamp_inside_interval():
+    assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+
+def test_clamp_at_bounds():
+    assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+    assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+
+def test_clamp_rejects_empty_interval():
+    with pytest.raises(ValueError):
+        units.clamp(0.5, 1.0, 0.0)
+
+
+@given(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_clamp_always_within_bounds(value, low, span):
+    high = low + span
+    result = units.clamp(value, low, high)
+    assert low <= result <= high
+
+
+def test_fraction_normal():
+    assert units.fraction(1.0, 4.0) == 0.25
+
+
+def test_fraction_zero_denominator():
+    assert units.fraction(0.0, 0.0) == 0.0
+    assert units.fraction(5.0, 0.0) == 0.0

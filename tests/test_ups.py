@@ -1,0 +1,105 @@
+"""Centralized-UPS model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power import (
+    CentralUps,
+    CentralUpsConfig,
+    annual_conversion_loss_kwh,
+    distributed_backup_saving_kwh,
+)
+
+
+def make(rated=100_000.0, efficiency=0.94, eco=False, autonomy=600.0):
+    return CentralUps(
+        CentralUpsConfig(
+            rated_w=rated,
+            conversion_efficiency=efficiency,
+            eco_mode=eco,
+            autonomy_s=autonomy,
+        )
+    )
+
+
+class TestConversion:
+    def test_double_conversion_efficiency(self):
+        ups = make(efficiency=0.9)
+        assert ups.efficiency() == pytest.approx(0.81)
+
+    def test_eco_mode_bypass(self):
+        ups = make(eco=True)
+        assert ups.efficiency() == pytest.approx(0.99)
+
+    def test_input_power_includes_losses(self):
+        ups = make(efficiency=0.9)
+        assert ups.input_power(81_000.0) == pytest.approx(100_000.0)
+        assert ups.conversion_loss(81_000.0) == pytest.approx(19_000.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ConfigError):
+            make().input_power(-1.0)
+
+
+class TestOutageBehaviour:
+    def test_on_battery_serves_from_storage(self):
+        ups = make(rated=1000.0, autonomy=100.0)
+        ups.switch_to_battery()
+        assert ups.input_power(500.0) == 0.0
+        served = ups.step(500.0, 10.0)
+        assert served == pytest.approx(500.0)
+        assert ups.soc < 1.0
+
+    def test_all_or_nothing_blackout(self):
+        """The SPOF: when the string empties, everything goes dark."""
+        ups = make(rated=1000.0, autonomy=10.0)
+        ups.switch_to_battery()
+        for _ in range(100):
+            ups.step(1000.0, 1.0)
+        assert ups.soc == pytest.approx(0.0)
+        assert ups.step(1000.0, 1.0) == pytest.approx(0.0)
+
+    def test_line_power_serves_everything(self):
+        ups = make()
+        assert ups.step(50_000.0, 1.0) == pytest.approx(50_000.0)
+        assert ups.soc == pytest.approx(1.0)
+
+    def test_recharge_after_outage(self):
+        ups = make(rated=1000.0, autonomy=10.0)
+        ups.switch_to_battery()
+        ups.step(1000.0, 5.0)
+        ups.switch_to_line()
+        absorbed = ups.recharge(500.0, 2.0)
+        assert absorbed > 0.0
+        assert ups.soc > 0.4
+
+
+class TestEfficiencyComparison:
+    def test_annual_loss_positive(self):
+        config = CentralUpsConfig(rated_w=100_000.0)
+        loss = annual_conversion_loss_kwh(config, 50_000.0)
+        assert loss > 0.0
+
+    def test_deb_saves_energy(self):
+        """The paper's motivation: DEB eliminates double conversion."""
+        config = CentralUpsConfig(rated_w=100_000.0)
+        saving = distributed_backup_saving_kwh(config, 50_000.0)
+        assert saving > 0.0
+        # The saving is the overwhelming majority of the UPS loss.
+        assert saving > 0.8 * annual_conversion_loss_kwh(config, 50_000.0)
+
+    def test_eco_mode_narrows_the_gap(self):
+        online = CentralUpsConfig(rated_w=100_000.0)
+        eco = CentralUpsConfig(rated_w=100_000.0, eco_mode=True)
+        assert distributed_backup_saving_kwh(eco, 50_000.0) < (
+            distributed_backup_saving_kwh(online, 50_000.0)
+        )
+
+
+def test_rejects_bad_config():
+    with pytest.raises(ConfigError):
+        CentralUpsConfig(rated_w=0.0)
+    with pytest.raises(ConfigError):
+        CentralUpsConfig(rated_w=100.0, conversion_efficiency=0.0)
+    with pytest.raises(ConfigError):
+        CentralUps(CentralUpsConfig(rated_w=100.0), initial_soc=2.0)

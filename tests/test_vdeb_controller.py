@@ -1,0 +1,194 @@
+"""vDEB controller tests (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import VdebConfig
+from repro.core import VdebController, share_by_soc
+from repro.errors import ConfigError
+
+
+class TestShareBySoc:
+    def test_zero_shave_assigns_nothing(self):
+        assignment = share_by_soc(np.array([1.0, 0.5]), 0.0, 100.0)
+        assert assignment == pytest.approx([0.0, 0.0])
+
+    def test_saturated_case_even_usage(self):
+        """Algorithm 1 line 6: huge requirement -> everyone at P_ideal."""
+        soc = np.array([1.0, 0.2, 0.6])
+        assignment = share_by_soc(soc, shave_w=1e6, p_ideal_w=100.0)
+        assert assignment == pytest.approx([100.0, 100.0, 100.0])
+
+    def test_proportional_to_soc(self):
+        soc = np.array([0.8, 0.4, 0.2])
+        assignment = share_by_soc(soc, shave_w=70.0, p_ideal_w=1000.0)
+        assert assignment == pytest.approx([40.0, 20.0, 10.0])
+        assert assignment.sum() == pytest.approx(70.0)
+
+    def test_pinning_at_p_ideal(self):
+        """A dominant-SOC rack is pinned at P_ideal; the rest share."""
+        soc = np.array([10.0, 0.5, 0.5])
+        assignment = share_by_soc(soc, shave_w=100.0, p_ideal_w=60.0)
+        assert assignment[0] == pytest.approx(60.0)
+        assert assignment[1:] == pytest.approx([20.0, 20.0])
+        assert assignment.sum() == pytest.approx(100.0)
+
+    def test_zero_soc_gets_nothing(self):
+        soc = np.array([1.0, 0.0])
+        assignment = share_by_soc(soc, shave_w=50.0, p_ideal_w=100.0)
+        assert assignment[1] == 0.0
+        assert assignment[0] == pytest.approx(50.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            share_by_soc(np.array([1.0]), 10.0, 0.0)
+        with pytest.raises(ConfigError):
+            share_by_soc(np.array([1.0]), -1.0, 10.0)
+
+    @settings(max_examples=50)
+    @given(
+        # Physical SOCs: zero (empty) or at least a measurable fraction —
+        # subnormal floats would only probe float-cancellation artefacts.
+        socs=st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+            ),
+            min_size=1, max_size=20,
+        ),
+        shave=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+        p_ideal=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+    def test_invariants(self, socs, shave, p_ideal):
+        """Properties: never exceeds P_ideal, never over-assigns, and
+        covers the requirement whenever the pool can."""
+        soc = np.array(socs)
+        assignment = share_by_soc(soc, shave, p_ideal)
+        assert np.all(assignment >= -1e-9)
+        assert np.all(assignment <= p_ideal + 1e-9)
+        total = float(np.sum(assignment))
+        assert total <= shave + 1e-6 or total == pytest.approx(
+            soc.size * p_ideal
+        )
+        if shave <= soc.size * p_ideal and np.sum(soc) > 0:
+            covered = min(shave, np.count_nonzero(soc) * p_ideal)
+            assert total == pytest.approx(covered, rel=1e-6, abs=1e-6)
+
+
+class TestVdebController:
+    def make(self, fraction=0.5, max_discharge=1000.0):
+        return VdebController(
+            VdebConfig(ideal_discharge_fraction=fraction),
+            max_discharge_w=max_discharge,
+        )
+
+    def test_p_ideal_derivation(self):
+        controller = self.make(fraction=0.25, max_discharge=2000.0)
+        assert controller.p_ideal_w == pytest.approx(500.0)
+
+    def test_allocation_respects_demand_cap(self):
+        """A battery cannot discharge more than its own rack consumes."""
+        controller = self.make()
+        allocation = controller.allocate(
+            soc=np.array([1.0, 1.0]),
+            rack_demand_w=np.array([10.0, 5000.0]),
+            deliverable_w=np.array([1000.0, 1000.0]),
+            shave_w=400.0,
+        )
+        # Rack 0 is capped at its own 10 W demand; the shortfall is
+        # redistributed to rack 1.
+        assert allocation.discharge_w[0] <= 10.0 + 1e-9
+        assert allocation.satisfied
+        assert allocation.total_w == pytest.approx(400.0)
+
+    def test_allocation_respects_deliverable(self):
+        controller = self.make()
+        allocation = controller.allocate(
+            soc=np.array([1.0, 1.0]),
+            rack_demand_w=np.array([5000.0, 5000.0]),
+            deliverable_w=np.array([50.0, 1000.0]),
+            shave_w=400.0,
+        )
+        assert allocation.discharge_w[0] <= 50.0 + 1e-9
+        assert allocation.satisfied
+
+    def test_unsatisfiable_reported(self):
+        controller = self.make()
+        allocation = controller.allocate(
+            soc=np.array([1.0]),
+            rack_demand_w=np.array([5000.0]),
+            deliverable_w=np.array([100.0]),
+            shave_w=400.0,
+        )
+        assert not allocation.satisfied
+        assert allocation.total_w == pytest.approx(100.0)
+
+    def test_zero_shave(self):
+        controller = self.make()
+        allocation = controller.allocate(
+            soc=np.array([1.0]),
+            rack_demand_w=np.array([100.0]),
+            deliverable_w=np.array([100.0]),
+            shave_w=0.0,
+        )
+        assert allocation.satisfied
+        assert allocation.total_w == 0.0
+
+    def test_shape_mismatch(self):
+        controller = self.make()
+        with pytest.raises(ConfigError):
+            controller.allocate(
+                soc=np.array([1.0, 1.0]),
+                rack_demand_w=np.array([100.0]),
+                deliverable_w=np.array([100.0]),
+                shave_w=10.0,
+            )
+
+
+class TestSoftLimits:
+    def test_tracks_net_draw_with_margin(self):
+        controller = VdebController(VdebConfig(), max_discharge_w=1000.0)
+        limits = controller.soft_limits_for(
+            rack_demand_w=np.array([1000.0, 2000.0]),
+            discharge_w=np.array([0.0, 500.0]),
+            pdu_budget_w=10_000.0,
+            floor_w=100.0,
+            ceiling_w=5000.0,
+            margin_w=50.0,
+        )
+        assert limits == pytest.approx([1050.0, 1550.0])
+
+    def test_scaling_to_budget(self):
+        controller = VdebController(VdebConfig(), max_discharge_w=1000.0)
+        limits = controller.soft_limits_for(
+            rack_demand_w=np.array([3000.0, 3000.0]),
+            discharge_w=np.zeros(2),
+            pdu_budget_w=4000.0,
+            floor_w=100.0,
+            ceiling_w=5000.0,
+        )
+        assert limits.sum() <= 4000.0 + 1e-6
+
+    def test_per_rack_floors(self):
+        """PAD pins spike-suspect racks via per-rack floors."""
+        controller = VdebController(VdebConfig(), max_discharge_w=1000.0)
+        limits = controller.soft_limits_for(
+            rack_demand_w=np.array([500.0, 500.0]),
+            discharge_w=np.zeros(2),
+            pdu_budget_w=10_000.0,
+            floor_w=np.array([100.0, 2000.0]),
+            ceiling_w=5000.0,
+        )
+        assert limits[1] == pytest.approx(2000.0)
+
+    def test_rejects_bad_floor_ceiling(self):
+        controller = VdebController(VdebConfig(), max_discharge_w=1000.0)
+        with pytest.raises(ConfigError):
+            controller.soft_limits_for(
+                rack_demand_w=np.array([100.0]),
+                discharge_w=np.array([0.0]),
+                pdu_budget_w=1000.0,
+                floor_w=500.0,
+                ceiling_w=400.0,
+            )

@@ -1,0 +1,155 @@
+"""Power-virus profile and spike-train tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attack import (
+    PROFILES,
+    SpikeTrain,
+    SpikeTrainConfig,
+    VirusKind,
+    VirusProfile,
+    profile_for,
+    virus_power_trace,
+)
+from repro.errors import AttackError
+
+
+class TestProfiles:
+    def test_paper_potency_ordering(self):
+        """CPU strongest, IO weakest (paper Fig. 8)."""
+        cpu = profile_for(VirusKind.CPU)
+        mem = profile_for(VirusKind.MEMORY)
+        io = profile_for(VirusKind.IO)
+        assert cpu.sustained_util > mem.sustained_util > io.sustained_util
+        assert cpu.spike_util > mem.spike_util > io.spike_util
+        assert cpu.ramp_s < mem.ramp_s < io.ramp_s
+
+    def test_all_kinds_have_profiles(self):
+        assert set(PROFILES) == set(VirusKind)
+
+    def test_ramp_limits_narrow_spikes(self):
+        io = profile_for(VirusKind.IO)
+        narrow = io.effective_spike_util(io.ramp_s / 2)
+        wide = io.effective_spike_util(io.ramp_s * 4)
+        assert narrow < wide == io.spike_util
+
+    def test_cpu_reaches_full_amplitude_fast(self):
+        cpu = profile_for(VirusKind.CPU)
+        assert cpu.effective_spike_util(0.2) == pytest.approx(cpu.spike_util)
+
+    def test_rejects_spike_below_sustained(self):
+        with pytest.raises(AttackError):
+            VirusProfile(kind=VirusKind.CPU, sustained_util=0.9,
+                         spike_util=0.5, ramp_s=0.1)
+
+
+class TestVirusPowerTrace:
+    def test_sustained_form(self):
+        wave = virus_power_trace(
+            profile_for(VirusKind.CPU), duration_s=10.0, dt=1.0, seed=1
+        )
+        assert wave.shape == (10,)
+        assert np.all(wave >= 0.9)  # near sustained level, with jitter
+
+    def test_spiking_form(self):
+        wave = virus_power_trace(
+            profile_for(VirusKind.CPU), duration_s=60.0, dt=1.0,
+            spike_width_s=5.0, spike_period_s=20.0, baseline_util=0.1,
+            seed=1,
+        )
+        assert wave.max() > 0.9
+        assert wave.min() < 0.2
+
+    def test_rejects_period_not_exceeding_width(self):
+        with pytest.raises(AttackError):
+            virus_power_trace(
+                profile_for(VirusKind.CPU), 60.0, 1.0,
+                spike_width_s=5.0, spike_period_s=5.0,
+            )
+
+
+class TestSpikeTrainConfig:
+    def test_period_and_duty(self):
+        config = SpikeTrainConfig(width_s=2.0, rate_per_min=6.0)
+        assert config.period_s == pytest.approx(10.0)
+        assert config.duty_cycle == pytest.approx(0.2)
+
+    def test_average_util_stays_low(self):
+        """Hidden spikes barely move the average — the design point."""
+        config = SpikeTrainConfig(width_s=1.0, rate_per_min=1.0,
+                                  baseline_util=0.1)
+        avg = config.average_util(profile_for(VirusKind.CPU))
+        assert avg < 0.15
+
+    def test_rejects_width_not_fitting_period(self):
+        with pytest.raises(AttackError):
+            SpikeTrainConfig(width_s=11.0, rate_per_min=6.0)
+
+
+class TestSpikeTrain:
+    def make(self, **kwargs):
+        defaults = dict(width_s=2.0, rate_per_min=6.0, baseline_util=0.1)
+        defaults.update(kwargs)
+        return SpikeTrain(
+            SpikeTrainConfig(**defaults), profile_for(VirusKind.CPU)
+        )
+
+    def test_periodic_spiking(self):
+        train = self.make()
+        assert train.is_spiking(0.5)
+        assert train.is_spiking(1.9)
+        assert not train.is_spiking(5.0)
+        assert train.is_spiking(10.5)
+
+    def test_utilisation_levels(self):
+        train = self.make()
+        assert train.utilisation(0.5) == pytest.approx(train.spike_util)
+        assert train.utilisation(5.0) == pytest.approx(0.1)
+
+    def test_waveform_matches_pointwise(self):
+        train = self.make()
+        wave = train.waveform(duration_s=30.0, dt=0.5)
+        expected = np.array([train.utilisation(i * 0.5) for i in range(60)])
+        assert wave == pytest.approx(expected)
+
+    def test_bursts_in_window(self):
+        train = self.make()  # period 10 s
+        assert train.bursts_in(0.0, 60.0) == 6
+        assert train.bursts_in(0.0, 5.0) == 1
+        assert train.bursts_in(25.0, 35.0) == 1
+        assert train.bursts_in(10.0, 10.0) == 0
+
+    def test_start_offset(self):
+        train = SpikeTrain(
+            SpikeTrainConfig(width_s=2.0, rate_per_min=6.0),
+            profile_for(VirusKind.CPU),
+            start_s=100.0,
+        )
+        assert not train.is_spiking(50.0)
+        assert train.is_spiking(100.5)
+
+    def test_jitter_is_deterministic(self):
+        config = SpikeTrainConfig(width_s=1.0, rate_per_min=6.0,
+                                  phase_jitter_s=3.0)
+        a = SpikeTrain(config, profile_for(VirusKind.CPU), seed=5)
+        b = SpikeTrain(config, profile_for(VirusKind.CPU), seed=5)
+        wave_a = a.waveform(60.0, 0.5)
+        wave_b = b.waveform(60.0, 0.5)
+        assert np.array_equal(wave_a, wave_b)
+
+
+@settings(max_examples=40)
+@given(
+    width=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    rate=st.floats(min_value=1.0, max_value=6.0, allow_nan=False),
+)
+def test_duty_cycle_matches_waveform(width, rate):
+    """Property: waveform spiking fraction matches the analytic duty."""
+    config = SpikeTrainConfig(width_s=width, rate_per_min=rate,
+                              baseline_util=0.0)
+    train = SpikeTrain(config, profile_for(VirusKind.CPU))
+    wave = train.waveform(duration_s=600.0, dt=0.05)
+    duty = float(np.mean(wave > 0.5))
+    assert duty == pytest.approx(config.duty_cycle, abs=0.02)
