@@ -72,7 +72,15 @@ from .experiments.common import (
     run_throughput,
     standard_setup,
 )
-from .sim import DataCenterSimulation, SimResult
+from .sim import (
+    AttackWindow,
+    DataCenterSimulation,
+    EventBus,
+    Runner,
+    Segment,
+    SimEvent,
+    SimResult,
+)
 from .workload import (
     ClusterModel,
     UtilizationTrace,
@@ -86,6 +94,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AttackError",
     "AttackScenario",
+    "AttackWindow",
     "Attacker",
     "BatteryConfig",
     "BatteryError",
@@ -98,14 +107,18 @@ __all__ = [
     "DENSE_ATTACK",
     "DataCenterConfig",
     "DataCenterSimulation",
+    "EventBus",
     "MeterConfig",
     "PolicyConfig",
     "PowerTopologyError",
     "RackConfig",
     "ReproError",
+    "Runner",
     "SCHEMES",
     "SPARSE_ATTACK",
+    "Segment",
     "ServerConfig",
+    "SimEvent",
     "SimResult",
     "SimulationError",
     "SpikeTrainConfig",

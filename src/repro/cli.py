@@ -49,6 +49,11 @@ def _build_parser() -> argparse.ArgumentParser:
     grid = sub.add_parser("grid", help="the full Fig.-15 survival grid")
     grid.add_argument("--window", type=float, default=2400.0)
     grid.add_argument("--seed", type=int, default=3)
+    grid.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width for the sweep (0 = sequential; "
+             "parallel results are bit-identical)",
+    )
 
     report = sub.add_parser(
         "report", help="run all experiments and write EXPERIMENTS.md"
@@ -86,7 +91,9 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from .experiments.common import standard_setup
 
     setup = standard_setup(seed=args.seed)
-    grid = fig15_survival.run(setup=setup, window_s=args.window)
+    grid = fig15_survival.run(
+        setup=setup, window_s=args.window, workers=args.workers
+    )
     rows = dict(grid.survival_s)
     rows["Avg."] = grid.averages()
     from .experiments.common import format_table

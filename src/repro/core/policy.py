@@ -98,6 +98,14 @@ class HierarchicalPolicy:
         """History of (from, to) level changes."""
         return list(self._transitions)
 
+    def peek(self) -> "SecurityLevel | None":
+        """Current level, or ``None`` before the first :meth:`update`.
+
+        The non-raising companion of :attr:`level`, for observers (event
+        publishers, dashboards) that must not disturb the machine.
+        """
+        return self._level
+
     def initial_state(self, inputs: PolicyInputs) -> SecurityLevel:
         """Initial level for ``inputs`` per the Fig. 9 table."""
         key = (inputs.vdeb_available, inputs.udeb_available, inputs.visible_peak)

@@ -45,6 +45,11 @@ class SheddingDecision:
         """Servers currently asleep."""
         return int(np.sum(self.asleep))
 
+    @property
+    def changed(self) -> bool:
+        """True when this update shed or released at least one server."""
+        return bool(self.newly_shed or self.newly_released)
+
 
 class LoadShedder:
     """Hysteretic, capped, metered-utilisation-driven server shedder.

@@ -25,6 +25,7 @@ simulation engine applies the result to the breakers and metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from ..config import DataCenterConfig
 from ..errors import ConfigError
 from ..power.capping import CapController
 from ..workload.cluster import ClusterModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..sim.events import EventBus
 
 
 @dataclass(frozen=True)
@@ -102,6 +106,9 @@ class SchemeContext:
         initial_soft_limits_w: The provisioned per-rack budgets; schemes
             without iPDU reassignment keep these forever.
         seed: Determinism seed.
+        bus: Event bus for the scheme's typed occurrences (capping flips,
+            policy escalations, shedding, vDEB reassignments); a private
+            bus is created when the orchestration layer supplies none.
     """
 
     config: DataCenterConfig
@@ -110,6 +117,7 @@ class SchemeContext:
     branch_rating_w: "np.ndarray | None" = None
     seed: "int | None" = None
     initial_battery_soc: "float | list[float]" = field(default=1.0)
+    bus: "EventBus | None" = None
 
     def ratings(self) -> np.ndarray:
         """Per-rack branch breaker ratings (defaults to the soft limits)."""
@@ -140,7 +148,11 @@ class DefenseScheme:
     uses_shedding: bool = False
 
     def __init__(self, ctx: SchemeContext) -> None:
+        # Deferred import: repro.sim imports the defense layer.
+        from ..sim.events import EventBus
+
         self.ctx = ctx
+        self.bus = ctx.bus if ctx.bus is not None else EventBus()
         cfg = ctx.config
         racks = ctx.cluster.racks
         self.fleet = BatteryFleet(
@@ -191,6 +203,8 @@ class DefenseScheme:
         when capping is enabled.
         """
         if self.uses_capping:
+            from ..sim.events import CappingChanged
+
             for rack, controller in enumerate(self.cap_controllers):
                 need = (
                     state.metered_rack_avg_w[rack] - self.soft_limits_w[rack]
@@ -202,7 +216,12 @@ class DefenseScheme:
                     self.fleet[rack].max_discharge_power(state.dt) < need
                 )
                 over = need > 0.0 and battery_short
-                self.capped_racks[rack] = controller.step(bool(over), state.dt)
+                capped = controller.step(bool(over), state.dt)
+                if capped != bool(self.capped_racks[rack]):
+                    self.bus.publish(CappingChanged(
+                        time_s=state.time_s, rack_id=rack, capped=capped,
+                    ))
+                self.capped_racks[rack] = capped
 
     # ------------------------------------------------------------------ #
     # The shared dispatch pipeline                                        #

@@ -25,6 +25,7 @@ from ..core.policy import HierarchicalPolicy, PolicyInputs, SecurityLevel
 from ..core.detection import VisiblePeakDetector
 from ..core.shedding import LoadShedder
 from ..core.udeb import UdebShaver
+from ..sim.events import PolicyEscalation, SheddingAction
 from .base import SchemeContext, StepState
 from .vdeb_only import VdebScheme
 
@@ -119,7 +120,12 @@ class PadScheme(VdebScheme):
             udeb_available=self.shaver.min_soc > cfg.policy.udeb_empty_soc,
             visible_peak=vp.any_peak,
         )
+        before = self.policy.peek()
         level = self.policy.update(inputs)
+        if before is not None and level is not before:
+            self.bus.publish(PolicyEscalation(
+                time_s=state.time_s, from_level=before, to_level=level,
+            ))
         metered_total = float(np.sum(state.metered_rack_avg_w))
         required = 0.0
         # "PAD temporarily puts some of the low-priority racks into
@@ -148,6 +154,12 @@ class PadScheme(VdebScheme):
         decision = self.shedder.update(
             state.time_s, state.metered_server_util, required
         )
+        if decision.changed:
+            self.bus.publish(SheddingAction(
+                time_s=state.time_s,
+                shed=decision.newly_shed,
+                woken=decision.newly_released,
+            ))
         self.asleep_servers = decision.asleep
 
     def after_battery(self, state: StepState, residual_w: np.ndarray

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.vdeb import VdebController
+from ..sim.events import SoftLimitsReassigned
 from .base import DefenseScheme, SchemeContext, StepState
 
 
@@ -106,6 +107,9 @@ class VdebScheme(DefenseScheme):
             ceiling_w=float(np.max(self._branch_rating_w)),
             margin_w=self.CHARGE_MARGIN_W,
         )
+        self.bus.publish(SoftLimitsReassigned(
+            time_s=state.time_s, soft_limits_w=self.soft_limits_w.copy(),
+        ))
 
     def reset(self) -> None:
         super().reset()

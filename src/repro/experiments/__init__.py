@@ -15,6 +15,7 @@ from . import (
     fig15_survival,
     fig16_throughput,
     fig17_cost,
+    sweep,
     table1_detection,
 )
 from .common import (
@@ -28,12 +29,23 @@ from .common import (
     run_throughput,
     standard_setup,
 )
+from .sweep import (
+    ScenarioSweep,
+    SweepCell,
+    SweepResult,
+    derive_cell_seed,
+    survival_grid_cells,
+)
 
 __all__ = [
     "ExperimentSetup",
     "SCHEME_ORDER",
     "SURVIVAL_WINDOW_S",
+    "ScenarioSweep",
+    "SweepCell",
+    "SweepResult",
     "build_attacker",
+    "derive_cell_seed",
     "fig05_soc_variation",
     "fig06_two_phase",
     "fig07_effective_attack",
@@ -48,5 +60,7 @@ __all__ = [
     "run_survival",
     "run_throughput",
     "standard_setup",
+    "survival_grid_cells",
+    "sweep",
     "table1_detection",
 ]

@@ -28,6 +28,7 @@ from ..config import DataCenterConfig
 from ..defense import SCHEMES
 from ..errors import SimulationError
 from ..sim.datacenter import DataCenterSimulation, SimResult
+from ..sim.runner import ATTACK_DT_S, AttackWindow, Runner
 from ..units import days
 from ..workload.cluster import ClusterModel
 from ..workload.synthetic import SyntheticTraceConfig, generate_trace
@@ -41,9 +42,6 @@ SCHEME_ORDER = ("Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD")
 #: so the strongest schemes' survival is visibly censored rather than
 #: clipped. Censored cells are reported at the window length.
 SURVIVAL_WINDOW_S = 2400.0
-
-#: Fine simulation step during attack windows (seconds).
-ATTACK_DT_S = 0.5
 
 #: Default victim rack for targeted attacks.
 DEFAULT_TARGET_RACK = 5
@@ -177,8 +175,15 @@ def run_survival(
     dt: float = ATTACK_DT_S,
     seed: int = 7,
     record_every: int = 40,
+    lead_in_s: float = 0.0,
 ) -> SimResult:
     """One survival-style run: attack at the calibrated time, stop on trip.
+
+    The observation window is declared as an attack window on a
+    :class:`~repro.sim.runner.Runner`, so the whole window runs at the
+    fine step ``dt``. A positive ``lead_in_s`` prepends a coarse
+    trace-interval warm-up segment before the attack (battery, breaker
+    and scheme state carry across the boundary).
 
     Args:
         setup: Calibrated experiment setup.
@@ -187,18 +192,27 @@ def run_survival(
     """
     if scheme_name not in SCHEMES:
         raise SimulationError(f"unknown scheme: {scheme_name!r}")
+    if lead_in_s < 0.0:
+        raise SimulationError("lead_in_s must be non-negative")
     attacker = (
         build_attacker(setup, scenario, seed=seed) if scenario else None
     )
     sim = DataCenterSimulation(
         setup.config, setup.trace, SCHEMES[scheme_name], attacker=attacker
     )
-    return sim.run(
-        duration_s=window_s,
-        dt=dt,
-        start_s=setup.attack_time_s,
+    runner = Runner(
+        sim,
+        coarse_dt=setup.trace.interval_s,
+        fine_dt=dt,
+        fine_record_every=record_every,
+    )
+    return runner.run(
+        start_s=setup.attack_time_s - lead_in_s,
+        end_s=setup.attack_time_s + window_s,
+        attack_windows=[
+            AttackWindow(setup.attack_time_s, setup.attack_time_s + window_s)
+        ],
         stop_on_trip=True,
-        record_every=record_every,
     )
 
 
@@ -228,12 +242,19 @@ def run_throughput(
         repair_time_s=300.0,
         initial_battery_soc=initial_battery_soc,
     )
-    return sim.run(
-        duration_s=window_s,
-        dt=dt,
+    runner = Runner(
+        sim,
+        coarse_dt=setup.trace.interval_s,
+        fine_dt=dt,
+        fine_record_every=80,
+    )
+    return runner.run(
         start_s=setup.attack_time_s,
+        end_s=setup.attack_time_s + window_s,
+        attack_windows=[
+            AttackWindow(setup.attack_time_s, setup.attack_time_s + window_s)
+        ],
         stop_on_trip=False,
-        record_every=80,
     )
 
 

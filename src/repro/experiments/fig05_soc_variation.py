@@ -21,6 +21,7 @@ import numpy as np
 from ..config import ChargingPolicy, ClusterConfig, DataCenterConfig
 from ..defense import SCHEMES
 from ..sim.datacenter import DataCenterSimulation
+from ..sim.runner import Runner
 from ..units import TRACE_INTERVAL_S
 from ..workload.synthetic import SyntheticTraceConfig, generate_trace
 from ..units import days
@@ -82,11 +83,10 @@ def run(duration_days: float = 4.0, seed: int = 5) -> SocVariationResult:
             SCHEMES["PS"],
             management_interval_s=TRACE_INTERVAL_S,
         )
-        result = sim.run(
-            duration_s=trace.duration_s,
-            dt=TRACE_INTERVAL_S,
-            record_every=1,
-        )
+        # No attack windows declared: the Runner emits one coarse segment
+        # covering the whole trace.
+        runner = Runner(sim, coarse_dt=TRACE_INTERVAL_S)
+        result = runner.run(start_s=0.0, end_s=trace.duration_s)
         series[policy] = 100.0 * result.recorder.series("fleet_soc_std")
         time_s = result.recorder.series("time_s")
     return SocVariationResult(

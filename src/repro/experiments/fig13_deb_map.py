@@ -23,6 +23,7 @@ from ..config import ClusterConfig, DataCenterConfig
 from ..defense import SCHEMES
 from ..sim.datacenter import DataCenterSimulation
 from ..sim.metrics import vulnerable_rack_fraction
+from ..sim.runner import AttackWindow, Runner
 from ..units import TRACE_INTERVAL_S, days
 from ..workload.synthetic import SyntheticTraceConfig, generate_trace
 from .common import ATTACK_DT_S, SURVIVAL_WINDOW_S, learned_autonomy_prior, ExperimentSetup
@@ -149,12 +150,19 @@ def _survival_at(
         seed=seed,
     )
     sim = DataCenterSimulation(config, trace, SCHEMES[scheme], attacker=attacker)
-    result = sim.run(
-        duration_s=SURVIVAL_WINDOW_S,
-        dt=ATTACK_DT_S,
+    runner = Runner(
+        sim,
+        coarse_dt=trace.interval_s,
+        fine_dt=ATTACK_DT_S,
+        fine_record_every=100,
+    )
+    result = runner.run(
         start_s=attack_time_s,
+        end_s=attack_time_s + SURVIVAL_WINDOW_S,
+        attack_windows=[
+            AttackWindow(attack_time_s, attack_time_s + SURVIVAL_WINDOW_S)
+        ],
         stop_on_trip=True,
-        record_every=100,
     )
     return result.survival_or_window()
 

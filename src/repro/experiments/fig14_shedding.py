@@ -20,6 +20,7 @@ from ..config import ClusterConfig, DataCenterConfig
 from ..defense import SCHEMES
 from ..sim.datacenter import DataCenterSimulation
 from ..sim.metrics import vulnerable_rack_fraction
+from ..sim.runner import Runner
 from ..units import TRACE_INTERVAL_S, days, hours
 from ..workload.synthetic import SyntheticTraceConfig, generate_trace
 
@@ -74,9 +75,8 @@ def run(duration_days: float = 1.0, seed: int = 15) -> SheddingResult:
             config, trace, SCHEMES[scheme],
             management_interval_s=TRACE_INTERVAL_S,
         )
-        result = sim.run(
-            duration_s=trace.duration_s, dt=TRACE_INTERVAL_S, record_every=1
-        )
+        runner = Runner(sim, coarse_dt=TRACE_INTERVAL_S)
+        result = runner.run(start_s=0.0, end_s=trace.duration_s)
         rec = result.recorder
         servers = sim.cluster.servers
         outputs[scheme] = (

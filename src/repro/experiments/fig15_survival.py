@@ -21,9 +21,9 @@ from .common import (
     SURVIVAL_WINDOW_S,
     ExperimentSetup,
     format_table,
-    run_survival,
     standard_setup,
 )
+from .sweep import ScenarioSweep, survival_grid_cells
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,7 @@ def run(
     schemes: "tuple[str, ...]" = SCHEME_ORDER,
     window_s: float = SURVIVAL_WINDOW_S,
     seed: int = 7,
+    workers: int = 0,
 ) -> SurvivalGrid:
     """Run the survival grid.
 
@@ -74,21 +75,16 @@ def run(
         scenarios: Attack grid; defaults to the paper's six scenarios.
         schemes: Schemes to evaluate, in order.
         window_s: Observation window.
+        workers: Process-pool width for the sweep; 0 runs sequentially.
+            Parallel and sequential grids are bit-identical.
     """
     if setup is None:
         setup = standard_setup()
     if scenarios is None:
         scenarios = standard_scenarios()
-    grid: dict[str, dict[str, float]] = {}
-    for scenario in scenarios:
-        row: dict[str, float] = {}
-        for scheme in schemes:
-            result = run_survival(
-                setup, scheme, scenario, window_s=window_s, seed=seed
-            )
-            row[scheme] = result.survival_or_window()
-        grid[scenario.name] = row
-    return SurvivalGrid(window_s=window_s, survival_s=grid)
+    cells = survival_grid_cells(scenarios, schemes, window_s=window_s, seed=seed)
+    sweep = ScenarioSweep(setup, cells, workers=workers).run()
+    return SurvivalGrid(window_s=window_s, survival_s=sweep.grid())
 
 
 def main() -> SurvivalGrid:

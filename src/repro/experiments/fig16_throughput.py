@@ -18,14 +18,12 @@ from dataclasses import dataclass, replace
 
 from ..attack.scenario import DENSE_ATTACK
 from ..attack.spikes import SpikeTrainConfig
-from ..defense import SCHEMES
-from ..sim.datacenter import DataCenterSimulation
 from .common import (
     ExperimentSetup,
     format_table,
-    run_throughput,
     standard_setup,
 )
+from .sweep import ScenarioSweep, SweepCell
 
 #: Schemes compared in Fig. 16.
 FIG16_SCHEMES = ("PS", "PSPC", "Conv", "PAD")
@@ -90,50 +88,61 @@ def _width_scenario(width_s: float, rate_per_min: float = 12.0):
 ATTACK_PERIOD_SOC = 0.35
 
 
-def _baseline_throughput(
-    setup: ExperimentSetup, scheme: str, window_s: float, dt: float
-) -> float:
-    """Attack-free throughput of the same scheme over the same window."""
-    sim = DataCenterSimulation(
-        setup.config, setup.trace, SCHEMES[scheme], repair_time_s=300.0,
+def _cell(scheme: str, column: str, scenario, window_s: float, dt: float,
+          seed: int) -> SweepCell:
+    """A Fig.-16 sweep cell: throughput mode, attack-period SOC."""
+    return SweepCell(
+        row=scheme,
+        column=column,
+        scheme=scheme,
+        scenario=scenario,
+        window_s=window_s,
+        dt=dt,
+        seed=seed,
+        mode="throughput",
         initial_battery_soc=ATTACK_PERIOD_SOC,
     )
-    result = sim.run(
-        duration_s=window_s, dt=dt,
-        start_s=setup.attack_time_s, record_every=200,
-    )
-    return result.throughput_ratio
 
 
 def run(
     setup: "ExperimentSetup | None" = None,
     seed: int = 7,
     window_s: float = WINDOW_S,
+    workers: int = 0,
 ) -> ThroughputResult:
-    """Run both Fig.-16 sweeps."""
+    """Run both Fig.-16 sweeps (one :class:`ScenarioSweep` grid)."""
     if setup is None:
         setup = standard_setup()
-    by_rate: dict[str, dict[float, float]] = {}
-    by_width: dict[str, dict[float, float]] = {}
+    cells: list[SweepCell] = []
     for scheme in FIG16_SCHEMES:
-        base_coarse = _baseline_throughput(setup, scheme, window_s, dt=0.5)
-        by_rate[scheme] = {}
+        # The attack-free normalisers: one per (scheme, step) pair.
+        cells.append(_cell(scheme, "base:rate", None, window_s, 0.5, seed))
         for duty in ATTACK_RATES:
-            result = run_throughput(
-                setup, scheme, _rate_scenario(duty),
-                window_s=window_s, dt=0.5, seed=seed,
-                initial_battery_soc=ATTACK_PERIOD_SOC,
-            )
-            by_rate[scheme][duty] = result.throughput_ratio / base_coarse
-        base_fine = _baseline_throughput(setup, scheme, window_s / 3, dt=0.1)
-        by_width[scheme] = {}
+            cells.append(_cell(
+                scheme, f"rate:{duty}", _rate_scenario(duty),
+                window_s, 0.5, seed,
+            ))
+        cells.append(_cell(scheme, "base:width", None, window_s / 3, 0.1, seed))
         for width in ATTACK_WIDTHS_S:
-            result = run_throughput(
-                setup, scheme, _width_scenario(width),
-                window_s=window_s / 3, dt=0.1, seed=seed,
-                initial_battery_soc=ATTACK_PERIOD_SOC,
-            )
-            by_width[scheme][width] = result.throughput_ratio / base_fine
+            cells.append(_cell(
+                scheme, f"width:{width}", _width_scenario(width),
+                window_s / 3, 0.1, seed,
+            ))
+    grid = ScenarioSweep(setup, cells, workers=workers).run().grid()
+    by_rate = {
+        scheme: {
+            duty: grid[scheme][f"rate:{duty}"] / grid[scheme]["base:rate"]
+            for duty in ATTACK_RATES
+        }
+        for scheme in FIG16_SCHEMES
+    }
+    by_width = {
+        scheme: {
+            width: grid[scheme][f"width:{width}"] / grid[scheme]["base:width"]
+            for width in ATTACK_WIDTHS_S
+        }
+        for scheme in FIG16_SCHEMES
+    }
     return ThroughputResult(by_rate=by_rate, by_width=by_width)
 
 

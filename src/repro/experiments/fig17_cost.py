@@ -23,6 +23,7 @@ from ..config import SupercapConfig
 from ..defense import SCHEMES
 from ..sim.costs import cluster_cost
 from ..sim.datacenter import DataCenterSimulation
+from ..sim.runner import AttackWindow, Runner
 from .common import (
     ATTACK_DT_S,
     SURVIVAL_WINDOW_S,
@@ -124,12 +125,18 @@ def _stress_survival(
         attacker=attacker,
         initial_battery_soc=soc,
     )
-    result = sim.run(
-        duration_s=SURVIVAL_WINDOW_S,
-        dt=ATTACK_DT_S,
+    runner = Runner(
+        sim,
+        coarse_dt=setup.trace.interval_s,
+        fine_dt=ATTACK_DT_S,
+        fine_record_every=100,
+    )
+    end_s = setup.attack_time_s + SURVIVAL_WINDOW_S
+    result = runner.run(
         start_s=setup.attack_time_s,
+        end_s=end_s,
+        attack_windows=[AttackWindow(setup.attack_time_s, end_s)],
         stop_on_trip=True,
-        record_every=100,
     )
     return result.survival_or_window()
 

@@ -7,31 +7,65 @@ from .costs import (
     supercap_cost,
     udeb_capacity_for_ratio,
 )
-from .datacenter import DataCenterSimulation, OverloadEvent, SimResult
+from .datacenter import DataCenterSimulation, OverloadEvent, SimResult, StepContext
 from .engine import Engine, RunResult
+from .events import (
+    BreakerTripped,
+    CappingChanged,
+    EventBus,
+    PolicyEscalation,
+    SheddingAction,
+    SimEvent,
+    SoftLimitsReassigned,
+    events_between,
+)
+from .runner import (
+    ATTACK_DT_S,
+    AttackWindow,
+    Runner,
+    Segment,
+    build_schedule,
+)
 from .metrics import (
     count_effective_attacks,
+    event_counts,
     improvement_over,
     overloads_in,
     rising_edges_above,
     soc_map,
     soc_std_series,
     survival_summary,
+    survival_time_after,
     vulnerable_rack_fraction,
 )
 from .recorder import Recorder
 
 __all__ = [
+    "ATTACK_DT_S",
+    "AttackWindow",
+    "BreakerTripped",
+    "CappingChanged",
     "CostBreakdown",
     "DataCenterSimulation",
     "Engine",
+    "EventBus",
     "OverloadEvent",
+    "PolicyEscalation",
     "Recorder",
     "RunResult",
+    "Runner",
+    "Segment",
+    "SheddingAction",
+    "SimEvent",
     "SimResult",
+    "SoftLimitsReassigned",
+    "StepContext",
     "battery_cost",
+    "build_schedule",
     "cluster_cost",
     "count_effective_attacks",
+    "event_counts",
+    "events_between",
     "improvement_over",
     "overloads_in",
     "rising_edges_above",
@@ -39,6 +73,7 @@ __all__ = [
     "soc_std_series",
     "supercap_cost",
     "survival_summary",
+    "survival_time_after",
     "udeb_capacity_for_ratio",
     "vulnerable_rack_fraction",
 ]

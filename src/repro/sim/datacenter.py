@@ -6,14 +6,28 @@ turns utilisation into rack power; the active defense scheme moves battery
 and supercap energy; breakers integrate the resulting utility draw; and
 the metrics layer records overloads, trips, throughput and SOC maps.
 
+Each step runs an explicit pipeline of stages —
+
+    workload -> attacker overrides -> power demand -> defense dispatch
+             -> protection/breakers -> accounting
+
+— each an individually testable method operating on a shared
+:class:`StepContext`. Occurrences (overloads, trips, policy escalations,
+shedding, vDEB reassignments, capping flips) are published as typed
+:class:`~repro.sim.events.SimEvent` objects on the simulation's
+:class:`~repro.sim.events.EventBus`; :class:`SimResult` collects them
+through subscriptions rather than ad-hoc list appends.
+
 Timing follows the paper's two-scale structure: month-long background runs
 step at the trace interval, attack windows step at sub-second resolution.
-The simulation is agnostic — pick ``dt`` per run.
+One call can mix both — see :meth:`DataCenterSimulation.run_segments` and
+:class:`~repro.sim.runner.Runner`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -25,24 +39,16 @@ from ..workload.cluster import ClusterModel
 from ..workload.trace import UtilizationTrace
 from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
 from .engine import Engine
+from .events import BreakerTripped, EventBus, OverloadEvent, SimEvent
 from .recorder import Recorder
+from .runner import Segment
 
-
-@dataclass(frozen=True)
-class OverloadEvent:
-    """An effective attack: a rack feed exceeded its rating.
-
-    Attributes:
-        time_s: When the rack's utility draw first crossed the rating.
-        rack_id: The overloaded rack (``-1`` for the cluster feed).
-        utility_w: The offending draw.
-        rating_w: The rating it crossed.
-    """
-
-    time_s: float
-    rack_id: int
-    utility_w: float
-    rating_w: float
+__all__ = [
+    "DataCenterSimulation",
+    "OverloadEvent",
+    "SimResult",
+    "StepContext",
+]
 
 
 @dataclass
@@ -56,6 +62,9 @@ class SimResult:
         attack_start_s: When the attacker engaged, if any.
         overloads: Effective-attack events, in time order.
         trips: Breaker trips, in time order.
+        events: The full typed event stream of the run, in publication
+            order (overloads, trips, policy escalations, shedding, vDEB
+            reassignments, capping flips).
         delivered_work: Integrated delivered throughput (machine-seconds).
         demanded_work: Integrated demanded throughput (machine-seconds).
         recorder: Step-aligned time series.
@@ -67,6 +76,7 @@ class SimResult:
     attack_start_s: "float | None"
     overloads: "list[OverloadEvent]" = field(default_factory=list)
     trips: "list[TripEvent]" = field(default_factory=list)
+    events: "list[SimEvent]" = field(default_factory=list)
     delivered_work: float = 0.0
     demanded_work: float = 0.0
     recorder: Recorder = field(default_factory=Recorder)
@@ -76,13 +86,18 @@ class SimResult:
         """Attack start to first breaker trip; ``None`` when censored.
 
         This is the paper's headline metric ("from the beginning of the
-        attack to the time the first overload happens"). A run that ends
-        with no trip survived the whole window — report the censored
-        value via :meth:`survival_or_window`.
+        attack to the time the first overload happens"). Trips that
+        pre-date the attack (background overloads during a lead-in
+        segment) do not count against the attacker. A run that ends with
+        no qualifying trip survived the whole window — report the
+        censored value via :meth:`survival_or_window`.
         """
-        if self.attack_start_s is None or not self.trips:
+        if self.attack_start_s is None:
             return None
-        return self.trips[0].time_s - self.attack_start_s
+        for trip in self.trips:
+            if trip.time_s >= self.attack_start_s:
+                return trip.time_s - self.attack_start_s
+        return None
 
     def survival_or_window(self) -> float:
         """Survival time, or the full attack window when censored."""
@@ -103,6 +118,45 @@ class SimResult:
         if self.demanded_work <= 0.0:
             return 1.0
         return self.delivered_work / self.demanded_work
+
+    def events_of_type(self, event_type: type) -> "list[SimEvent]":
+        """Events of the run that are instances of ``event_type``."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+
+@dataclass
+class StepContext:
+    """Mutable per-step state handed from pipeline stage to stage.
+
+    Attributes:
+        time_s: Current simulation time.
+        dt: Step length.
+        result: The accumulating run result.
+        record: Whether this step's channels are recorded.
+        down: Racks currently dark (tripped and unrepaired).
+        util: Per-machine utilisation (trace, then attacker overrides).
+        capped_servers: Per-server capping mask in force this tick (the
+            scheme's decision from the *previous* tick — management acts
+            one tick delayed, like real firmware).
+        asleep: Per-server sleep mask in force this tick (same delay).
+        demand: Per-rack electrical demand.
+        state: The scheme-visible observation for this tick.
+        dispatch: The scheme's decision for this tick.
+        utility: Per-rack utility-feed draw after the dispatch.
+    """
+
+    time_s: float
+    dt: float
+    result: SimResult
+    record: bool = True
+    down: "list[int]" = field(default_factory=list)
+    util: "np.ndarray | None" = None
+    capped_servers: "np.ndarray | None" = None
+    asleep: "np.ndarray | None" = None
+    demand: "np.ndarray | None" = None
+    state: "StepState | None" = None
+    dispatch: "Dispatch | None" = None
+    utility: "np.ndarray | None" = None
 
 
 class DataCenterSimulation:
@@ -150,6 +204,9 @@ class DataCenterSimulation:
             )
         self.trace = trace
         self.attacker = attacker
+        # Results capture their own event streams via subscriptions, so
+        # the long-lived bus itself does not record.
+        self.bus = EventBus(record=False)
         racks = self.cluster.racks
         budget_w = config.cluster.pdu_budget_w
         self.soft_limits_w = np.full(racks, budget_w / racks)
@@ -169,6 +226,7 @@ class DataCenterSimulation:
                 branch_rating_w=self.rating_w,
                 seed=config.seed,
                 initial_battery_soc=initial_battery_soc,
+                bus=self.bus,
             )
         )
         self._mgmt_interval = management_interval_s
@@ -191,28 +249,123 @@ class DataCenterSimulation:
             self._attack_nodes >= self.cluster.servers
         ):
             raise SimulationError("attacker nodes outside the cluster")
+        #: The step pipeline, in execution order. Each stage reads and
+        #: extends the :class:`StepContext`; tests (and exotic workloads)
+        #: may call stages individually or swap the tuple.
+        self.pipeline = (
+            self.stage_workload,
+            self.stage_attack,
+            self.stage_demand,
+            self.stage_defense,
+            self.stage_protection,
+            self.stage_accounting,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages                                                     #
+    # ------------------------------------------------------------------ #
+
+    def stage_workload(self, ctx: StepContext) -> None:
+        """Resolve dark racks and read the trace utilisation."""
+        ctx.down = self._down_racks(ctx.time_s)
+        ctx.util = self.trace.at(ctx.time_s)[: self.cluster.servers].copy()
+
+    def stage_attack(self, ctx: StepContext) -> None:
+        """Apply the attacker's utilisation overrides, if any."""
+        if self.attacker is None:
+            return
+        assert ctx.util is not None
+        observed = self._attacker_observes_capping()
+        # The attacker can tell its rack went dark — its own VMs die.
+        success = any(
+            self.cluster.rack_of(int(n)) in ctx.down
+            for n in self._attack_nodes  # type: ignore[union-attr]
+        )
+        overrides = self.attacker.utilisation_overrides(
+            ctx.time_s, observed, observed_success=success
+        )
+        for node, value in overrides.items():
+            if not self.scheme.asleep_servers[node]:
+                ctx.util[node] = max(ctx.util[node], value)
+
+    def stage_demand(self, ctx: StepContext) -> None:
+        """Turn utilisation into rack power and feed the meters."""
+        assert ctx.util is not None
+        ctx.capped_servers = self.scheme.capped_racks[
+            np.arange(self.cluster.servers) // self.config.cluster.rack.servers
+        ]
+        ctx.asleep = self.scheme.asleep_servers
+        ctx.demand = self.cluster.rack_power(
+            ctx.util,
+            capped=ctx.capped_servers,
+            asleep=ctx.asleep,
+            down_racks=ctx.down,
+        )
+        self._update_meters(ctx.demand, ctx.util, ctx.dt)
+
+    def stage_defense(self, ctx: StepContext) -> None:
+        """Let the active scheme move energy and set management masks."""
+        assert ctx.demand is not None
+        ctx.state = StepState(
+            time_s=ctx.time_s,
+            dt=ctx.dt,
+            rack_demand_w=ctx.demand,
+            metered_rack_avg_w=self._metered_rack_avg.copy(),
+            metered_server_util=self._metered_server_util.copy(),
+        )
+        ctx.dispatch = self.scheme.dispatch(ctx.state)
+        ctx.utility = ctx.dispatch.utility_w(ctx.demand)
+        ctx.utility[ctx.down] = 0.0
+
+    def stage_protection(self, ctx: StepContext) -> None:
+        """Move enforcement with the budgets, then integrate breakers."""
+        assert ctx.dispatch is not None and ctx.utility is not None
+        # The iPDU protection thresholds follow the (possibly
+        # reassigned) soft limits: enforcement moves with the budget.
+        self.rating_w = ctx.dispatch.soft_limits_w * (
+            1.0 + self._overshoot_tolerance
+        )
+        for rack, breaker in enumerate(self.rack_breakers):
+            breaker.set_rating(float(self.rating_w[rack]))
+        self._publish_overloads(ctx.utility, ctx.time_s)
+        for rack, breaker in enumerate(self.rack_breakers):
+            if breaker.step(float(ctx.utility[rack]), ctx.dt, ctx.time_s):
+                assert breaker.trip_event is not None
+                self.bus.publish(
+                    BreakerTripped(
+                        time_s=ctx.time_s, rack_id=rack,
+                        trip=breaker.trip_event,
+                    )
+                )
+        if self.cluster_breaker.step(
+            float(np.sum(ctx.utility)), ctx.dt, ctx.time_s
+        ):
+            assert self.cluster_breaker.trip_event is not None
+            self.bus.publish(
+                BreakerTripped(
+                    time_s=ctx.time_s, rack_id=-1,
+                    trip=self.cluster_breaker.trip_event,
+                )
+            )
+
+    def stage_accounting(self, ctx: StepContext) -> None:
+        """Integrate throughput and record the step's channels."""
+        assert ctx.util is not None and ctx.dispatch is not None
+        delivered = self.cluster.throughput(
+            ctx.util,
+            capped=ctx.capped_servers,
+            asleep=ctx.asleep,
+            down_racks=ctx.down,
+        )
+        demanded = self.cluster.demanded_throughput(ctx.util)
+        ctx.result.delivered_work += delivered * ctx.dt
+        ctx.result.demanded_work += demanded * ctx.dt
+        if ctx.record:
+            self._record(ctx)
 
     # ------------------------------------------------------------------ #
     # Step internals                                                      #
     # ------------------------------------------------------------------ #
-
-    def _utilisation(self, time_s: float, down: "list[int]") -> np.ndarray:
-        """Trace utilisation with attacker overrides applied."""
-        util = self.trace.at(time_s)[: self.cluster.servers].copy()
-        if self.attacker is not None:
-            observed = self._attacker_observes_capping()
-            # The attacker can tell its rack went dark — its own VMs die.
-            success = any(
-                self.cluster.rack_of(int(n)) in down
-                for n in self._attack_nodes  # type: ignore[union-attr]
-            )
-            overrides = self.attacker.utilisation_overrides(
-                time_s, observed, observed_success=success
-            )
-            for node, value in overrides.items():
-                if not self.scheme.asleep_servers[node]:
-                    util[node] = max(util[node], value)
-        return util
 
     def _attacker_observes_capping(self) -> bool:
         """The DVFS/shedding side-channel as seen from the attacker's VMs."""
@@ -251,15 +404,13 @@ class DataCenterSimulation:
             down = still_down
         return down
 
-    def _record_overloads(
-        self, result: SimResult, utility: np.ndarray, time_s: float
-    ) -> None:
-        """Count rising edges of utility power above the ratings."""
+    def _publish_overloads(self, utility: np.ndarray, time_s: float) -> None:
+        """Publish rising edges of utility power above the ratings."""
         over_rack = utility > self.rating_w
         total = float(np.sum(utility))
         over_cluster = total > self.cluster_breaker.rated_w
         for rack in np.nonzero(over_rack & ~self._was_over[:-1])[0]:
-            result.overloads.append(
+            self.bus.publish(
                 OverloadEvent(
                     time_s=time_s,
                     rack_id=int(rack),
@@ -268,7 +419,7 @@ class DataCenterSimulation:
                 )
             )
         if over_cluster and not self._was_over[-1]:
-            result.overloads.append(
+            self.bus.publish(
                 OverloadEvent(
                     time_s=time_s,
                     rack_id=-1,
@@ -291,7 +442,9 @@ class DataCenterSimulation:
         stop_on_trip: bool = False,
         record_every: int = 1,
     ) -> SimResult:
-        """Simulate ``duration_s`` seconds at step ``dt``.
+        """Simulate ``duration_s`` seconds at a single step ``dt``.
+
+        Equivalent to :meth:`run_segments` with a one-segment schedule.
 
         Args:
             duration_s: Window length.
@@ -302,90 +455,100 @@ class DataCenterSimulation:
             record_every: Record channels every N steps (keeps month-long
                 runs compact).
         """
+        segment = Segment(
+            start_s=start_s,
+            end_s=start_s + duration_s,
+            dt=dt,
+            record_every=record_every,
+        )
+        return self.run_segments([segment], stop_on_trip=stop_on_trip)
+
+    def run_segments(
+        self,
+        segments: "Sequence[Segment]",
+        stop_on_trip: bool = False,
+    ) -> SimResult:
+        """Execute a schedule of segments, merging into one result.
+
+        Segments must be in ascending, non-overlapping time order; all
+        simulation state (battery SOC, breaker heat, meters, scheme
+        state) carries across boundaries. Schedules are typically built
+        by :func:`repro.sim.runner.build_schedule` / a
+        :class:`~repro.sim.runner.Runner`.
+        """
+        schedule = list(segments)
+        if not schedule:
+            raise SimulationError("empty segment schedule")
+        for earlier, later in zip(schedule, schedule[1:]):
+            if later.start_s < earlier.end_s - 1e-6:
+                raise SimulationError(
+                    "segments must be in ascending, non-overlapping order"
+                )
         attack_start = None
         if self.attacker is not None:
             attack_start = self.attacker.driver.config.start_s
         result = SimResult(
             scheme=self.scheme.name,
-            start_s=start_s,
-            end_s=start_s,
+            start_s=schedule[0].start_s,
+            end_s=schedule[0].start_s,
             attack_start_s=attack_start,
         )
-        engine = Engine(dt=dt, start_s=start_s)
-        step_index = [0]
+        unsubscribes = (
+            self.bus.subscribe(SimEvent, result.events.append),
+            self.bus.subscribe(OverloadEvent, result.overloads.append),
+            self.bus.subscribe(
+                BreakerTripped, lambda e: result.trips.append(e.trip)
+            ),
+        )
+        try:
+            for segment in schedule:
+                self._run_segment(segment, result, stop_on_trip)
+                if stop_on_trip and result.trips:
+                    break
+        finally:
+            for unsubscribe in unsubscribes:
+                unsubscribe()
+        return result
 
-        def step(time_s: float, step_dt: float) -> None:
-            down = self._down_racks(time_s)
-            util = self._utilisation(time_s, down)
-            capped_servers = self.scheme.capped_racks[
-                np.arange(self.cluster.servers) // self.config.cluster.rack.servers
-            ]
-            asleep = self.scheme.asleep_servers
-            demand = self.cluster.rack_power(
-                util, capped=capped_servers, asleep=asleep, down_racks=down
-            )
-            self._update_meters(demand, util, step_dt)
-            state = StepState(
+    def _run_segment(
+        self, segment: Segment, result: SimResult, stop_on_trip: bool
+    ) -> None:
+        """Run one segment's engine, accumulating into ``result``."""
+        engine = Engine(dt=segment.dt, start_s=segment.start_s, bus=self.bus)
+        step_index = 0
+
+        def step(time_s: float, dt: float) -> None:
+            nonlocal step_index
+            ctx = StepContext(
                 time_s=time_s,
-                dt=step_dt,
-                rack_demand_w=demand,
-                metered_rack_avg_w=self._metered_rack_avg.copy(),
-                metered_server_util=self._metered_server_util.copy(),
+                dt=dt,
+                result=result,
+                record=step_index % segment.record_every == 0,
             )
-            dispatch = self.scheme.dispatch(state)
-            utility = dispatch.utility_w(demand)
-            utility[down] = 0.0
-            # The iPDU protection thresholds follow the (possibly
-            # reassigned) soft limits: enforcement moves with the budget.
-            self.rating_w = dispatch.soft_limits_w * (
-                1.0 + self._overshoot_tolerance
-            )
-            for rack, breaker in enumerate(self.rack_breakers):
-                breaker.set_rating(float(self.rating_w[rack]))
-            self._record_overloads(result, utility, time_s)
-            for rack, breaker in enumerate(self.rack_breakers):
-                if breaker.step(float(utility[rack]), step_dt, time_s):
-                    assert breaker.trip_event is not None
-                    result.trips.append(breaker.trip_event)
-            if self.cluster_breaker.step(float(np.sum(utility)), step_dt, time_s):
-                assert self.cluster_breaker.trip_event is not None
-                result.trips.append(self.cluster_breaker.trip_event)
-            delivered = self.cluster.throughput(
-                util, capped=capped_servers, asleep=asleep, down_racks=down
-            )
-            demanded = self.cluster.demanded_throughput(util)
-            result.delivered_work += delivered * step_dt
-            result.demanded_work += demanded * step_dt
-            if step_index[0] % record_every == 0:
-                self._record(result, time_s, demand, utility, dispatch)
-            step_index[0] += 1
+            for stage in self.pipeline:
+                stage(ctx)
+            step_index += 1
 
         engine.add_hook(step)
         if stop_on_trip:
             engine.add_stop(lambda _t: bool(result.trips))
-        run = engine.run_until(start_s + duration_s)
+        run = engine.run_until(segment.end_s)
         result.end_s = run.end_s
-        return result
 
-    def _record(
-        self,
-        result: SimResult,
-        time_s: float,
-        demand: np.ndarray,
-        utility: np.ndarray,
-        dispatch: Dispatch,
-    ) -> None:
-        rec = result.recorder
+    def _record(self, ctx: StepContext) -> None:
+        assert ctx.demand is not None and ctx.utility is not None
+        assert ctx.dispatch is not None
+        rec = ctx.result.recorder
         rec.append_row(
-            time_s=time_s,
-            total_demand_w=float(np.sum(demand)),
-            total_utility_w=float(np.sum(utility)),
-            battery_w=float(np.sum(dispatch.battery_w)),
-            udeb_w=float(np.sum(dispatch.udeb_w)),
+            time_s=ctx.time_s,
+            total_demand_w=float(np.sum(ctx.demand)),
+            total_utility_w=float(np.sum(ctx.utility)),
+            battery_w=float(np.sum(ctx.dispatch.battery_w)),
+            udeb_w=float(np.sum(ctx.dispatch.udeb_w)),
             fleet_soc_mean=float(np.mean(self.scheme.fleet.soc_vector())),
             fleet_soc_std=self.scheme.fleet.soc_std(),
-            capped_racks=float(np.sum(dispatch.capped_racks)),
-            asleep_servers=float(np.sum(dispatch.asleep_servers)),
+            capped_racks=float(np.sum(ctx.dispatch.capped_racks)),
+            asleep_servers=float(np.sum(ctx.dispatch.asleep_servers)),
         )
         rec.append_vector("rack_soc", self.scheme.fleet.soc_vector())
-        rec.append_vector("rack_utility_w", utility)
+        rec.append_vector("rack_utility_w", ctx.utility)

@@ -1,0 +1,196 @@
+"""Typed simulation events and the engine-level event bus.
+
+Every occurrence the simulation core used to track with ad-hoc list
+appends and scattered state flags — overloads, breaker trips, policy
+escalations, shedding/wake actions, vDEB soft-limit reassignments,
+capping flips — is a :class:`SimEvent` published on an :class:`EventBus`.
+
+The bus is deliberately synchronous and in-process: ``publish`` walks the
+event's class hierarchy, so a handler subscribed to :class:`SimEvent`
+sees the whole stream while a handler subscribed to
+:class:`BreakerTripped` sees only trips. Handlers run in subscription
+order, which makes event ordering within a simulation step testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Type, TypeVar
+
+import numpy as np
+
+from ..core.policy import SecurityLevel
+from ..errors import SimulationError
+from ..power.breaker import TripEvent
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base class for everything published on the bus.
+
+    Attributes:
+        time_s: Simulation time at which the occurrence was observed.
+    """
+
+    time_s: float
+
+
+@dataclass(frozen=True)
+class OverloadEvent(SimEvent):
+    """An effective attack: a rack feed exceeded its rating.
+
+    Attributes:
+        time_s: When the rack's utility draw first crossed the rating.
+        rack_id: The overloaded rack (``-1`` for the cluster feed).
+        utility_w: The offending draw.
+        rating_w: The rating it crossed.
+    """
+
+    rack_id: int
+    utility_w: float
+    rating_w: float
+
+
+@dataclass(frozen=True)
+class BreakerTripped(SimEvent):
+    """A thermal-magnetic breaker opened.
+
+    Attributes:
+        rack_id: The protected rack (``-1`` for the cluster feed).
+        trip: The breaker's own trip record (power, ratio, element).
+    """
+
+    rack_id: int
+    trip: TripEvent
+
+
+@dataclass(frozen=True)
+class PolicyEscalation(SimEvent):
+    """The hierarchical policy changed emergency level (paper Fig. 9).
+
+    Attributes:
+        from_level: Level before the observation.
+        to_level: Level after (may be lower — de-escalations too).
+    """
+
+    from_level: SecurityLevel
+    to_level: SecurityLevel
+
+
+@dataclass(frozen=True)
+class SheddingAction(SimEvent):
+    """Level-3 shedding changed the sleep set.
+
+    Attributes:
+        shed: Server ids put to sleep this update.
+        woken: Server ids released this update.
+    """
+
+    shed: "tuple[int, ...]"
+    woken: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
+class SoftLimitsReassigned(SimEvent):
+    """The vDEB controller moved the iPDU soft limits.
+
+    Attributes:
+        soft_limits_w: The new per-rack soft limits (copy).
+    """
+
+    soft_limits_w: np.ndarray
+
+
+@dataclass(frozen=True)
+class CappingChanged(SimEvent):
+    """A rack's DVFS capping state flipped.
+
+    Attributes:
+        rack_id: The rack whose cap controller changed state.
+        capped: New state — True when the rack runs capped next tick.
+    """
+
+    rack_id: int
+    capped: bool
+
+
+#: An event handler: called synchronously with the published event.
+Handler = Callable[[SimEvent], None]
+
+E = TypeVar("E", bound=SimEvent)
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for :class:`SimEvent` streams.
+
+    Args:
+        record: Keep a chronological history of every published event
+            (handy for standalone engines and tests). Long-lived
+            simulations pass ``False`` and capture per-run streams via
+            subscriptions instead, so repeated runs do not accumulate.
+    """
+
+    def __init__(self, record: bool = True) -> None:
+        self._handlers: "dict[type, list[Handler]]" = {}
+        self._record = record
+        self._events: "list[SimEvent]" = []
+
+    def subscribe(
+        self, event_type: "Type[E]", handler: "Callable[[E], None]"
+    ) -> "Callable[[], None]":
+        """Register ``handler`` for ``event_type`` and its subclasses.
+
+        Returns:
+            A zero-argument callable that unsubscribes the handler.
+        """
+        if not (isinstance(event_type, type)
+                and issubclass(event_type, SimEvent)):
+            raise SimulationError("can only subscribe to SimEvent types")
+        handlers = self._handlers.setdefault(event_type, [])
+        handlers.append(handler)  # type: ignore[arg-type]
+
+        def unsubscribe() -> None:
+            if handler in handlers:
+                handlers.remove(handler)  # type: ignore[arg-type]
+
+        return unsubscribe
+
+    def publish(self, event: SimEvent) -> None:
+        """Deliver ``event`` to every matching handler, in order."""
+        if not isinstance(event, SimEvent):
+            raise SimulationError("can only publish SimEvent instances")
+        if self._record:
+            self._events.append(event)
+        for cls in type(event).__mro__:
+            for handler in tuple(self._handlers.get(cls, ())):
+                handler(event)
+            if cls is SimEvent:
+                break
+
+    # ------------------------------------------------------------------ #
+    # History                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> "list[SimEvent]":
+        """The recorded history (copy), in publication order."""
+        return list(self._events)
+
+    def of_type(self, event_type: "Type[E]") -> "list[E]":
+        """Recorded events that are instances of ``event_type``."""
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    def clear(self) -> None:
+        """Drop the recorded history (subscriptions are kept)."""
+        self._events.clear()
+
+
+def events_between(
+    events: "list[SimEvent]",
+    start_s: "float | None" = None,
+    end_s: "float | None" = None,
+) -> "list[SimEvent]":
+    """Filter an event stream to ``start_s <= time < end_s``."""
+    lo = -np.inf if start_s is None else start_s
+    hi = np.inf if end_s is None else end_s
+    return [e for e in events if lo <= e.time_s < hi]

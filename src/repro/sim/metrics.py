@@ -10,7 +10,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SimulationError
+from ..power.breaker import TripEvent
 from .datacenter import OverloadEvent, SimResult
+from .events import SimEvent
 
 
 def count_effective_attacks(
@@ -48,6 +50,34 @@ def rising_edges_above(values: np.ndarray, limit: float) -> int:
         raise SimulationError("need a non-empty 1-D waveform")
     over = arr > limit
     return int(np.sum(over[1:] & ~over[:-1]) + (1 if over[0] else 0))
+
+
+def survival_time_after(
+    trips: "list[TripEvent]", attack_start_s: float
+) -> "float | None":
+    """Seconds from attack start to the first trip at or after it.
+
+    Pre-attack trips (a breaker that was already failing under the
+    background load) do not count as attack kills; ``None`` means the
+    system outlived every recorded trip.
+    """
+    for trip in trips:
+        if trip.time_s >= attack_start_s:
+            return trip.time_s - attack_start_s
+    return None
+
+
+def event_counts(events: "list[SimEvent]") -> "dict[str, int]":
+    """Occurrences per concrete event class in an event stream.
+
+    A quick shape check for a run's behaviour — e.g. how often PAD
+    escalated vs how often it shed load.
+    """
+    counts: dict[str, int] = {}
+    for event in events:
+        name = type(event).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return counts
 
 
 def survival_summary(results: "dict[str, SimResult]") -> "dict[str, float]":

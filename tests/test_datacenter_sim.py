@@ -111,6 +111,35 @@ class TestAttackedOperation:
         assert n.throughput_ratio < q.throughput_ratio
 
 
+class TestSurvivalTime:
+    def _result(self, trip_times, attack_start_s):
+        from repro.power.breaker import TripEvent
+        from repro.sim import SimResult
+
+        trips = [
+            TripEvent(time_s=t, power_w=1.0, overload_ratio=1.5,
+                      instantaneous=False)
+            for t in trip_times
+        ]
+        return SimResult(
+            scheme="PS", start_s=0.0, end_s=1000.0,
+            attack_start_s=attack_start_s, trips=trips,
+        )
+
+    def test_pre_attack_trips_do_not_count(self):
+        result = self._result([100.0, 700.0], attack_start_s=600.0)
+        assert result.survival_time_s == pytest.approx(100.0)
+
+    def test_all_trips_before_attack_means_censored(self):
+        result = self._result([100.0], attack_start_s=600.0)
+        assert result.survival_time_s is None
+        assert result.survival_or_window() == pytest.approx(400.0)
+
+    def test_no_attack_means_no_survival_time(self):
+        result = self._result([100.0], attack_start_s=None)
+        assert result.survival_time_s is None
+
+
 class TestValidation:
     def test_rejects_small_trace(self):
         config = DataCenterConfig(cluster=ClusterConfig(racks=4))

@@ -50,6 +50,24 @@ class TestEngine:
         with pytest.raises(SimulationError):
             engine.run_until(5.0)
 
+    def test_no_clock_drift_over_many_steps(self):
+        """The clock is derived (start + steps * dt), not accumulated, so
+        it cannot drift over long runs."""
+        engine = Engine(dt=0.1)
+        result = engine.run_until(100.0)
+        assert result.steps == 1000
+        assert engine.now_s == 1000 * 0.1  # exact, no float accumulation
+        naive = 0.0
+        for _ in range(1000):
+            naive += 0.1
+        assert naive != 1000 * 0.1  # the drift the engine must not show
+
+    def test_resumed_clock_stays_exact(self):
+        engine = Engine(dt=0.1)
+        engine.run_until(50.0)
+        engine.run_until(100.0)
+        assert engine.now_s == 1000 * 0.1
+
     def test_no_hook_registration_mid_run(self):
         engine = Engine(dt=1.0)
 
