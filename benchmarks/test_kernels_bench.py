@@ -1,0 +1,110 @@
+"""Bench: scalar vs vectorized kernels on a fig15-style survival sweep.
+
+Times the six Table-III schemes through one attack scenario at the fine
+attack step (0.5 s) on both energy-store backends and asserts the
+vectorized kernels keep their lead. The committed ``BENCH_kernels.json``
+at the repo root records the baseline numbers from the machine that
+produced them; set ``REGEN_BENCH=1`` to refresh it.
+
+The speedup floor asserted here is deliberately conservative (wall-clock
+on shared CI runners is noisy); the recorded baseline carries the real
+measured ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.attack.scenario import standard_scenarios
+from repro.experiments.common import SCHEME_ORDER, run_survival, standard_setup
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+WINDOW_S = 300.0
+DT_S = 0.5
+REPEATS = 3
+#: Conservative wall-clock floor for CI: the vectorized backend must
+#: beat the scalar oracle by at least this factor over the whole sweep.
+SPEEDUP_FLOOR = 1.1
+
+
+def _sweep_time(scheme: str, backend: str, setup, scenario) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run_survival(
+            setup, scheme, scenario, window_s=WINDOW_S, dt=DT_S,
+            backend=backend,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_speedup(once):
+    setup = standard_setup()
+    scenario = standard_scenarios()[0]
+
+    def measure():
+        per_scheme = {}
+        for scheme in SCHEME_ORDER:
+            per_scheme[scheme] = {
+                backend: _sweep_time(scheme, backend, setup, scenario)
+                for backend in ("scalar", "vectorized")
+            }
+        return per_scheme
+
+    per_scheme = once(measure)
+    scalar_s = sum(t["scalar"] for t in per_scheme.values())
+    vectorized_s = sum(t["vectorized"] for t in per_scheme.values())
+    speedup = scalar_s / vectorized_s
+    print()
+    for scheme, times in per_scheme.items():
+        print(
+            f"kernels {scheme:6s}: scalar={times['scalar']:.3f}s "
+            f"vectorized={times['vectorized']:.3f}s "
+            f"({times['scalar'] / times['vectorized']:.2f}x)"
+        )
+    print(
+        f"kernels TOTAL: scalar={scalar_s:.3f}s "
+        f"vectorized={vectorized_s:.3f}s ({speedup:.2f}x)"
+    )
+    if BASELINE.exists():
+        recorded = json.loads(BASELINE.read_text())
+        print(
+            f"kernels baseline: {recorded['speedup']:.2f}x "
+            f"(recorded {recorded['recorded_on']})"
+        )
+    if os.environ.get("REGEN_BENCH"):
+        BASELINE.write_text(
+            json.dumps(
+                {
+                    "benchmark": (
+                        "fig15-style survival sweep, one scenario, "
+                        "six schemes"
+                    ),
+                    "window_s": WINDOW_S,
+                    "dt_s": DT_S,
+                    "repeats": REPEATS,
+                    "scalar_s": round(scalar_s, 4),
+                    "vectorized_s": round(vectorized_s, 4),
+                    "speedup": round(speedup, 3),
+                    "per_scheme": {
+                        scheme: {
+                            backend: round(value, 4)
+                            for backend, value in times.items()
+                        }
+                        for scheme, times in per_scheme.items()
+                    },
+                    "recorded_on": "dev container (min of 3 repeats)",
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+        print(f"wrote {BASELINE}")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized backend lost its lead: {speedup:.2f}x < "
+        f"{SPEEDUP_FLOOR}x floor"
+    )

@@ -8,6 +8,12 @@ from .aging import (
 )
 from .charger import Charger, OfflineCharger, OnlineCharger, make_charger
 from .fleet import BatteryFleet, FleetLogEntry
+from .fleet_kernels import (
+    KiBaMFleetState,
+    SupercapFleetState,
+    VectorBatteryFleet,
+    make_fleet,
+)
 from .kibam import KiBaMBattery
 from .lead_acid import LeadAcidPack
 from .pack import EnergyStore, SimpleReservoir
@@ -21,12 +27,16 @@ __all__ = [
     "EnergyStore",
     "FleetLogEntry",
     "KiBaMBattery",
+    "KiBaMFleetState",
     "LeadAcidPack",
     "OfflineCharger",
     "OnlineCharger",
     "SimpleReservoir",
     "SupercapBank",
+    "SupercapFleetState",
+    "VectorBatteryFleet",
     "fleet_life_consumption",
     "make_charger",
+    "make_fleet",
     "throughput_life_estimate",
 ]

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Protocol, Union
 
+import numpy as np
+
 from ..config import BatteryConfig, ChargingPolicy
 from ..errors import BatteryError
 from .lead_acid import LeadAcidPack
@@ -38,6 +40,25 @@ class Charger(Protocol):
         """
         ...
 
+    def fleet_charge_power(
+        self,
+        fleet,
+        headroom_w: np.ndarray,
+        active: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        """Per-rack charge power for one fleet step.
+
+        Args:
+            fleet: A battery fleet (scalar or vectorized backend).
+            headroom_w: Per-rack spare power budget.
+            active: Per-rack mask of racks eligible to charge this step.
+                The policy's internal state only advances on active racks,
+                matching the per-pack call pattern of the scalar path.
+            dt: Step length in seconds.
+        """
+        ...
+
 
 class OnlineCharger:
     """Opportunistic charging: use whatever headroom exists, every step."""
@@ -46,6 +67,25 @@ class OnlineCharger:
         if headroom_w <= 0.0:
             return 0.0
         return min(headroom_w, pack.max_charge_power(dt))
+
+    def fleet_charge_power(
+        self,
+        fleet,
+        headroom_w: np.ndarray,
+        active: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        if not fleet.vectorized:
+            power = np.zeros(len(fleet))
+            for rack in np.nonzero(active)[0]:
+                power[rack] = self.charge_power(
+                    fleet[rack], float(headroom_w[rack]), dt
+                )
+            return power
+        eligible = active & (headroom_w > 0.0)
+        return np.where(
+            eligible, np.minimum(headroom_w, fleet.max_charge_vector(dt)), 0.0
+        )
 
 
 class OfflineCharger:
@@ -65,6 +105,7 @@ class OfflineCharger:
         self._recharge_soc = recharge_soc
         self._full_soc = full_soc
         self._charging: dict[int, bool] = {}
+        self._fleet_charging: dict[int, np.ndarray] = {}
 
     def charge_power(self, pack: Chargeable, headroom_w: float, dt: float) -> float:
         key = id(pack)
@@ -77,6 +118,36 @@ class OfflineCharger:
         if not active or headroom_w <= 0.0:
             return 0.0
         return min(headroom_w, pack.max_charge_power(dt))
+
+    def fleet_charge_power(
+        self,
+        fleet,
+        headroom_w: np.ndarray,
+        active: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        if not fleet.vectorized:
+            power = np.zeros(len(fleet))
+            for rack in np.nonzero(active)[0]:
+                power[rack] = self.charge_power(
+                    fleet[rack], float(headroom_w[rack]), dt
+                )
+            return power
+        key = id(fleet)
+        state = self._fleet_charging.get(key)
+        if state is None:
+            state = np.zeros(len(fleet), dtype=bool)
+        # The scalar path only consults the policy for racks it asks
+        # about, so the hysteresis state advances under the mask only.
+        soc = fleet.soc_vector()
+        turn_on = active & ~state & (soc <= self._recharge_soc)
+        turn_off = active & state & (soc >= self._full_soc)
+        state = (state | turn_on) & ~turn_off
+        self._fleet_charging[key] = state
+        eligible = active & state & (headroom_w > 0.0)
+        return np.where(
+            eligible, np.minimum(headroom_w, fleet.max_charge_vector(dt)), 0.0
+        )
 
 
 def make_charger(policy: ChargingPolicy, battery: BatteryConfig) -> Charger:

@@ -48,6 +48,10 @@ class BatteryFleet:
             accumulate millions of entries.
     """
 
+    #: Dispatch code branches on this to pick the per-pack call paths.
+    #: The array-backed twin (``VectorBatteryFleet``) sets it ``True``.
+    vectorized = False
+
     def __init__(
         self,
         config: BatteryConfig,
@@ -125,6 +129,45 @@ class BatteryFleet:
             for i, p in enumerate(self._packs)
             if p.soc <= soc_threshold or p.is_disconnected
         ]
+
+    @property
+    def disconnected(self) -> np.ndarray:
+        """Per-rack low-voltage-disconnect state."""
+        return np.array([p.is_disconnected for p in self._packs])
+
+    def available_j_vector(self) -> np.ndarray:
+        """Per-rack charge in the KiBaM available well."""
+        return np.array([p.available_j for p in self._packs])
+
+    def bound_j_vector(self) -> np.ndarray:
+        """Per-rack charge in the KiBaM bound well."""
+        return np.array([p.bound_j for p in self._packs])
+
+    def max_discharge_vector(self, dt: float) -> np.ndarray:
+        """Per-rack deliverable power this step (zero while LVD is open)."""
+        return np.array([p.max_discharge_power(dt) for p in self._packs])
+
+    def max_charge_vector(self, dt: float) -> np.ndarray:
+        """Per-rack acceptable bus-side charge power this step."""
+        return np.array([p.max_charge_power(dt) for p in self._packs])
+
+    def discharged_j_vector(self) -> np.ndarray:
+        """Lifetime energy delivered per rack, in joules."""
+        return np.array([p.discharged_j for p in self._packs])
+
+    def charged_j_vector(self) -> np.ndarray:
+        """Lifetime energy absorbed per rack, in joules."""
+        return np.array([p.charged_j for p in self._packs])
+
+    def deep_discharge_events_vector(self) -> np.ndarray:
+        """Per-rack count of LVD trips."""
+        return np.array(
+            [p.deep_discharge_events for p in self._packs], dtype=np.int64
+        )
+
+    def equivalent_full_cycles_vector(self) -> np.ndarray:
+        """Per-rack lifetime throughput in equivalent full cycles."""
+        return np.array([p.equivalent_full_cycles for p in self._packs])
 
     @property
     def log(self) -> tuple[FleetLogEntry, ...]:

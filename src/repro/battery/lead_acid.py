@@ -68,6 +68,16 @@ class LeadAcidPack:
         return self._cell.charge_j
 
     @property
+    def available_j(self) -> float:
+        """Charge in the cell's available well."""
+        return self._cell.available_j
+
+    @property
+    def bound_j(self) -> float:
+        """Charge in the cell's bound well."""
+        return self._cell.bound_j
+
+    @property
     def soc(self) -> float:
         return self._cell.soc
 

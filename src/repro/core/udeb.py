@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..battery.fleet_kernels import SupercapFleetState
 from ..battery.supercap import SupercapBank
 from ..config import SupercapConfig
 from ..errors import ConfigError
@@ -79,6 +80,16 @@ class UdebShaver:
         """Per-rack supercap state of charge."""
         return np.array([b.soc for b in self._banks])
 
+    def shave_events_vector(self) -> np.ndarray:
+        """Per-rack count of discharge interventions."""
+        return np.array(
+            [b.shave_events for b in self._banks], dtype=np.int64
+        )
+
+    def shaved_j_vector(self) -> np.ndarray:
+        """Per-rack energy delivered into spikes, in joules."""
+        return np.array([b.shaved_j for b in self._banks])
+
     @property
     def min_soc(self) -> float:
         """Lowest per-rack SOC — the policy engine's uDEB-health input."""
@@ -126,3 +137,81 @@ class UdebShaver:
         """Refill every bank."""
         for bank in self._banks:
             bank.reset()
+
+
+class VectorUdebShaver:
+    """Array-backed drop-in for :class:`UdebShaver`.
+
+    Wraps a :class:`~repro.battery.fleet_kernels.SupercapFleetState` so
+    dispatch sees the same shave/recharge interface whichever backend the
+    scheme was built with. The per-bank object view (``banks``) of the
+    scalar shaver is not provided — use the vector accessors.
+    """
+
+    def __init__(self, config: SupercapConfig, racks: int) -> None:
+        self._state = SupercapFleetState(config, racks)
+
+    @property
+    def config(self) -> SupercapConfig:
+        """The per-rack supercap configuration."""
+        return self._state.config
+
+    @property
+    def state(self) -> SupercapFleetState:
+        """The underlying array kernel (read for tests/metrics)."""
+        return self._state
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def soc_vector(self) -> np.ndarray:
+        """Per-rack supercap state of charge."""
+        return self._state.soc_vector()
+
+    def shave_events_vector(self) -> np.ndarray:
+        """Per-rack count of discharge interventions."""
+        return self._state.shave_events
+
+    def shaved_j_vector(self) -> np.ndarray:
+        """Per-rack energy delivered into spikes, in joules."""
+        return self._state.shaved_j
+
+    @property
+    def min_soc(self) -> float:
+        """Lowest per-rack SOC — the policy engine's uDEB-health input."""
+        return float(np.min(self._state.soc_vector()))
+
+    @property
+    def pool_soc(self) -> float:
+        """Aggregate supercap state of charge (sequential sum, matching
+        the per-bank oracle)."""
+        charge = self._state.charge_j
+        total_cap = sum([self._state.config.capacity_j] * len(self._state))
+        if total_cap == 0.0:
+            return 0.0
+        return float(sum(charge.tolist())) / total_cap
+
+    def shave(self, excess_w: np.ndarray, dt: float) -> ShaveResult:
+        """Source per-rack ``excess_w`` from the supercaps for ``dt``."""
+        excess = np.asarray(excess_w, dtype=float)
+        shaved = self._state.shave(excess, dt)
+        return ShaveResult(shaved_w=shaved, unshaved_w=excess - shaved)
+
+    def recharge(self, headroom_w: np.ndarray, dt: float) -> np.ndarray:
+        """Trickle-charge each bank from its rack's budget headroom."""
+        return self._state.recharge(np.asarray(headroom_w, dtype=float), dt)
+
+    def reset(self) -> None:
+        """Refill every bank."""
+        self._state.reset()
+
+
+def make_shaver(
+    backend: str, config: SupercapConfig, racks: int
+) -> "UdebShaver | VectorUdebShaver":
+    """Build the uDEB shaver for a backend (``scalar`` | ``vectorized``)."""
+    if backend == "scalar":
+        return UdebShaver(config, racks)
+    if backend == "vectorized":
+        return VectorUdebShaver(config, racks)
+    raise ConfigError(f"unknown shaver backend: {backend!r}")

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..battery.charger import make_charger
-from ..battery.fleet import BatteryFleet
+from ..battery.fleet_kernels import make_fleet
 from ..config import DataCenterConfig
 from ..errors import ConfigError
 from ..power.capping import CapController
@@ -109,6 +109,11 @@ class SchemeContext:
         bus: Event bus for the scheme's typed occurrences (capping flips,
             policy escalations, shedding, vDEB reassignments); a private
             bus is created when the orchestration layer supplies none.
+        backend: Energy-store implementation: ``"scalar"`` (per-pack
+            objects, the differential-test oracle) or ``"vectorized"``
+            (array kernels). Defaults to scalar so directly-constructed
+            schemes exercise the reference physics; the simulation layer
+            passes vectorized through.
     """
 
     config: DataCenterConfig
@@ -118,6 +123,7 @@ class SchemeContext:
     seed: "int | None" = None
     initial_battery_soc: "float | list[float]" = field(default=1.0)
     bus: "EventBus | None" = None
+    backend: str = "scalar"
 
     def ratings(self) -> np.ndarray:
         """Per-rack branch breaker ratings (defaults to the soft limits)."""
@@ -155,8 +161,11 @@ class DefenseScheme:
         self.bus = ctx.bus if ctx.bus is not None else EventBus()
         cfg = ctx.config
         racks = ctx.cluster.racks
-        self.fleet = BatteryFleet(
-            cfg.cluster.rack.battery, racks, initial_soc=ctx.initial_battery_soc
+        self.fleet = make_fleet(
+            ctx.backend,
+            cfg.cluster.rack.battery,
+            racks,
+            initial_soc=ctx.initial_battery_soc,
         )
         self.charger = make_charger(cfg.charging, cfg.cluster.rack.battery)
         self.soft_limits_w = np.asarray(
@@ -170,6 +179,9 @@ class DefenseScheme:
         ]
         self.capped_racks = np.zeros(racks, dtype=bool)
         self.asleep_servers = np.zeros(ctx.cluster.servers, dtype=bool)
+        # True while any cap controller is pending or active — lets the
+        # management loop skip the per-rack walk on quiet ticks.
+        self._cap_busy = False
 
     # ------------------------------------------------------------------ #
     # Hooks                                                               #
@@ -205,23 +217,28 @@ class DefenseScheme:
         if self.uses_capping:
             from ..sim.events import CappingChanged
 
+            deliverable = self.fleet.max_discharge_vector(state.dt)
+            need = state.metered_rack_avg_w - self.soft_limits_w
+            # DVFS is the fallback once the DEB runs out (paper Fig. 6:
+            # "Once the peak-shaving DEB runs out, data center servers
+            # have to use performance scaling to cap power demand").
+            over = (need > 0.0) & (deliverable < need)
+            # Stepping an idle controller with over=False is a no-op, so
+            # the whole loop can be skipped while every rack is quiet.
+            if not self._cap_busy and not over.any():
+                return
+            over_list = over.tolist()
+            was_capped = self.capped_racks.tolist()
+            busy = False
             for rack, controller in enumerate(self.cap_controllers):
-                need = (
-                    state.metered_rack_avg_w[rack] - self.soft_limits_w[rack]
-                )
-                # DVFS is the fallback once the DEB runs out (paper Fig. 6:
-                # "Once the peak-shaving DEB runs out, data center servers
-                # have to use performance scaling to cap power demand").
-                battery_short = (
-                    self.fleet[rack].max_discharge_power(state.dt) < need
-                )
-                over = need > 0.0 and battery_short
-                capped = controller.step(bool(over), state.dt)
-                if capped != bool(self.capped_racks[rack]):
+                capped = controller.step(over_list[rack], state.dt)
+                busy = busy or capped or controller.is_pending
+                if capped != was_capped[rack]:
                     self.bus.publish(CappingChanged(
                         time_s=state.time_s, rack_id=rack, capped=capped,
                     ))
-                self.capped_racks[rack] = capped
+                    self.capped_racks[rack] = capped
+            self._cap_busy = busy
 
     # ------------------------------------------------------------------ #
     # The shared dispatch pipeline                                        #
@@ -230,24 +247,19 @@ class DefenseScheme:
     def dispatch(self, state: StepState) -> Dispatch:
         """Run one tick: management, battery stage, uDEB stage, charging."""
         self.management(state)
-        racks = self.ctx.cluster.racks
         request = np.minimum(
             self.battery_discharge(state), state.rack_demand_w
         )
-        deliverable = np.array(
-            [p.max_discharge_power(state.dt) for p in self.fleet.packs]
-        )
+        deliverable = self.fleet.max_discharge_vector(state.dt)
         request = np.minimum(request, deliverable)
 
         # Charging: only racks that are not discharging, from headroom
         # under the soft limit.
-        charge = np.zeros(racks)
         headroom = self.soft_limits_w - (state.rack_demand_w - request)
-        for rack, pack in enumerate(self.fleet.packs):
-            if request[rack] <= 0.0 and headroom[rack] > 0.0:
-                charge[rack] = self.charger.charge_power(
-                    pack, float(headroom[rack]), state.dt
-                )
+        active = (request <= 0.0) & (headroom > 0.0)
+        charge = self.charger.fleet_charge_power(
+            self.fleet, headroom, active, state.dt
+        )
         delivered = self.fleet.step(request, charge, state.dt, state.time_s)
 
         local_need = np.maximum(0.0, state.rack_demand_w - self.soft_limits_w)
@@ -261,7 +273,11 @@ class DefenseScheme:
             udeb_charge_w=udeb_charge_w,
             capped_racks=self.capped_racks.copy(),
             asleep_servers=self.asleep_servers.copy(),
-            soft_limits_w=self.soft_limits_w.copy(),
+            # Soft limits are never mutated in place (reassignment swaps
+            # in a fresh array), so the live array is safe to hand out —
+            # and its identity lets the protection stage skip re-applying
+            # unchanged breaker ratings.
+            soft_limits_w=self.soft_limits_w,
         )
 
     def reset(self) -> None:
@@ -272,3 +288,4 @@ class DefenseScheme:
             controller.reset()
         self.capped_racks[:] = False
         self.asleep_servers[:] = False
+        self._cap_busy = False

@@ -24,7 +24,7 @@ import numpy as np
 from ..core.policy import HierarchicalPolicy, PolicyInputs, SecurityLevel
 from ..core.detection import VisiblePeakDetector
 from ..core.shedding import LoadShedder
-from ..core.udeb import UdebShaver
+from ..core.udeb import make_shaver
 from ..sim.events import PolicyEscalation, SheddingAction
 from .base import SchemeContext, StepState
 from .vdeb_only import VdebScheme
@@ -47,7 +47,7 @@ class PadScheme(VdebScheme):
     def __init__(self, ctx: SchemeContext, strict_policy: bool = True) -> None:
         super().__init__(ctx)
         cfg = ctx.config
-        self.shaver = UdebShaver(cfg.supercap, ctx.cluster.racks)
+        self.shaver = make_shaver(ctx.backend, cfg.supercap, ctx.cluster.racks)
         self.policy = HierarchicalPolicy(strict=strict_policy)
         self.vp_detector = VisiblePeakDetector(
             margin=cfg.policy.visible_peak_margin
@@ -68,6 +68,7 @@ class PadScheme(VdebScheme):
         self._recent_peak_w = np.zeros(racks)
         self._suspect_until_s = np.full(racks, -np.inf)
         self._last_shaves = np.zeros(racks, dtype=np.int64)
+        self._peak_decay: "tuple[float, float] | None" = None
 
     @property
     def level(self) -> SecurityLevel:
@@ -96,16 +97,18 @@ class PadScheme(VdebScheme):
 
     def _track_spikes(self, state: StepState) -> None:
         """Update the uDEB-event spike sensor and peak tracker."""
-        decay = np.exp(-state.dt / self.PEAK_DECAY_TAU_S)
+        if self._peak_decay is None or self._peak_decay[0] != state.dt:
+            self._peak_decay = (
+                state.dt, float(np.exp(-state.dt / self.PEAK_DECAY_TAU_S))
+            )
         self._recent_peak_w = np.maximum(
-            self._recent_peak_w * decay, state.rack_demand_w
+            self._recent_peak_w * self._peak_decay[1], state.rack_demand_w
         )
-        shaves = np.array(
-            [b.shave_events for b in self.shaver.banks], dtype=np.int64
-        )
+        shaves = self.shaver.shave_events_vector()
         fired = shaves > self._last_shaves
-        self._suspect_until_s[fired] = state.time_s + self.SUSPECT_HOLD_S
-        self._last_shaves = shaves
+        if fired.any():
+            self._suspect_until_s[fired] = state.time_s + self.SUSPECT_HOLD_S
+            self._last_shaves = shaves
 
     def management(self, state: StepState) -> None:
         """Policy update and Level-3 shedding, all on metered data."""
@@ -126,7 +129,7 @@ class PadScheme(VdebScheme):
             self.bus.publish(PolicyEscalation(
                 time_s=state.time_s, from_level=before, to_level=level,
             ))
-        metered_total = float(np.sum(state.metered_rack_avg_w))
+        metered_total = float(state.metered_rack_avg_w.sum())
         required = 0.0
         # "PAD temporarily puts some of the low-priority racks into
         # deep-sleep mode only in extreme cases when cluster-wide power
@@ -143,14 +146,14 @@ class PadScheme(VdebScheme):
         # shedding its hottest metered load (during a visible-peak attack
         # that is the attacker; hidden spikes do not move metered
         # utilisation and are the uDEB's job instead).
-        soc = self.fleet.soc_vector()
-        deliverable = np.array(
-            [p.max_discharge_power(state.dt) for p in self.fleet.packs]
-        )
         rack_over = state.metered_rack_avg_w - self.soft_limits_w
-        weak = (soc < self.VULNERABLE_SOC) | (deliverable < rack_over)
-        vulnerable = weak & (rack_over > 0.0)
-        required += float(np.sum(rack_over[vulnerable]))
+        over_budget = rack_over > 0.0
+        if over_budget.any():
+            soc = self.fleet.soc_vector()
+            deliverable = self.fleet.max_discharge_vector(state.dt)
+            weak = (soc < self.VULNERABLE_SOC) | (deliverable < rack_over)
+            vulnerable = weak & over_budget
+            required += float(rack_over[vulnerable].sum())
         decision = self.shedder.update(
             state.time_s, state.metered_server_util, required
         )
@@ -182,6 +185,4 @@ class PadScheme(VdebScheme):
         self.asleep_servers[:] = False
         self._recent_peak_w[:] = 0.0
         self._suspect_until_s[:] = -np.inf
-        self._last_shaves = np.array(
-            [b.shave_events for b in self.shaver.banks], dtype=np.int64
-        )
+        self._last_shaves = self.shaver.shave_events_vector()

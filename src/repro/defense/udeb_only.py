@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.udeb import UdebShaver
+from ..core.udeb import make_shaver
 from .base import DefenseScheme, SchemeContext, StepState
 
 
@@ -23,7 +23,9 @@ class UdebScheme(DefenseScheme):
 
     def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
-        self.shaver = UdebShaver(ctx.config.supercap, ctx.cluster.racks)
+        self.shaver = make_shaver(
+            ctx.backend, ctx.config.supercap, ctx.cluster.racks
+        )
 
     def after_battery(self, state: StepState, residual_w: np.ndarray
                       ) -> "tuple[np.ndarray, np.ndarray]":

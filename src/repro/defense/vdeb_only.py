@@ -48,9 +48,7 @@ class VdebScheme(DefenseScheme):
     def battery_discharge(self, state: StepState) -> np.ndarray:
         """Algorithm-1 allocation plus the local branch-rating floor."""
         demand = state.rack_demand_w
-        deliverable = np.array(
-            [p.max_discharge_power(state.dt) for p in self.fleet.packs]
-        )
+        deliverable = self.fleet.max_discharge_vector(state.dt)
         # Cluster-level requirement: total demand above the PDU budget.
         pdu_budget = self.ctx.config.cluster.pdu_budget_w
         shave_w = max(0.0, float(np.sum(demand)) - pdu_budget)

@@ -176,6 +176,7 @@ def run_survival(
     seed: int = 7,
     record_every: int = 40,
     lead_in_s: float = 0.0,
+    backend: str = "vectorized",
 ) -> SimResult:
     """One survival-style run: attack at the calibrated time, stop on trip.
 
@@ -198,7 +199,11 @@ def run_survival(
         build_attacker(setup, scenario, seed=seed) if scenario else None
     )
     sim = DataCenterSimulation(
-        setup.config, setup.trace, SCHEMES[scheme_name], attacker=attacker
+        setup.config,
+        setup.trace,
+        SCHEMES[scheme_name],
+        attacker=attacker,
+        backend=backend,
     )
     runner = Runner(
         sim,
@@ -224,6 +229,7 @@ def run_throughput(
     dt: float = ATTACK_DT_S,
     seed: int = 7,
     initial_battery_soc: float = 1.0,
+    backend: str = "vectorized",
 ) -> SimResult:
     """One throughput-style run: breakers re-arm, run the whole window.
 
@@ -241,6 +247,7 @@ def run_throughput(
         attacker=attacker,
         repair_time_s=300.0,
         initial_battery_soc=initial_battery_soc,
+        backend=backend,
     )
     runner = Runner(
         sim,

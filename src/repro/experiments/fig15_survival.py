@@ -67,6 +67,7 @@ def run(
     window_s: float = SURVIVAL_WINDOW_S,
     seed: int = 7,
     workers: int = 0,
+    backend: str = "vectorized",
 ) -> SurvivalGrid:
     """Run the survival grid.
 
@@ -77,12 +78,16 @@ def run(
         window_s: Observation window.
         workers: Process-pool width for the sweep; 0 runs sequentially.
             Parallel and sequential grids are bit-identical.
+        backend: Physics implementation (``"vectorized"`` or
+            ``"scalar"``); both produce identical grids.
     """
     if setup is None:
         setup = standard_setup()
     if scenarios is None:
         scenarios = standard_scenarios()
-    cells = survival_grid_cells(scenarios, schemes, window_s=window_s, seed=seed)
+    cells = survival_grid_cells(
+        scenarios, schemes, window_s=window_s, seed=seed, backend=backend
+    )
     sweep = ScenarioSweep(setup, cells, workers=workers).run()
     return SurvivalGrid(window_s=window_s, survival_s=sweep.grid())
 

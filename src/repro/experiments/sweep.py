@@ -49,6 +49,8 @@ class SweepCell:
         initial_battery_soc: Starting battery SOC.
         record_every: Recorder cadence (baseline throughput cells only;
             the survival/throughput harnesses fix their own cadence).
+        backend: Physics implementation for the cell's simulation
+            (``"vectorized"`` or ``"scalar"``).
     """
 
     row: str
@@ -61,12 +63,15 @@ class SweepCell:
     mode: str = "survival"
     initial_battery_soc: float = 1.0
     record_every: int = 200
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.mode not in ("survival", "throughput"):
             raise SimulationError(f"unknown sweep mode: {self.mode!r}")
         if self.scheme not in SCHEMES:
             raise SimulationError(f"unknown scheme: {self.scheme!r}")
+        if self.backend not in ("scalar", "vectorized"):
+            raise SimulationError(f"unknown backend: {self.backend!r}")
 
 
 def derive_cell_seed(base_seed: int, *labels: str) -> int:
@@ -89,6 +94,7 @@ def survival_grid_cells(
     dt: float = ATTACK_DT_S,
     seed: int = 7,
     per_cell_seeds: bool = False,
+    backend: str = "vectorized",
 ) -> "list[SweepCell]":
     """The Fig.-15-style grid: scenarios as rows, schemes as columns.
 
@@ -98,6 +104,7 @@ def survival_grid_cells(
             everywhere (the paper-reproduction default, which keeps the
             attacker's placement lottery identical across schemes so the
             grid isolates the defense).
+        backend: Physics implementation for every cell.
     """
     cells = []
     for scenario in scenarios:
@@ -116,6 +123,7 @@ def survival_grid_cells(
                     window_s=window_s,
                     dt=dt,
                     seed=cell_seed,
+                    backend=backend,
                 )
             )
     return cells
@@ -134,6 +142,7 @@ def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
             window_s=cell.window_s,
             dt=cell.dt,
             seed=cell.seed,
+            backend=cell.backend,
         )
         return result.survival_or_window()
     if cell.scenario is None:
@@ -145,6 +154,7 @@ def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
             SCHEMES[cell.scheme],
             repair_time_s=300.0,
             initial_battery_soc=cell.initial_battery_soc,
+            backend=cell.backend,
         )
         result = sim.run(
             duration_s=cell.window_s,
@@ -161,6 +171,7 @@ def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
         dt=cell.dt,
         seed=cell.seed,
         initial_battery_soc=cell.initial_battery_soc,
+        backend=cell.backend,
     )
     return result.throughput_ratio
 

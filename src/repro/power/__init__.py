@@ -1,6 +1,11 @@
 """Electrical substrate: servers, PSUs, breakers, PDUs, metering, capping."""
 
 from .breaker import CircuitBreaker, TripEvent
+from .breaker_kernels import (
+    BreakerBankState,
+    ScalarBreakerBank,
+    make_breaker_bank,
+)
 from .capping import CapController
 from .meter import MeterSample, PowerMeter
 from .oversubscription import (
@@ -22,6 +27,7 @@ from .ups import (
 )
 
 __all__ = [
+    "BreakerBankState",
     "CapController",
     "CentralUps",
     "CentralUpsConfig",
@@ -33,10 +39,12 @@ __all__ = [
     "PowerMeter",
     "PowerTree",
     "RackPDU",
+    "ScalarBreakerBank",
     "ServerPSU",
     "ServerPowerModel",
     "TripEvent",
     "annual_conversion_loss_kwh",
+    "make_breaker_bank",
     "capacity_saving_dollars",
     "capacity_saving_w",
     "demand_proportional_split",

@@ -34,7 +34,8 @@ import numpy as np
 from ..attack.attacker import Attacker
 from ..config import DataCenterConfig
 from ..errors import SimulationError
-from ..power.breaker import CircuitBreaker, TripEvent
+from ..power.breaker import TripEvent
+from ..power.breaker_kernels import make_breaker_bank
 from ..workload.cluster import ClusterModel
 from ..workload.trace import UtilizationTrace
 from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
@@ -177,6 +178,10 @@ class DataCenterSimulation:
         repair_time_s: Re-arm a tripped breaker after this long; ``None``
             leaves it open (survival-style runs).
         initial_battery_soc: Starting SOC for the rack batteries.
+        backend: Physics implementation: ``"vectorized"`` (array kernels,
+            the default) or ``"scalar"`` (per-object oracle classes). Both
+            produce identical results — enforced by the differential
+            harness in ``tests/test_vectorized_equivalence.py``.
     """
 
     def __init__(
@@ -189,11 +194,15 @@ class DataCenterSimulation:
         management_interval_s: float = 10.0,
         repair_time_s: "float | None" = None,
         initial_battery_soc: "float | list[float]" = 1.0,
+        backend: str = "vectorized",
     ) -> None:
         if overshoot_tolerance < 0.0:
             raise SimulationError("overshoot tolerance must be non-negative")
         if management_interval_s <= 0.0:
             raise SimulationError("management interval must be positive")
+        if backend not in ("scalar", "vectorized"):
+            raise SimulationError(f"unknown backend: {backend!r}")
+        self.backend = backend
         self.config = config
         self._overshoot_tolerance = overshoot_tolerance
         self.cluster = ClusterModel(config.cluster)
@@ -212,11 +221,13 @@ class DataCenterSimulation:
         self.soft_limits_w = np.full(racks, budget_w / racks)
         self.rating_w = self.soft_limits_w * (1.0 + overshoot_tolerance)
         shape = config.cluster.rack.breaker
-        self.rack_breakers = [
-            CircuitBreaker(shape.with_rating(float(r))) for r in self.rating_w
-        ]
-        self.cluster_breaker = CircuitBreaker(
-            shape.with_rating(budget_w * (1.0 + overshoot_tolerance))
+        # One bank holds every breaker: racks 0..n-1 plus the cluster
+        # PDU breaker at index n, so protection advances in one call.
+        self._cluster_rated_w = budget_w * (1.0 + overshoot_tolerance)
+        self.breakers = make_breaker_bank(
+            backend,
+            shape,
+            np.append(self.rating_w, self._cluster_rated_w),
         )
         self.scheme: DefenseScheme = scheme_factory(
             SchemeContext(
@@ -227,6 +238,7 @@ class DataCenterSimulation:
                 seed=config.seed,
                 initial_battery_soc=initial_battery_soc,
                 bus=self.bus,
+                backend=backend,
             )
         )
         self._mgmt_interval = management_interval_s
@@ -242,13 +254,30 @@ class DataCenterSimulation:
         self._metered_server_util = np.zeros(self.cluster.servers)
         self._rack_down_until = np.full(racks, -np.inf)
         self._was_over = np.zeros(racks + 1, dtype=bool)
+        # Rack index of every server — machine m lives in rack
+        # m // servers_per_rack; hoisted out of the per-step demand stage.
+        self._server_rack_index = (
+            np.arange(self.cluster.servers) // config.cluster.rack.servers
+        )
+        # Reusable (racks + 1)-wide buffers for the breaker bank: ratings
+        # and loads, with the cluster entry last. The bank reads, never
+        # stores, these.
+        self._ratings_buf = np.append(self.rating_w, self._cluster_rated_w)
+        self._loads_buf = np.empty(racks + 1)
+        self._applied_soft_limits_w = self.soft_limits_w.copy()
         self._attack_nodes = (
             np.asarray(attacker.nodes, dtype=int) if attacker else None
         )
-        if self._attack_nodes is not None and np.any(
-            self._attack_nodes >= self.cluster.servers
-        ):
-            raise SimulationError("attacker nodes outside the cluster")
+        self._attack_racks: "tuple[int, ...]" = ()
+        if self._attack_nodes is not None:
+            if np.any(self._attack_nodes >= self.cluster.servers):
+                raise SimulationError("attacker nodes outside the cluster")
+            self._attack_racks = tuple(
+                int(r)
+                for r in np.unique(
+                    self._server_rack_index[self._attack_nodes]
+                )
+            )
         #: The step pipeline, in execution order. Each stage reads and
         #: extends the :class:`StepContext`; tests (and exotic workloads)
         #: may call stages individually or swap the tuple.
@@ -277,9 +306,8 @@ class DataCenterSimulation:
         assert ctx.util is not None
         observed = self._attacker_observes_capping()
         # The attacker can tell its rack went dark — its own VMs die.
-        success = any(
-            self.cluster.rack_of(int(n)) in ctx.down
-            for n in self._attack_nodes  # type: ignore[union-attr]
+        success = bool(ctx.down) and any(
+            rack in ctx.down for rack in self._attack_racks
         )
         overrides = self.attacker.utilisation_overrides(
             ctx.time_s, observed, observed_success=success
@@ -291,9 +319,7 @@ class DataCenterSimulation:
     def stage_demand(self, ctx: StepContext) -> None:
         """Turn utilisation into rack power and feed the meters."""
         assert ctx.util is not None
-        ctx.capped_servers = self.scheme.capped_racks[
-            np.arange(self.cluster.servers) // self.config.cluster.rack.servers
-        ]
+        ctx.capped_servers = self.scheme.capped_racks[self._server_rack_index]
         ctx.asleep = self.scheme.asleep_servers
         ctx.demand = self.cluster.rack_power(
             ctx.util,
@@ -322,42 +348,42 @@ class DataCenterSimulation:
         assert ctx.dispatch is not None and ctx.utility is not None
         # The iPDU protection thresholds follow the (possibly
         # reassigned) soft limits: enforcement moves with the budget.
-        self.rating_w = ctx.dispatch.soft_limits_w * (
-            1.0 + self._overshoot_tolerance
-        )
-        for rack, breaker in enumerate(self.rack_breakers):
-            breaker.set_rating(float(self.rating_w[rack]))
-        self._publish_overloads(ctx.utility, ctx.time_s)
-        for rack, breaker in enumerate(self.rack_breakers):
-            if breaker.step(float(ctx.utility[rack]), ctx.dt, ctx.time_s):
-                assert breaker.trip_event is not None
-                self.bus.publish(
-                    BreakerTripped(
-                        time_s=ctx.time_s, rack_id=rack,
-                        trip=breaker.trip_event,
-                    )
-                )
-        if self.cluster_breaker.step(
-            float(np.sum(ctx.utility)), ctx.dt, ctx.time_s
-        ):
-            assert self.cluster_breaker.trip_event is not None
+        # Schemes swap in a fresh array on reassignment (never mutating
+        # in place), so an identity check spots unchanged limits, and
+        # re-applying identical ratings would be a no-op either way.
+        if ctx.dispatch.soft_limits_w is not self._applied_soft_limits_w:
+            self.rating_w = ctx.dispatch.soft_limits_w * (
+                1.0 + self._overshoot_tolerance
+            )
+            self._ratings_buf[:-1] = self.rating_w
+            self.breakers.set_ratings(self._ratings_buf)
+            self._applied_soft_limits_w = ctx.dispatch.soft_limits_w
+        total_utility = self._publish_overloads(ctx.utility, ctx.time_s)
+        racks = self.cluster.racks
+        self._loads_buf[:racks] = ctx.utility
+        self._loads_buf[racks] = total_utility
+        # Newly-tripped indices come back ascending, so the publication
+        # order (racks first, cluster last) matches the scalar loop.
+        for index in self.breakers.step(self._loads_buf, ctx.dt, ctx.time_s):
+            trip = self.breakers.trip_event(index)
+            assert trip is not None
             self.bus.publish(
                 BreakerTripped(
-                    time_s=ctx.time_s, rack_id=-1,
-                    trip=self.cluster_breaker.trip_event,
+                    time_s=ctx.time_s,
+                    rack_id=index if index < racks else -1,
+                    trip=trip,
                 )
             )
 
     def stage_accounting(self, ctx: StepContext) -> None:
         """Integrate throughput and record the step's channels."""
         assert ctx.util is not None and ctx.dispatch is not None
-        delivered = self.cluster.throughput(
+        delivered, demanded = self.cluster.work_snapshot(
             ctx.util,
             capped=ctx.capped_servers,
             asleep=ctx.asleep,
             down_racks=ctx.down,
         )
-        demanded = self.cluster.demanded_throughput(ctx.util)
         ctx.result.delivered_work += delivered * ctx.dt
         ctx.result.demanded_work += demanded * ctx.dt
         if ctx.record:
@@ -370,8 +396,8 @@ class DataCenterSimulation:
     def _attacker_observes_capping(self) -> bool:
         """The DVFS/shedding side-channel as seen from the attacker's VMs."""
         assert self._attack_nodes is not None
-        racks = {self.cluster.rack_of(int(n)) for n in self._attack_nodes}
-        capped = any(self.scheme.capped_racks[r] for r in racks)
+        capped_racks = self.scheme.capped_racks
+        capped = any(capped_racks[r] for r in self._attack_racks)
         shed = bool(np.any(self.scheme.asleep_servers[self._attack_nodes]))
         return capped or shed
 
@@ -391,44 +417,50 @@ class DataCenterSimulation:
 
     def _down_racks(self, time_s: float) -> "list[int]":
         """Racks currently dark (tripped and not yet repaired)."""
-        down = [i for i, b in enumerate(self.rack_breakers) if b.is_tripped]
+        if not self.breakers.any_tripped:
+            return []
+        racks = self.cluster.racks
+        tripped = self.breakers.tripped
+        down = [i for i in range(racks) if tripped[i]]
         if self._repair_time_s is not None:
             still_down = []
             for i in down:
-                event = self.rack_breakers[i].trip_event
+                event = self.breakers.trip_event(i)
                 assert event is not None
                 if time_s - event.time_s >= self._repair_time_s:
-                    self.rack_breakers[i].reset()
+                    self.breakers.reset(i)
                 else:
                     still_down.append(i)
             down = still_down
         return down
 
-    def _publish_overloads(self, utility: np.ndarray, time_s: float) -> None:
-        """Publish rising edges of utility power above the ratings."""
+    def _publish_overloads(self, utility: np.ndarray, time_s: float) -> float:
+        """Publish rising edges of overload; return the total utility draw."""
         over_rack = utility > self.rating_w
         total = float(np.sum(utility))
-        over_cluster = total > self.cluster_breaker.rated_w
-        for rack in np.nonzero(over_rack & ~self._was_over[:-1])[0]:
-            self.bus.publish(
-                OverloadEvent(
-                    time_s=time_s,
-                    rack_id=int(rack),
-                    utility_w=float(utility[rack]),
-                    rating_w=float(self.rating_w[rack]),
+        over_cluster = total > self._cluster_rated_w
+        if over_rack.any():
+            for rack in np.nonzero(over_rack & ~self._was_over[:-1])[0]:
+                self.bus.publish(
+                    OverloadEvent(
+                        time_s=time_s,
+                        rack_id=int(rack),
+                        utility_w=float(utility[rack]),
+                        rating_w=float(self.rating_w[rack]),
+                    )
                 )
-            )
         if over_cluster and not self._was_over[-1]:
             self.bus.publish(
                 OverloadEvent(
                     time_s=time_s,
                     rack_id=-1,
                     utility_w=total,
-                    rating_w=self.cluster_breaker.rated_w,
+                    rating_w=self._cluster_rated_w,
                 )
             )
         self._was_over[:-1] = over_rack
         self._was_over[-1] = over_cluster
+        return total
 
     # ------------------------------------------------------------------ #
     # Running                                                             #

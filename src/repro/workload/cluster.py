@@ -108,15 +108,21 @@ class ClusterModel:
         """
         u = np.clip(self._check_vector("utilisation", utilisation), 0.0, 1.0)
         power = np.asarray(self._server_model.power(u), dtype=float)
+        # All-false masks leave the power untouched; skipping them saves
+        # the where/astype traffic on quiet ticks.
         if capped is not None:
-            capped = self._check_vector("capped", capped).astype(bool)
-            power = np.where(
-                capped, np.asarray(self._server_model.capped_power(u)), power
-            )
+            capped = self._check_vector("capped", capped)
+            if capped.any():
+                power = np.where(
+                    capped.astype(bool),
+                    np.asarray(self._server_model.capped_power(u)),
+                    power,
+                )
         if asleep is not None:
-            asleep = self._check_vector("asleep", asleep).astype(bool)
-            sleep_w = self._server_model.idle_w * SLEEP_POWER_FRACTION
-            power = np.where(asleep, sleep_w, power)
+            asleep = self._check_vector("asleep", asleep)
+            if asleep.any():
+                sleep_w = self._server_model.idle_w * SLEEP_POWER_FRACTION
+                power = np.where(asleep.astype(bool), sleep_w, power)
         if down_racks:
             down_mask = np.isin(self._rack_of, np.asarray(down_racks, dtype=int))
             power = np.where(down_mask, 0.0, power)
@@ -159,18 +165,52 @@ class ClusterModel:
         performance metric.
         """
         u = np.clip(self._check_vector("utilisation", utilisation), 0.0, 1.0)
-        delivered = u.astype(float).copy()
+        return self._delivered_from_clipped(u, capped, asleep, down_racks)
+
+    def _delivered_from_clipped(
+        self,
+        u: np.ndarray,
+        capped: "np.ndarray | None",
+        asleep: "np.ndarray | None",
+        down_racks: "list[int] | None",
+    ) -> float:
+        """Delivered work from already-clipped utilisation."""
+        delivered = u.astype(float)
         if capped is not None:
-            capped = self._check_vector("capped", capped).astype(bool)
-            penalty = 1.0 - self._config.rack.server.dvfs_throughput_penalty
-            delivered = np.where(capped, delivered * penalty, delivered)
+            capped = self._check_vector("capped", capped)
+            if capped.any():
+                penalty = (
+                    1.0 - self._config.rack.server.dvfs_throughput_penalty
+                )
+                delivered = np.where(
+                    capped.astype(bool), delivered * penalty, delivered
+                )
         if asleep is not None:
-            asleep = self._check_vector("asleep", asleep).astype(bool)
-            delivered = np.where(asleep, 0.0, delivered)
+            asleep = self._check_vector("asleep", asleep)
+            if asleep.any():
+                delivered = np.where(asleep.astype(bool), 0.0, delivered)
         if down_racks:
             down_mask = np.isin(self._rack_of, np.asarray(down_racks, dtype=int))
             delivered = np.where(down_mask, 0.0, delivered)
         return float(np.sum(delivered))
+
+    def work_snapshot(
+        self,
+        utilisation: np.ndarray,
+        capped: "np.ndarray | None" = None,
+        asleep: "np.ndarray | None" = None,
+        down_racks: "list[int] | None" = None,
+    ) -> "tuple[float, float]":
+        """``(delivered, demanded)`` work this instant, sharing the clip.
+
+        Equivalent to calling :meth:`throughput` and
+        :meth:`demanded_throughput` but clips the utilisation once — the
+        per-step accounting path.
+        """
+        u = np.clip(self._check_vector("utilisation", utilisation), 0.0, 1.0)
+        demanded = float(np.sum(u))
+        delivered = self._delivered_from_clipped(u, capped, asleep, down_racks)
+        return delivered, demanded
 
     def demanded_throughput(self, utilisation: np.ndarray) -> float:
         """Work demanded this instant — the throughput denominator."""

@@ -1,0 +1,369 @@
+"""Shared harness for the scalar-vs-vectorized differential tests.
+
+The vectorized kernels in :mod:`repro.battery.fleet_kernels` and
+:mod:`repro.power.breaker_kernels` are *proven* against their scalar
+oracles by replaying randomised schedules through both implementations
+and demanding agreement on every observable after every step. This
+module holds the pieces both the equivalence suite and the invariant
+suite share:
+
+* ``assert_agree`` — the single tolerance gate (1e-9 relative; the
+  kernels are written to agree bit-for-bit, the tolerance is a backstop).
+* Hypothesis strategies producing *physically shaped* schedules: benign
+  traces, Phase-I drain ramps (sustained load that empties the KiBaM
+  available well and springs the LVD), Phase-II hidden spikes (rare,
+  huge, sub-metering-interval bursts), rest periods, and breaker load
+  tracks with mid-run rating reassignment (the vDEB case).
+
+Schedules are plain frozen dataclasses so failing examples shrink to
+readable reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from hypothesis import strategies as st
+
+#: Relative agreement demanded between the scalar oracle and the kernel.
+RTOL = 1e-9
+#: Absolute backstop for quantities that are exactly zero on one side.
+ATOL = 1e-12
+
+#: Step lengths worth exercising: the fine attack step (0.5 s), the
+#: coarse trace interval scale, and extremes on either side.
+DTS = (0.1, 0.5, 1.0, 7.5, 30.0)
+
+#: Schedule shapes, named after the attack phases they reproduce.
+PROFILES = ("benign", "drain", "spike", "mixed")
+
+
+def assert_agree(label: str, scalar, vector, rtol: float = RTOL) -> None:
+    """Demand scalar/vectorized agreement within ``rtol`` relative."""
+    np.testing.assert_allclose(
+        np.asarray(vector, dtype=float),
+        np.asarray(scalar, dtype=float),
+        rtol=rtol,
+        atol=ATOL,
+        err_msg=f"{label}: vectorized kernel diverged from the scalar oracle",
+    )
+
+
+def assert_same_mask(label: str, scalar, vector) -> None:
+    """Demand exact agreement on boolean / integer state."""
+    if not np.array_equal(np.asarray(scalar), np.asarray(vector)):
+        raise AssertionError(
+            f"{label}: vectorized kernel diverged from the scalar oracle: "
+            f"{np.asarray(scalar)} != {np.asarray(vector)}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Battery schedules                                                       #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FleetSchedule:
+    """A replayable battery-fleet drive.
+
+    Attributes:
+        racks: Fleet width.
+        dt: Step length in seconds.
+        initial_socs: Per-rack starting state of charge.
+        steps: Per step, ``(discharge_w, charge_w)`` request vectors; a
+            rack never has both positive (the fleet contract).
+    """
+
+    racks: int
+    dt: float
+    initial_socs: "tuple[float, ...]"
+    steps: "tuple[tuple[tuple[float, ...], tuple[float, ...]], ...]"
+
+
+def _step_watts(profile: str, mag: float, index: int, n_steps: int) -> float:
+    """Shape a unit magnitude into watts for the given profile."""
+    if profile == "benign":
+        return 600.0 * mag
+    if profile == "drain":
+        # Phase-I ramp: sustained draw growing toward well past the
+        # C-rate ceiling, emptying the available well.
+        return 9000.0 * mag * (index + 1) / n_steps
+    if profile == "spike":
+        # Phase-II hidden spikes: mostly nothing, occasionally enormous.
+        return 2.5e4 * mag if mag > 0.75 else 0.0
+    return 1.2e4 * mag  # mixed
+
+
+@st.composite
+def fleet_schedules(draw) -> FleetSchedule:
+    """Mixed charge/discharge/rest drives for a whole battery fleet."""
+    racks = draw(st.integers(min_value=1, max_value=4))
+    dt = draw(st.sampled_from(DTS))
+    socs = tuple(
+        draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+    )
+    profile = draw(st.sampled_from(PROFILES))
+    n_steps = draw(st.integers(min_value=2, max_value=12))
+    steps = []
+    for index in range(n_steps):
+        modes = draw(
+            st.lists(
+                st.sampled_from(("discharge", "charge", "rest")),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+        mags = draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+        out, inn = [], []
+        for mode, mag in zip(modes, mags):
+            watts = _step_watts(profile, mag, index, n_steps)
+            out.append(watts if mode == "discharge" else 0.0)
+            inn.append(watts if mode == "charge" else 0.0)
+        steps.append((tuple(out), tuple(inn)))
+    return FleetSchedule(
+        racks=racks, dt=dt, initial_socs=socs, steps=tuple(steps)
+    )
+
+
+@dataclass(frozen=True)
+class CellSchedule:
+    """A raw two-well-kernel drive: one fleet-wide mode per step.
+
+    Attributes:
+        racks: Fleet width.
+        dt: Step length in seconds.
+        initial_socs: Per-rack starting state of charge.
+        steps: Per step, ``(mode, watts)`` with one power entry per rack;
+            ``mode`` is ``"discharge"``, ``"charge"`` or ``"rest"``.
+    """
+
+    racks: int
+    dt: float
+    initial_socs: "tuple[float, ...]"
+    steps: "tuple[tuple[str, tuple[float, ...]], ...]"
+
+
+@st.composite
+def cell_schedules(draw) -> CellSchedule:
+    """Drives for the bare KiBaM kernel (no pack protection layer)."""
+    racks = draw(st.integers(min_value=1, max_value=4))
+    dt = draw(st.sampled_from(DTS))
+    socs = tuple(
+        draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+    )
+    profile = draw(st.sampled_from(PROFILES))
+    n_steps = draw(st.integers(min_value=2, max_value=12))
+    steps = []
+    for index in range(n_steps):
+        mode = draw(st.sampled_from(("discharge", "charge", "rest")))
+        mags = draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+        watts = tuple(
+            _step_watts(profile, mag, index, n_steps) for mag in mags
+        )
+        steps.append((mode, watts))
+    return CellSchedule(
+        racks=racks, dt=dt, initial_socs=socs, steps=tuple(steps)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Supercap schedules                                                      #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SupercapSchedule:
+    """A replayable uDEB drive.
+
+    Attributes:
+        racks: Fleet width.
+        dt: Step length in seconds.
+        steps: Per step, ``(kind, watts)`` — ``"shave"`` feeds an excess
+            vector, ``"recharge"`` a headroom vector.
+    """
+
+    racks: int
+    dt: float
+    steps: "tuple[tuple[str, tuple[float, ...]], ...]"
+
+
+@st.composite
+def supercap_schedules(draw) -> SupercapSchedule:
+    """Spike-shaped shave bursts interleaved with trickle recharge."""
+    racks = draw(st.integers(min_value=1, max_value=4))
+    dt = draw(st.sampled_from(DTS))
+    n_steps = draw(st.integers(min_value=2, max_value=14))
+    steps = []
+    for _ in range(n_steps):
+        kind = draw(st.sampled_from(("shave", "shave", "recharge")))
+        mags = draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+        if kind == "shave":
+            # Hidden spikes: sparse, far past the ORing power ceiling.
+            watts = tuple(2.0e4 * m if m > 0.6 else 0.0 for m in mags)
+        else:
+            watts = tuple(800.0 * m for m in mags)
+        steps.append((kind, watts))
+    return SupercapSchedule(racks=racks, dt=dt, steps=tuple(steps))
+
+
+# ---------------------------------------------------------------------- #
+# Breaker schedules                                                       #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BreakerSchedule:
+    """A replayable breaker-bank drive.
+
+    Attributes:
+        breakers: Bank width.
+        dt: Step length in seconds.
+        ratings: Initial per-breaker continuous ratings.
+        steps: Per step, ``("load", watts)`` advances the bank one tick;
+            ``("ratings", watts)`` re-targets it mid-run (the vDEB
+            soft-limit reassignment case).
+    """
+
+    breakers: int
+    dt: float
+    ratings: "tuple[float, ...]"
+    steps: "tuple[tuple[str, tuple[float, ...]], ...]"
+
+
+@st.composite
+def breaker_schedules(draw) -> BreakerSchedule:
+    """Load tracks spanning cooling, thermal heating and instant trips."""
+    breakers = draw(st.integers(min_value=1, max_value=5))
+    dt = draw(st.sampled_from(DTS))
+    rating = st.floats(500.0, 8000.0, allow_nan=False)
+    ratings = tuple(
+        draw(st.lists(rating, min_size=breakers, max_size=breakers))
+    )
+    n_steps = draw(st.integers(min_value=2, max_value=16))
+    current = ratings
+    steps = []
+    for _ in range(n_steps):
+        kind = draw(st.sampled_from(("load", "load", "load", "ratings")))
+        if kind == "ratings":
+            current = tuple(
+                draw(st.lists(rating, min_size=breakers, max_size=breakers))
+            )
+            steps.append(("ratings", current))
+            continue
+        # Overload ratios up to 3.5 straddle the whole trip curve:
+        # <= 1 cools, (1, 3) heats the thermal element, >= 3 fires the
+        # magnetic element instantly (default instant_trip_ratio).
+        ratios = draw(
+            st.lists(
+                st.floats(0.0, 3.5, allow_nan=False),
+                min_size=breakers,
+                max_size=breakers,
+            )
+        )
+        steps.append(
+            ("load", tuple(r * w for r, w in zip(ratios, current)))
+        )
+    return BreakerSchedule(
+        breakers=breakers, dt=dt, ratings=ratings, steps=tuple(steps)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Charger schedules                                                       #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ChargerSchedule:
+    """A replayable charging-policy drive.
+
+    Attributes:
+        racks: Fleet width.
+        dt: Step length in seconds.
+        initial_socs: Per-rack starting state of charge.
+        steps: Per step, ``(headroom_w, active, discharge_w)``: the
+            charger sees the headroom under ``active``; the discharge
+            vector then moves the fleet so the hysteresis state machine
+            crosses its thresholds.
+    """
+
+    racks: int
+    dt: float
+    initial_socs: "tuple[float, ...]"
+    steps: "tuple[tuple[tuple[float, ...], tuple[bool, ...], tuple[float, ...]], ...]"
+
+
+@st.composite
+def charger_schedules(draw) -> ChargerSchedule:
+    """Headroom/activity drives for the charging policies."""
+    racks = draw(st.integers(min_value=1, max_value=4))
+    dt = draw(st.sampled_from(DTS))
+    socs = tuple(
+        draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=racks,
+                max_size=racks,
+            )
+        )
+    )
+    n_steps = draw(st.integers(min_value=2, max_value=10))
+    steps = []
+    for _ in range(n_steps):
+        headroom = tuple(
+            draw(
+                st.lists(
+                    st.floats(0.0, 500.0, allow_nan=False),
+                    min_size=racks,
+                    max_size=racks,
+                )
+            )
+        )
+        active = tuple(
+            draw(st.lists(st.booleans(), min_size=racks, max_size=racks))
+        )
+        discharge = tuple(
+            draw(
+                st.lists(
+                    st.floats(0.0, 8000.0, allow_nan=False),
+                    min_size=racks,
+                    max_size=racks,
+                )
+            )
+        )
+        steps.append((headroom, active, discharge))
+    return ChargerSchedule(
+        racks=racks, dt=dt, initial_socs=socs, steps=tuple(steps)
+    )

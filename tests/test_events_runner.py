@@ -228,10 +228,8 @@ class TestSegmentContinuity:
             Segment(0.0, 210.0, 0.5),
             Segment(210.0, 420.0, 0.5),
         ])
-        single_heat = [b.heat for b in single_sim.rack_breakers]
-        seg_heat = [b.heat for b in seg_sim.rack_breakers]
-        assert single_heat == seg_heat
-        assert single_sim.cluster_breaker.heat == seg_sim.cluster_breaker.heat
+        # The bank holds racks 0..n-1 plus the cluster breaker at index n.
+        assert np.array_equal(single_sim.breakers.heat, seg_sim.breakers.heat)
 
     def test_single_dt_run_equals_one_segment_schedule(self):
         single_sim, seg_sim = self._pair()

@@ -1,0 +1,114 @@
+"""Golden-trace regression: a frozen PAD-under-attack run.
+
+A short PAD run against the first standard attack scenario is frozen in
+``tests/data/golden_pad_attack.json``: the recorder series, the typed
+event stream, the work integrals and the final per-rack battery SOC.
+Any change to the physics, the dispatch pipeline, or the kernels that
+moves these numbers past 1e-7 relative fails here — on *both* backends,
+which also ties the scalar oracle and the vectorized kernels to the same
+frozen history.
+
+Regenerate the fixture after an intentional physics change with::
+
+    PYTHONPATH=src python -m tests.test_golden_trace
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.attack.scenario import standard_scenarios
+from repro.experiments.common import run_survival, standard_setup
+
+FIXTURE = Path(__file__).parent / "data" / "golden_pad_attack.json"
+RTOL = 1e-7
+WINDOW_S = 90.0
+RECORD_EVERY = 10
+
+
+def _run(backend: str):
+    setup = standard_setup()
+    scenario = standard_scenarios()[0]
+    return run_survival(
+        setup,
+        "PAD",
+        scenario,
+        window_s=WINDOW_S,
+        record_every=RECORD_EVERY,
+        backend=backend,
+    )
+
+
+def _summary(result) -> dict:
+    return {
+        "schema": 1,
+        "scheme": result.scheme,
+        "end_s": result.end_s,
+        "attack_start_s": result.attack_start_s,
+        "delivered_work": result.delivered_work,
+        "demanded_work": result.demanded_work,
+        "trip_times_s": [trip.time_s for trip in result.trips],
+        "events": [
+            [type(event).__name__, event.time_s] for event in result.events
+        ],
+        "series": {
+            channel: result.recorder.series(channel).tolist()
+            for channel in result.recorder.channels
+        },
+        "final_rack_soc": result.recorder.matrix("rack_soc")[-1].tolist(),
+    }
+
+
+def _assert_matches(golden: dict, summary: dict) -> None:
+    assert summary["scheme"] == golden["scheme"]
+    assert summary["end_s"] == golden["end_s"]
+    assert summary["attack_start_s"] == golden["attack_start_s"]
+    assert summary["events"] == golden["events"]
+    np.testing.assert_allclose(
+        summary["trip_times_s"], golden["trip_times_s"], rtol=RTOL
+    )
+    for key in ("delivered_work", "demanded_work"):
+        np.testing.assert_allclose(
+            summary[key], golden[key], rtol=RTOL, err_msg=key
+        )
+    assert sorted(summary["series"]) == sorted(golden["series"])
+    for channel, values in golden["series"].items():
+        np.testing.assert_allclose(
+            summary["series"][channel],
+            values,
+            rtol=RTOL,
+            atol=1e-12,
+            err_msg=f"series:{channel}",
+        )
+    np.testing.assert_allclose(
+        summary["final_rack_soc"],
+        golden["final_rack_soc"],
+        rtol=RTOL,
+        err_msg="final_rack_soc",
+    )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+def test_pad_attack_matches_golden_trace(backend: str) -> None:
+    if not FIXTURE.exists():
+        pytest.fail(
+            f"missing fixture {FIXTURE}; regenerate with "
+            "`PYTHONPATH=src python -m tests.test_golden_trace`"
+        )
+    golden = json.loads(FIXTURE.read_text())
+    _assert_matches(golden, _summary(_run(backend)))
+
+
+def _write_fixture() -> None:
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    summary = _summary(_run("vectorized"))
+    FIXTURE.write_text(json.dumps(summary, indent=1) + "\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    _write_fixture()

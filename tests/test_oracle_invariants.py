@@ -1,0 +1,212 @@
+"""Property-based invariants of the scalar oracles.
+
+The differential harness (``tests/test_vectorized_equivalence.py``)
+proves the vectorized kernels equal to the scalar implementations — but
+that is only as strong as the oracles themselves. These properties pin
+the physics the whole defense analysis rests on:
+
+* KiBaM state of charge stays in ``[0, 1]`` and total charge is exactly
+  conserved by every constant-power step (``y1' + y2' = y0 - P dt``).
+* The breaker trip curve is monotone: more load never buys more time,
+  and accumulated heat never resurrects a latched breaker.
+* Supercap shaving only ever *reduces* the power the utility feed must
+  deliver — the ORing path can cover excess, never add to it.
+
+Uses the schedule strategies from :mod:`tests.differential`, so the same
+attack-shaped drives (benign, drain ramps, hidden spikes) exercise the
+oracles directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.battery.kibam import KiBaMBattery
+from repro.battery.supercap import SupercapBank
+from repro.config import BatteryConfig, BreakerConfig, SupercapConfig
+from repro.core.udeb import UdebShaver
+from repro.power.breaker import CircuitBreaker
+
+from .differential import (
+    CellSchedule,
+    SupercapSchedule,
+    cell_schedules,
+    supercap_schedules,
+)
+
+PROPERTY = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+BATTERY = BatteryConfig()
+SUPERCAP = SupercapConfig()
+
+
+# ---------------------------------------------------------------------- #
+# KiBaM: SOC bounds and charge conservation                               #
+# ---------------------------------------------------------------------- #
+
+
+@PROPERTY
+@given(schedule=cell_schedules())
+def test_kibam_soc_bounded_and_charge_conserved(
+    schedule: CellSchedule,
+) -> None:
+    capacity = BATTERY.capacity_j
+    cells = [
+        KiBaMBattery(
+            capacity,
+            c=BATTERY.kibam_c,
+            k=BATTERY.kibam_k,
+            initial_soc=soc,
+        )
+        for soc in schedule.initial_socs
+    ]
+    dt = schedule.dt
+    # Conservation tolerance: the closed form is exact analytically; the
+    # clip to physical bounds only removes floating-point residue.
+    budget = 1e-9 * capacity
+    for mode, watts in schedule.steps:
+        for cell, power in zip(cells, watts):
+            before = cell.charge_j
+            if mode == "discharge":
+                delivered = cell.discharge(power, dt)
+                assert 0.0 <= delivered <= power + 1e-12
+                assert abs(before - cell.charge_j - delivered * dt) <= budget
+            elif mode == "charge":
+                stored = cell.charge(power, dt)
+                # The returned power is measured from the clipped wells,
+                # so it carries capacity-scale float residue over dt.
+                assert -budget / dt <= stored <= power + budget / dt
+                assert abs(cell.charge_j - before - stored * dt) <= budget
+            else:
+                cell.rest(dt)
+                # Resting moves charge between wells, never in or out.
+                assert abs(cell.charge_j - before) <= budget
+            assert 0.0 <= cell.soc <= 1.0
+            assert 0.0 <= cell.available_j <= capacity * BATTERY.kibam_c + 1e-9
+            assert (
+                0.0
+                <= cell.bound_j
+                <= capacity * (1.0 - BATTERY.kibam_c) + 1e-9
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Breaker: trip-curve monotonicity and latch permanence                   #
+# ---------------------------------------------------------------------- #
+
+
+@PROPERTY
+@given(
+    rating=st.floats(500.0, 8000.0, allow_nan=False),
+    ratio_low=st.floats(0.0, 3.5, allow_nan=False),
+    ratio_high=st.floats(0.0, 3.5, allow_nan=False),
+    preheat_ratio=st.floats(1.0, 2.5, allow_nan=False),
+    preheat_steps=st.integers(0, 10),
+)
+def test_breaker_trip_curve_monotone(
+    rating: float,
+    ratio_low: float,
+    ratio_high: float,
+    preheat_ratio: float,
+    preheat_steps: int,
+) -> None:
+    shape = BreakerConfig().with_rating(rating)
+    breaker = CircuitBreaker(shape)
+    for _ in range(preheat_steps):
+        if breaker.step(preheat_ratio * rating, 0.5):
+            break
+    if ratio_low > ratio_high:
+        ratio_low, ratio_high = ratio_high, ratio_low
+    slow = breaker.time_to_trip(ratio_low * rating)
+    fast = breaker.time_to_trip(ratio_high * rating)
+    # More load never buys more time.
+    assert fast <= slow
+    # The ends of the curve are pinned.
+    if ratio_high <= 1.0:
+        assert fast == np.inf
+    if ratio_low >= shape.instant_trip_ratio:
+        assert slow == 0.0
+
+
+@PROPERTY
+@given(
+    rating=st.floats(500.0, 8000.0, allow_nan=False),
+    ratios=st.lists(
+        st.floats(0.0, 3.5, allow_nan=False), min_size=1, max_size=20
+    ),
+)
+def test_breaker_latch_is_permanent(
+    rating: float, ratios: "list[float]"
+) -> None:
+    breaker = CircuitBreaker(BreakerConfig().with_rating(rating))
+    tripped = False
+    for ratio in ratios:
+        breaker.step(ratio * rating, 0.5)
+        tripped = tripped or breaker.is_tripped
+        # Once open, a breaker stays open until a manual reset.
+        assert breaker.is_tripped == tripped
+        assert breaker.heat >= 0.0
+    if tripped:
+        assert breaker.trip_event is not None
+        breaker.reset()
+        assert not breaker.is_tripped
+        assert breaker.heat == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Supercap: shaving only ever reduces the utility draw                    #
+# ---------------------------------------------------------------------- #
+
+
+@PROPERTY
+@given(schedule=supercap_schedules())
+def test_udeb_shaving_never_increases_utility_power(
+    schedule: SupercapSchedule,
+) -> None:
+    shaver = UdebShaver(SUPERCAP, schedule.racks)
+    capacity = SUPERCAP.capacity_j
+    dt = schedule.dt
+    for kind, watts in schedule.steps:
+        vec = np.asarray(watts)
+        if kind == "shave":
+            result = shaver.shave(vec, dt)
+            # The ORing sources between zero and the excess — so the
+            # utility feed sees at most the original demand, never more.
+            assert np.all(result.shaved_w >= 0.0)
+            assert np.all(result.shaved_w <= vec + 1e-12)
+            assert np.all(result.unshaved_w >= -1e-12)
+            assert np.all(
+                result.shaved_w + result.unshaved_w <= vec + 1e-12
+            )
+        else:
+            drawn = shaver.recharge(vec, dt)
+            # Recharge draws at most the offered headroom.
+            assert np.all(drawn >= 0.0)
+            assert np.all(drawn <= vec + 1e-12)
+        for bank in shaver.banks:
+            assert -1e-9 <= bank.charge_j <= capacity + 1e-9
+            assert 0.0 <= bank.soc <= 1.0 + 1e-12
+
+
+@PROPERTY
+@given(
+    excess=st.floats(0.0, 2.5e4, allow_nan=False),
+    dt=st.sampled_from((0.1, 0.5, 1.0, 7.5)),
+)
+def test_supercap_energy_books_balance(excess: float, dt: float) -> None:
+    bank = SupercapBank(SUPERCAP)
+    before = bank.charge_j
+    delivered = bank.discharge(excess, dt)
+    assert 0.0 <= delivered <= min(excess, SUPERCAP.max_power_w)
+    # Stored energy drops by the delivered energy divided by the one-way
+    # efficiency (losses come out of the bank, not the bus).
+    drop = before - bank.charge_j
+    expected = delivered * dt / SUPERCAP.efficiency
+    assert drop <= expected + 1e-9
+    assert bank.shaved_j == delivered * dt

@@ -1,0 +1,400 @@
+"""Differential equivalence: vectorized kernels vs their scalar oracles.
+
+Every array kernel added for the fleet-level hot path is replayed here
+against the scalar implementation it replaces, over Hypothesis-generated
+schedules (benign traces, Phase-I drain ramps, Phase-II hidden spikes,
+rest periods, mid-run breaker re-rating), asserting agreement on every
+observable after every step:
+
+* :class:`~repro.battery.fleet_kernels.KiBaMFleetState`
+  vs per-rack :class:`~repro.battery.kibam.KiBaMBattery`;
+* :class:`~repro.battery.fleet_kernels.VectorBatteryFleet`
+  vs :class:`~repro.battery.fleet.BatteryFleet` of lead-acid packs
+  (LVD, C-rate ceiling, charge efficiency, aging counters);
+* :class:`~repro.battery.fleet_kernels.SupercapFleetState` (via
+  :class:`~repro.core.udeb.VectorUdebShaver`) vs the per-bank shaver;
+* :class:`~repro.power.breaker_kernels.BreakerBankState`
+  vs :class:`~repro.power.breaker_kernels.ScalarBreakerBank`
+  (heat, latch state, trip times, trip events);
+* both charging policies across both fleet backends;
+* whole :class:`~repro.sim.datacenter.DataCenterSimulation` runs for all
+  six Table-III schemes, comparing the recorder series and the published
+  event stream between backends.
+
+The tolerance is 1e-9 relative (``tests.differential.RTOL``); the
+kernels are written to agree bit-for-bit and the tolerance is a backstop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.attack.scenario import standard_scenarios
+from repro.battery.fleet import BatteryFleet
+from repro.battery.fleet_kernels import KiBaMFleetState, VectorBatteryFleet
+from repro.battery.charger import OfflineCharger, OnlineCharger
+from repro.battery.kibam import KiBaMBattery
+from repro.config import BatteryConfig, BreakerConfig, SupercapConfig
+from repro.core.udeb import UdebShaver, VectorUdebShaver
+from repro.experiments.common import SCHEME_ORDER, run_survival, standard_setup
+from repro.power.breaker_kernels import BreakerBankState, ScalarBreakerBank
+
+from .differential import (
+    BreakerSchedule,
+    CellSchedule,
+    ChargerSchedule,
+    FleetSchedule,
+    SupercapSchedule,
+    assert_agree,
+    assert_same_mask,
+    breaker_schedules,
+    cell_schedules,
+    charger_schedules,
+    fleet_schedules,
+    supercap_schedules,
+)
+
+#: One shared settings block: the acceptance bar is >= 200 examples per
+#: kernel; deadlines are off because example cost varies with schedule
+#: length, not with any defect worth flagging.
+DIFFERENTIAL = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+BATTERY = BatteryConfig()
+SUPERCAP = SupercapConfig()
+BREAKER_SHAPE = BreakerConfig()
+
+
+# ---------------------------------------------------------------------- #
+# KiBaM two-well kernel                                                   #
+# ---------------------------------------------------------------------- #
+
+
+@DIFFERENTIAL
+@given(schedule=cell_schedules())
+def test_kibam_fleet_matches_scalar_cells(schedule: CellSchedule) -> None:
+    cells = [
+        KiBaMBattery(
+            BATTERY.capacity_j,
+            c=BATTERY.kibam_c,
+            k=BATTERY.kibam_k,
+            initial_soc=soc,
+        )
+        for soc in schedule.initial_socs
+    ]
+    fleet = KiBaMFleetState(
+        BATTERY.capacity_j,
+        BATTERY.kibam_c,
+        BATTERY.kibam_k,
+        schedule.racks,
+        initial_soc=np.asarray(schedule.initial_socs),
+    )
+    dt = schedule.dt
+    for mode, watts in schedule.steps:
+        vec = np.asarray(watts)
+        if mode == "discharge":
+            scalar_out = [c.discharge(w, dt) for c, w in zip(cells, watts)]
+            assert_agree("delivered", scalar_out, fleet.discharge(vec, dt))
+        elif mode == "charge":
+            scalar_in = [c.charge(w, dt) for c, w in zip(cells, watts)]
+            assert_agree("stored", scalar_in, fleet.charge(vec, dt))
+        else:
+            for cell in cells:
+                cell.rest(dt)
+            fleet.rest(dt)
+        assert_agree(
+            "available_j", [c.available_j for c in cells], fleet.available_j
+        )
+        assert_agree("bound_j", [c.bound_j for c in cells], fleet.bound_j)
+        assert_agree("soc", [c.soc for c in cells], fleet.soc)
+        assert_agree(
+            "max_discharge",
+            [c.max_discharge_power(dt) for c in cells],
+            fleet.max_discharge_power(dt),
+        )
+        assert_agree(
+            "max_charge",
+            [c.max_charge_power(dt) for c in cells],
+            fleet.max_charge_power(dt),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Lead-acid fleet (LVD, C-rate, efficiency, aging)                        #
+# ---------------------------------------------------------------------- #
+
+
+def _compare_battery_fleets(
+    scalar: BatteryFleet, vector: VectorBatteryFleet, dt: float
+) -> None:
+    assert_agree("soc", scalar.soc_vector(), vector.soc_vector())
+    assert_agree(
+        "charge_j", scalar.charge_vector_j(), vector.charge_vector_j()
+    )
+    assert_agree(
+        "available_j", scalar.available_j_vector(), vector.available_j_vector()
+    )
+    assert_agree("bound_j", scalar.bound_j_vector(), vector.bound_j_vector())
+    assert_same_mask("disconnected", scalar.disconnected, vector.disconnected)
+    assert_agree(
+        "max_discharge",
+        scalar.max_discharge_vector(dt),
+        vector.max_discharge_vector(dt),
+    )
+    assert_agree(
+        "max_charge",
+        scalar.max_charge_vector(dt),
+        vector.max_charge_vector(dt),
+    )
+    assert_agree(
+        "discharged_j", scalar.discharged_j_vector(), vector.discharged_j_vector()
+    )
+    assert_agree(
+        "charged_j", scalar.charged_j_vector(), vector.charged_j_vector()
+    )
+    assert_same_mask(
+        "deep_discharge_events",
+        scalar.deep_discharge_events_vector(),
+        vector.deep_discharge_events_vector(),
+    )
+    assert_agree("pool_soc", scalar.pool_soc, vector.pool_soc)
+    assert_agree("total_charge_j", scalar.total_charge_j, vector.total_charge_j)
+
+
+@DIFFERENTIAL
+@given(schedule=fleet_schedules())
+def test_battery_fleet_matches_scalar_packs(schedule: FleetSchedule) -> None:
+    socs = list(schedule.initial_socs)
+    scalar = BatteryFleet(
+        BATTERY, schedule.racks, initial_soc=socs, keep_log=True
+    )
+    vector = VectorBatteryFleet(
+        BATTERY, schedule.racks, initial_soc=socs, keep_log=True
+    )
+    dt = schedule.dt
+    for index, (out, inn) in enumerate(schedule.steps):
+        delivered_s = scalar.step(np.asarray(out), np.asarray(inn), dt, index * dt)
+        delivered_v = vector.step(np.asarray(out), np.asarray(inn), dt, index * dt)
+        assert_agree("delivered", delivered_s, delivered_v)
+        _compare_battery_fleets(scalar, vector, dt)
+    assert len(scalar.log) == len(vector.log)
+    for entry_s, entry_v in zip(scalar.log, vector.log):
+        assert entry_s.time_s == entry_v.time_s
+        assert_agree("log.discharge_w", entry_s.discharge_w, entry_v.discharge_w)
+        assert_agree("log.charge_w", entry_s.charge_w, entry_v.charge_w)
+        assert_agree("log.soc", entry_s.soc, entry_v.soc)
+
+
+@DIFFERENTIAL
+@given(schedule=fleet_schedules())
+def test_battery_fleet_reset_preserves_equivalence(
+    schedule: FleetSchedule,
+) -> None:
+    """Reset mid-history: aging counters persist, charge state restores."""
+    socs = list(schedule.initial_socs)
+    scalar = BatteryFleet(BATTERY, schedule.racks, initial_soc=socs)
+    vector = VectorBatteryFleet(BATTERY, schedule.racks, initial_soc=socs)
+    dt = schedule.dt
+    for out, inn in schedule.steps:
+        scalar.step(np.asarray(out), np.asarray(inn), dt)
+        vector.step(np.asarray(out), np.asarray(inn), dt)
+    scalar.reset()
+    vector.reset()
+    _compare_battery_fleets(scalar, vector, dt)
+    if schedule.steps:
+        out, inn = schedule.steps[0]
+        assert_agree(
+            "post-reset delivered",
+            scalar.step(np.asarray(out), np.asarray(inn), dt),
+            vector.step(np.asarray(out), np.asarray(inn), dt),
+        )
+        _compare_battery_fleets(scalar, vector, dt)
+
+
+# ---------------------------------------------------------------------- #
+# Supercap fleet (uDEB)                                                   #
+# ---------------------------------------------------------------------- #
+
+
+@DIFFERENTIAL
+@given(schedule=supercap_schedules())
+def test_supercap_fleet_matches_scalar_banks(
+    schedule: SupercapSchedule,
+) -> None:
+    scalar = UdebShaver(SUPERCAP, schedule.racks)
+    vector = VectorUdebShaver(SUPERCAP, schedule.racks)
+    dt = schedule.dt
+    for kind, watts in schedule.steps:
+        vec = np.asarray(watts)
+        if kind == "shave":
+            result_s = scalar.shave(vec, dt)
+            result_v = vector.shave(vec, dt)
+            assert_agree("shaved_w", result_s.shaved_w, result_v.shaved_w)
+            assert_agree("unshaved_w", result_s.unshaved_w, result_v.unshaved_w)
+        else:
+            assert_agree(
+                "recharge_w",
+                scalar.recharge(vec, dt),
+                vector.recharge(vec, dt),
+            )
+        assert_agree("soc", scalar.soc_vector(), vector.soc_vector())
+        assert_same_mask(
+            "shave_events",
+            scalar.shave_events_vector(),
+            vector.shave_events_vector(),
+        )
+        assert_agree(
+            "shaved_j", scalar.shaved_j_vector(), vector.shaved_j_vector()
+        )
+        assert_agree("min_soc", scalar.min_soc, vector.min_soc)
+        assert_agree("pool_soc", scalar.pool_soc, vector.pool_soc)
+
+
+# ---------------------------------------------------------------------- #
+# Breaker bank                                                            #
+# ---------------------------------------------------------------------- #
+
+
+@DIFFERENTIAL
+@given(schedule=breaker_schedules())
+def test_breaker_bank_matches_scalar_breakers(
+    schedule: BreakerSchedule,
+) -> None:
+    ratings = np.asarray(schedule.ratings)
+    scalar = ScalarBreakerBank(BREAKER_SHAPE, ratings)
+    vector = BreakerBankState(BREAKER_SHAPE, ratings)
+    dt = schedule.dt
+    time_s = 0.0
+    for kind, watts in schedule.steps:
+        vec = np.asarray(watts)
+        if kind == "ratings":
+            scalar.set_ratings(vec)
+            vector.set_ratings(vec)
+        else:
+            assert_agree(
+                "time_to_trip",
+                scalar.time_to_trip(vec),
+                vector.time_to_trip(vec),
+            )
+            newly_s = scalar.step(vec, dt, time_s)
+            newly_v = vector.step(vec, dt, time_s)
+            assert newly_s == newly_v, (
+                f"trip order diverged: scalar {newly_s}, vector {newly_v}"
+            )
+            time_s += dt
+        assert_agree("rated_w", scalar.rated_w, vector.rated_w)
+        assert_agree("heat", scalar.heat, vector.heat)
+        assert_same_mask("tripped", scalar.tripped, vector.tripped)
+        assert scalar.any_tripped == vector.any_tripped
+        for index in range(len(scalar)):
+            event_s = scalar.trip_event(index)
+            event_v = vector.trip_event(index)
+            assert (event_s is None) == (event_v is None)
+            if event_s is not None and event_v is not None:
+                assert_agree("trip time", event_s.time_s, event_v.time_s)
+                assert_agree("trip power", event_s.power_w, event_v.power_w)
+                assert_agree(
+                    "trip ratio",
+                    event_s.overload_ratio,
+                    event_v.overload_ratio,
+                )
+                assert event_s.instantaneous == event_v.instantaneous
+
+
+# ---------------------------------------------------------------------- #
+# Charging policies across backends                                       #
+# ---------------------------------------------------------------------- #
+
+
+@DIFFERENTIAL
+@given(schedule=charger_schedules())
+@pytest.mark.parametrize("policy", ["online", "offline"])
+def test_chargers_match_across_backends(
+    policy: str, schedule: ChargerSchedule
+) -> None:
+    socs = list(schedule.initial_socs)
+    fleets = {
+        "scalar": BatteryFleet(BATTERY, schedule.racks, initial_soc=socs),
+        "vectorized": VectorBatteryFleet(
+            BATTERY, schedule.racks, initial_soc=socs
+        ),
+    }
+    chargers = {
+        backend: (
+            OnlineCharger()
+            if policy == "online"
+            else OfflineCharger(recharge_soc=BATTERY.offline_recharge_soc)
+        )
+        for backend in fleets
+    }
+    dt = schedule.dt
+    for headroom, active, discharge in schedule.steps:
+        head = np.asarray(headroom)
+        mask = np.asarray(active, dtype=bool)
+        # Charging and discharging are mutually exclusive per rack in the
+        # fleet contract; the dispatch pipeline enforces the same split.
+        out = np.where(mask, 0.0, np.asarray(discharge))
+        charges = {}
+        for backend, fleet in fleets.items():
+            charge = chargers[backend].fleet_charge_power(
+                fleet, head, mask, dt
+            )
+            charges[backend] = charge
+            fleet.step(out, charge, dt)
+        assert_agree("charge_w", charges["scalar"], charges["vectorized"])
+        _compare_battery_fleets(fleets["scalar"], fleets["vectorized"], dt)
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end: whole simulation runs per scheme                            #
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("scheme", SCHEME_ORDER)
+def test_simulation_backends_agree(scheme: str) -> None:
+    """Scalar and vectorized full runs publish identical histories."""
+    setup = standard_setup()
+    scenario = standard_scenarios()[0]
+    results = {
+        backend: run_survival(
+            setup,
+            scheme,
+            scenario,
+            window_s=120.0,
+            backend=backend,
+        )
+        for backend in ("scalar", "vectorized")
+    }
+    scalar, vector = results["scalar"], results["vectorized"]
+    assert scalar.end_s == vector.end_s
+    assert scalar.attack_start_s == vector.attack_start_s
+    assert_agree("delivered_work", scalar.delivered_work, vector.delivered_work)
+    assert_agree("demanded_work", scalar.demanded_work, vector.demanded_work)
+    # Trips: same breakers at the same times for the same reasons.
+    assert len(scalar.trips) == len(vector.trips)
+    for trip_s, trip_v in zip(scalar.trips, vector.trips):
+        assert_agree("trip time", trip_s.time_s, trip_v.time_s)
+    # Events: same typed stream in the same publication order.
+    stream_s = [(type(e).__name__, e.time_s) for e in scalar.events]
+    stream_v = [(type(e).__name__, e.time_s) for e in vector.events]
+    assert stream_s == stream_v
+    # Recorder: every channel, step for step.
+    assert scalar.recorder.channels == vector.recorder.channels
+    assert scalar.recorder.vector_channels == vector.recorder.vector_channels
+    for channel in scalar.recorder.channels:
+        assert_agree(
+            f"series:{channel}",
+            scalar.recorder.series(channel),
+            vector.recorder.series(channel),
+        )
+    for channel in scalar.recorder.vector_channels:
+        assert_agree(
+            f"matrix:{channel}",
+            scalar.recorder.matrix(channel),
+            vector.recorder.matrix(channel),
+        )
