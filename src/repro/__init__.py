@@ -62,9 +62,11 @@ from .errors import (
     AttackError,
     BatteryError,
     ConfigError,
+    FaultInjectionError,
     PowerTopologyError,
     ReproError,
     SimulationError,
+    SweepExecutionError,
     TraceFormatError,
 )
 from .experiments.common import (
@@ -72,10 +74,25 @@ from .experiments.common import (
     run_throughput,
     standard_setup,
 )
+from .faults import (
+    BatteryFade,
+    BreakerMisrating,
+    FaultPlan,
+    FaultSpec,
+    SocBias,
+    SocFreeze,
+    TelemetryDropout,
+    TelemetryNoise,
+    UdebStuckOpen,
+    VdebCommLoss,
+)
 from .sim import (
     AttackWindow,
     DataCenterSimulation,
     EventBus,
+    FaultCleared,
+    FaultEvent,
+    FaultInjected,
     Runner,
     Segment,
     SimEvent,
@@ -98,7 +115,9 @@ __all__ = [
     "Attacker",
     "BatteryConfig",
     "BatteryError",
+    "BatteryFade",
     "BreakerConfig",
+    "BreakerMisrating",
     "CappingConfig",
     "ChargingPolicy",
     "ClusterConfig",
@@ -108,6 +127,12 @@ __all__ = [
     "DataCenterConfig",
     "DataCenterSimulation",
     "EventBus",
+    "FaultCleared",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSpec",
     "MeterConfig",
     "PolicyConfig",
     "PowerTopologyError",
@@ -121,10 +146,17 @@ __all__ = [
     "SimEvent",
     "SimResult",
     "SimulationError",
+    "SocBias",
+    "SocFreeze",
     "SpikeTrainConfig",
     "SupercapConfig",
+    "SweepExecutionError",
+    "TelemetryDropout",
+    "TelemetryNoise",
     "TraceFormatError",
+    "UdebStuckOpen",
     "UtilizationTrace",
+    "VdebCommLoss",
     "VdebConfig",
     "VirusKind",
     "acquire_nodes",

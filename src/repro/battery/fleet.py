@@ -102,6 +102,10 @@ class BatteryFleet:
         """Per-rack stored energy in joules."""
         return np.array([p.charge_j for p in self._packs])
 
+    def capacity_j_vector(self) -> np.ndarray:
+        """Per-rack (possibly faded) capacity in joules."""
+        return np.array([p.capacity_j for p in self._packs])
+
     @property
     def total_charge_j(self) -> float:
         """Aggregate stored energy across the fleet."""
@@ -218,6 +222,21 @@ class BatteryFleet:
                 )
             )
         return delivered
+
+    def apply_capacity_fade(self, fade: "list[float] | np.ndarray") -> None:
+        """Permanently fade per-rack capacity (battery-string faults).
+
+        ``fade`` holds one fraction per rack; zero entries are untouched.
+        Like the aging counters, the damage survives :meth:`reset`.
+        """
+        fractions = np.asarray(fade, dtype=float)
+        if fractions.shape != (len(self._packs),):
+            raise BatteryError("need one fade fraction per rack")
+        if np.any((fractions < 0.0) | (fractions >= 1.0)):
+            raise BatteryError("capacity fade must be in [0, 1)")
+        for pack, fraction_lost in zip(self._packs, fractions.tolist()):
+            if fraction_lost > 0.0:
+                pack.apply_capacity_fade(fraction_lost)
 
     def reset(self) -> None:
         """Reset every pack to its initial SOC and clear the log."""

@@ -246,6 +246,28 @@ class KiBaMFleetState:
         check_step_args(0.0, dt)
         self.step(np.zeros(len(self)), dt)
 
+    def apply_capacity_fade(self, fade: np.ndarray) -> None:
+        """Permanently lose per-rack fractions of the *current* capacity.
+
+        Mirrors :meth:`KiBaMBattery.apply_capacity_fade` elementwise:
+        a zero entry leaves that rack's bits untouched (``x * 1.0`` and
+        the re-derived well caps are exact), so only faulted racks move.
+        The damage survives :meth:`reset`.
+        """
+        fractions = np.asarray(fade, dtype=float)
+        if fractions.shape != self._y1.shape:
+            raise BatteryError("need one fade fraction per rack")
+        if np.any((fractions < 0.0) | (fractions >= 1.0)):
+            raise BatteryError("capacity fade must be in [0, 1)")
+        if not bool(np.any(fractions > 0.0)):
+            return
+        self._capacity_j = self._capacity_j * (1.0 - fractions)
+        self._cap_available = self._c * self._capacity_j
+        self._cap_bound = (1.0 - self._c) * self._capacity_j
+        self._y1 = np.minimum(self._y1, self._cap_available)
+        self._y2 = np.minimum(self._y2, self._cap_bound)
+        self._version += 1
+
     def reset(self) -> None:
         """Restore the initial SOC with equalised well heads."""
         total = self._capacity_j * self._initial_soc
@@ -339,6 +361,10 @@ class VectorBatteryFleet:
     def charge_vector_j(self) -> np.ndarray:
         """Per-rack stored energy in joules."""
         return self._cells.charge_j
+
+    def capacity_j_vector(self) -> np.ndarray:
+        """Per-rack (possibly faded) capacity in joules."""
+        return self._cells.capacity_j.copy()
 
     def available_j_vector(self) -> np.ndarray:
         """Per-rack charge in the KiBaM available well."""
@@ -540,6 +566,23 @@ class VectorBatteryFleet:
         if opening.any() or closing.any():
             self._disconnected = (self._disconnected | opening) & ~closing
             self._deep_discharge_events += opening
+
+    def apply_capacity_fade(self, fade: "list[float] | np.ndarray") -> None:
+        """Permanently fade per-rack capacity (battery-string faults).
+
+        Mirrors :meth:`BatteryFleet.apply_capacity_fade`: the cells fade
+        elementwise and the LVD re-evaluates for the *faded* racks only
+        (losing clipped charge can push a marginal pack through its
+        disconnect threshold). Unfaded racks must not be touched: a pack
+        whose LVD has never been evaluated — e.g. constructed at SOC 0
+        and never stepped — stays connected in the scalar fleet, and the
+        backends must agree on that.
+        """
+        fractions = np.asarray(fade, dtype=float)
+        self._cells.apply_capacity_fade(fractions)
+        faded = fractions > 0.0
+        if bool(np.any(faded)):
+            self._update_lvd(faded)
 
     def reset(self) -> None:
         """Reset every pack to its initial SOC and clear the log.

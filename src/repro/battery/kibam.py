@@ -191,6 +191,22 @@ class KiBaMBattery:
         check_step_args(0.0, dt)
         self._apply_step(0.0, dt)
 
+    def apply_capacity_fade(self, fade: float) -> None:
+        """Permanently lose ``fade`` of the *current* capacity.
+
+        Models string-level damage (sulfation, a dead cell taking its
+        series string offline): both wells shrink proportionally and any
+        charge above the new caps is lost. The damage survives
+        :meth:`reset` — a reset refills the *faded* pack.
+        """
+        if not 0.0 <= fade < 1.0:
+            raise BatteryError(f"capacity fade must be in [0, 1), got {fade}")
+        if fade <= 0.0:
+            return
+        self._capacity_j *= 1.0 - fade
+        self._y1 = min(self._y1, self._c * self._capacity_j)
+        self._y2 = min(self._y2, (1.0 - self._c) * self._capacity_j)
+
     def reset(self) -> None:
         """Restore the initial SOC with equalised well heads."""
         total = self._capacity_j * self._initial_soc

@@ -165,6 +165,16 @@ class LeadAcidPack:
         self._cell.rest(dt)
         self._update_lvd()
 
+    def apply_capacity_fade(self, fade: float) -> None:
+        """Permanently lose ``fade`` of current capacity (string damage).
+
+        The LVD re-evaluates afterwards: losing stored charge can push a
+        marginal pack through its disconnect threshold.
+        """
+        self._cell.apply_capacity_fade(fade)
+        if fade > 0.0:
+            self._update_lvd()
+
     def reset(self) -> None:
         """Restore initial charge and clear protection state (not counters)."""
         self._cell.reset()

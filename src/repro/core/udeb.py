@@ -62,6 +62,8 @@ class UdebShaver:
             raise ConfigError("need at least one rack")
         self._config = config
         self._banks = [SupercapBank(config) for _ in range(racks)]
+        self._stuck_open = np.zeros(racks, dtype=bool)
+        self._any_stuck = False
 
     @property
     def config(self) -> SupercapConfig:
@@ -103,18 +105,41 @@ class UdebShaver:
             return 0.0
         return sum(b.charge_j for b in self._banks) / total_cap
 
+    def set_stuck_open(self, mask: "np.ndarray | None") -> None:
+        """Fail the ORing FET open on masked racks (``None`` heals all).
+
+        A stuck-open FET cannot conduct: the bank never shaves, so the
+        spike rides the utility feed. The charger is a separate path and
+        keeps working — the bank sits full and useless.
+        """
+        if mask is None:
+            self._stuck_open[:] = False
+            self._any_stuck = False
+            return
+        stuck = np.asarray(mask, dtype=bool)
+        if stuck.shape != (len(self._banks),):
+            raise ConfigError("need one stuck-open entry per rack")
+        self._stuck_open = stuck.copy()
+        self._any_stuck = bool(stuck.any())
+
+    @property
+    def stuck_open(self) -> np.ndarray:
+        """Per-rack stuck-open ORing-FET fault state."""
+        return self._stuck_open.copy()
+
     def shave(self, excess_w: np.ndarray, dt: float) -> ShaveResult:
         """Source per-rack ``excess_w`` from the supercaps for ``dt``.
 
         The ORing conducts only when there is excess; zero-excess racks are
-        untouched (charging is a separate, explicit step).
+        untouched (charging is a separate, explicit step). A stuck-open
+        FET never conducts: its excess goes unshaved.
         """
         excess = np.asarray(excess_w, dtype=float)
         if excess.shape != (len(self._banks),):
             raise ConfigError("need one excess entry per rack")
         shaved = np.zeros_like(excess)
         for i, bank in enumerate(self._banks):
-            if excess[i] > 0.0:
+            if excess[i] > 0.0 and not self._stuck_open[i]:
                 shaved[i] = bank.discharge(float(excess[i]), dt)
         return ShaveResult(shaved_w=shaved, unshaved_w=excess - shaved)
 
@@ -150,6 +175,8 @@ class VectorUdebShaver:
 
     def __init__(self, config: SupercapConfig, racks: int) -> None:
         self._state = SupercapFleetState(config, racks)
+        self._stuck_open = np.zeros(racks, dtype=bool)
+        self._any_stuck = False
 
     @property
     def config(self) -> SupercapConfig:
@@ -191,10 +218,32 @@ class VectorUdebShaver:
             return 0.0
         return float(sum(charge.tolist())) / total_cap
 
+    def set_stuck_open(self, mask: "np.ndarray | None") -> None:
+        """Fail the ORing FET open on masked racks (``None`` heals all)."""
+        if mask is None:
+            self._stuck_open[:] = False
+            self._any_stuck = False
+            return
+        stuck = np.asarray(mask, dtype=bool)
+        if stuck.shape != (len(self._state),):
+            raise ConfigError("need one stuck-open entry per rack")
+        self._stuck_open = stuck.copy()
+        self._any_stuck = bool(stuck.any())
+
+    @property
+    def stuck_open(self) -> np.ndarray:
+        """Per-rack stuck-open ORing-FET fault state."""
+        return self._stuck_open.copy()
+
     def shave(self, excess_w: np.ndarray, dt: float) -> ShaveResult:
         """Source per-rack ``excess_w`` from the supercaps for ``dt``."""
         excess = np.asarray(excess_w, dtype=float)
-        shaved = self._state.shave(excess, dt)
+        conducted = (
+            np.where(self._stuck_open, 0.0, excess)
+            if self._any_stuck
+            else excess
+        )
+        shaved = self._state.shave(conducted, dt)
         return ShaveResult(shaved_w=shaved, unshaved_w=excess - shaved)
 
     def recharge(self, headroom_w: np.ndarray, dt: float) -> np.ndarray:

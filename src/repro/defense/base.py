@@ -35,6 +35,7 @@ from ..config import DataCenterConfig
 from ..errors import ConfigError
 from ..power.capping import CapController
 from ..workload.cluster import ClusterModel
+from .telemetry import TelemetryView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..sim.events import EventBus
@@ -50,9 +51,14 @@ class StepState:
         rack_demand_w: Instantaneous electrical demand ``p_i`` per rack
             (with the scheme's previous capping/shedding already applied).
         metered_rack_avg_w: Latest management-meter average per rack —
-            what software loops are allowed to react to.
+            what software loops are allowed to react to. Under a
+            telemetry fault this is the *held* last-known-good view.
         metered_server_util: Latest metered per-server utilisation — the
             shedder's selection input.
+        telemetry_age_s: Age of the oldest held telemetry channel; zero
+            on the healthy path.
+        telemetry_stale: True once held telemetry outlived the TTL —
+            schemes must fail safe instead of trusting the numbers.
     """
 
     time_s: float
@@ -60,6 +66,8 @@ class StepState:
     rack_demand_w: np.ndarray
     metered_rack_avg_w: np.ndarray
     metered_server_util: np.ndarray
+    telemetry_age_s: float = 0.0
+    telemetry_stale: bool = False
 
 
 @dataclass(frozen=True)
@@ -114,6 +122,9 @@ class SchemeContext:
             (array kernels). Defaults to scalar so directly-constructed
             schemes exercise the reference physics; the simulation layer
             passes vectorized through.
+        telemetry_ttl_s: Staleness TTL for the scheme's
+            :class:`~repro.defense.telemetry.TelemetryView` — how long
+            held meter readings stay trusted during a telemetry fault.
     """
 
     config: DataCenterConfig
@@ -124,6 +135,7 @@ class SchemeContext:
     initial_battery_soc: "float | list[float]" = field(default=1.0)
     bus: "EventBus | None" = None
     backend: str = "scalar"
+    telemetry_ttl_s: float = 30.0
 
     def ratings(self) -> np.ndarray:
         """Per-rack branch breaker ratings (defaults to the soft limits)."""
@@ -182,6 +194,16 @@ class DefenseScheme:
         # True while any cap controller is pending or active — lets the
         # management loop skip the per-rack walk on quiet ticks.
         self._cap_busy = False
+        # The sensor boundary: every metered/sensed quantity the software
+        # plane consumes flows through here, so telemetry faults have one
+        # choke point and staleness one definition.
+        self.telemetry = TelemetryView(
+            racks,
+            ctx.cluster.servers,
+            ctx.telemetry_ttl_s,
+            initial_rack_avg_w=self.soft_limits_w,
+            initial_server_util=np.zeros(ctx.cluster.servers),
+        )
 
     # ------------------------------------------------------------------ #
     # Hooks                                                               #
@@ -217,6 +239,11 @@ class DefenseScheme:
         if self.uses_capping:
             from ..sim.events import CappingChanged
 
+            if state.telemetry_stale:
+                # Frozen meter averages can neither justify new capping
+                # nor safely release it — hold state until telemetry
+                # returns (fail safe: never act on readings past TTL).
+                return
             deliverable = self.fleet.max_discharge_vector(state.dt)
             need = state.metered_rack_avg_w - self.soft_limits_w
             # DVFS is the fallback once the DEB runs out (paper Fig. 6:
@@ -289,3 +316,4 @@ class DefenseScheme:
         self.capped_racks[:] = False
         self.asleep_servers[:] = False
         self._cap_busy = False
+        self.telemetry.reset()

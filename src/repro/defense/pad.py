@@ -113,13 +113,39 @@ class PadScheme(VdebScheme):
     def management(self, state: StepState) -> None:
         """Policy update and Level-3 shedding, all on metered data."""
         super().management(state)  # last-resort DVFS capping
-        self._track_spikes(state)
+        self._track_spikes(state)  # hardware sensors — live under faults
         cfg = self.ctx.config
+        if state.telemetry_stale:
+            # Fail-safe posture (paper Fig. 9): with the metered view
+            # past its TTL, assume the worst the meters could be hiding —
+            # treat the uDEB layer as unavailable so the policy escalates
+            # to Level 2 (Level 3 once the sensed pool empties too), and
+            # hold the shed set: selection keyed on frozen utilisation
+            # would sleep the wrong servers. The hardware paths (battery,
+            # supercap, breakers) below keep acting on real current.
+            inputs = PolicyInputs(
+                vdeb_available=(
+                    self.telemetry.pool_soc(self.fleet)
+                    > cfg.policy.vdeb_empty_soc
+                ),
+                udeb_available=False,
+                visible_peak=False,
+            )
+            before = self.policy.peek()
+            level = self.policy.update(inputs)
+            if before is not None and level is not before:
+                self.bus.publish(PolicyEscalation(
+                    time_s=state.time_s, from_level=before, to_level=level,
+                ))
+            return
         vp = self.vp_detector.evaluate(
             state.metered_rack_avg_w, self.soft_limits_w
         )
         inputs = PolicyInputs(
-            vdeb_available=self.fleet.pool_soc > cfg.policy.vdeb_empty_soc,
+            vdeb_available=(
+                self.telemetry.pool_soc(self.fleet)
+                > cfg.policy.vdeb_empty_soc
+            ),
             udeb_available=self.shaver.min_soc > cfg.policy.udeb_empty_soc,
             visible_peak=vp.any_peak,
         )
@@ -149,7 +175,7 @@ class PadScheme(VdebScheme):
         rack_over = state.metered_rack_avg_w - self.soft_limits_w
         over_budget = rack_over > 0.0
         if over_budget.any():
-            soc = self.fleet.soc_vector()
+            soc = self.telemetry.battery_soc(self.fleet)
             deliverable = self.fleet.max_discharge_vector(state.dt)
             weak = (soc < self.VULNERABLE_SOC) | (deliverable < rack_over)
             vulnerable = weak & over_budget

@@ -52,13 +52,23 @@ class VdebScheme(DefenseScheme):
         # Cluster-level requirement: total demand above the PDU budget.
         pdu_budget = self.ctx.config.cluster.pdu_budget_w
         shave_w = max(0.0, float(np.sum(demand)) - pdu_budget)
+        # The controller allocates from the *sensed* SOC — a biased or
+        # frozen sensor misleads the pool exactly as it would the real
+        # controller; the physical fleet still clamps what is delivered.
         allocation = self.controller.allocate(
-            soc=self.fleet.soc_vector(),
+            soc=self.telemetry.battery_soc(self.fleet),
             rack_demand_w=demand,
             deliverable_w=deliverable,
             shave_w=shave_w,
         )
-        request = allocation.discharge_w
+        pool_w = allocation.discharge_w
+        comm_ok = self.telemetry.comm_ok
+        if comm_ok is not None:
+            # Unreachable racks get no pool duty: the controller cannot
+            # command them. Their local hardware reflexes below (own
+            # excess, wiring rating) keep acting on real current.
+            pool_w = np.where(comm_ok, pool_w, 0.0)
+        request = pool_w
         # Rack-level balancing: each rack still covers its own excess over
         # its *current* soft limit (that is what keeps the feed inside its
         # enforcement threshold), and demand above the physical wiring
@@ -71,7 +81,7 @@ class VdebScheme(DefenseScheme):
         # the local-need top-up back in would spiral: a low limit creates
         # local need, which would lower the limit further, draining the
         # victim's battery — the exact vulnerability vDEB exists to close.
-        self._update_soft_limits(state, allocation.discharge_w)
+        self._update_soft_limits(state, pool_w)
         return request
 
     #: Headroom added to each reassigned soft limit so recharge paths
@@ -90,14 +100,19 @@ class VdebScheme(DefenseScheme):
         The controller is *software*: it sees the management meter's
         interval averages, never the instantaneous waveform — which is
         exactly why hidden spikes slip past it and only the uDEB hardware
-        path (in PAD) can answer them.
+        path (in PAD) can answer them. Degradation policy: telemetry past
+        its TTL forces the fail-safe floors; racks the controller cannot
+        reach hold their last commanded limit.
         """
+        if state.telemetry_stale:
+            self._apply_fail_safe_limits(state)
+            return
         if state.time_s < self._rebalance_due_s:
             return
         self._rebalance_due_s = (
             state.time_s + self.controller.config.rebalance_interval_s
         )
-        self.soft_limits_w = self.controller.soft_limits_for(
+        new_limits = self.controller.soft_limits_for(
             rack_demand_w=state.metered_rack_avg_w,
             discharge_w=discharge,
             pdu_budget_w=self.ctx.config.cluster.pdu_budget_w,
@@ -105,6 +120,30 @@ class VdebScheme(DefenseScheme):
             ceiling_w=float(np.max(self._branch_rating_w)),
             margin_w=self.CHARGE_MARGIN_W,
         )
+        comm_ok = self.telemetry.comm_ok
+        if comm_ok is not None:
+            # An iPDU the controller cannot reach keeps enforcing its
+            # last commanded limit — reassignment only lands on racks
+            # whose link is up.
+            new_limits = np.where(comm_ok, new_limits, self.soft_limits_w)
+        self.soft_limits_w = new_limits
+        self.bus.publish(SoftLimitsReassigned(
+            time_s=state.time_s, soft_limits_w=self.soft_limits_w.copy(),
+        ))
+
+    def _apply_fail_safe_limits(self, state: StepState) -> None:
+        """Retreat to the provisioned budgets while telemetry is blind.
+
+        The initial (equal-share) limits are the conservative floor every
+        breaker was sized for: with no trustworthy meter view, holding a
+        skewed reassignment could keep starving a rack whose load moved.
+        The cadence re-arms so recovery reassigns on the first fresh
+        reading.
+        """
+        self._rebalance_due_s = -np.inf
+        if np.array_equal(self.soft_limits_w, self.initial_soft_limits_w):
+            return
+        self.soft_limits_w = self.initial_soft_limits_w.copy()
         self.bus.publish(SoftLimitsReassigned(
             time_s=state.time_s, soft_limits_w=self.soft_limits_w.copy(),
         ))

@@ -55,3 +55,23 @@ class AttackError(ReproError):
     Examples: a spike width longer than the spike period, or an attacker
     given control of more nodes than exist in the victim rack.
     """
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is invalid or could not be applied to the simulation.
+
+    Examples: a fault window that ends before it starts, a fault aimed at
+    racks outside the cluster, or a capacity fade outside ``[0, 1)``.
+    Distinct from :class:`SimulationError` so callers can tell a broken
+    fault *plan* apart from a broken simulation setup.
+    """
+
+
+class SweepExecutionError(ReproError):
+    """A sweep cell failed to *execute* (worker crash, timeout, exhaustion).
+
+    Raised or recorded by the sweep executor when a cell's worker dies or
+    hangs — as opposed to the cell being *invalid*, which surfaces eagerly
+    as :class:`ConfigError`/:class:`SimulationError` at construction time.
+    Callers can therefore distinguish "cell failed" from "cell invalid".
+    """

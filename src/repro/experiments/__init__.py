@@ -30,14 +30,17 @@ from .common import (
     standard_setup,
 )
 from .sweep import (
+    CellFailure,
     ScenarioSweep,
     SweepCell,
     SweepResult,
+    cell_fingerprint,
     derive_cell_seed,
     survival_grid_cells,
 )
 
 __all__ = [
+    "CellFailure",
     "ExperimentSetup",
     "SCHEME_ORDER",
     "SURVIVAL_WINDOW_S",
@@ -45,6 +48,7 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "build_attacker",
+    "cell_fingerprint",
     "derive_cell_seed",
     "fig05_soc_variation",
     "fig06_two_phase",

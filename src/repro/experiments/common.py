@@ -27,6 +27,7 @@ from ..attack.virus import profile_for
 from ..config import DataCenterConfig
 from ..defense import SCHEMES
 from ..errors import SimulationError
+from ..faults.spec import FaultPlan
 from ..sim.datacenter import DataCenterSimulation, SimResult
 from ..sim.runner import ATTACK_DT_S, AttackWindow, Runner
 from ..units import days
@@ -177,6 +178,7 @@ def run_survival(
     record_every: int = 40,
     lead_in_s: float = 0.0,
     backend: str = "vectorized",
+    fault_plan: "FaultPlan | None" = None,
 ) -> SimResult:
     """One survival-style run: attack at the calibrated time, stop on trip.
 
@@ -204,6 +206,7 @@ def run_survival(
         SCHEMES[scheme_name],
         attacker=attacker,
         backend=backend,
+        fault_plan=fault_plan,
     )
     runner = Runner(
         sim,
@@ -230,6 +233,7 @@ def run_throughput(
     seed: int = 7,
     initial_battery_soc: float = 1.0,
     backend: str = "vectorized",
+    fault_plan: "FaultPlan | None" = None,
 ) -> SimResult:
     """One throughput-style run: breakers re-arm, run the whole window.
 
@@ -248,6 +252,7 @@ def run_throughput(
         repair_time_s=300.0,
         initial_battery_soc=initial_battery_soc,
         backend=backend,
+        fault_plan=fault_plan,
     )
     runner = Runner(
         sim,

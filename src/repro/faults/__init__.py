@@ -1,0 +1,38 @@
+"""Fault injection: declarative plans, per-step injection, typed events.
+
+The subsystem the robustness story hangs on: declare *what breaks when*
+in a :class:`FaultPlan`, hand it to a
+:class:`~repro.sim.datacenter.DataCenterSimulation` (or a
+``SweepCell``), and the :class:`FaultInjector` drives meter dropouts,
+lying SOC sensors, comm loss, battery damage, stuck ORing FETs and
+mis-rated breakers through the step pipeline — deterministically, on
+both backends, with every edge published as a typed ``FaultEvent``.
+"""
+
+from .injector import FaultInjector
+from .spec import (
+    BatteryFade,
+    BreakerMisrating,
+    FaultPlan,
+    FaultSpec,
+    SocBias,
+    SocFreeze,
+    TelemetryDropout,
+    TelemetryNoise,
+    UdebStuckOpen,
+    VdebCommLoss,
+)
+
+__all__ = [
+    "BatteryFade",
+    "BreakerMisrating",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "SocBias",
+    "SocFreeze",
+    "TelemetryDropout",
+    "TelemetryNoise",
+    "UdebStuckOpen",
+    "VdebCommLoss",
+]

@@ -74,14 +74,20 @@ class PowerMeter:
     def step(self, power_w: float, dt: float) -> "list[MeterSample]":
         """Integrate ``power_w`` held for ``dt`` seconds.
 
+        A zero-length step is a no-op (no energy, no time — schedulers
+        legitimately emit them at segment boundaries); a negative step
+        would rewind the meter and is rejected.
+
         Returns:
             Samples for every metering interval completed by this step.
 
         Raises:
-            SimulationError: on non-positive ``dt`` or negative power.
+            SimulationError: on negative ``dt`` or negative power.
         """
-        if dt <= 0.0:
-            raise SimulationError(f"dt must be positive, got {dt}")
+        if dt < 0.0:
+            raise SimulationError(f"dt must be non-negative, got {dt}")
+        if dt == 0.0:
+            return []
         if power_w < 0.0:
             raise SimulationError(f"power must be non-negative, got {power_w}")
         samples: list[MeterSample] = []

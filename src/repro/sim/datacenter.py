@@ -34,15 +34,23 @@ import numpy as np
 from ..attack.attacker import Attacker
 from ..config import DataCenterConfig
 from ..errors import SimulationError
+from ..faults.spec import FaultPlan
 from ..power.breaker import TripEvent
 from ..power.breaker_kernels import make_breaker_bank
 from ..workload.cluster import ClusterModel
 from ..workload.trace import UtilizationTrace
 from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
 from .engine import Engine
-from .events import BreakerTripped, EventBus, OverloadEvent, SimEvent
+from .events import (
+    BreakerTripped,
+    EventBus,
+    FaultEvent,
+    FaultInjected,
+    OverloadEvent,
+    SimEvent,
+)
 from .recorder import Recorder
-from .runner import Segment
+from .runner import AttackWindow, Segment
 
 __all__ = [
     "DataCenterSimulation",
@@ -65,7 +73,10 @@ class SimResult:
         trips: Breaker trips, in time order.
         events: The full typed event stream of the run, in publication
             order (overloads, trips, policy escalations, shedding, vDEB
-            reassignments, capping flips).
+            reassignments, capping flips, fault edges).
+        faults: Fault-injection edges (:class:`FaultInjected` /
+            :class:`FaultCleared`) in publication order — the per-fault
+            accounting for degraded-mode runs.
         delivered_work: Integrated delivered throughput (machine-seconds).
         demanded_work: Integrated demanded throughput (machine-seconds).
         recorder: Step-aligned time series.
@@ -78,6 +89,7 @@ class SimResult:
     overloads: "list[OverloadEvent]" = field(default_factory=list)
     trips: "list[TripEvent]" = field(default_factory=list)
     events: "list[SimEvent]" = field(default_factory=list)
+    faults: "list[FaultEvent]" = field(default_factory=list)
     delivered_work: float = 0.0
     demanded_work: float = 0.0
     recorder: Recorder = field(default_factory=Recorder)
@@ -123,6 +135,15 @@ class SimResult:
     def events_of_type(self, event_type: type) -> "list[SimEvent]":
         """Events of the run that are instances of ``event_type``."""
         return [e for e in self.events if isinstance(e, event_type)]
+
+    @property
+    def fault_counts(self) -> "dict[str, int]":
+        """Injection count per fault kind (clears are not counted)."""
+        counts: "dict[str, int]" = {}
+        for event in self.faults:
+            if isinstance(event, FaultInjected):
+                counts[event.fault] = counts.get(event.fault, 0) + 1
+        return counts
 
 
 @dataclass
@@ -182,6 +203,17 @@ class DataCenterSimulation:
             the default) or ``"scalar"`` (per-object oracle classes). Both
             produce identical results — enforced by the differential
             harness in ``tests/test_vectorized_equivalence.py``.
+        fault_plan: Optional declarative fault schedule; when given, a
+            :class:`~repro.faults.FaultInjector` stage runs between the
+            demand and defense stages, degrading telemetry, sensors,
+            comms, batteries, FETs and breaker enforcement exactly as the
+            plan prescribes. ``None`` leaves the pipeline untouched —
+            runs without a plan are bit-identical to builds that predate
+            fault injection.
+        telemetry_ttl_s: Staleness TTL for the scheme's telemetry view;
+            defaults to three management intervals, so one missed meter
+            publication is tolerated and held, while a sustained dropout
+            forces the fail-safe path.
     """
 
     def __init__(
@@ -195,6 +227,8 @@ class DataCenterSimulation:
         repair_time_s: "float | None" = None,
         initial_battery_soc: "float | list[float]" = 1.0,
         backend: str = "vectorized",
+        fault_plan: "FaultPlan | None" = None,
+        telemetry_ttl_s: "float | None" = None,
     ) -> None:
         if overshoot_tolerance < 0.0:
             raise SimulationError("overshoot tolerance must be non-negative")
@@ -229,6 +263,10 @@ class DataCenterSimulation:
             shape,
             np.append(self.rating_w, self._cluster_rated_w),
         )
+        if telemetry_ttl_s is None:
+            telemetry_ttl_s = 3.0 * management_interval_s
+        if telemetry_ttl_s <= 0.0:
+            raise SimulationError("telemetry TTL must be positive")
         self.scheme: DefenseScheme = scheme_factory(
             SchemeContext(
                 config=config,
@@ -239,6 +277,7 @@ class DataCenterSimulation:
                 initial_battery_soc=initial_battery_soc,
                 bus=self.bus,
                 backend=backend,
+                telemetry_ttl_s=telemetry_ttl_s,
             )
         )
         self._mgmt_interval = management_interval_s
@@ -265,6 +304,12 @@ class DataCenterSimulation:
         self._ratings_buf = np.append(self.rating_w, self._cluster_rated_w)
         self._loads_buf = np.empty(racks + 1)
         self._applied_soft_limits_w = self.soft_limits_w.copy()
+        # Enforcement derating: a mis-rated breaker trips at derate *
+        # nominal while overload *detection* keeps the nominal rating —
+        # the operator's view of "over budget" is unchanged; only the
+        # (faulty) hardware threshold moves.
+        self._breaker_derate: "np.ndarray | None" = None
+        self._derate_dirty = False
         self._attack_nodes = (
             np.asarray(attacker.nodes, dtype=int) if attacker else None
         )
@@ -278,17 +323,77 @@ class DataCenterSimulation:
                     self._server_rack_index[self._attack_nodes]
                 )
             )
+        # Deferred import: the injector module subscribes to sim.events,
+        # so importing it at module scope would cycle through repro.faults.
+        from ..faults.injector import FaultInjector
+
+        self._injector: "FaultInjector | None" = None
+        if fault_plan is not None and len(fault_plan) > 0:
+            self._injector = FaultInjector(fault_plan, self)
         #: The step pipeline, in execution order. Each stage reads and
         #: extends the :class:`StepContext`; tests (and exotic workloads)
-        #: may call stages individually or swap the tuple.
-        self.pipeline = (
+        #: may call stages individually or swap the tuple. The fault
+        #: stage only exists when a plan was supplied, so no-plan runs
+        #: execute the exact historical pipeline.
+        stages = [
             self.stage_workload,
             self.stage_attack,
             self.stage_demand,
             self.stage_defense,
             self.stage_protection,
             self.stage_accounting,
-        )
+        ]
+        if self._injector is not None:
+            stages.insert(3, self._injector.stage_faults)
+        self.pipeline = tuple(stages)
+
+    @property
+    def server_rack_index(self) -> np.ndarray:
+        """Rack index of every server (server ``m`` lives in rack
+        ``m // servers_per_rack``)."""
+        return self._server_rack_index
+
+    @property
+    def fault_plan(self) -> "FaultPlan | None":
+        """The active fault plan, if any."""
+        return self._injector.plan if self._injector is not None else None
+
+    def fault_windows(self) -> "list[AttackWindow]":
+        """Windows of the fault plan, as fine-step schedule refinements.
+
+        Feed these to :func:`repro.sim.runner.build_schedule` alongside
+        the attack windows so fault edges land on sub-second steps.
+        One-shot faults (battery fade) have no window.
+        """
+        if self._injector is None:
+            return []
+        return [
+            AttackWindow(start_s=start, end_s=end)
+            for start, end in self._injector.plan.windows()
+        ]
+
+    def set_breaker_derate(self, derate: "np.ndarray | None") -> None:
+        """Install per-breaker enforcement derating (cluster entry last).
+
+        ``derate`` multiplies the *enforced* breaker ratings — shape
+        ``(racks + 1,)``, strictly positive — while ``self.rating_w``
+        (overload detection, soft-limit maths) stays nominal. ``None``
+        restores nominal enforcement. Takes effect at this step's
+        protection stage. Called by the fault injector for
+        :class:`~repro.faults.BreakerMisrating`.
+        """
+        if derate is not None:
+            derate = np.asarray(derate, dtype=float)
+            if derate.shape != (self.cluster.racks + 1,):
+                raise SimulationError(
+                    "breaker derate needs one entry per rack plus the "
+                    "cluster breaker"
+                )
+            if not bool(np.all(derate > 0.0)):
+                raise SimulationError("breaker derate must be positive")
+            derate = derate.copy()
+        self._breaker_derate = derate
+        self._derate_dirty = True
 
     # ------------------------------------------------------------------ #
     # Pipeline stages                                                     #
@@ -330,14 +435,39 @@ class DataCenterSimulation:
         self._update_meters(ctx.demand, ctx.util, ctx.dt)
 
     def stage_defense(self, ctx: StepContext) -> None:
-        """Let the active scheme move energy and set management masks."""
+        """Let the active scheme move energy and set management masks.
+
+        All metered quantities flow through the scheme's
+        :class:`~repro.defense.telemetry.TelemetryView`: the view holds
+        last-known-good readings through dropouts and reports staleness,
+        so the scheme can degrade gracefully instead of reading garbage.
+        With no injector the view observes every channel every step and
+        the state it yields is value-identical to the raw meters.
+        """
         assert ctx.demand is not None
+        view = self.scheme.telemetry
+        if self._injector is None:
+            view.observe(
+                ctx.time_s, self._metered_rack_avg, self._metered_server_util
+            )
+        else:
+            rack_ok, server_ok = self._injector.telemetry_masks()
+            view.observe(
+                ctx.time_s,
+                self._injector.sensed_rack_avg(self._metered_rack_avg),
+                self._metered_server_util,
+                rack_mask=rack_ok,
+                server_mask=server_ok,
+            )
+        age_s = view.age_s(ctx.time_s)
         ctx.state = StepState(
             time_s=ctx.time_s,
             dt=ctx.dt,
             rack_demand_w=ctx.demand,
-            metered_rack_avg_w=self._metered_rack_avg.copy(),
-            metered_server_util=self._metered_server_util.copy(),
+            metered_rack_avg_w=view.rack_avg_w(),
+            metered_server_util=view.server_util(),
+            telemetry_age_s=age_s,
+            telemetry_stale=view.is_stale(ctx.time_s),
         )
         ctx.dispatch = self.scheme.dispatch(ctx.state)
         ctx.utility = ctx.dispatch.utility_w(ctx.demand)
@@ -351,13 +481,26 @@ class DataCenterSimulation:
         # Schemes swap in a fresh array on reassignment (never mutating
         # in place), so an identity check spots unchanged limits, and
         # re-applying identical ratings would be a no-op either way.
-        if ctx.dispatch.soft_limits_w is not self._applied_soft_limits_w:
+        limits_changed = (
+            ctx.dispatch.soft_limits_w is not self._applied_soft_limits_w
+        )
+        if limits_changed:
             self.rating_w = ctx.dispatch.soft_limits_w * (
                 1.0 + self._overshoot_tolerance
             )
             self._ratings_buf[:-1] = self.rating_w
-            self.breakers.set_ratings(self._ratings_buf)
             self._applied_soft_limits_w = ctx.dispatch.soft_limits_w
+        if limits_changed or self._derate_dirty:
+            if self._breaker_derate is None:
+                self.breakers.set_ratings(self._ratings_buf)
+            else:
+                # Enforcement-only derating: the bank trips at the
+                # derated threshold while rating_w (detection) and the
+                # ratings buffer itself stay nominal.
+                self.breakers.set_ratings(
+                    self._ratings_buf * self._breaker_derate
+                )
+            self._derate_dirty = False
         total_utility = self._publish_overloads(ctx.utility, ctx.time_s)
         racks = self.cluster.racks
         self._loads_buf[:racks] = ctx.utility
@@ -531,6 +674,7 @@ class DataCenterSimulation:
             self.bus.subscribe(
                 BreakerTripped, lambda e: result.trips.append(e.trip)
             ),
+            self.bus.subscribe(FaultEvent, result.faults.append),
         )
         try:
             for segment in schedule:

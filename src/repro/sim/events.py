@@ -114,6 +114,33 @@ class CappingChanged(SimEvent):
     capped: bool
 
 
+@dataclass(frozen=True)
+class FaultEvent(SimEvent):
+    """Base class for infrastructure-fault occurrences.
+
+    Published by the :class:`~repro.faults.injector.FaultInjector` at
+    fault-window edges, in declaration order within a step — the
+    differential harness asserts this ordering across backends.
+
+    Attributes:
+        fault: The fault kind label (``FaultSpec.kind``).
+        racks: Racks the fault touches (``-1`` for the cluster feed).
+    """
+
+    fault: str
+    racks: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
+class FaultInjected(FaultEvent):
+    """A fault window opened (or a one-shot fault fired)."""
+
+
+@dataclass(frozen=True)
+class FaultCleared(FaultEvent):
+    """A fault window closed; the faulted path is healthy again."""
+
+
 #: An event handler: called synchronously with the published event.
 Handler = Callable[[SimEvent], None]
 

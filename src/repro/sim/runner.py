@@ -190,12 +190,21 @@ class Runner:
         end_s: float,
         attack_windows: "Sequence[AttackWindow]" = (),
     ) -> "list[Segment]":
-        """The segment schedule :meth:`run` would execute."""
+        """The segment schedule :meth:`run` would execute.
+
+        The simulation's fault-plan windows (if any) are merged in as
+        additional fine-step spans, so fault edges land on sub-second
+        steps just like attack activity does.
+        """
+        windows = list(attack_windows)
+        fault_windows = getattr(self._sim, "fault_windows", None)
+        if fault_windows is not None:
+            windows.extend(fault_windows())
         return build_schedule(
             start_s,
             end_s,
             self._coarse_dt,
-            attack_windows,
+            windows,
             fine_dt=self._fine_dt,
             coarse_record_every=self._coarse_record_every,
             fine_record_every=self._fine_record_every,

@@ -12,8 +12,11 @@ suite share:
 * Hypothesis strategies producing *physically shaped* schedules: benign
   traces, Phase-I drain ramps (sustained load that empties the KiBaM
   available well and springs the LVD), Phase-II hidden spikes (rare,
-  huge, sub-metering-interval bursts), rest periods, and breaker load
-  tracks with mid-run rating reassignment (the vDEB case).
+  huge, sub-metering-interval bursts), rest periods, breaker load
+  tracks with mid-run rating reassignment (the vDEB case), mid-run
+  battery capacity fades, and whole :class:`~repro.faults.FaultPlan`
+  windows (telemetry dropout/noise, lying SOC sensors, comm loss,
+  battery damage, stuck FETs, mis-rated breakers).
 
 Schedules are plain frozen dataclasses so failing examples shrink to
 readable reproductions.
@@ -21,10 +24,22 @@ readable reproductions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from hypothesis import strategies as st
+
+from repro.faults import (
+    BatteryFade,
+    BreakerMisrating,
+    FaultPlan,
+    SocBias,
+    SocFreeze,
+    TelemetryDropout,
+    TelemetryNoise,
+    UdebStuckOpen,
+    VdebCommLoss,
+)
 
 #: Relative agreement demanded between the scalar oracle and the kernel.
 RTOL = 1e-9
@@ -74,12 +89,16 @@ class FleetSchedule:
         initial_socs: Per-rack starting state of charge.
         steps: Per step, ``(discharge_w, charge_w)`` request vectors; a
             rack never has both positive (the fleet contract).
+        fades: Mid-run capacity damage: ``(step_index, fade_vector)``
+            entries applied via ``apply_capacity_fade`` just before the
+            indexed step (the :class:`repro.faults.BatteryFade` case).
     """
 
     racks: int
     dt: float
     initial_socs: "tuple[float, ...]"
     steps: "tuple[tuple[tuple[float, ...], tuple[float, ...]], ...]"
+    fades: "tuple[tuple[int, tuple[float, ...]], ...]" = field(default=())
 
 
 def _step_watts(profile: str, mag: float, index: int, n_steps: int) -> float:
@@ -134,8 +153,26 @@ def fleet_schedules(draw) -> FleetSchedule:
             out.append(watts if mode == "discharge" else 0.0)
             inn.append(watts if mode == "charge" else 0.0)
         steps.append((tuple(out), tuple(inn)))
+    n_fades = draw(st.integers(min_value=0, max_value=2))
+    fades = []
+    for _ in range(n_fades):
+        at_step = draw(st.integers(min_value=0, max_value=n_steps - 1))
+        fade = tuple(
+            draw(
+                st.lists(
+                    st.floats(0.0, 0.9, allow_nan=False),
+                    min_size=racks,
+                    max_size=racks,
+                )
+            )
+        )
+        fades.append((at_step, fade))
     return FleetSchedule(
-        racks=racks, dt=dt, initial_socs=socs, steps=tuple(steps)
+        racks=racks,
+        dt=dt,
+        initial_socs=socs,
+        steps=tuple(steps),
+        fades=tuple(fades),
     )
 
 
@@ -367,3 +404,91 @@ def charger_schedules(draw) -> ChargerSchedule:
     return ChargerSchedule(
         racks=racks, dt=dt, initial_socs=socs, steps=tuple(steps)
     )
+
+
+# ---------------------------------------------------------------------- #
+# Fault plans                                                             #
+# ---------------------------------------------------------------------- #
+
+#: Fault kinds a generated plan may draw from. Kept as names so a shrunk
+#: failing example reads as the fault it is.
+FAULT_KINDS = (
+    "telemetry-dropout",
+    "telemetry-noise",
+    "soc-bias",
+    "soc-freeze",
+    "vdeb-comm-loss",
+    "battery-fade",
+    "udeb-stuck-open",
+    "breaker-misrating",
+)
+
+
+@st.composite
+def fault_plans(draw, racks: int, horizon_s: float) -> FaultPlan:
+    """Valid :class:`FaultPlan`\\ s with 1-4 windowed/one-shot specs.
+
+    Windows land inside ``[0, horizon_s)`` with room to both start and
+    clear mid-run, so the differential tests see injected *and* cleared
+    edges. Rack targets are either ``None`` (whole cluster) or a
+    non-empty subset of ``range(racks)``.
+    """
+    rack_targets = st.one_of(
+        st.none(),
+        st.sets(
+            st.integers(min_value=0, max_value=racks - 1),
+            min_size=1,
+            max_size=racks,
+        ).map(tuple),
+    )
+
+    def draw_window() -> "tuple[float, float]":
+        start = draw(st.floats(0.0, 0.7 * horizon_s, allow_nan=False))
+        length = draw(
+            st.floats(0.05 * horizon_s, 0.5 * horizon_s, allow_nan=False)
+        )
+        return start, start + length
+
+    def draw_spec() -> FaultSpec:
+        kind = draw(st.sampled_from(FAULT_KINDS))
+        where = draw(rack_targets)
+        if kind == "battery-fade":
+            return BatteryFade(
+                at_s=draw(st.floats(0.0, horizon_s, allow_nan=False)),
+                fade=draw(st.floats(0.05, 0.6, allow_nan=False)),
+                racks=where,
+            )
+        start_s, end_s = draw_window()
+        if kind == "telemetry-dropout":
+            return TelemetryDropout(start_s=start_s, end_s=end_s, racks=where)
+        if kind == "telemetry-noise":
+            return TelemetryNoise(
+                start_s=start_s,
+                end_s=end_s,
+                sigma_w=draw(st.floats(10.0, 800.0, allow_nan=False)),
+                racks=where,
+            )
+        if kind == "soc-bias":
+            return SocBias(
+                start_s=start_s,
+                end_s=end_s,
+                bias=draw(st.floats(-0.5, 0.5, allow_nan=False)),
+                racks=where,
+            )
+        if kind == "soc-freeze":
+            return SocFreeze(start_s=start_s, end_s=end_s, racks=where)
+        if kind == "vdeb-comm-loss":
+            return VdebCommLoss(start_s=start_s, end_s=end_s, racks=where)
+        if kind == "udeb-stuck-open":
+            return UdebStuckOpen(start_s=start_s, end_s=end_s, racks=where)
+        return BreakerMisrating(
+            start_s=start_s,
+            end_s=end_s,
+            factor=draw(st.floats(0.4, 2.0, allow_nan=False)),
+            racks=where,
+        )
+
+    n_specs = draw(st.integers(min_value=1, max_value=4))
+    plan_specs = tuple(draw_spec() for _ in range(n_specs))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return FaultPlan(specs=plan_specs, seed=seed)

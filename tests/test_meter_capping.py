@@ -49,9 +49,38 @@ class TestPowerMeter:
     def test_rejects_bad_args(self):
         meter = PowerMeter(MeterConfig())
         with pytest.raises(SimulationError):
-            meter.step(100.0, 0.0)
+            meter.step(100.0, -1.0)
         with pytest.raises(SimulationError):
             meter.step(-1.0, 1.0)
+
+    def test_zero_length_step_is_noop(self):
+        """Segment boundaries emit zero-length steps; the meter must
+        neither advance nor raise."""
+        meter = PowerMeter(MeterConfig(interval_s=10.0))
+        assert meter.step(100.0, 0.0) == []
+        assert meter.now_s == 0.0
+        samples = meter.step(100.0, 10.0)
+        assert len(samples) == 1
+        # The zero-length reading contributed no energy and no peak.
+        assert samples[0].average_w == pytest.approx(100.0)
+        assert samples[0].peak_w == 100.0
+
+    def test_pro_rata_attribution_across_intervals(self):
+        """A step spanning a boundary splits its energy pro-rata: each
+        interval's average reflects exactly the time spent inside it."""
+        meter = PowerMeter(MeterConfig(interval_s=10.0))
+        meter.step(100.0, 6.0)
+        # 4 s of this step close the first interval; 8 s spill over.
+        samples = meter.step(300.0, 12.0)
+        assert len(samples) == 1
+        assert samples[0].average_w == pytest.approx(
+            (100.0 * 6.0 + 300.0 * 4.0) / 10.0
+        )
+        samples = meter.step(100.0, 2.0)
+        assert len(samples) == 1
+        assert samples[0].average_w == pytest.approx(
+            (300.0 * 8.0 + 100.0 * 2.0) / 10.0
+        )
 
 
 class TestCapController:

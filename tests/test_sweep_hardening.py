@@ -1,0 +1,384 @@
+"""Hardened-sweep tests: validation, retries, timeouts, journal resume.
+
+The sweep hardening contract under test:
+
+* malformed cells fail eagerly at grid construction (``ConfigError``),
+  not hours later inside a pool worker;
+* a cell that raises a ``ReproError`` is *invalid* — it fails once,
+  deterministically, with no retries;
+* environmental failures (worker crash, timeout) retry with bounded
+  attempts and then surface as typed :class:`CellFailure` records with
+  ``NaN`` metrics, never sinking the rest of the grid;
+* every resolved cell is checkpointed to a JSONL journal, and
+  ``run(resume=True)`` replays journalled bits instead of re-executing —
+  including after a hard mid-run kill;
+* parallel, sequential, fallback and resumed executions all produce
+  bit-identical metrics (a metric is a pure function of ``(setup,
+  cell)``).
+"""
+
+import math
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, DataCenterConfig
+from repro.errors import (
+    ConfigError,
+    SimulationError,
+    SweepExecutionError,
+)
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.common import ExperimentSetup
+from repro.experiments.sweep import ScenarioSweep, SweepCell
+from repro.faults import FaultPlan
+from repro.workload import UtilizationTrace
+
+FORK_ONLY = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pool tests monkeypatch the worker via fork-inherited state",
+)
+
+SRC_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def small_setup() -> ExperimentSetup:
+    """A two-rack, flat-trace setup cheap enough for many cells."""
+    return ExperimentSetup(
+        config=DataCenterConfig(cluster=ClusterConfig(racks=2)),
+        trace=UtilizationTrace(np.full((30, 20), 0.4), interval_s=60.0),
+        attack_time_s=120.0,
+    )
+
+
+def small_cells(n: int = 3) -> "list[SweepCell]":
+    """Attack-free survival cells whose metric is the window length."""
+    return [
+        SweepCell(
+            row="window",
+            column=str(index),
+            scheme="PS",
+            scenario=None,
+            window_s=100.0 + 10.0 * index,
+            dt=5.0,
+        )
+        for index in range(n)
+    ]
+
+
+class TestCellValidation:
+    def test_numeric_fields_validate_eagerly(self):
+        with pytest.raises(ConfigError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=0.0)
+        with pytest.raises(ConfigError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=100.0, dt=-1.0)
+        with pytest.raises(ConfigError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=100.0, initial_battery_soc=1.5)
+        with pytest.raises(ConfigError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=100.0, fault_plan="not-a-plan")
+
+    def test_scheme_mode_backend_validate_eagerly(self):
+        with pytest.raises(SimulationError):
+            SweepCell(row="r", column="c", scheme="NOPE", scenario=None,
+                      window_s=100.0)
+        with pytest.raises(SimulationError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=100.0, mode="banana")
+        with pytest.raises(SimulationError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=100.0, backend="gpu")
+
+    def test_valid_fault_plan_accepted(self):
+        cell = SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                         window_s=100.0, fault_plan=FaultPlan())
+        assert cell.fault_plan == FaultPlan()
+
+
+class TestFailureSemantics:
+    def test_invalid_cell_fails_once_without_retry(self, monkeypatch):
+        calls = []
+
+        def reject(setup, cell):
+            calls.append(cell.column)
+            raise SimulationError("deterministically bad cell")
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", reject)
+        result = ScenarioSweep(small_setup(), small_cells(2)).run()
+        assert not result.ok
+        assert len(result.failures) == 2
+        for failure in result.failures:
+            assert failure.invalid          # "cell invalid", not "failed"
+            assert failure.attempts == 1    # never retried
+            assert "deterministically bad" in failure.error
+        assert all(math.isnan(m) for m in result.metrics)
+        assert calls == ["0", "1"]
+
+    def test_environmental_failure_retries_then_succeeds(self, monkeypatch):
+        real = sweep_mod.execute_cell
+        attempts = {"n": 0}
+
+        def flaky(setup, cell):
+            attempts["n"] += 1
+            if attempts["n"] <= 2:
+                raise RuntimeError("transient worker wobble")
+            return real(setup, cell)
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", flaky)
+        result = ScenarioSweep(
+            small_setup(), small_cells(1), max_attempts=3, backoff_s=0.0
+        ).run()
+        assert result.ok
+        assert result.metrics[0] == pytest.approx(100.0)
+        assert attempts["n"] == 3
+
+    def test_exhausted_retries_surface_typed_failure(self, monkeypatch):
+        def doomed(setup, cell):
+            raise RuntimeError("the disk is on fire")
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", doomed)
+        result = ScenarioSweep(
+            small_setup(), small_cells(1), max_attempts=2, backoff_s=0.0
+        ).run()
+        assert not result.ok
+        failure = result.failures[0]
+        assert not failure.invalid          # environmental: "cell failed"
+        assert failure.attempts == 2
+        assert math.isnan(result.metrics[0])
+
+    def test_failed_cell_does_not_sink_the_grid(self, monkeypatch):
+        real = sweep_mod.execute_cell
+
+        def one_bad(setup, cell):
+            if cell.column == "1":
+                raise RuntimeError("only this cell is unlucky")
+            return real(setup, cell)
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", one_bad)
+        result = ScenarioSweep(
+            small_setup(), small_cells(3), max_attempts=2, backoff_s=0.0
+        ).run()
+        assert [f.index for f in result.failures] == [1]
+        assert result.metrics[0] == pytest.approx(100.0)
+        assert math.isnan(result.metrics[1])
+        assert result.metrics[2] == pytest.approx(120.0)
+
+
+class TestParallelHardening:
+    def test_parallel_matches_sequential_bitwise(self):
+        cells = small_cells(4)
+        sequential = ScenarioSweep(small_setup(), cells).run()
+        parallel = ScenarioSweep(small_setup(), cells, workers=2).run()
+        assert parallel.metrics == sequential.metrics
+        assert parallel.ok and sequential.ok
+
+    def test_pool_failure_degrades_to_sequential(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise OSError("fork disabled in this environment")
+
+        monkeypatch.setattr(sweep_mod, "ProcessPoolExecutor", no_pool)
+        cells = small_cells(3)
+        fallback = ScenarioSweep(small_setup(), cells, workers=4).run()
+        reference = ScenarioSweep(small_setup(), cells).run()
+        assert fallback.metrics == reference.metrics
+        assert fallback.ok
+
+    @FORK_ONLY
+    def test_worker_crash_is_retried_to_success(self, monkeypatch, tmp_path):
+        marker = tmp_path / "crash-once"
+        marker.write_text("armed")
+        real = sweep_mod.execute_cell
+
+        def crash_once(setup, cell):
+            # First worker to pick up any cell dies hard (SIGKILL-style);
+            # the rebuilt pool's workers see the disarmed marker.
+            if marker.exists():
+                try:
+                    marker.unlink()
+                except FileNotFoundError:
+                    pass
+                os._exit(17)
+            return real(setup, cell)
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", crash_once)
+        cells = small_cells(3)
+        result = ScenarioSweep(
+            small_setup(), cells, workers=2, max_attempts=3, backoff_s=0.0
+        ).run()
+        assert result.ok
+        reference = ScenarioSweep(small_setup(), cells).run()
+        assert result.metrics == reference.metrics
+
+    @FORK_ONLY
+    def test_timeout_surfaces_typed_failure(self, monkeypatch):
+        def wedged(setup, cell):
+            time.sleep(600.0)
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", wedged)
+        result = ScenarioSweep(
+            small_setup(),
+            small_cells(2),
+            workers=2,
+            timeout_s=0.5,
+            max_attempts=1,
+            backoff_s=0.0,
+        ).run()
+        assert not result.ok
+        assert len(result.failures) == 2
+        for failure in result.failures:
+            assert "timed out" in failure.error
+            assert not failure.invalid
+        assert all(math.isnan(m) for m in result.metrics)
+
+
+class TestJournalResume:
+    def test_journal_records_every_cell(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        cells = small_cells(3)
+        result = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run()
+        assert result.ok
+        lines = open(journal).read().splitlines()
+        assert len(lines) == 3
+        import json
+
+        entries = [json.loads(line) for line in lines]
+        assert [e["index"] for e in entries] == [0, 1, 2]
+        assert all(e["status"] == "ok" for e in entries)
+        assert [e["metric"] for e in entries] == list(result.metrics)
+
+    def test_resume_replays_instead_of_executing(self, monkeypatch, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        cells = small_cells(3)
+        original = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run()
+
+        def forbidden(setup, cell):
+            raise AssertionError("resume must not re-execute resolved cells")
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", forbidden)
+        resumed = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run(resume=True)
+        assert resumed.metrics == original.metrics
+
+    def test_resume_tolerates_torn_final_line(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        cells = small_cells(3)
+        original = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run()
+        with open(journal, "a") as handle:
+            handle.write('{"index": 2, "fingerp')   # the kill landed here
+        resumed = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run(resume=True)
+        assert resumed.metrics == original.metrics
+
+    def test_resume_rejects_foreign_journal(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        ScenarioSweep(
+            small_setup(), small_cells(3), journal_path=journal
+        ).run()
+        other_grid = [
+            SweepCell(row="other", column=str(i), scheme="Conv",
+                      scenario=None, window_s=90.0, dt=5.0)
+            for i in range(3)
+        ]
+        with pytest.raises(SweepExecutionError):
+            ScenarioSweep(
+                small_setup(), other_grid, journal_path=journal
+            ).run(resume=True)
+
+    def test_resume_requires_journal_path(self):
+        with pytest.raises(SweepExecutionError):
+            ScenarioSweep(small_setup(), small_cells(1)).run(resume=True)
+
+    def test_corrupt_mid_journal_is_a_hard_error(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        cells = small_cells(2)
+        ScenarioSweep(small_setup(), cells, journal_path=journal).run()
+        lines = open(journal).read().splitlines()
+        with open(journal, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write(lines[1] + "\n")
+        with pytest.raises(SweepExecutionError):
+            ScenarioSweep(
+                small_setup(), cells, journal_path=journal
+            ).run(resume=True)
+
+    def test_kill_mid_run_then_resume_is_bit_identical(self, tmp_path):
+        """The CI smoke: SIGKILL a running sweep, resume, compare bits.
+
+        A subprocess starts the sweep with a journal and wedges after the
+        first cell; once the first journal line is durably written the
+        parent kills it dead and resumes the same grid in-process. The
+        resumed metrics must equal a clean uninterrupted run exactly.
+        """
+        journal = str(tmp_path / "killed.jsonl")
+        script = tmp_path / "run_sweep.py"
+        script.write_text(
+            "import sys, time\n"
+            f"sys.path.insert(0, {SRC_PATH!r})\n"
+            "import numpy as np\n"
+            "from repro.config import ClusterConfig, DataCenterConfig\n"
+            "from repro.experiments import sweep as sweep_mod\n"
+            "from repro.experiments.common import ExperimentSetup\n"
+            "from repro.workload import UtilizationTrace\n"
+            "setup = ExperimentSetup(\n"
+            "    config=DataCenterConfig(cluster=ClusterConfig(racks=2)),\n"
+            "    trace=UtilizationTrace(np.full((30, 20), 0.4),\n"
+            "                           interval_s=60.0),\n"
+            "    attack_time_s=120.0,\n"
+            ")\n"
+            "cells = [\n"
+            "    sweep_mod.SweepCell(row='window', column=str(i),\n"
+            "                        scheme='PS', scenario=None,\n"
+            "                        window_s=100.0 + 10.0 * i, dt=5.0)\n"
+            "    for i in range(3)\n"
+            "]\n"
+            "real = sweep_mod.execute_cell\n"
+            "def wedge_after_first(setup, cell):\n"
+            "    value = real(setup, cell)\n"
+            "    if cell.column != '0':\n"
+            "        time.sleep(600.0)\n"
+            "    return value\n"
+            "sweep_mod.execute_cell = wedge_after_first\n"
+            f"sweep_mod.ScenarioSweep(setup, cells,\n"
+            f"                        journal_path={journal!r}).run()\n"
+        )
+        proc = subprocess.Popen([sys.executable, str(script)])
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if os.path.exists(journal):
+                    with open(journal) as handle:
+                        content = handle.read()
+                    if content.endswith("\n") and content.count("\n") >= 1:
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("sweep subprocess never journalled a cell")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+        cells = small_cells(3)
+        resumed = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run(resume=True)
+        clean = ScenarioSweep(small_setup(), cells).run()
+        assert resumed.ok
+        assert resumed.metrics == clean.metrics
+        # The journal now checkpoints the whole grid.
+        assert open(journal).read().count("\n") == 3
