@@ -1,0 +1,173 @@
+"""Bench: per-layer attribution of the fig15-sweep fast paths.
+
+Times one fig15-style survival sweep (six Table-III schemes, three
+late-onset scenarios, two attacker seeds) under five configurations that
+toggle the three PR-5 optimisation layers independently:
+
+* ``pr2_baseline``   — list-backed recorder, no fast-forward, no prefix
+  sharing: the PR-2 vectorized pipeline.
+* ``recorder_only``  — preallocated recorder buffers alone.
+* ``ff_only``        — quiescent-segment fast-forward alone.
+* ``snapshot_only``  — prefix-snapshot sharing alone.
+* ``all_three``      — the production configuration.
+
+Every configuration must produce the *identical* metric tuple — the
+layers are proven bit-exact, so the sweep numbers cannot move. The
+committed ``BENCH_sweep.json`` at the repo root records the measured
+ratios from the machine that produced them; set ``REGEN_BENCH=1`` to
+refresh it. The floor asserted here is deliberately conservative
+(wall-clock on shared CI runners is noisy).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import repro.sim.datacenter as datacenter
+from repro.attack.scenario import DENSE_ATTACK, SPARSE_ATTACK
+from repro.experiments.common import SCHEME_ORDER, standard_setup
+from repro.experiments.sweep import ScenarioSweep, SweepCell
+from repro.sim.datacenter import SimResult
+from repro.sim.recorder import ListRecorder, Recorder
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+WINDOW_S = 2400.0
+#: Attack onset inside the window — late, so the shared benign prefix
+#: dominates each cell and prefix sharing has something to share.
+ONSET_S = 2100.0
+#: Conservative wall-clock floor for CI; BENCH_sweep.json carries the
+#: real measured ratio (>= 3x on the recording machine).
+SPEEDUP_FLOOR = 1.5
+
+CONFIGS = {
+    "pr2_baseline": dict(list_recorder=True, fast_forward=False, share=False),
+    "recorder_only": dict(list_recorder=False, fast_forward=False, share=False),
+    "ff_only": dict(list_recorder=False, fast_forward=True, share=False),
+    "snapshot_only": dict(list_recorder=False, fast_forward=False, share=True),
+    "all_three": dict(list_recorder=False, fast_forward=True, share=True),
+}
+
+
+@dataclass
+class _ListRecorderResult(SimResult):
+    """A SimResult whose recorder is the PR-2 list-backed reference."""
+
+    recorder: Recorder = field(default_factory=ListRecorder)
+
+
+def _grid(fast_forward: bool) -> "list[SweepCell]":
+    scenarios = [
+        replace(DENSE_ATTACK, start_s=ONSET_S, name="dense-late"),
+        replace(SPARSE_ATTACK, start_s=ONSET_S, name="sparse-late"),
+        replace(
+            DENSE_ATTACK.with_nodes(4), start_s=ONSET_S + 60.0,
+            name="dense4-later",
+        ),
+    ]
+    return [
+        SweepCell(
+            row=f"{scenario.name}/s{seed}",
+            column=scheme,
+            scheme=scheme,
+            scenario=scenario,
+            window_s=WINDOW_S,
+            seed=seed,
+            fast_forward=fast_forward,
+        )
+        for scenario in scenarios
+        for seed in (7, 11)
+        for scheme in SCHEME_ORDER
+    ]
+
+
+def _run_config(setup, list_recorder: bool, fast_forward: bool,
+                share: bool) -> "tuple[float, tuple[float, ...]]":
+    # The run methods resolve ``SimResult`` through the module global at
+    # call time, so swapping it in is enough to revert the recorder to
+    # the PR-2 list-backed implementation for the baseline measurement.
+    original = datacenter.SimResult
+    if list_recorder:
+        datacenter.SimResult = _ListRecorderResult
+    try:
+        sweep = ScenarioSweep(
+            setup, _grid(fast_forward), share_prefixes=share
+        )
+        start = time.perf_counter()
+        result = sweep.run()
+        elapsed = time.perf_counter() - start
+    finally:
+        datacenter.SimResult = original
+    assert result.ok, result.failures
+    return elapsed, result.metrics
+
+
+#: Passes over the config set; timings interleave (cfg1..cfg5, cfg1..)
+#: and keep the per-config minimum, so slow drift on a shared machine
+#: cannot masquerade as a per-layer difference.
+REPEATS = 2
+
+
+def test_sweep_fast_path_attribution(once):
+    setup = standard_setup()
+
+    def measure():
+        best: "dict[str, tuple[float, tuple[float, ...]]]" = {}
+        for _ in range(REPEATS):
+            for name, toggles in CONFIGS.items():
+                elapsed, metrics = _run_config(setup, **toggles)
+                if name not in best or elapsed < best[name][0]:
+                    best[name] = (elapsed, metrics)
+        return best
+
+    timings = once(measure)
+    reference = timings["pr2_baseline"][1]
+    print()
+    for name, (elapsed, metrics) in timings.items():
+        assert metrics == reference, (
+            f"{name} changed the sweep metrics — the fast paths must be "
+            f"bit-identical"
+        )
+        ratio = timings["pr2_baseline"][0] / elapsed
+        print(f"sweep {name:13s}: {elapsed:7.2f}s  ({ratio:.2f}x)")
+    speedup = timings["pr2_baseline"][0] / timings["all_three"][0]
+    if BASELINE.exists():
+        recorded = json.loads(BASELINE.read_text())
+        print(
+            f"sweep baseline: {recorded['speedup']:.2f}x "
+            f"(recorded {recorded['recorded_on']})"
+        )
+    if os.environ.get("REGEN_BENCH"):
+        BASELINE.write_text(
+            json.dumps(
+                {
+                    "benchmark": (
+                        "fig15-style survival sweep: 6 schemes x 3 "
+                        "late-onset scenarios x 2 seeds (36 cells)"
+                    ),
+                    "window_s": WINDOW_S,
+                    "onset_s": ONSET_S,
+                    "configs": {
+                        name: round(elapsed, 4)
+                        for name, (elapsed, _) in timings.items()
+                    },
+                    "speedups_vs_pr2_baseline": {
+                        name: round(
+                            timings["pr2_baseline"][0] / elapsed, 3
+                        )
+                        for name, (elapsed, _) in timings.items()
+                    },
+                    "speedup": round(speedup, 3),
+                    "recorded_on": "dev container (single run)",
+                },
+                indent=1,
+            )
+            + "\n"
+        )
+        print(f"wrote {BASELINE}")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast paths lost their lead: {speedup:.2f}x < {SPEEDUP_FLOOR}x"
+    )

@@ -94,7 +94,15 @@ class OfflineCharger:
     Once triggered, the pack charges at full available rate until it is
     (numerically) full again, then the charger re-arms. The hysteresis is
     what produces the large SOC spread of paper Fig. 5.
+
+    The hysteresis flag lives on the managed pack/fleet object itself
+    (``_offline_charge_on``) rather than in an ``id()``-keyed side table:
+    it travels with the object through pickling snapshots and is visible
+    to the fast-forward fingerprint.
     """
+
+    #: Attribute storing the hysteresis flag on the pack/fleet object.
+    STATE_ATTR = "_offline_charge_on"
 
     def __init__(self, recharge_soc: float, full_soc: float = 0.999) -> None:
         if not 0.0 < recharge_soc < full_soc <= 1.0:
@@ -104,17 +112,14 @@ class OfflineCharger:
             )
         self._recharge_soc = recharge_soc
         self._full_soc = full_soc
-        self._charging: dict[int, bool] = {}
-        self._fleet_charging: dict[int, np.ndarray] = {}
 
     def charge_power(self, pack: Chargeable, headroom_w: float, dt: float) -> float:
-        key = id(pack)
-        active = self._charging.get(key, False)
+        active = getattr(pack, self.STATE_ATTR, False)
         if not active and pack.soc <= self._recharge_soc:
             active = True
         elif active and pack.soc >= self._full_soc:
             active = False
-        self._charging[key] = active
+        setattr(pack, self.STATE_ATTR, active)
         if not active or headroom_w <= 0.0:
             return 0.0
         return min(headroom_w, pack.max_charge_power(dt))
@@ -133,8 +138,7 @@ class OfflineCharger:
                     fleet[rack], float(headroom_w[rack]), dt
                 )
             return power
-        key = id(fleet)
-        state = self._fleet_charging.get(key)
+        state = getattr(fleet, self.STATE_ATTR, None)
         if state is None:
             state = np.zeros(len(fleet), dtype=bool)
         # The scalar path only consults the policy for racks it asks
@@ -143,7 +147,7 @@ class OfflineCharger:
         turn_on = active & ~state & (soc <= self._recharge_soc)
         turn_off = active & state & (soc >= self._full_soc)
         state = (state | turn_on) & ~turn_off
-        self._fleet_charging[key] = state
+        setattr(fleet, self.STATE_ATTR, state)
         eligible = active & state & (headroom_w > 0.0)
         return np.where(
             eligible, np.minimum(headroom_w, fleet.max_charge_vector(dt)), 0.0

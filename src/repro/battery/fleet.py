@@ -238,6 +238,23 @@ class BatteryFleet:
             if fraction_lost > 0.0:
                 pack.apply_capacity_fade(fraction_lost)
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint.
+
+        Per-pack state stacked into arrays; bitwise-identical fingerprints
+        imply bitwise-identical fleet behaviour under identical dispatch.
+        """
+        pack_states = [p.ff_state() for p in self._packs]
+        state = {
+            key: np.array([s[key] for s in pack_states])
+            for key in pack_states[0]
+        }
+        if self._keep_log:
+            # A growing log never fingerprints as periodic, so jumps can
+            # never silently drop entries from a logging fleet.
+            state["log_len"] = len(self._log)
+        return state
+
     def reset(self) -> None:
         """Reset every pack to its initial SOC and clear the log."""
         for pack in self._packs:

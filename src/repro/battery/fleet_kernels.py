@@ -268,6 +268,16 @@ class KiBaMFleetState:
         self._y2 = np.minimum(self._y2, self._cap_bound)
         self._version += 1
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint (both wells
+        plus the fade-mutable capacity; the version counter is excluded
+        because it advances even when the physics state is unchanged)."""
+        return {
+            "y1": self._y1,
+            "y2": self._y2,
+            "capacity_j": self._capacity_j,
+        }
+
     def reset(self) -> None:
         """Restore the initial SOC with equalised well heads."""
         total = self._capacity_j * self._initial_soc
@@ -584,6 +594,30 @@ class VectorBatteryFleet:
         if bool(np.any(faded)):
             self._update_lvd(faded)
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint (cells, LVD
+        latches, aging counters and the offline-charger hysteresis mask
+        the charger parks on this object)."""
+        state = self._cells.ff_state()
+        charging = getattr(self, "_offline_charge_on", None)
+        state.update(
+            disconnected=self._disconnected,
+            discharged_j=self._discharged_j,
+            charged_j=self._charged_j,
+            deep_discharge_events=self._deep_discharge_events,
+            offline_charge_on=(
+                charging
+                if charging is not None
+                else np.zeros(len(self), dtype=bool)
+            ),
+        )
+        if self._keep_log:
+            # A logging fleet grows its log every step, so including the
+            # length keeps the fingerprint from ever matching — jumps
+            # would silently drop log entries.
+            state["log_len"] = len(self._log)
+        return state
+
     def reset(self) -> None:
         """Reset every pack to its initial SOC and clear the log.
 
@@ -708,6 +742,16 @@ class SupercapFleetState:
         self._charge_j = np.where(asked, filled, self._charge_j)
         self._full = bool((self._charge_j >= self._capacity_j).all())
         return accepted
+
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint (the ``_full``
+        flag is derived but included: it gates the recharge fast path)."""
+        return {
+            "charge_j": self._charge_j,
+            "shave_events": self._shave_events,
+            "shaved_j": self._shaved_j,
+            "full": self._full,
+        }
 
     def reset(self) -> None:
         """Refill every bank (usage counters persist)."""

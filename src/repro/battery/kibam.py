@@ -207,6 +207,19 @@ class KiBaMBattery:
         self._y1 = min(self._y1, self._c * self._capacity_j)
         self._y2 = min(self._y2, (1.0 - self._c) * self._capacity_j)
 
+    def ff_state(self) -> "dict[str, float]":
+        """Evolving state for the fast-forward fingerprint.
+
+        Everything the closed-form step depends on: both wells plus the
+        (fade-mutable) capacity. Bitwise equality of two fingerprints
+        implies bitwise-identical future steps under identical draws.
+        """
+        return {
+            "y1": self._y1,
+            "y2": self._y2,
+            "capacity_j": self._capacity_j,
+        }
+
     def reset(self) -> None:
         """Restore the initial SOC with equalised well heads."""
         total = self._capacity_j * self._initial_soc

@@ -175,6 +175,22 @@ class LeadAcidPack:
         if fade > 0.0:
             self._update_lvd()
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint.
+
+        Cell wells, the LVD latch, the aging counters, and the offline-
+        charger hysteresis flag the charger parks on this object.
+        """
+        state = self._cell.ff_state()
+        state.update(
+            disconnected=self._disconnected,
+            discharged_j=self._discharged_j,
+            charged_j=self._charged_j,
+            deep_discharge_events=self._deep_discharge_events,
+            offline_charge_on=bool(getattr(self, "_offline_charge_on", False)),
+        )
+        return state
+
     def reset(self) -> None:
         """Restore initial charge and clear protection state (not counters)."""
         self._cell.reset()

@@ -91,6 +91,14 @@ class SupercapBank:
         )
         return accepted
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint."""
+        return {
+            "charge_j": self._charge_j,
+            "shave_events": self._shave_events,
+            "shaved_j": self._shaved_j,
+        }
+
     def reset(self) -> None:
         """Restore the initial state of charge (usage counters persist)."""
         self._charge_j = self._capacity_j * self._initial_soc

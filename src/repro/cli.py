@@ -7,6 +7,8 @@ Commands:
 * ``grid`` — the full Fig.-15 survival grid.
 * ``report`` — run every reproduction experiment and write EXPERIMENTS.md.
 * ``demo`` — the testbed two-phase attack walkthrough (Figs. 6/7).
+* ``bench`` — a reduced fig15-style sweep through the fast paths
+  (fast-forward + prefix sharing), with optional cProfile output.
 """
 
 from __future__ import annotations
@@ -61,6 +63,24 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
 
     sub.add_parser("demo", help="testbed two-phase attack walkthrough")
+
+    bench = sub.add_parser(
+        "bench",
+        help="reduced fig15-style sweep through the fast paths",
+    )
+    bench.add_argument("--window", type=float, default=1200.0,
+                       help="observation window in seconds")
+    bench.add_argument(
+        "--onset", type=float, default=900.0,
+        help="attack onset inside the window (late onset gives the "
+             "shared benign prefix something to share)",
+    )
+    bench.add_argument("--seed", type=int, default=3)
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="wrap the sweep in cProfile and print the top 25 entries "
+             "by cumulative time",
+    )
     return parser
 
 
@@ -109,6 +129,97 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time a reduced fig15-style sweep with every fast path enabled.
+
+    Exercises fast-forward and prefix-snapshot sharing on a small grid
+    and prints wall-clock plus the fast-forward counters; exits non-zero
+    when fast-forward never jumped, so CI smoke jobs catch a silently
+    disabled fast path. ``--profile`` wraps the sweep in cProfile.
+    """
+    import time
+    from dataclasses import replace
+
+    from .attack.scenario import DENSE_ATTACK, SPARSE_ATTACK
+    from .experiments.common import (
+        prepare_survival_prefix,
+        resume_survival_from_snapshot,
+        standard_setup,
+        run_survival,
+    )
+    from .sim.datacenter import DataCenterSimulation
+
+    setup = standard_setup(seed=args.seed)
+    scenarios = [
+        replace(DENSE_ATTACK, start_s=args.onset, name="dense-late"),
+        replace(SPARSE_ATTACK, start_s=args.onset, name="sparse-late"),
+    ]
+    schemes = ("Conv", "PS", "uDEB")
+    offset = min(s.start_s for s in scenarios)
+    stats = None
+
+    def sweep() -> "dict[str, dict[str, float]]":
+        nonlocal stats
+        grid: "dict[str, dict[str, float]]" = {}
+        for scheme in schemes:
+            snapshot = prepare_survival_prefix(
+                setup, scheme, offset, window_s=args.window,
+                fast_forward=True,
+            )
+            for scenario in scenarios:
+                if snapshot is not None:
+                    result = resume_survival_from_snapshot(
+                        setup, snapshot, scenario
+                    )
+                else:
+                    result = run_survival(
+                        setup, scheme, scenario, window_s=args.window,
+                        fast_forward=True,
+                    )
+                grid.setdefault(scenario.name, {})[scheme] = (
+                    result.survival_or_window()
+                )
+            if snapshot is not None:
+                prefix_sim = DataCenterSimulation.restore(snapshot)
+                if stats is None:
+                    stats = prefix_sim.fast_forward_stats
+                else:
+                    stats.jumps += prefix_sim.fast_forward_stats.jumps
+                    stats.steps_skipped += (
+                        prefix_sim.fast_forward_stats.steps_skipped
+                    )
+        return grid
+
+    start = time.perf_counter()
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        grid = profiler.runcall(sweep)
+        elapsed = time.perf_counter() - start
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+    else:
+        grid = sweep()
+        elapsed = time.perf_counter() - start
+
+    from .experiments.common import format_table
+
+    print(format_table(grid, value_format="{:>10.0f}"))
+    print(f"\nbench wall-clock: {elapsed:.2f} s "
+          f"({len(schemes)} schemes x {len(scenarios)} scenarios, "
+          f"window {args.window:.0f} s, onset {args.onset:.0f} s)")
+    if stats is None:
+        print("fast-forward: no shared prefixes ran")
+        return 1
+    print(f"fast-forward: {stats.jumps} jumps, "
+          f"{stats.steps_skipped} steps skipped")
+    if stats.steps_skipped == 0:
+        print("error: fast-forward never jumped — fast path disabled?")
+        return 1
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from .experiments import fig06_two_phase, fig07_effective_attack
 
@@ -126,6 +237,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "grid": _cmd_grid,
         "report": _cmd_report,
         "demo": _cmd_demo,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -153,6 +153,15 @@ class HierarchicalPolicy:
             self._transitions.append((before, self._level))
         return self._level
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint.
+
+        The transition *history* is excluded: it only grows when the
+        level changes, and a level change publishes an event, which
+        refuses the jump anyway.
+        """
+        return {"level": None if self._level is None else int(self._level)}
+
     def reset(self) -> None:
         """Forget all state (next update re-seeds from the initial table)."""
         self._level = None

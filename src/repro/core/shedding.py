@@ -184,6 +184,22 @@ class LoadShedder:
             target_reduction_w=max(0.0, required_reduction_w),
         )
 
+    def ff_state(self, now_s: float) -> dict:
+        """Evolving state for the fast-forward fingerprint.
+
+        ``_shed_at`` holds absolute times, so it is normalised to ages
+        relative to ``now_s`` (never-shed servers sit at ``+inf`` age,
+        which compares equal across windows).
+        """
+        return {
+            "asleep": self._asleep,
+            "shed_age_s": now_s - self._shed_at,
+        }
+
+    def ff_shift_times(self, delta_s: float) -> None:
+        """Shift absolute-time state after a fast-forward jump."""
+        self._shed_at += delta_s
+
     def reset(self) -> None:
         """Wake everything and clear hysteresis state."""
         self._asleep[:] = False

@@ -158,6 +158,16 @@ class UdebShaver:
                 drawn[i] = bank.charge(float(headroom[i]), dt)
         return drawn
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint."""
+        bank_states = [b.ff_state() for b in self._banks]
+        state = {
+            key: np.array([s[key] for s in bank_states])
+            for key in bank_states[0]
+        }
+        state["stuck_open"] = self._stuck_open
+        return state
+
     def reset(self) -> None:
         """Refill every bank."""
         for bank in self._banks:
@@ -249,6 +259,12 @@ class VectorUdebShaver:
     def recharge(self, headroom_w: np.ndarray, dt: float) -> np.ndarray:
         """Trickle-charge each bank from its rack's budget headroom."""
         return self._state.recharge(np.asarray(headroom_w, dtype=float), dt)
+
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint."""
+        state = self._state.ff_state()
+        state["stuck_open"] = self._stuck_open
+        return state
 
     def reset(self) -> None:
         """Refill every bank."""

@@ -164,6 +164,12 @@ class DefenseScheme:
     uses_capping: bool = False
     #: Level-3 load shedding (PAD).
     uses_shedding: bool = False
+    #: Whether steady-state segments of this scheme may be fast-forwarded.
+    #: A scheme qualifies when its quiescent dynamics are exactly periodic
+    #: at the management cadence, so a repeated fingerprint proves the
+    #: block will repeat verbatim. Schemes with slowly-drifting internal
+    #: state (vDEB's equalisation) opt out.
+    ff_eligible: bool = True
 
     def __init__(self, ctx: SchemeContext) -> None:
         # Deferred import: repro.sim imports the defense layer.
@@ -306,6 +312,32 @@ class DefenseScheme:
             # unchanged breaker ratings.
             soft_limits_w=self.soft_limits_w,
         )
+
+    # ------------------------------------------------------------------ #
+    # Fast-forward support                                                 #
+    # ------------------------------------------------------------------ #
+
+    def ff_state(self, now_s: float) -> dict:
+        """Evolving control/physics state for the fast-forward fingerprint.
+
+        Subclasses extend the dict with their own fields; anything that
+        influences future dispatches must appear here (or be provably
+        derived from fields that do), otherwise a fingerprint match could
+        lie and break bit-identity.
+        """
+        return {
+            "fleet": self.fleet.ff_state(),
+            "cap_controllers": [c.ff_state() for c in self.cap_controllers],
+            "capped_racks": self.capped_racks,
+            "asleep_servers": self.asleep_servers,
+            "cap_busy": self._cap_busy,
+            "soft_limits_w": self.soft_limits_w,
+            "telemetry": self.telemetry.ff_state(now_s),
+        }
+
+    def ff_shift_times(self, delta_s: float) -> None:
+        """Shift absolute-time state after a fast-forward jump."""
+        self.telemetry.ff_shift_times(delta_s)
 
     def reset(self) -> None:
         """Restore construction-time state."""

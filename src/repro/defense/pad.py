@@ -203,6 +203,22 @@ class PadScheme(VdebScheme):
         charge = self.shaver.recharge(headroom, state.dt)
         return result.shaved_w, charge
 
+    def ff_state(self, now_s: float) -> dict:
+        state = super().ff_state(now_s)
+        state["shaver"] = self.shaver.ff_state()
+        state["policy"] = self.policy.ff_state()
+        state["shedder"] = self.shedder.ff_state(now_s)
+        state["recent_peak_w"] = self._recent_peak_w
+        state["suspect_for_s"] = self._suspect_until_s - now_s
+        state["last_shaves"] = self._last_shaves
+        return state
+
+    def ff_shift_times(self, delta_s: float) -> None:
+        super().ff_shift_times(delta_s)
+        finite = np.isfinite(self._suspect_until_s)
+        self._suspect_until_s[finite] += delta_s
+        self.shedder.ff_shift_times(delta_s)
+
     def reset(self) -> None:
         super().reset()
         self.shaver.reset()

@@ -15,3 +15,6 @@ class PeakShavingScheme(DefenseScheme):
     """Per-rack local peak shaving — the :class:`DefenseScheme` default."""
 
     name = "PS"
+    # Local shaving is quiescent whenever demand sits under the soft
+    # limits; resting packs are a bitwise fixed point.
+    ff_eligible = True

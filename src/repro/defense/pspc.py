@@ -18,3 +18,7 @@ class PeakShavingPowerCappingScheme(DefenseScheme):
 
     name = "PSPC"
     uses_capping = True
+    # Capping state lives in the base fingerprint (controller timers via
+    # ``ff_state``); an engaged cap accrues ``active_time_s`` every step,
+    # which auto-refuses jumps while capping is live.
+    ff_eligible = True

@@ -233,6 +233,32 @@ class TelemetryView:
         """Per-rack reachability mask; ``None`` while every link is up."""
         return self._comm_ok
 
+    def ff_state(self, now_s: float) -> dict:
+        """Evolving state for the fast-forward fingerprint.
+
+        Update stamps are normalised to ages relative to ``now_s`` so
+        they compare across time windows; held readings and every
+        sensor-fault knob are included verbatim.
+        """
+        return {
+            "rack_avg_w": self._rack_avg_w,
+            "server_util": self._server_util,
+            "rack_age_s": (
+                None
+                if self._rack_updated_s is None
+                else now_s - self._rack_updated_s
+            ),
+            "soc_bias": self._soc_bias,
+            "soc_freeze_mask": self._soc_freeze_mask,
+            "soc_frozen": self._soc_frozen,
+            "comm_ok": self._comm_ok,
+        }
+
+    def ff_shift_times(self, delta_s: float) -> None:
+        """Shift absolute-time state after a fast-forward jump."""
+        if self._rack_updated_s is not None:
+            self._rack_updated_s += delta_s
+
     def reset(self) -> None:
         """Forget observations and heal every sensor fault."""
         self._rack_updated_s = None

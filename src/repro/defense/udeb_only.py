@@ -20,6 +20,9 @@ class UdebScheme(DefenseScheme):
 
     name = "uDEB"
     uses_udeb = True
+    # Supercap charge is part of the fingerprint (``ff_state`` below), so
+    # a mid-recharge bank blocks jumps until it tops off and goes static.
+    ff_eligible = True
 
     def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
@@ -38,6 +41,11 @@ class UdebScheme(DefenseScheme):
         )
         charge = self.shaver.recharge(headroom, state.dt)
         return result.shaved_w, charge
+
+    def ff_state(self, now_s: float) -> dict:
+        state = super().ff_state(now_s)
+        state["shaver"] = self.shaver.ff_state()
+        return state
 
     def reset(self) -> None:
         super().reset()

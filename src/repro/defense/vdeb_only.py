@@ -31,6 +31,13 @@ class VdebScheme(DefenseScheme):
 
     name = "vDEB"
     uses_vdeb = True
+    # vDEB never settles into an exactly periodic quiescent orbit: the
+    # SOC-proportional pool keeps nudging per-rack discharge by a few
+    # watts while KiBaM bound charge equalises geometrically, so the
+    # fingerprint never repeats and a lag match could only be a false
+    # positive. Opt out; vDEB-family schemes still gain from the
+    # prefix-snapshot sharing layer.
+    ff_eligible = False
 
     def __init__(self, ctx: SchemeContext) -> None:
         super().__init__(ctx)
@@ -147,6 +154,17 @@ class VdebScheme(DefenseScheme):
         self.bus.publish(SoftLimitsReassigned(
             time_s=state.time_s, soft_limits_w=self.soft_limits_w.copy(),
         ))
+
+    def ff_state(self, now_s: float) -> dict:
+        state = super().ff_state(now_s)
+        # Normalised to a countdown so it compares across time windows.
+        state["rebalance_in_s"] = self._rebalance_due_s - now_s
+        return state
+
+    def ff_shift_times(self, delta_s: float) -> None:
+        super().ff_shift_times(delta_s)
+        if np.isfinite(self._rebalance_due_s):
+            self._rebalance_due_s += delta_s
 
     def reset(self) -> None:
         super().reset()

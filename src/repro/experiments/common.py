@@ -28,7 +28,7 @@ from ..config import DataCenterConfig
 from ..defense import SCHEMES
 from ..errors import SimulationError
 from ..faults.spec import FaultPlan
-from ..sim.datacenter import DataCenterSimulation, SimResult
+from ..sim.datacenter import DataCenterSimulation, SimResult, SimSnapshot
 from ..sim.runner import ATTACK_DT_S, AttackWindow, Runner
 from ..units import days
 from ..workload.cluster import ClusterModel
@@ -179,6 +179,7 @@ def run_survival(
     lead_in_s: float = 0.0,
     backend: str = "vectorized",
     fault_plan: "FaultPlan | None" = None,
+    fast_forward: bool = False,
 ) -> SimResult:
     """One survival-style run: attack at the calibrated time, stop on trip.
 
@@ -207,6 +208,7 @@ def run_survival(
         attacker=attacker,
         backend=backend,
         fault_plan=fault_plan,
+        fast_forward=fast_forward,
     )
     runner = Runner(
         sim,
@@ -224,6 +226,81 @@ def run_survival(
     )
 
 
+def prepare_survival_prefix(
+    setup: ExperimentSetup,
+    scheme_name: str,
+    pause_offset_s: float,
+    window_s: float = SURVIVAL_WINDOW_S,
+    dt: float = ATTACK_DT_S,
+    record_every: int = 40,
+    backend: str = "vectorized",
+    fault_plan: "FaultPlan | None" = None,
+    fast_forward: bool = False,
+) -> "SimSnapshot | None":
+    """Simulate the shared benign prefix of a survival cell family once.
+
+    Runs the exact :func:`run_survival` schedule with *no attacker* up to
+    ``attack_time_s + pause_offset_s`` and returns a snapshot from which
+    every sibling cell (same everything except scenario and seed) can
+    fork via :func:`resume_survival_from_snapshot`. Pre-onset the
+    attacker is a bitwise no-op, so omitting it changes nothing; the
+    pause must therefore not be later than the earliest sibling's onset.
+
+    Returns ``None`` when the prefix itself tripped a breaker — such a
+    run's remainder depends on ``stop_on_trip`` semantics best left to
+    the straight per-cell path, so callers simply skip sharing.
+    """
+    if scheme_name not in SCHEMES:
+        raise SimulationError(f"unknown scheme: {scheme_name!r}")
+    if pause_offset_s <= 0.0:
+        raise SimulationError("pause_offset_s must be positive")
+    sim = DataCenterSimulation(
+        setup.config,
+        setup.trace,
+        SCHEMES[scheme_name],
+        backend=backend,
+        fault_plan=fault_plan,
+        fast_forward=fast_forward,
+    )
+    runner = Runner(
+        sim,
+        coarse_dt=setup.trace.interval_s,
+        fine_dt=dt,
+        fine_record_every=record_every,
+    )
+    prefix = runner.run_prefix(
+        start_s=setup.attack_time_s,
+        end_s=setup.attack_time_s + window_s,
+        pause_at_s=setup.attack_time_s + pause_offset_s,
+        attack_windows=[
+            AttackWindow(setup.attack_time_s, setup.attack_time_s + window_s)
+        ],
+        stop_on_trip=True,
+    )
+    if prefix.trips:
+        return None
+    return sim.snapshot()
+
+
+def resume_survival_from_snapshot(
+    setup: ExperimentSetup,
+    snapshot: "SimSnapshot",
+    scenario: AttackScenario,
+    seed: int = 7,
+) -> SimResult:
+    """Fork one survival cell from a shared-prefix snapshot.
+
+    Restores an independent simulation, attaches the cell's own
+    adversary, and finishes the paused schedule. Bit-identical to the
+    straight :func:`run_survival` call with the same arguments — proven
+    by the differential harness, relied on by the sweep's
+    prefix-sharing path.
+    """
+    sim = DataCenterSimulation.restore(snapshot)
+    sim.attach_attacker(build_attacker(setup, scenario, seed=seed))
+    return sim.resume_segments(stop_on_trip=True)
+
+
 def run_throughput(
     setup: ExperimentSetup,
     scheme_name: str,
@@ -234,6 +311,7 @@ def run_throughput(
     initial_battery_soc: float = 1.0,
     backend: str = "vectorized",
     fault_plan: "FaultPlan | None" = None,
+    fast_forward: bool = False,
 ) -> SimResult:
     """One throughput-style run: breakers re-arm, run the whole window.
 
@@ -253,6 +331,7 @@ def run_throughput(
         initial_battery_soc=initial_battery_soc,
         backend=backend,
         fault_plan=fault_plan,
+        fast_forward=fast_forward,
     )
     runner = Runner(
         sim,

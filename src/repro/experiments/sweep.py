@@ -50,10 +50,12 @@ from ..attack.scenario import AttackScenario
 from ..defense import SCHEMES
 from ..errors import ConfigError, ReproError, SimulationError, SweepExecutionError
 from ..faults.spec import FaultPlan
-from ..sim.datacenter import DataCenterSimulation
+from ..sim.datacenter import DataCenterSimulation, SimSnapshot
 from ..sim.runner import ATTACK_DT_S
 from .common import (
     ExperimentSetup,
+    prepare_survival_prefix,
+    resume_survival_from_snapshot,
     run_survival,
     run_throughput,
 )
@@ -80,6 +82,9 @@ class SweepCell:
             (``"vectorized"`` or ``"scalar"``).
         fault_plan: Optional fault schedule injected into the cell's
             simulation (degraded-mode sweeps).
+        fast_forward: Enable quiescent-segment fast-forward for the
+            cell's simulation (bit-identical; see
+            :mod:`repro.sim.fastforward`).
     """
 
     row: str
@@ -94,6 +99,7 @@ class SweepCell:
     record_every: int = 200
     backend: str = "vectorized"
     fault_plan: "FaultPlan | None" = None
+    fast_forward: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("survival", "throughput"):
@@ -144,6 +150,7 @@ def survival_grid_cells(
     seed: int = 7,
     per_cell_seeds: bool = False,
     backend: str = "vectorized",
+    fast_forward: bool = False,
 ) -> "list[SweepCell]":
     """The Fig.-15-style grid: scenarios as rows, schemes as columns.
 
@@ -154,6 +161,8 @@ def survival_grid_cells(
             attacker's placement lottery identical across schemes so the
             grid isolates the defense).
         backend: Physics implementation for every cell.
+        fast_forward: Enable quiescent-segment fast-forward in every
+            cell (bit-identical results either way).
     """
     cells = []
     for scenario in scenarios:
@@ -173,17 +182,33 @@ def survival_grid_cells(
                     dt=dt,
                     seed=cell_seed,
                     backend=backend,
+                    fast_forward=fast_forward,
                 )
             )
     return cells
 
 
-def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
+def execute_cell(
+    setup: ExperimentSetup,
+    cell: SweepCell,
+    snapshot: "SimSnapshot | None" = None,
+) -> float:
     """Run one cell and return its scalar metric.
 
     Module-level (not a method) so process-pool workers can pickle it.
+
+    Args:
+        snapshot: Optional shared-prefix snapshot for survival cells
+            (see :meth:`ScenarioSweep` prefix sharing); the cell forks
+            from it instead of re-simulating the benign prefix. The
+            metric is bit-identical either way.
     """
     if cell.mode == "survival":
+        if snapshot is not None and cell.scenario is not None:
+            result = resume_survival_from_snapshot(
+                setup, snapshot, cell.scenario, seed=cell.seed
+            )
+            return result.survival_or_window()
         result = run_survival(
             setup,
             cell.scheme,
@@ -193,6 +218,7 @@ def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
             seed=cell.seed,
             backend=cell.backend,
             fault_plan=cell.fault_plan,
+            fast_forward=cell.fast_forward,
         )
         return result.survival_or_window()
     if cell.scenario is None:
@@ -206,6 +232,7 @@ def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
             initial_battery_soc=cell.initial_battery_soc,
             backend=cell.backend,
             fault_plan=cell.fault_plan,
+            fast_forward=cell.fast_forward,
         )
         result = sim.run(
             duration_s=cell.window_s,
@@ -224,12 +251,21 @@ def execute_cell(setup: ExperimentSetup, cell: SweepCell) -> float:
         initial_battery_soc=cell.initial_battery_soc,
         backend=cell.backend,
         fault_plan=cell.fault_plan,
+        fast_forward=cell.fast_forward,
     )
     return result.throughput_ratio
 
 
-def _execute_packed(args: "tuple[ExperimentSetup, SweepCell]") -> float:
-    return execute_cell(*args)
+def _execute_packed(
+    args: "tuple[ExperimentSetup, SweepCell, SimSnapshot | None]",
+) -> float:
+    setup, cell, snapshot = args
+    # Positional only when a snapshot exists: cells without one keep the
+    # historical two-argument call, which tests monkeypatching
+    # ``execute_cell`` rely on.
+    if snapshot is None:
+        return execute_cell(setup, cell)
+    return execute_cell(setup, cell, snapshot)
 
 
 def cell_fingerprint(cell: SweepCell) -> str:
@@ -417,6 +453,17 @@ class ScenarioSweep:
         backoff_s: Base of the exponential retry backoff.
         journal_path: JSONL checkpoint file; every resolved cell is
             appended and fsynced. Required for ``run(resume=True)``.
+        share_prefixes: Simulate each cell family's shared benign prefix
+            once and fork the cells from a snapshot. Families group by
+            everything *except* scenario and seed — cells diverge only
+            at attack onset, and pre-onset the attacker is a bitwise
+            no-op, so forked metrics are bit-identical to straight
+            execution (the differential harness proves it). Snapshots
+            are plain bytes shipped to pool workers, and journal resume
+            replays recorded metrics unchanged, so the hardened-sweep
+            contract is untouched. Survival cells only; a family whose
+            prefix trips, has no positive onset offset, or holds a
+            single cell silently runs straight.
     """
 
     def __init__(
@@ -428,6 +475,7 @@ class ScenarioSweep:
         max_attempts: int = 3,
         backoff_s: float = 0.5,
         journal_path: "str | None" = None,
+        share_prefixes: bool = False,
     ) -> None:
         if workers < 0:
             raise SimulationError("workers must be non-negative")
@@ -444,6 +492,7 @@ class ScenarioSweep:
         self._max_attempts = max_attempts
         self._backoff_s = backoff_s
         self._journal_path = journal_path
+        self._share_prefixes = share_prefixes
 
     @property
     def cells(self) -> "tuple[SweepCell, ...]":
@@ -476,12 +525,19 @@ class ScenarioSweep:
             if self._journal_path is not None
             else None
         )
+        snapshots: "dict[int, SimSnapshot]" = {}
+        if pending and self._share_prefixes:
+            snapshots = self._prefix_snapshots(pending)
         try:
             if pending:
                 if self._workers <= 1:
-                    self._run_sequential(pending, outcomes, journal)
+                    self._run_sequential(
+                        pending, outcomes, journal, snapshots
+                    )
                 else:
-                    self._run_parallel(pending, outcomes, journal)
+                    self._run_parallel(
+                        pending, outcomes, journal, snapshots
+                    )
         finally:
             if journal is not None:
                 journal.close()
@@ -500,6 +556,64 @@ class ScenarioSweep:
         return SweepResult(
             cells=self._cells, metrics=metrics, failures=failures
         )
+
+    # ------------------------------------------------------------------ #
+    # Prefix sharing                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _prefix_snapshots(
+        self, pending: "Sequence[int]"
+    ) -> "dict[int, SimSnapshot]":
+        """Snapshot each eligible cell family's shared benign prefix.
+
+        Returns one snapshot per *cell index*; families map many indices
+        to the same object (snapshots are immutable bytes, and every
+        fork restores its own independent simulation). Ineligible or
+        tripped-prefix families are simply absent — their cells run
+        straight.
+        """
+        families: "dict[tuple, list[int]]" = {}
+        for index in pending:
+            cell = self._cells[index]
+            if (
+                cell.mode != "survival"
+                or cell.scenario is None
+                or cell.scenario.start_s <= 0.0
+            ):
+                continue
+            key = (
+                cell.scheme,
+                cell.window_s,
+                cell.dt,
+                cell.initial_battery_soc,
+                cell.backend,
+                cell.fast_forward,
+                repr(cell.fault_plan),
+            )
+            families.setdefault(key, []).append(index)
+        snapshots: "dict[int, SimSnapshot]" = {}
+        for members in families.values():
+            if len(members) < 2:
+                continue  # nothing to share
+            offset = min(
+                self._cells[i].scenario.start_s for i in members
+            )
+            first = self._cells[members[0]]
+            snapshot = prepare_survival_prefix(
+                self._setup,
+                first.scheme,
+                offset,
+                window_s=first.window_s,
+                dt=first.dt,
+                backend=first.backend,
+                fault_plan=first.fault_plan,
+                fast_forward=first.fast_forward,
+            )
+            if snapshot is None:
+                continue  # prefix tripped: run the family straight
+            for index in members:
+                snapshots[index] = snapshot
+        return snapshots
 
     # ------------------------------------------------------------------ #
     # Execution paths                                                     #
@@ -522,15 +636,21 @@ class ScenarioSweep:
         pending: "list[int]",
         outcomes: "dict[int, _Outcome]",
         journal: "_Journal | None",
+        snapshots: "dict[int, SimSnapshot] | None" = None,
     ) -> None:
         """In-process execution (also the no-pool fallback path)."""
+        snapshots = snapshots or {}
         for index in pending:
             outcome = _Outcome()
             while True:
                 outcome.attempts += 1
                 try:
-                    outcome.metric = execute_cell(
-                        self._setup, self._cells[index]
+                    outcome.metric = _execute_packed(
+                        (
+                            self._setup,
+                            self._cells[index],
+                            snapshots.get(index),
+                        )
                     )
                     outcome.error = None
                     break
@@ -553,15 +673,17 @@ class ScenarioSweep:
         pending: "list[int]",
         outcomes: "dict[int, _Outcome]",
         journal: "_Journal | None",
+        snapshots: "dict[int, SimSnapshot] | None" = None,
     ) -> None:
         """Pool execution with timeouts, retries and pool rebuilds."""
+        snapshots = snapshots or {}
         try:
             pool = ProcessPoolExecutor(max_workers=self._workers)
         except Exception:
             # No pool in this environment (fork disabled, rlimits, …):
             # degrade to the sequential path rather than failing the
             # whole campaign.
-            self._run_sequential(pending, outcomes, journal)
+            self._run_sequential(pending, outcomes, journal, snapshots)
             return
         states = {index: _Outcome() for index in pending}
         queue = list(pending)
@@ -569,7 +691,12 @@ class ScenarioSweep:
             while queue:
                 jobs = {
                     index: pool.submit(
-                        _execute_packed, (self._setup, self._cells[index])
+                        _execute_packed,
+                        (
+                            self._setup,
+                            self._cells[index],
+                            snapshots.get(index),
+                        ),
                     )
                     for index in queue
                 }

@@ -98,6 +98,21 @@ class CapController:
             self._pending_s = dt
         return False
 
+    def ff_state(self) -> dict:
+        """Evolving state for the fast-forward fingerprint.
+
+        All fields are durations/counters (no absolute times), so they
+        compare across time windows directly. ``active_time_s`` grows on
+        every capped step, which automatically refuses fast-forward while
+        a cap is engaged.
+        """
+        return {
+            "pending_s": self._pending_s,
+            "hold_remaining_s": self._hold_remaining_s,
+            "engaged_count": self._engaged_count,
+            "active_time_s": self._active_time_s,
+        }
+
     def reset(self) -> None:
         """Return to idle (counters persist)."""
         self._pending_s = None

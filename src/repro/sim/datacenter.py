@@ -26,6 +26,7 @@ One call can mix both — see :meth:`DataCenterSimulation.run_segments` and
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -40,7 +41,7 @@ from ..power.breaker_kernels import make_breaker_bank
 from ..workload.cluster import ClusterModel
 from ..workload.trace import UtilizationTrace
 from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
-from .engine import Engine
+from .engine import Engine, RunResult
 from .events import (
     BreakerTripped,
     EventBus,
@@ -49,6 +50,7 @@ from .events import (
     OverloadEvent,
     SimEvent,
 )
+from .fastforward import FastForwardStats, SegmentFastForward
 from .recorder import Recorder
 from .runner import AttackWindow, Segment
 
@@ -56,8 +58,49 @@ __all__ = [
     "DataCenterSimulation",
     "OverloadEvent",
     "SimResult",
+    "SimSnapshot",
     "StepContext",
 ]
+
+#: Format version of :class:`SimSnapshot` payloads. Bumped whenever the
+#: pickled object graph changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimSnapshot:
+    """A versioned, self-contained checkpoint of a whole simulation.
+
+    The payload is a pickle of the :class:`DataCenterSimulation` object
+    graph — physics, control state, meters, sensors, RNG streams, the
+    paused run cursor and its partial result. Snapshots are plain bytes,
+    so they ship through process pools and journals unchanged.
+
+    Attributes:
+        version: Payload format version (see :data:`SNAPSHOT_VERSION`).
+        payload: The pickled simulation.
+    """
+
+    version: int
+    payload: bytes
+
+
+@dataclass
+class _PausedRun:
+    """Cursor of a run paused by :meth:`DataCenterSimulation.run_prefix`.
+
+    Attributes:
+        schedule: The full validated segment schedule.
+        segment_index: Index of the segment to resume into (equal to
+            ``len(schedule)`` when the prefix consumed everything).
+        steps_done: Steps already executed inside that segment.
+        result: The partially accumulated run result.
+    """
+
+    schedule: "tuple[Segment, ...]"
+    segment_index: int
+    steps_done: int
+    result: "SimResult"
 
 
 @dataclass
@@ -165,6 +208,14 @@ class StepContext:
         state: The scheme-visible observation for this tick.
         dispatch: The scheme's decision for this tick.
         utility: Per-rack utility-feed draw after the dispatch.
+        delivered_inc: Exact addend this step contributed to
+            ``result.delivered_work`` (captured so the fast-forward
+            replay repeats the identical float addition).
+        demanded_inc: Exact addend contributed to ``demanded_work``.
+        row_scalars: The scalar recorder row appended this step, or
+            ``None`` when the step was not recorded.
+        row_vectors: The vector channels appended this step (live
+            references — copy before retaining), or ``None``.
     """
 
     time_s: float
@@ -179,6 +230,10 @@ class StepContext:
     state: "StepState | None" = None
     dispatch: "Dispatch | None" = None
     utility: "np.ndarray | None" = None
+    delivered_inc: float = 0.0
+    demanded_inc: float = 0.0
+    row_scalars: "dict[str, float] | None" = None
+    row_vectors: "dict[str, np.ndarray] | None" = None
 
 
 class DataCenterSimulation:
@@ -214,6 +269,12 @@ class DataCenterSimulation:
             defaults to three management intervals, so one missed meter
             publication is tolerated and held, while a sustained dropout
             forces the fail-safe path.
+        fast_forward: Enable quiescent-segment fast-forward (see
+            :mod:`repro.sim.fastforward`). Results are bit-identical to
+            per-step execution — the controller only jumps blocks it has
+            proven periodic and refuses whenever any precondition is
+            unclear. Off by default; :attr:`fast_forward_stats` reports
+            what the layer did.
     """
 
     def __init__(
@@ -229,6 +290,7 @@ class DataCenterSimulation:
         backend: str = "vectorized",
         fault_plan: "FaultPlan | None" = None,
         telemetry_ttl_s: "float | None" = None,
+        fast_forward: bool = False,
     ) -> None:
         if overshoot_tolerance < 0.0:
             raise SimulationError("overshoot tolerance must be non-negative")
@@ -246,7 +308,6 @@ class DataCenterSimulation:
                 f"{self.cluster.servers}"
             )
         self.trace = trace
-        self.attacker = attacker
         # Results capture their own event streams via subscriptions, so
         # the long-lived bus itself does not record.
         self.bus = EventBus(record=False)
@@ -310,19 +371,14 @@ class DataCenterSimulation:
         # (faulty) hardware threshold moves.
         self._breaker_derate: "np.ndarray | None" = None
         self._derate_dirty = False
-        self._attack_nodes = (
-            np.asarray(attacker.nodes, dtype=int) if attacker else None
-        )
+        self.fast_forward = bool(fast_forward)
+        self.fast_forward_stats = FastForwardStats()
+        self._paused: "_PausedRun | None" = None
+        self.attacker = None
+        self._attack_nodes: "np.ndarray | None" = None
         self._attack_racks: "tuple[int, ...]" = ()
-        if self._attack_nodes is not None:
-            if np.any(self._attack_nodes >= self.cluster.servers):
-                raise SimulationError("attacker nodes outside the cluster")
-            self._attack_racks = tuple(
-                int(r)
-                for r in np.unique(
-                    self._server_rack_index[self._attack_nodes]
-                )
-            )
+        if attacker is not None:
+            self.attach_attacker(attacker)
         # Deferred import: the injector module subscribes to sim.events,
         # so importing it at module scope would cycle through repro.faults.
         from ..faults.injector import FaultInjector
@@ -357,6 +413,33 @@ class DataCenterSimulation:
     def fault_plan(self) -> "FaultPlan | None":
         """The active fault plan, if any."""
         return self._injector.plan if self._injector is not None else None
+
+    @property
+    def fault_injector(self):
+        """The active :class:`~repro.faults.FaultInjector`, if any."""
+        return self._injector
+
+    @property
+    def management_interval_s(self) -> float:
+        """Metering/actuation cadence of the software plane."""
+        return self._mgmt_interval
+
+    def attach_attacker(self, attacker: Attacker) -> None:
+        """Install (or replace) the adversary on a built simulation.
+
+        The prefix-snapshot path depends on this: benign prefixes run
+        with no attacker at all — pre-onset the attacker is a bitwise
+        no-op, so omitting it changes nothing — and each forked cell
+        attaches its own adversary right after :meth:`restore`.
+        """
+        nodes = np.asarray(attacker.nodes, dtype=int)
+        if np.any(nodes >= self.cluster.servers):
+            raise SimulationError("attacker nodes outside the cluster")
+        self.attacker = attacker
+        self._attack_nodes = nodes
+        self._attack_racks = tuple(
+            int(r) for r in np.unique(self._server_rack_index[nodes])
+        )
 
     def fault_windows(self) -> "list[AttackWindow]":
         """Windows of the fault plan, as fine-step schedule refinements.
@@ -527,8 +610,10 @@ class DataCenterSimulation:
             asleep=ctx.asleep,
             down_racks=ctx.down,
         )
-        ctx.result.delivered_work += delivered * ctx.dt
-        ctx.result.demanded_work += demanded * ctx.dt
+        ctx.delivered_inc = delivered * ctx.dt
+        ctx.demanded_inc = demanded * ctx.dt
+        ctx.result.delivered_work += ctx.delivered_inc
+        ctx.result.demanded_work += ctx.demanded_inc
         if ctx.record:
             self._record(ctx)
 
@@ -605,6 +690,40 @@ class DataCenterSimulation:
         self._was_over[-1] = over_cluster
         return total
 
+    def ff_state(self, now_s: float) -> dict:
+        """Complete evolving state for the fast-forward fingerprint.
+
+        Everything the step pipeline reads or writes outside the
+        :class:`StepContext` must appear here (directly or via a
+        component's ``ff_state``): two boundaries with equal fingerprints
+        must imply the intervening blocks are bitwise interchangeable.
+        """
+        state = {
+            "scheme": self.scheme.ff_state(now_s),
+            "breakers": self.breakers.ff_state(),
+            "was_over": self._was_over,
+            "meter_energy": self._meter_energy,
+            "meter_util": self._meter_util,
+            "meter_time": self._meter_time,
+            "metered_rack_avg": self._metered_rack_avg,
+            "metered_server_util": self._metered_server_util,
+            "breaker_derate": self._breaker_derate,
+            "derate_dirty": self._derate_dirty,
+        }
+        if self._injector is not None:
+            state["injector"] = self._injector.ff_state()
+        return state
+
+    def ff_shift_times(self, delta_s: float) -> None:
+        """Advance absolute-time bookkeeping after a fast-forward jump.
+
+        Only state that stores *wall-clock* timestamps (rather than
+        durations) needs shifting; the fingerprint normalises such fields
+        relative to ``now_s``, so the jump is valid exactly when shifting
+        them reproduces the replayed block's end state.
+        """
+        self.scheme.ff_shift_times(delta_s)
+
     # ------------------------------------------------------------------ #
     # Running                                                             #
     # ------------------------------------------------------------------ #
@@ -651,14 +770,7 @@ class DataCenterSimulation:
         by :func:`repro.sim.runner.build_schedule` / a
         :class:`~repro.sim.runner.Runner`.
         """
-        schedule = list(segments)
-        if not schedule:
-            raise SimulationError("empty segment schedule")
-        for earlier, later in zip(schedule, schedule[1:]):
-            if later.start_s < earlier.end_s - 1e-6:
-                raise SimulationError(
-                    "segments must be in ascending, non-overlapping order"
-                )
+        schedule = self._validated_schedule(segments)
         attack_start = None
         if self.attacker is not None:
             attack_start = self.attacker.driver.config.start_s
@@ -668,14 +780,7 @@ class DataCenterSimulation:
             end_s=schedule[0].start_s,
             attack_start_s=attack_start,
         )
-        unsubscribes = (
-            self.bus.subscribe(SimEvent, result.events.append),
-            self.bus.subscribe(OverloadEvent, result.overloads.append),
-            self.bus.subscribe(
-                BreakerTripped, lambda e: result.trips.append(e.trip)
-            ),
-            self.bus.subscribe(FaultEvent, result.faults.append),
-        )
+        unsubscribes = self._subscribe_result(result)
         try:
             for segment in schedule:
                 self._run_segment(segment, result, stop_on_trip)
@@ -686,15 +791,72 @@ class DataCenterSimulation:
                 unsubscribe()
         return result
 
+    @staticmethod
+    def _validated_schedule(segments: "Sequence[Segment]") -> "list[Segment]":
+        schedule = list(segments)
+        if not schedule:
+            raise SimulationError("empty segment schedule")
+        for earlier, later in zip(schedule, schedule[1:]):
+            if later.start_s < earlier.end_s - 1e-6:
+                raise SimulationError(
+                    "segments must be in ascending, non-overlapping order"
+                )
+        return schedule
+
+    def _subscribe_result(self, result: SimResult) -> "tuple":
+        """Route the bus's event stream into ``result``'s collections."""
+        return (
+            self.bus.subscribe(SimEvent, result.events.append),
+            self.bus.subscribe(OverloadEvent, result.overloads.append),
+            self.bus.subscribe(
+                BreakerTripped, lambda e: result.trips.append(e.trip)
+            ),
+            self.bus.subscribe(FaultEvent, result.faults.append),
+        )
+
     def _run_segment(
-        self, segment: Segment, result: SimResult, stop_on_trip: bool
-    ) -> None:
-        """Run one segment's engine, accumulating into ``result``."""
-        engine = Engine(dt=segment.dt, start_s=segment.start_s, bus=self.bus)
-        step_index = 0
+        self,
+        segment: Segment,
+        result: SimResult,
+        stop_on_trip: bool,
+        initial_steps: int = 0,
+        limit_s: "float | None" = None,
+    ) -> RunResult:
+        """Run one segment's engine, accumulating into ``result``.
+
+        Args:
+            segment: The schedule entry to execute.
+            result: Accumulating run result.
+            stop_on_trip: Halt at the first breaker trip.
+            initial_steps: Steps of this segment already executed (resume
+                path); the engine's derived clock starts past them.
+            limit_s: Stop at this time instead of the segment end (the
+                prefix path pauses mid-segment on a step boundary).
+        """
+        engine = Engine(
+            dt=segment.dt,
+            start_s=segment.start_s,
+            bus=self.bus,
+            initial_steps=initial_steps,
+        )
+        step_index = initial_steps
+        ff = None
+        if self.fast_forward:
+            ff = SegmentFastForward(self, segment, result, limit_s=limit_s)
+            if not ff.enabled:
+                ff = None
 
         def step(time_s: float, dt: float) -> None:
             nonlocal step_index
+            if ff is not None:
+                skipped = ff.begin_step(step_index, time_s)
+                if skipped:
+                    # The replay already landed every recorder row and
+                    # work addend; the engine's own post-hook increment
+                    # supplies the final +1.
+                    engine.advance_steps(skipped - 1)
+                    step_index += skipped
+                    return
             ctx = StepContext(
                 time_s=time_s,
                 dt=dt,
@@ -703,19 +865,159 @@ class DataCenterSimulation:
             )
             for stage in self.pipeline:
                 stage(ctx)
+            if ff is not None:
+                ff.observe(ctx)
             step_index += 1
 
         engine.add_hook(step)
         if stop_on_trip:
             engine.add_stop(lambda _t: bool(result.trips))
-        run = engine.run_until(segment.end_s)
+        run = engine.run_until(
+            segment.end_s if limit_s is None else limit_s
+        )
         result.end_s = run.end_s
+        return run
+
+    # ------------------------------------------------------------------ #
+    # Prefix / snapshot / resume                                          #
+    # ------------------------------------------------------------------ #
+
+    def run_prefix(
+        self,
+        segments: "Sequence[Segment]",
+        pause_at_s: float,
+        stop_on_trip: bool = False,
+    ) -> SimResult:
+        """Run a schedule up to ``pause_at_s``, then pause resumably.
+
+        The pause point must land on a step boundary of the segment it
+        falls in. After this returns, :meth:`snapshot` captures the whole
+        simulation (including the pause cursor and partial result) and
+        :meth:`resume_segments` — on this object or a :meth:`restore`\\ d
+        copy — finishes the schedule bit-identically to an unbroken
+        :meth:`run_segments` call.
+        """
+        if self._paused is not None:
+            raise SimulationError("a paused run is already pending")
+        schedule = self._validated_schedule(segments)
+        attack_start = None
+        if self.attacker is not None:
+            attack_start = self.attacker.driver.config.start_s
+        result = SimResult(
+            scheme=self.scheme.name,
+            start_s=schedule[0].start_s,
+            end_s=schedule[0].start_s,
+            attack_start_s=attack_start,
+        )
+        paused_index = len(schedule)
+        paused_steps = 0
+        unsubscribes = self._subscribe_result(result)
+        try:
+            for index, segment in enumerate(schedule):
+                if pause_at_s <= segment.start_s + 1e-9:
+                    paused_index, paused_steps = index, 0
+                    break
+                if pause_at_s < segment.end_s - 1e-9:
+                    steps = round(
+                        (pause_at_s - segment.start_s) / segment.dt
+                    )
+                    boundary = segment.start_s + steps * segment.dt
+                    if abs(boundary - pause_at_s) > 1e-6:
+                        raise SimulationError(
+                            "pause_at_s must land on a step boundary of "
+                            "its segment"
+                        )
+                    if steps > 0:
+                        self._run_segment(
+                            segment, result, stop_on_trip, limit_s=boundary
+                        )
+                    paused_index, paused_steps = index, steps
+                    break
+                self._run_segment(segment, result, stop_on_trip)
+                if stop_on_trip and result.trips:
+                    paused_index, paused_steps = index + 1, 0
+                    break
+        finally:
+            for unsubscribe in unsubscribes:
+                unsubscribe()
+        self._paused = _PausedRun(
+            schedule=tuple(schedule),
+            segment_index=paused_index,
+            steps_done=paused_steps,
+            result=result,
+        )
+        return result
+
+    def snapshot(self) -> SimSnapshot:
+        """Checkpoint the entire simulation as portable bytes.
+
+        Captures physics, control state, meters, RNG streams and — when a
+        :meth:`run_prefix` is pending — the pause cursor and its partial
+        result, so a restored copy resumes exactly where this one paused.
+        The event bus must hold no external subscribers (run methods
+        unsubscribe their collectors before returning, so any schedule
+        boundary is safe).
+        """
+        return SimSnapshot(
+            version=SNAPSHOT_VERSION, payload=pickle.dumps(self)
+        )
+
+    @staticmethod
+    def restore(snapshot: SimSnapshot) -> "DataCenterSimulation":
+        """Rebuild an independent simulation from :meth:`snapshot` bytes."""
+        if snapshot.version != SNAPSHOT_VERSION:
+            raise SimulationError(
+                f"snapshot version {snapshot.version} unsupported "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        sim = pickle.loads(snapshot.payload)
+        if not isinstance(sim, DataCenterSimulation):
+            raise SimulationError("snapshot payload is not a simulation")
+        return sim
+
+    def resume_segments(self, stop_on_trip: bool = False) -> SimResult:
+        """Finish the schedule paused by :meth:`run_prefix`.
+
+        Continues from the stored cursor — mid-segment when the pause
+        fell inside one — and returns the same accumulating result, now
+        complete. An attacker attached after the pause (the snapshot-fork
+        path) back-fills ``attack_start_s``.
+        """
+        if self._paused is None:
+            raise SimulationError("no paused run to resume")
+        paused, self._paused = self._paused, None
+        result = paused.result
+        if self.attacker is not None and result.attack_start_s is None:
+            result.attack_start_s = self.attacker.driver.config.start_s
+        unsubscribes = self._subscribe_result(result)
+        try:
+            for index in range(paused.segment_index, len(paused.schedule)):
+                segment = paused.schedule[index]
+                initial = (
+                    paused.steps_done
+                    if index == paused.segment_index
+                    else 0
+                )
+                if (
+                    segment.start_s + initial * segment.dt
+                    >= segment.end_s - 1e-9
+                ):
+                    continue
+                self._run_segment(
+                    segment, result, stop_on_trip, initial_steps=initial
+                )
+                if stop_on_trip and result.trips:
+                    break
+        finally:
+            for unsubscribe in unsubscribes:
+                unsubscribe()
+        return result
 
     def _record(self, ctx: StepContext) -> None:
         assert ctx.demand is not None and ctx.utility is not None
         assert ctx.dispatch is not None
         rec = ctx.result.recorder
-        rec.append_row(
+        scalars = dict(
             time_s=ctx.time_s,
             total_demand_w=float(np.sum(ctx.demand)),
             total_utility_w=float(np.sum(ctx.utility)),
@@ -726,5 +1028,14 @@ class DataCenterSimulation:
             capped_racks=float(np.sum(ctx.dispatch.capped_racks)),
             asleep_servers=float(np.sum(ctx.dispatch.asleep_servers)),
         )
-        rec.append_vector("rack_soc", self.scheme.fleet.soc_vector())
-        rec.append_vector("rack_utility_w", ctx.utility)
+        rec.append_row(**scalars)
+        soc = self.scheme.fleet.soc_vector()
+        rec.append_vector("rack_soc", soc)
+        # ``ctx.utility`` is a fresh float64 array built this step and
+        # never reused after recording, so the documented copy=False path
+        # skips the redundant re-coercion.
+        rec.append_vector("rack_utility_w", ctx.utility, copy=False)
+        # Exposed so the fast-forward capture can reuse the exact values
+        # just recorded instead of recomputing them.
+        ctx.row_scalars = scalars
+        ctx.row_vectors = {"rack_soc": soc, "rack_utility_w": ctx.utility}

@@ -51,16 +51,27 @@ class Engine:
         start_s: Initial clock value.
         bus: Event bus shared with the orchestration layer; a fresh
             recording bus is created when omitted.
+        initial_steps: Steps already counted against ``start_s`` — the
+            clock starts at ``start_s + initial_steps * dt``. Used when a
+            restored snapshot resumes partway through a segment: keeping
+            the original anchor means every remaining step lands on the
+            exact same derived time as an unbroken run.
     """
 
     def __init__(
-        self, dt: float, start_s: float = 0.0, bus: "EventBus | None" = None
+        self,
+        dt: float,
+        start_s: float = 0.0,
+        bus: "EventBus | None" = None,
+        initial_steps: int = 0,
     ) -> None:
         if dt <= 0.0:
             raise SimulationError(f"dt must be positive, got {dt}")
+        if initial_steps < 0:
+            raise SimulationError("initial_steps must be non-negative")
         self._dt = dt
         self._start_s = start_s
-        self._steps_done = 0
+        self._steps_done = initial_steps
         self._bus = bus if bus is not None else EventBus()
         self._hooks: list[StepHook] = []
         self._stops: list[StopPredicate] = []
@@ -104,30 +115,46 @@ class Engine:
             hook(now, self._dt)
         self._steps_done += 1
 
+    def advance_steps(self, steps: int) -> None:
+        """Jump the clock forward by ``steps`` without firing hooks.
+
+        The fast-forward path calls this from inside a hook after it has
+        replayed the skipped steps' effects itself; the derived clock
+        keeps every later step boundary exact.
+        """
+        if steps < 0:
+            raise SimulationError("cannot advance by a negative step count")
+        self._steps_done += steps
+
     def run_until(self, end_s: float) -> RunResult:
         """Run steps until ``end_s`` or a stop predicate fires.
 
         The final step is never shortened: the run covers
         ``ceil((end - now) / dt)`` whole steps, so callers that need exact
         alignment should pick ``dt`` dividing the duration.
+
+        ``RunResult.steps`` counts steps of simulated time, including any
+        fast-forwarded via :meth:`advance_steps`.
         """
         if end_s <= self.now_s:
             raise SimulationError(
                 f"end time {end_s} not after current time {self.now_s}"
             )
         start = self.now_s
-        steps = 0
+        begin_steps = self._steps_done
         stopped = False
         self._running = True
         try:
             while self.now_s < end_s - 1e-9:
                 self.step()
-                steps += 1
                 if any(stop(self.now_s) for stop in self._stops):
                     stopped = True
                     break
         finally:
             self._running = False
         return RunResult(
-            start_s=start, end_s=self.now_s, steps=steps, stopped_early=stopped
+            start_s=start,
+            end_s=self.now_s,
+            steps=self._steps_done - begin_steps,
+            stopped_early=stopped,
         )

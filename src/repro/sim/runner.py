@@ -222,3 +222,25 @@ class Runner:
             self.schedule(start_s, end_s, attack_windows),
             stop_on_trip=stop_on_trip,
         )
+
+    def run_prefix(
+        self,
+        start_s: float,
+        end_s: float,
+        pause_at_s: float,
+        attack_windows: "Sequence[AttackWindow]" = (),
+        stop_on_trip: bool = False,
+    ) -> "SimResult":
+        """Run the schedule up to ``pause_at_s``, resumably.
+
+        Builds the exact schedule :meth:`run` would execute, then pauses
+        at ``pause_at_s`` via
+        :meth:`~repro.sim.datacenter.DataCenterSimulation.run_prefix`, so
+        a later ``resume_segments`` (possibly on a restored snapshot)
+        completes the identical schedule.
+        """
+        return self._sim.run_prefix(
+            self.schedule(start_s, end_s, attack_windows),
+            pause_at_s,
+            stop_on_trip=stop_on_trip,
+        )

@@ -180,6 +180,19 @@ class UtilizationTrace:
         idx = min(max(idx, 0), self.timestamps - 1)
         return self._matrix[idx]
 
+    def constant_until(self, time_s: float) -> float:
+        """Time until which :meth:`at` keeps returning the same sample.
+
+        Past the final sample the trace holds forever, so the bound is
+        ``inf`` there. Used by the fast-forward guard to cap a jump at
+        the next workload change.
+        """
+        idx = int((time_s - self._start_s) // self._interval_s)
+        idx = min(max(idx, 0), self.timestamps - 1)
+        if idx == self.timestamps - 1:
+            return float("inf")
+        return self._start_s + (idx + 1) * self._interval_s
+
     def slices(self) -> "list[TraceSlice]":
         """All samples as :class:`TraceSlice` records."""
         return [

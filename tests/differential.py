@@ -492,3 +492,95 @@ def fault_plans(draw, racks: int, horizon_s: float) -> FaultPlan:
     plan_specs = tuple(draw_spec() for _ in range(n_specs))
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
     return FaultPlan(specs=plan_specs, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# Fast-path run toggles                                                   #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RunToggles:
+    """Which PR-5 fast paths a differential run switches on.
+
+    The contract under test: *any* combination of backend, fast-forward
+    and snapshot-forked execution publishes a run bit-identical to the
+    plain per-step vectorized pipeline. ``fork_step`` of ``None`` means a
+    straight :meth:`~repro.sim.datacenter.DataCenterSimulation.run`;
+    otherwise the run pauses after that many steps, snapshots, restores
+    an independent copy and resumes it.
+
+    Attributes:
+        backend: ``"scalar"`` or ``"vectorized"``.
+        fast_forward: Whether the quiescent-segment fast path is armed.
+        fork_step: Pause/snapshot/resume boundary in steps, or ``None``.
+    """
+
+    backend: str
+    fast_forward: bool
+    fork_step: "int | None"
+
+
+@st.composite
+def run_toggles(draw, max_fork_step: int) -> RunToggles:
+    """All fast-path combinations, with fork points on the step grid.
+
+    ``max_fork_step`` bounds the pause point (exclusive of the run ends:
+    a fork at step 0 or at the final step degenerates to a straight
+    run, which the ``None`` case already covers).
+    """
+    fork = draw(
+        st.one_of(
+            st.none(),
+            st.integers(min_value=1, max_value=max_fork_step - 1),
+        )
+    )
+    return RunToggles(
+        backend=draw(st.sampled_from(("scalar", "vectorized"))),
+        fast_forward=draw(st.booleans()),
+        fork_step=fork,
+    )
+
+
+def assert_results_identical(label: str, reference, candidate) -> None:
+    """Demand *bit-identical* :class:`SimResult`\\ s, field by field.
+
+    Stronger than :func:`assert_agree`: the fast paths (recorder
+    buffers, fast-forward replay, snapshot forking) are designed to
+    reproduce the per-step pipeline exactly, so every work integral,
+    every recorder sample, every event and every trip must match with
+    ``==``, not within a tolerance.
+    """
+    assert candidate.scheme == reference.scheme, label
+    assert candidate.start_s == reference.start_s, label
+    assert candidate.end_s == reference.end_s, label
+    assert candidate.attack_start_s == reference.attack_start_s, label
+    assert candidate.delivered_work == reference.delivered_work, (
+        f"{label}: delivered_work "
+        f"{candidate.delivered_work!r} != {reference.delivered_work!r}"
+    )
+    assert candidate.demanded_work == reference.demanded_work, (
+        f"{label}: demanded_work "
+        f"{candidate.demanded_work!r} != {reference.demanded_work!r}"
+    )
+    for stream in ("events", "overloads", "trips", "faults"):
+        got = [repr(e) for e in getattr(candidate, stream)]
+        want = [repr(e) for e in getattr(reference, stream)]
+        assert got == want, f"{label}: {stream} diverged"
+    rec_c, rec_r = candidate.recorder, reference.recorder
+    assert rec_c.channels == rec_r.channels, label
+    assert rec_c.vector_channels == rec_r.vector_channels, label
+    for channel in rec_r.channels:
+        if not np.array_equal(
+            rec_c.series(channel), rec_r.series(channel)
+        ):
+            raise AssertionError(
+                f"{label}: series {channel!r} not bit-identical"
+            )
+    for channel in rec_r.vector_channels:
+        if not np.array_equal(
+            rec_c.matrix(channel), rec_r.matrix(channel)
+        ):
+            raise AssertionError(
+                f"{label}: matrix {channel!r} not bit-identical"
+            )

@@ -30,7 +30,7 @@ WINDOW_S = 90.0
 RECORD_EVERY = 10
 
 
-def _run(backend: str):
+def _run(backend: str, fast_forward: bool = False):
     setup = standard_setup()
     scenario = standard_scenarios()[0]
     return run_survival(
@@ -40,6 +40,7 @@ def _run(backend: str):
         window_s=WINDOW_S,
         record_every=RECORD_EVERY,
         backend=backend,
+        fast_forward=fast_forward,
     )
 
 
@@ -92,15 +93,20 @@ def _assert_matches(golden: dict, summary: dict) -> None:
     )
 
 
+@pytest.mark.parametrize("fast_forward", [False, True])
 @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
-def test_pad_attack_matches_golden_trace(backend: str) -> None:
+def test_pad_attack_matches_golden_trace(
+    backend: str, fast_forward: bool
+) -> None:
+    """The frozen history must hold with every fast path armed too —
+    fast-forward may only ever skip work, never move a number."""
     if not FIXTURE.exists():
         pytest.fail(
             f"missing fixture {FIXTURE}; regenerate with "
             "`PYTHONPATH=src python -m tests.test_golden_trace`"
         )
     golden = json.loads(FIXTURE.read_text())
-    _assert_matches(golden, _summary(_run(backend)))
+    _assert_matches(golden, _summary(_run(backend, fast_forward)))
 
 
 def _write_fixture() -> None:
