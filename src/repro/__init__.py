@@ -55,6 +55,7 @@ from .config import (
     RackConfig,
     ServerConfig,
     SupercapConfig,
+    TopologyConfig,
     VdebConfig,
 )
 from .defense import SCHEMES
@@ -100,6 +101,7 @@ from .sim import (
 )
 from .workload import (
     ClusterModel,
+    SyntheticTraceConfig,
     UtilizationTrace,
     generate_trace,
     google_like_trace,
@@ -145,6 +147,7 @@ __all__ = [
     "ServerConfig",
     "SimEvent",
     "SimResult",
+    "SyntheticTraceConfig",
     "SimulationError",
     "SocBias",
     "SocFreeze",
@@ -153,6 +156,7 @@ __all__ = [
     "SweepExecutionError",
     "TelemetryDropout",
     "TelemetryNoise",
+    "TopologyConfig",
     "TraceFormatError",
     "UdebStuckOpen",
     "UtilizationTrace",

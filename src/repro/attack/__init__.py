@@ -7,6 +7,7 @@ from .attacker import (
     acquire_nodes,
 )
 from .phases import AttackPhase, TwoPhaseAttack, TwoPhaseConfig
+from .placement import PduPlacement, PlacementResult, place_attack_nodes
 from .scenario import (
     AttackScenario,
     DENSE_ATTACK,
@@ -30,6 +31,8 @@ __all__ = [
     "AutonomyEstimator",
     "DENSE_ATTACK",
     "PROFILES",
+    "PduPlacement",
+    "PlacementResult",
     "SPARSE_ATTACK",
     "SpikeTrain",
     "SpikeTrainConfig",
@@ -38,6 +41,7 @@ __all__ = [
     "VirusKind",
     "VirusProfile",
     "acquire_nodes",
+    "place_attack_nodes",
     "profile_for",
     "standard_scenarios",
     "virus_power_trace",

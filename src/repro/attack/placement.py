@@ -1,0 +1,219 @@
+"""Cross-PDU attacker placement over a hierarchical topology.
+
+With a single PDU the attacker's only placement decision is *which rack*
+to co-locate in — the :func:`~repro.attack.attacker.acquire_nodes`
+lottery. A multi-PDU hierarchy adds a second axis: the adversary can
+concentrate every node behind one mid-tier PDU (maximising pressure on
+that PDU's breaker and its per-row battery pool), stripe nodes evenly
+across rows (stressing the cluster breaker while staying under each
+row's radar), or split them by explicit per-PDU fractions.
+
+Placement is still a lottery: public clouds expose no topology control,
+so the attacker keeps instances that happen to land behind the desired
+PDU and discards the rest. The attempt count is the acquisition cost —
+concentrating behind one specific row of a 16-row cluster is ~16x more
+expensive than accepting any rack, which is itself a finding the
+topology dimension makes visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import AttackError
+from ..rng import child_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..power.topology import CompiledTopology
+    from ..workload.cluster import ClusterModel
+
+__all__ = ["PduPlacement", "PlacementResult", "place_attack_nodes"]
+
+#: Valid placement strategies.
+PLACEMENT_MODES = ("concentrated", "striped", "fraction")
+
+
+@dataclass(frozen=True)
+class PduPlacement:
+    """How attacker nodes distribute across the PDU tier.
+
+    Attributes:
+        mode: ``"concentrated"`` puts every node behind one PDU,
+            ``"striped"`` spreads them round-robin across all PDUs,
+            ``"fraction"`` apportions them by :attr:`fraction_per_pdu`.
+        target_pdu: The victim PDU for ``"concentrated"`` mode.
+        fraction_per_pdu: Relative node weights per PDU for
+            ``"fraction"`` mode (normalised internally; zeros allowed).
+    """
+
+    mode: str = "concentrated"
+    target_pdu: int = 0
+    fraction_per_pdu: "tuple[float, ...] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in PLACEMENT_MODES:
+            raise AttackError(
+                f"unknown placement mode {self.mode!r}; "
+                f"expected one of {PLACEMENT_MODES}"
+            )
+        if self.target_pdu < 0:
+            raise AttackError("target PDU must be non-negative")
+        if self.mode == "fraction":
+            if self.fraction_per_pdu is None:
+                raise AttackError(
+                    "fraction mode needs fraction_per_pdu weights"
+                )
+            weights = tuple(float(f) for f in self.fraction_per_pdu)
+            if any(w < 0.0 for w in weights):
+                raise AttackError("placement fractions must be non-negative")
+            if sum(weights) <= 0.0:
+                raise AttackError("placement fractions must not all be zero")
+            object.__setattr__(self, "fraction_per_pdu", weights)
+        elif self.fraction_per_pdu is not None:
+            raise AttackError(
+                f"fraction_per_pdu only applies to fraction mode, "
+                f"not {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of a topology-aware placement lottery.
+
+    Attributes:
+        nodes: All machine ids under attacker control, sorted.
+        racks: The rack chosen within each populated PDU, in PDU order.
+        pdu_node_counts: Nodes landed behind each PDU (zeros included).
+        attempts: Total VM creations spent across every PDU's lottery.
+    """
+
+    nodes: "tuple[int, ...]"
+    racks: "tuple[int, ...]"
+    pdu_node_counts: "tuple[int, ...]"
+    attempts: int
+
+
+def _apportion(count: int, placement: PduPlacement, pdus: int) -> "list[int]":
+    """Integer node counts per PDU for the chosen strategy."""
+    if placement.mode == "concentrated":
+        counts = [0] * pdus
+        counts[placement.target_pdu] = count
+        return counts
+    if placement.mode == "striped":
+        base, extra = divmod(count, pdus)
+        return [base + (1 if j < extra else 0) for j in range(pdus)]
+    # Fraction mode: largest-remainder apportionment so counts sum
+    # exactly to ``count`` and respect the weights as closely as
+    # integers allow.
+    weights = np.asarray(placement.fraction_per_pdu, dtype=float)
+    if weights.shape != (pdus,):
+        raise AttackError(
+            f"placement names {weights.size} PDUs but the topology "
+            f"has {pdus}"
+        )
+    shares = weights / float(weights.sum()) * count
+    counts = np.floor(shares).astype(int)
+    remainder = count - int(counts.sum())
+    if remainder:
+        order = np.argsort(-(shares - counts), kind="stable")
+        counts[order[:remainder]] += 1
+    return [int(c) for c in counts]
+
+
+def _acquire_in_pdu(
+    rng: np.random.Generator,
+    cluster: "ClusterModel",
+    topology: "CompiledTopology",
+    pdu: int,
+    count: int,
+    max_attempts: int,
+) -> "tuple[tuple[int, ...], int, int]":
+    """Lottery until ``count`` nodes co-locate in one rack of ``pdu``.
+
+    Returns ``(nodes, rack, attempts)``. Draws are over the whole
+    cluster — the scheduler does not know the attacker's wishes — and
+    only instances landing behind the target PDU are kept.
+    """
+    block = topology.rack_slice(pdu)
+    held: "dict[int, set[int]]" = {}
+    for attempt in range(1, max_attempts + 1):
+        machine = int(rng.integers(0, cluster.servers))
+        rack = cluster.rack_of(machine)
+        if not block.start <= rack < block.stop:
+            continue
+        rack_nodes = held.setdefault(rack, set())
+        rack_nodes.add(machine)
+        if len(rack_nodes) >= count:
+            return tuple(sorted(rack_nodes)), rack, attempt
+    raise AttackError(
+        f"placement lottery for PDU {pdu} failed after "
+        f"{max_attempts} attempts"
+    )
+
+
+def place_attack_nodes(
+    cluster: "ClusterModel",
+    topology: "CompiledTopology",
+    count: int,
+    placement: PduPlacement,
+    max_attempts: int = 100_000,
+    seed: "int | None" = None,
+) -> PlacementResult:
+    """Acquire ``count`` nodes distributed per the placement strategy.
+
+    Within each populated PDU the nodes still co-locate in a single
+    rack (the paper's simultaneous-spike requirement acts per rack
+    feed); across PDUs the strategy decides the split. Deterministic
+    for a given seed: PDUs are drawn for in index order from one
+    child stream.
+
+    Args:
+        cluster: Victim cluster layout.
+        topology: The compiled electrical hierarchy.
+        count: Total nodes to acquire.
+        placement: Cross-PDU distribution strategy.
+        max_attempts: Lottery budget *per populated PDU*.
+        seed: Determinism seed.
+
+    Raises:
+        AttackError: on an impossible ask (bad target, too many nodes
+            for one rack, exhausted lottery budget).
+    """
+    if count <= 0:
+        raise AttackError("must acquire at least one node")
+    pdus = topology.pdus
+    if placement.mode == "concentrated" and placement.target_pdu >= pdus:
+        raise AttackError(
+            f"target PDU {placement.target_pdu} outside topology "
+            f"of {pdus} PDUs"
+        )
+    counts = _apportion(count, placement, pdus)
+    per_rack = cluster.config.rack.servers
+    worst = max(counts)
+    if worst > per_rack:
+        raise AttackError(
+            f"cannot co-locate {worst} nodes in racks of "
+            f"{per_rack} servers"
+        )
+    rng = child_rng(seed, "placement")
+    nodes: "list[int]" = []
+    racks: "list[int]" = []
+    attempts = 0
+    for pdu, quota in enumerate(counts):
+        if quota == 0:
+            continue
+        pdu_nodes, rack, spent = _acquire_in_pdu(
+            rng, cluster, topology, pdu, quota, max_attempts
+        )
+        nodes.extend(pdu_nodes)
+        racks.append(rack)
+        attempts += spent
+    return PlacementResult(
+        nodes=tuple(sorted(nodes)),
+        racks=tuple(racks),
+        pdu_node_counts=tuple(counts),
+        attempts=attempts,
+    )

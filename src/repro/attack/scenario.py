@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import AttackError
+from .placement import PduPlacement
 from .spikes import SpikeTrainConfig
 from .virus import VirusKind
 
@@ -26,6 +27,9 @@ class AttackScenario:
         nodes: Number of co-located attacker machines.
         spikes: Phase-II spike-train shape.
         start_s: Attack start, relative to the experiment window.
+        placement: Cross-PDU node distribution for hierarchical
+            topologies, or ``None`` for the classic single-rack lottery
+            (bit-identical to the pre-topology behaviour).
     """
 
     name: str
@@ -33,6 +37,7 @@ class AttackScenario:
     nodes: int
     spikes: SpikeTrainConfig
     start_s: float = 0.0
+    placement: "PduPlacement | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -53,6 +58,12 @@ class AttackScenario:
     def with_spikes(self, spikes: SpikeTrainConfig) -> "AttackScenario":
         """This scenario with a different spike train."""
         return replace(self, spikes=spikes)
+
+    def with_placement(
+        self, placement: "PduPlacement | None"
+    ) -> "AttackScenario":
+        """This scenario with a cross-PDU placement strategy."""
+        return replace(self, placement=placement)
 
     @property
     def density_label(self) -> str:

@@ -81,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wrap the sweep in cProfile and print the top 25 entries "
              "by cumulative time",
     )
+    bench.add_argument(
+        "--scale", action="store_true",
+        help="topology scale benchmark instead: both backends at "
+             "22/128/512/1024 racks, writing BENCH_scale.json",
+    )
+    bench.add_argument(
+        "--scale-duration", type=float, default=60.0,
+        help="simulated seconds per scale case",
+    )
+    bench.add_argument(
+        "--scale-output", default="BENCH_scale.json",
+        help="where the scale benchmark writes its JSON report",
+    )
     return parser
 
 
@@ -129,14 +142,121 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Scale-benchmark grid: (racks, mid-tier PDUs). The first entry is the
+#: paper's flat 22-rack cluster; the rest exercise the hierarchical
+#: topology at fleet scale.
+SCALE_GRID = ((22, 1), (128, 4), (512, 8), (1024, 16))
+
+#: Required vectorized-over-scalar advantage at the largest grid size.
+SCALE_SPEEDUP_FLOOR = 5.0
+
+
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    """Benchmark both physics backends across topology sizes.
+
+    For each grid size, runs the same PS-scheme simulation on the
+    scalar (per-object oracle) and vectorized (flat-array) backends and
+    reports throughput in steps x racks per second. The recorder runs
+    under a hard row budget so memory stays bounded even at 1024 racks;
+    multi-PDU cases record per-PDU aggregates rather than per-rack
+    matrices. Writes a JSON report and exits non-zero when the
+    vectorized backend fails its speedup floor at the largest size.
+    """
+    import json
+    import time
+
+    from .config import ClusterConfig, DataCenterConfig, TopologyConfig
+    from .sim.datacenter import DataCenterSimulation
+    from .workload.synthetic import SyntheticTraceConfig, generate_trace
+
+    duration_s = args.scale_duration
+    dt = 0.5
+    row_budget = 64
+    cases = []
+    for racks, pdus in SCALE_GRID:
+        topology = (
+            TopologyConfig(racks_per_pdu=(racks // pdus,) * pdus)
+            if pdus > 1
+            else None
+        )
+        config = DataCenterConfig(
+            cluster=ClusterConfig(racks=racks, topology=topology),
+            seed=args.seed,
+        )
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                machines=racks * config.cluster.rack.servers,
+                duration_s=max(600.0, duration_s),
+            ),
+            seed=args.seed,
+        )
+        steps = int(round(duration_s / dt))
+        case = {"racks": racks, "pdus": pdus, "steps": steps}
+        for backend in ("scalar", "vectorized"):
+            sim = DataCenterSimulation(
+                config,
+                trace,
+                SCHEMES["PS"],
+                backend=backend,
+                recorder_row_budget=row_budget,
+                record_pdu_aggregates=pdus > 1,
+            )
+            start = time.perf_counter()
+            result = sim.run(duration_s=duration_s, dt=dt, record_every=1)
+            elapsed = time.perf_counter() - start
+            case[backend] = {
+                "elapsed_s": round(elapsed, 4),
+                "steps_racks_per_s": round(steps * racks / elapsed, 1),
+            }
+            rows = len(result.recorder)
+            case["recorder_rows"] = rows
+            if rows > row_budget:
+                print(f"error: recorder kept {rows} rows over the "
+                      f"{row_budget}-row budget")
+                return 1
+        case["speedup"] = round(
+            case["vectorized"]["steps_racks_per_s"]
+            / case["scalar"]["steps_racks_per_s"],
+            2,
+        )
+        cases.append(case)
+        print(f"{racks:>5} racks x {pdus:>2} PDUs: "
+              f"scalar {case['scalar']['steps_racks_per_s']:>12,.0f} "
+              f"vectorized {case['vectorized']['steps_racks_per_s']:>12,.0f} "
+              f"steps*racks/s ({case['speedup']:.1f}x)")
+    top = cases[-1]
+    report = {
+        "scheme": "PS",
+        "dt_s": dt,
+        "duration_s": duration_s,
+        "recorder_row_budget": row_budget,
+        "speedup_floor": SCALE_SPEEDUP_FLOOR,
+        "speedup_at_max_scale": top["speedup"],
+        "cases": cases,
+    }
+    with open(args.scale_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.scale_output}")
+    if top["speedup"] < SCALE_SPEEDUP_FLOOR:
+        print(f"error: vectorized backend is only {top['speedup']:.1f}x "
+              f"scalar at {top['racks']} racks "
+              f"(floor {SCALE_SPEEDUP_FLOOR:.0f}x)")
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time a reduced fig15-style sweep with every fast path enabled.
 
     Exercises fast-forward and prefix-snapshot sharing on a small grid
     and prints wall-clock plus the fast-forward counters; exits non-zero
     when fast-forward never jumped, so CI smoke jobs catch a silently
-    disabled fast path. ``--profile`` wraps the sweep in cProfile.
+    disabled fast path. ``--profile`` wraps the sweep in cProfile;
+    ``--scale`` runs the topology scale benchmark instead.
     """
+    if args.scale:
+        return _cmd_bench_scale(args)
     import time
     from dataclasses import replace
 

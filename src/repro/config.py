@@ -310,6 +310,86 @@ class RackConfig:
 
 
 @dataclass(frozen=True)
+class TopologyConfig:
+    """Declarative mid-tier (row PDU) layout between cluster and racks.
+
+    The paper's testbed uses a single cluster PDU over 22 racks; at
+    production scale the cluster budget is carved into rows of PDUs, each
+    feeding a contiguous block of racks behind its own breaker. Racks are
+    assigned to PDUs contiguously in index order: PDU 0 feeds racks
+    ``0 .. racks_per_pdu[0]-1``, PDU 1 the next block, and so on — which
+    is what lets the vectorized backend use segment reductions over the
+    natural rack order.
+
+    Attributes:
+        racks_per_pdu: Rack count per mid-tier PDU, in PDU order. Must sum
+            to ``ClusterConfig.racks``.
+        pdu_budget_fractions: Optional share of the *cluster* budget per
+            PDU. ``None`` splits the budget proportionally to rack count.
+            Must sum to at most 1 (a tier cannot out-budget its parent).
+        pdu_breaker_margin: Mid-tier breaker rating as a multiple of the
+            PDU budget (>= 1; the breaker must not trip inside budget).
+    """
+
+    racks_per_pdu: tuple[int, ...] = (22,)
+    pdu_budget_fractions: tuple[float, ...] | None = None
+    pdu_breaker_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "racks_per_pdu", tuple(int(n) for n in self.racks_per_pdu)
+        )
+        _require(len(self.racks_per_pdu) > 0, "topology needs at least one PDU")
+        _require(
+            all(n > 0 for n in self.racks_per_pdu),
+            "every PDU must feed at least one rack",
+        )
+        if self.pdu_budget_fractions is not None:
+            object.__setattr__(
+                self,
+                "pdu_budget_fractions",
+                tuple(float(f) for f in self.pdu_budget_fractions),
+            )
+            _require(
+                len(self.pdu_budget_fractions) == len(self.racks_per_pdu),
+                "need one budget fraction per PDU "
+                f"({len(self.pdu_budget_fractions)} fractions for "
+                f"{len(self.racks_per_pdu)} PDUs)",
+            )
+            _require(
+                all(f > 0.0 for f in self.pdu_budget_fractions),
+                "PDU budget fractions must be positive",
+            )
+            total = sum(self.pdu_budget_fractions)
+            _require(
+                total <= 1.0 + 1e-9,
+                "tier budget exceeds parent: PDU budget fractions sum to "
+                f"{total:.3f} of the cluster budget (must be <= 1)",
+            )
+        _require(
+            self.pdu_breaker_margin >= 1.0,
+            "PDU breaker margin must be >= 1",
+        )
+
+    @property
+    def pdus(self) -> int:
+        """Number of mid-tier PDUs."""
+        return len(self.racks_per_pdu)
+
+    @property
+    def racks(self) -> int:
+        """Total racks fed through this tier."""
+        return sum(self.racks_per_pdu)
+
+    def budget_shares(self) -> tuple[float, ...]:
+        """Per-PDU share of the cluster budget (explicit or rack-weighted)."""
+        if self.pdu_budget_fractions is not None:
+            return self.pdu_budget_fractions
+        total = self.racks
+        return tuple(n / total for n in self.racks_per_pdu)
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Two-stage power-distribution cluster (paper Fig. 4).
 
@@ -321,12 +401,15 @@ class ClusterConfig:
             enough to cover aggregate idle power.
         rack_soft_limit_fraction: Default per-rack soft limit ``lambda_i``
             as a fraction of the rack nameplate power.
+        topology: Optional mid-tier PDU layout. ``None`` keeps the paper's
+            flat single-PDU tree (bit-identical to the historical model).
     """
 
     racks: int = 22
     rack: RackConfig = field(default_factory=RackConfig)
     pdu_budget_fraction: float = 0.83
     rack_soft_limit_fraction: float = 0.80
+    topology: TopologyConfig | None = None
 
     def __post_init__(self) -> None:
         _require(self.racks > 0, "a cluster needs at least one rack")
@@ -344,6 +427,24 @@ class ClusterConfig:
             "PDU budget must exceed aggregate idle power "
             f"({self.pdu_budget_fraction:.2f} <= {idle_fraction:.2f})",
         )
+        if self.topology is not None:
+            _require(
+                self.topology.racks == self.racks,
+                "rack count mismatch: topology assigns "
+                f"{self.topology.racks} racks across "
+                f"{self.topology.pdus} PDUs but the cluster has "
+                f"{self.racks} racks",
+            )
+            for pdu, (count, share) in enumerate(
+                zip(self.topology.racks_per_pdu, self.topology.budget_shares())
+            ):
+                budget = share * self.pdu_budget_w
+                idle = count * self.rack.idle_w
+                _require(
+                    budget > idle,
+                    f"PDU {pdu} budget {budget:.0f} W does not cover the "
+                    f"aggregate idle power {idle:.0f} W of its {count} racks",
+                )
 
     @property
     def total_servers(self) -> int:
@@ -364,6 +465,26 @@ class ClusterConfig:
     def rack_soft_limit_w(self) -> float:
         """Default per-rack soft limit ``lambda_i * P_r`` in watts."""
         return self.rack_soft_limit_fraction * self.rack.nameplate_w
+
+    @property
+    def pdus(self) -> int:
+        """Number of mid-tier PDUs (1 when no topology is declared)."""
+        return self.topology.pdus if self.topology is not None else 1
+
+    @property
+    def pdu_rack_counts(self) -> tuple[int, ...]:
+        """Racks fed by each mid-tier PDU."""
+        if self.topology is not None:
+            return self.topology.racks_per_pdu
+        return (self.racks,)
+
+    @property
+    def pdu_budgets_w(self) -> tuple[float, ...]:
+        """Per-PDU power budget in watts (the whole budget when flat)."""
+        if self.topology is not None:
+            budget = self.pdu_budget_w
+            return tuple(s * budget for s in self.topology.budget_shares())
+        return (self.pdu_budget_w,)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from ..battery.fleet_kernels import make_fleet
 from ..config import DataCenterConfig
 from ..errors import ConfigError
 from ..power.capping import CapController
+from ..power.topology import CompiledTopology
 from ..workload.cluster import ClusterModel
 from .telemetry import TelemetryView
 
@@ -125,6 +126,11 @@ class SchemeContext:
         telemetry_ttl_s: Staleness TTL for the scheme's
             :class:`~repro.defense.telemetry.TelemetryView` — how long
             held meter readings stay trusted during a telemetry fault.
+        topology: Compiled multi-PDU hierarchy, when the simulation layer
+            provides one. Schemes with per-PDU pools (vDEB, PAD) scope
+            their shave requirement and soft-limit reassignment to each
+            PDU's rack block; ``None`` (or a flat hierarchy) keeps the
+            paper's single cluster-wide pool.
     """
 
     config: DataCenterConfig
@@ -136,6 +142,7 @@ class SchemeContext:
     bus: "EventBus | None" = None
     backend: str = "scalar"
     telemetry_ttl_s: float = 30.0
+    topology: "CompiledTopology | None" = None
 
     def ratings(self) -> np.ndarray:
         """Per-rack branch breaker ratings (defaults to the soft limits)."""

@@ -51,24 +51,55 @@ class VdebScheme(DefenseScheme):
         # idle would starve healthy servers.
         self._floor_w = cfg.cluster.rack.idle_w
         self._rebalance_due_s = -np.inf
+        # With a multi-PDU hierarchy the virtual pool is scoped per PDU:
+        # each row's batteries cover that row's excess over *its* budget,
+        # and soft-limit reassignment redistributes within the row only
+        # (a battery behind PDU 2 cannot carry current for PDU 0's
+        # racks). A flat hierarchy keeps the paper's cluster-wide pool.
+        topo = ctx.topology
+        self._pdu_pools = (
+            topo if topo is not None and topo.has_pdu_tier else None
+        )
 
     def battery_discharge(self, state: StepState) -> np.ndarray:
         """Algorithm-1 allocation plus the local branch-rating floor."""
         demand = state.rack_demand_w
         deliverable = self.fleet.max_discharge_vector(state.dt)
-        # Cluster-level requirement: total demand above the PDU budget.
-        pdu_budget = self.ctx.config.cluster.pdu_budget_w
-        shave_w = max(0.0, float(np.sum(demand)) - pdu_budget)
         # The controller allocates from the *sensed* SOC — a biased or
         # frozen sensor misleads the pool exactly as it would the real
         # controller; the physical fleet still clamps what is delivered.
-        allocation = self.controller.allocate(
-            soc=self.telemetry.battery_soc(self.fleet),
-            rack_demand_w=demand,
-            deliverable_w=deliverable,
-            shave_w=shave_w,
-        )
-        pool_w = allocation.discharge_w
+        soc = self.telemetry.battery_soc(self.fleet)
+        topo = self._pdu_pools
+        if topo is None:
+            # Cluster-level requirement: total demand above the PDU budget.
+            pdu_budget = self.ctx.config.cluster.pdu_budget_w
+            shave_w = max(0.0, float(np.sum(demand)) - pdu_budget)
+            allocation = self.controller.allocate(
+                soc=soc,
+                rack_demand_w=demand,
+                deliverable_w=deliverable,
+                shave_w=shave_w,
+            )
+            pool_w = allocation.discharge_w
+        else:
+            # Per-PDU pools: one shave requirement and one Algorithm-1
+            # allocation per contiguous rack block.
+            pool_w = np.zeros(self.ctx.cluster.racks)
+            demand_sums = topo.pdu_sums(demand)
+            for j in range(topo.pdus):
+                shave_w = max(
+                    0.0, float(demand_sums[j]) - float(topo.pdu_budget_w[j])
+                )
+                if shave_w <= 0.0:
+                    continue
+                block = topo.rack_slice(j)
+                allocation = self.controller.allocate(
+                    soc=soc[block],
+                    rack_demand_w=demand[block],
+                    deliverable_w=deliverable[block],
+                    shave_w=shave_w,
+                )
+                pool_w[block] = allocation.discharge_w
         comm_ok = self.telemetry.comm_ok
         if comm_ok is not None:
             # Unreachable racks get no pool duty: the controller cannot
@@ -119,14 +150,33 @@ class VdebScheme(DefenseScheme):
         self._rebalance_due_s = (
             state.time_s + self.controller.config.rebalance_interval_s
         )
-        new_limits = self.controller.soft_limits_for(
-            rack_demand_w=state.metered_rack_avg_w,
-            discharge_w=discharge,
-            pdu_budget_w=self.ctx.config.cluster.pdu_budget_w,
-            floor_w=self.soft_limit_floors(state),
-            ceiling_w=float(np.max(self._branch_rating_w)),
-            margin_w=self.CHARGE_MARGIN_W,
-        )
+        topo = self._pdu_pools
+        floors = self.soft_limit_floors(state)
+        ceiling = float(np.max(self._branch_rating_w))
+        if topo is None:
+            new_limits = self.controller.soft_limits_for(
+                rack_demand_w=state.metered_rack_avg_w,
+                discharge_w=discharge,
+                pdu_budget_w=self.ctx.config.cluster.pdu_budget_w,
+                floor_w=floors,
+                ceiling_w=ceiling,
+                margin_w=self.CHARGE_MARGIN_W,
+            )
+        else:
+            # Reassign within each PDU's budget: freed headroom moves
+            # between racks of the same row, never across rows, so every
+            # tier of Eq. (2) stays satisfied by construction.
+            new_limits = np.empty(self.ctx.cluster.racks)
+            for j in range(topo.pdus):
+                block = topo.rack_slice(j)
+                new_limits[block] = self.controller.soft_limits_for(
+                    rack_demand_w=state.metered_rack_avg_w[block],
+                    discharge_w=discharge[block],
+                    pdu_budget_w=float(topo.pdu_budget_w[j]),
+                    floor_w=floors[block],
+                    ceiling_w=ceiling,
+                    margin_w=self.CHARGE_MARGIN_W,
+                )
         comm_ok = self.telemetry.comm_ok
         if comm_ok is not None:
             # An iPDU the controller cannot reach keeps enforcing its

@@ -22,12 +22,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..attack.attacker import Attacker, acquire_nodes
+from ..attack.placement import place_attack_nodes
 from ..attack.scenario import AttackScenario
 from ..attack.virus import profile_for
 from ..config import DataCenterConfig
 from ..defense import SCHEMES
 from ..errors import SimulationError
 from ..faults.spec import FaultPlan
+from ..power.topology import compile_topology
 from ..sim.datacenter import DataCenterSimulation, SimResult, SimSnapshot
 from ..sim.runner import ATTACK_DT_S, AttackWindow, Runner
 from ..units import days
@@ -153,12 +155,29 @@ def build_attacker(
     target_rack: int = DEFAULT_TARGET_RACK,
     seed: int = 7,
 ) -> Attacker:
-    """Acquire nodes and configure the two-phase attacker for a scenario."""
-    acquisition = acquire_nodes(
-        setup.cluster, scenario.nodes, target_rack=target_rack, seed=seed
-    )
+    """Acquire nodes and configure the two-phase attacker for a scenario.
+
+    Scenarios without a :class:`~repro.attack.placement.PduPlacement`
+    use the classic single-rack lottery (bit-identical to the
+    pre-topology path); scenarios with one distribute nodes across the
+    compiled PDU hierarchy instead, ignoring ``target_rack``.
+    """
+    if scenario.placement is None:
+        acquisition = acquire_nodes(
+            setup.cluster, scenario.nodes, target_rack=target_rack, seed=seed
+        )
+        nodes = acquisition.nodes
+    else:
+        placed = place_attack_nodes(
+            setup.cluster,
+            compile_topology(setup.config.cluster),
+            scenario.nodes,
+            scenario.placement,
+            seed=seed,
+        )
+        nodes = placed.nodes
     return Attacker(
-        acquisition.nodes,
+        nodes,
         scenario.kind,
         spikes=scenario.spikes,
         start_s=setup.attack_time_s + scenario.start_s,

@@ -146,7 +146,11 @@ class FaultInjector:
         bias = np.zeros(self._racks)
         freeze_mask = np.zeros(self._racks, dtype=bool)
         frozen = np.zeros(self._racks)
-        derate = np.ones(self._racks + 1)
+        # One derate entry per breaker in bank order: racks, then any
+        # mid-tier PDU breakers, then the cluster breaker. A whole-plan
+        # misrating scales every tier; rack-scoped specs touch only the
+        # rack entries.
+        derate = np.ones(sim.topology.n_breakers)
         self._active_noise = []
         any_dropout = any_comm = any_stuck = False
         any_bias = any_freeze = any_derate = False

@@ -18,7 +18,13 @@ from .oversubscription import (
 from .pdu import ClusterPDU, RackPDU
 from .psu import PSUEfficiencyCurve, ServerPSU
 from .server import ServerPowerModel, validate_budget
-from .topology import PowerTree
+from .topology import (
+    CLUSTER_BREAKER_ID,
+    CompiledTopology,
+    PowerTree,
+    compile_topology,
+    pdu_breaker_id,
+)
 from .ups import (
     CentralUps,
     CentralUpsConfig,
@@ -28,7 +34,9 @@ from .ups import (
 
 __all__ = [
     "BreakerBankState",
+    "CLUSTER_BREAKER_ID",
     "CapController",
+    "CompiledTopology",
     "CentralUps",
     "CentralUpsConfig",
     "CircuitBreaker",
@@ -44,7 +52,9 @@ __all__ = [
     "ServerPowerModel",
     "TripEvent",
     "annual_conversion_loss_kwh",
+    "compile_topology",
     "make_breaker_bank",
+    "pdu_breaker_id",
     "capacity_saving_dollars",
     "capacity_saving_w",
     "demand_proportional_split",

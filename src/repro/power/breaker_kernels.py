@@ -54,6 +54,23 @@ class ScalarBreakerBank:
             CircuitBreaker(shape.with_rating(float(r))) for r in ratings
         ]
 
+    @classmethod
+    def from_breakers(
+        cls, breakers: "list[CircuitBreaker]"
+    ) -> "ScalarBreakerBank":
+        """Wrap existing breaker objects without copying them.
+
+        The bank *shares* the breaker objects — stepping the bank steps
+        the originals. This is how :class:`~repro.power.topology.PowerTree`
+        keeps its object tree (the differential oracle) as the single
+        source of truth while exposing the bank interface.
+        """
+        if not breakers:
+            raise ConfigError("need at least one breaker")
+        bank = cls.__new__(cls)
+        bank._breakers = list(breakers)
+        return bank
+
     def __len__(self) -> int:
         return len(self._breakers)
 

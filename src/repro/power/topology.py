@@ -1,23 +1,135 @@
-"""Two-stage power-distribution tree (paper Fig. 4).
+"""Hierarchical power-distribution tree (paper Fig. 4, generalised).
 
 Builds and validates the cluster's electrical topology: one cluster PDU at
-the root, one rack PDU per rack, each rack PDU protecting ``servers`` of
-nameplate power ``P_peak``. Validation encodes the paper's provisioning
-constraints:
+the root, an optional mid tier of row PDUs, and one rack PDU per rack.
+Validation encodes the paper's provisioning constraints at every tier:
 
 * Eq. (1) — per-rack utility draw ``p_i - b_i <= lambda_i * P_r`` (the
   battery must cover anything above the soft limit);
-* Eq. (2) — ``sum(lambda_i * P_r) <= P_PDU <= n * P_r`` (soft limits fit in
-  the cluster budget; the cluster is genuinely oversubscribed).
+* Eq. (2) — ``sum(lambda_i * P_r) <= P_PDU <= n * P_r`` applied per PDU
+  *and* cluster-wide (soft limits fit inside every ancestor budget).
+
+The hierarchy is **compiled** once into flat index arrays — rack → PDU
+membership, contiguous segment offsets, per-PDU budgets — that the hot
+path consumes with array ops instead of walking Python objects:
+``np.add.reduceat`` over the PDU-sorted rack order yields every mid-tier
+load in one call. Racks are assigned to PDUs contiguously in index order,
+so PDU-sorted order *is* natural order and the segment offsets are a plain
+cumulative sum.
+
+Breaker indices inside the flattened bank are laid out racks first, then
+mid-tier PDUs, then the cluster breaker last — the same layout
+``sim/datacenter.py`` uses — and are reported with stable labels: rack
+``i`` as ``i``, the cluster breaker as ``-1`` and mid-tier PDU ``j`` as
+``-(2 + j)``.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import ClusterConfig
 from ..errors import PowerTopologyError
+from .breaker_kernels import ScalarBreakerBank, make_breaker_bank
 from .pdu import ClusterPDU, RackPDU
+
+#: Breaker label of the cluster (root) breaker in trip reports.
+CLUSTER_BREAKER_ID = -1
+
+
+def pdu_breaker_id(pdu_index: int) -> int:
+    """Stable trip label of mid-tier PDU ``pdu_index`` (``-(2 + j)``)."""
+    return -(2 + pdu_index)
+
+
+@dataclass(frozen=True)
+class CompiledTopology:
+    """Flat-array view of the power hierarchy consumed by the kernels.
+
+    Attributes:
+        racks: Number of leaf racks.
+        pdus: Number of mid-tier PDUs (1 when the tree is flat).
+        rack_to_pdu: Rack → PDU membership, shape ``(racks,)``.
+        segment_starts: Start offset of each PDU's contiguous rack block,
+            shape ``(pdus,)`` — the ``np.add.reduceat`` index vector.
+        pdu_rack_counts: Racks per PDU, shape ``(pdus,)``.
+        pdu_budget_w: Per-PDU power budget in watts, shape ``(pdus,)``.
+        cluster_budget_w: Root budget ``P_PDU`` in watts.
+        pdu_breaker_rated_w: Mid-tier breaker ratings (budget x margin),
+            shape ``(pdus,)``. Unused when :attr:`has_pdu_tier` is False.
+        has_pdu_tier: True when physical mid-tier breakers exist
+            (``pdus > 1``); a flat tree keeps the historical
+            racks-plus-cluster bank layout bit-for-bit.
+    """
+
+    racks: int
+    pdus: int
+    rack_to_pdu: np.ndarray
+    segment_starts: np.ndarray
+    pdu_rack_counts: np.ndarray
+    pdu_budget_w: np.ndarray
+    cluster_budget_w: float
+    pdu_breaker_rated_w: np.ndarray
+    has_pdu_tier: bool
+
+    @property
+    def n_mid_breakers(self) -> int:
+        """Mid-tier breakers in the flattened bank (0 for a flat tree)."""
+        return self.pdus if self.has_pdu_tier else 0
+
+    @property
+    def n_breakers(self) -> int:
+        """Total breakers in the flattened bank (racks + mid + cluster)."""
+        return self.racks + self.n_mid_breakers + 1
+
+    def pdu_sums(self, rack_values: np.ndarray) -> np.ndarray:
+        """Per-PDU sums of a per-rack vector via one segment reduction."""
+        return np.add.reduceat(rack_values, self.segment_starts)
+
+    def breaker_label(self, index: int) -> int:
+        """Map a flattened bank index to its stable trip label.
+
+        Rack ``i`` → ``i``; mid-tier PDU ``j`` → ``-(2 + j)``; the cluster
+        breaker (always last) → ``-1``.
+        """
+        if index < self.racks:
+            return index
+        if index == self.n_breakers - 1:
+            return CLUSTER_BREAKER_ID
+        return pdu_breaker_id(index - self.racks)
+
+    def rack_slice(self, pdu_index: int) -> slice:
+        """The contiguous rack-index block fed by PDU ``pdu_index``."""
+        start = int(self.segment_starts[pdu_index])
+        return slice(start, start + int(self.pdu_rack_counts[pdu_index]))
+
+
+def compile_topology(config: ClusterConfig) -> CompiledTopology:
+    """Compile a :class:`ClusterConfig` hierarchy into flat index arrays."""
+    counts = np.asarray(config.pdu_rack_counts, dtype=np.intp)
+    pdus = counts.size
+    segment_starts = np.zeros(pdus, dtype=np.intp)
+    np.cumsum(counts[:-1], out=segment_starts[1:])
+    rack_to_pdu = np.repeat(np.arange(pdus, dtype=np.intp), counts)
+    budgets = np.asarray(config.pdu_budgets_w, dtype=float)
+    margin = (
+        config.topology.pdu_breaker_margin
+        if config.topology is not None
+        else 1.0
+    )
+    return CompiledTopology(
+        racks=config.racks,
+        pdus=pdus,
+        rack_to_pdu=rack_to_pdu,
+        segment_starts=segment_starts,
+        pdu_rack_counts=counts,
+        pdu_budget_w=budgets,
+        cluster_budget_w=config.pdu_budget_w,
+        pdu_breaker_rated_w=budgets * margin,
+        has_pdu_tier=pdus > 1,
+    )
 
 
 class PowerTree:
@@ -25,10 +137,23 @@ class PowerTree:
 
     Rack breakers are rated at the rack *nameplate* power (the wiring must
     carry a fully loaded rack), while the soft limits start at the
-    configured ``lambda_i`` split of the cluster budget.
+    configured ``lambda_i`` split of each PDU's budget.
+
+    The object tree (:class:`RackPDU` leaves, optional mid-tier
+    :class:`ClusterPDU` rows, a root :class:`ClusterPDU`) remains the
+    source of truth for validation. Stepping is delegated to a flattened
+    breaker bank selected by ``backend``: ``"scalar"`` wraps the *same*
+    breaker objects (the differential oracle), ``"vectorized"`` advances
+    flat arrays — one kernel call per tick regardless of rack count.
+
+    Args:
+        config: The cluster (and optional multi-PDU topology) to build.
+        backend: ``"vectorized"`` (default) or ``"scalar"``.
     """
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self, config: ClusterConfig, backend: str = "vectorized"
+    ) -> None:
         self._config = config
         rack = config.rack
         budget_w = config.pdu_budget_w
@@ -36,18 +161,58 @@ class PowerTree:
             raise PowerTopologyError(
                 "cluster budget exceeds aggregate nameplate power"
             )
+        self.topology = compile_topology(config)
+        topo = self.topology
         self.cluster_pdu = ClusterPDU(budget_w=budget_w, breaker_shape=rack.breaker)
-        soft_limit = min(config.rack_soft_limit_w, budget_w / config.racks)
+        margin = (
+            config.topology.pdu_breaker_margin
+            if config.topology is not None
+            else 1.0
+        )
+        self.row_pdus = (
+            [
+                ClusterPDU(
+                    budget_w=float(topo.pdu_budget_w[j]),
+                    breaker_shape=rack.breaker,
+                    breaker_margin=margin,
+                )
+                for j in range(topo.pdus)
+            ]
+            if topo.has_pdu_tier
+            else []
+        )
         self.rack_pdus = [
             RackPDU(
                 rack_id=i,
-                soft_limit_w=soft_limit,
+                soft_limit_w=min(
+                    config.rack_soft_limit_w,
+                    float(topo.pdu_budget_w[topo.rack_to_pdu[i]])
+                    / int(topo.pdu_rack_counts[topo.rack_to_pdu[i]]),
+                ),
                 breaker_rating_w=rack.nameplate_w,
                 breaker_shape=rack.breaker,
             )
             for i in range(config.racks)
         ]
-        self.cluster_pdu.validate_soft_limits(self.rack_pdus)
+        self._soft_limits = np.array(
+            [pdu.soft_limit_w for pdu in self.rack_pdus]
+        )
+        self._validate_tier_budgets()
+        # One flattened bank steps every breaker: racks, then mid-tier
+        # rows, then the cluster breaker last.
+        ratings = np.empty(topo.n_breakers)
+        ratings[: topo.racks] = rack.nameplate_w
+        if topo.has_pdu_tier:
+            ratings[topo.racks : -1] = topo.pdu_breaker_rated_w
+        ratings[-1] = budget_w
+        if backend == "scalar":
+            breakers = [pdu.breaker for pdu in self.rack_pdus]
+            breakers += [row.breaker for row in self.row_pdus]
+            breakers.append(self.cluster_pdu.breaker)
+            self._bank = ScalarBreakerBank.from_breakers(breakers)
+        else:
+            self._bank = make_breaker_bank(backend, rack.breaker, ratings)
+        self._loads_buf = np.empty(topo.n_breakers)
 
     @property
     def config(self) -> ClusterConfig:
@@ -59,22 +224,97 @@ class PowerTree:
         """Number of racks in the tree."""
         return len(self.rack_pdus)
 
+    @property
+    def pdus(self) -> int:
+        """Number of mid-tier PDUs (1 when the tree is flat)."""
+        return self.topology.pdus
+
+    @property
+    def backend(self) -> str:
+        """Which stepping kernel this tree uses."""
+        return "vectorized" if self._bank.vectorized else "scalar"
+
     def soft_limits(self) -> np.ndarray:
-        """Per-rack soft limits ``lambda_i * P_r`` as an array (watts)."""
-        return np.array([pdu.soft_limit_w for pdu in self.rack_pdus])
+        """Per-rack soft limits ``lambda_i * P_r`` as an array (watts).
+
+        The array is cached and invalidated by :meth:`set_soft_limits` /
+        :meth:`set_soft_limit`; treat it as read-only.
+        """
+        return self._soft_limits
+
+    def pdu_soft_limit_sums(self) -> np.ndarray:
+        """Per-PDU sum of assigned rack soft limits (watts)."""
+        return self.topology.pdu_sums(self._soft_limits)
+
+    def _validate_tier_budgets(self) -> None:
+        """Enforce Eq. (2) per mid-tier PDU and cluster-wide."""
+        if self.topology.has_pdu_tier:
+            sums = self.topology.pdu_sums(self._soft_limits)
+            over = np.nonzero(
+                sums > self.topology.pdu_budget_w * (1.0 + 1e-9)
+            )[0]
+            if over.size:
+                j = int(over[0])
+                raise PowerTopologyError(
+                    f"PDU {j}: rack soft limits sum to {sums[j]:.0f} W, "
+                    f"above its budget {self.topology.pdu_budget_w[j]:.0f} W "
+                    "(Eq. 2 violated at the PDU tier)"
+                )
+        self.cluster_pdu.validate_soft_limits(self.rack_pdus)
 
     def set_soft_limits(self, limits_w: "list[float] | np.ndarray") -> None:
         """Reassign all outlet budgets at once, re-checking Eq. (2)."""
         if len(limits_w) != self.racks:
             raise PowerTopologyError("need one soft limit per rack")
-        total = float(np.sum(np.asarray(limits_w, dtype=float)))
+        limits = np.asarray(limits_w, dtype=float)
+        total = float(np.sum(limits))
         if total > self.cluster_pdu.budget_w * (1.0 + 1e-9):
             raise PowerTopologyError(
                 f"new soft limits sum to {total:.0f} W, above cluster budget "
                 f"{self.cluster_pdu.budget_w:.0f} W"
             )
-        for pdu, limit in zip(self.rack_pdus, limits_w):
+        if self.topology.has_pdu_tier:
+            sums = self.topology.pdu_sums(limits)
+            over = np.nonzero(
+                sums > self.topology.pdu_budget_w * (1.0 + 1e-9)
+            )[0]
+            if over.size:
+                j = int(over[0])
+                raise PowerTopologyError(
+                    f"PDU {j}: new soft limits sum to {sums[j]:.0f} W, "
+                    f"above its budget {self.topology.pdu_budget_w[j]:.0f} W"
+                )
+        for pdu, limit in zip(self.rack_pdus, limits):
             pdu.set_soft_limit(float(limit))
+        self._soft_limits = np.array(
+            [pdu.soft_limit_w for pdu in self.rack_pdus]
+        )
+
+    def set_soft_limit(self, rack_id: int, soft_limit_w: float) -> None:
+        """Adjust one outlet budget, re-checking the affected tiers."""
+        if not 0 <= rack_id < self.racks:
+            raise PowerTopologyError(f"no such rack: {rack_id}")
+        candidate = self._soft_limits.copy()
+        candidate[rack_id] = float(soft_limit_w)
+        total = float(np.sum(candidate))
+        if total > self.cluster_pdu.budget_w * (1.0 + 1e-9):
+            raise PowerTopologyError(
+                f"rack {rack_id}: raising its soft limit to "
+                f"{soft_limit_w:.0f} W pushes the total to {total:.0f} W, "
+                f"above cluster budget {self.cluster_pdu.budget_w:.0f} W"
+            )
+        if self.topology.has_pdu_tier:
+            j = int(self.topology.rack_to_pdu[rack_id])
+            block = candidate[self.topology.rack_slice(j)]
+            if float(np.sum(block)) > float(
+                self.topology.pdu_budget_w[j]
+            ) * (1.0 + 1e-9):
+                raise PowerTopologyError(
+                    f"rack {rack_id}: new soft limit oversubscribes PDU {j} "
+                    f"budget {self.topology.pdu_budget_w[j]:.0f} W"
+                )
+        self.rack_pdus[rack_id].set_soft_limit(float(soft_limit_w))
+        self._soft_limits = candidate
 
     def check_dispatch(
         self,
@@ -89,7 +329,9 @@ class PowerTree:
 
         Raises:
             PowerTopologyError: if any rack's utility draw exceeds its soft
-                limit by more than numerical tolerance.
+                limit by more than numerical tolerance. The message names
+                the *worst* offender (largest excess) and the total number
+                of violating racks.
         """
         demand = np.asarray(rack_power_w, dtype=float)
         battery = np.asarray(battery_power_w, dtype=float)
@@ -97,12 +339,14 @@ class PowerTree:
             raise PowerTopologyError("need one power entry per rack")
         utility = demand - battery
         limits = self.soft_limits()
-        violated = np.nonzero(utility > limits + 1e-6)[0]
+        excess = utility - limits
+        violated = np.nonzero(excess > 1e-6)[0]
         if violated.size:
-            worst = int(violated[0])
+            worst = int(violated[np.argmax(excess[violated])])
             raise PowerTopologyError(
                 f"rack {worst}: utility draw {utility[worst]:.0f} W exceeds "
-                f"soft limit {limits[worst]:.0f} W (Eq. 1 violated)"
+                f"soft limit {limits[worst]:.0f} W by {excess[worst]:.0f} W "
+                f"(Eq. 1 violated by {violated.size} of {self.racks} racks)"
             )
 
     def step(
@@ -111,37 +355,45 @@ class PowerTree:
         dt: float,
         time_s: float = 0.0,
     ) -> "list[int]":
-        """Advance every breaker one step.
+        """Advance every breaker one step via the flattened bank.
 
         Args:
             utility_power_w: Per-rack power drawn *from the utility path*
                 (demand minus local battery/supercap contribution) — this
-                is the current the breakers actually see.
+                is the current the breakers actually see. Mid-tier and
+                cluster loads are derived by segment reduction.
 
         Returns:
-            Rack ids whose breaker tripped during this step; the cluster
-            breaker is reported as rack id ``-1``.
+            Labels of breakers that tripped during this step: rack ids for
+            rack breakers, ``-(2 + j)`` for mid-tier PDU ``j``, ``-1`` for
+            the cluster breaker.
         """
         utility = np.asarray(utility_power_w, dtype=float)
-        tripped: list[int] = []
-        for pdu, power in zip(self.rack_pdus, utility):
-            if pdu.step(float(power), dt, time_s):
-                tripped.append(pdu.rack_id)
-        if self.cluster_pdu.step(float(np.sum(utility)), dt, time_s):
-            tripped.append(-1)
-        return tripped
+        topo = self.topology
+        loads = self._loads_buf
+        loads[: topo.racks] = utility
+        if topo.has_pdu_tier:
+            loads[topo.racks : -1] = topo.pdu_sums(utility)
+        loads[-1] = float(np.sum(utility))
+        newly = self._bank.step(loads, dt, time_s)
+        return [topo.breaker_label(i) for i in newly]
 
-    def tripped_racks(self) -> "list[int]":
-        """Rack ids whose breaker is currently open."""
-        return [pdu.rack_id for pdu in self.rack_pdus if pdu.is_tripped]
+    def tripped_racks(self) -> np.ndarray:
+        """Rack ids whose breaker is currently open (no list allocation)."""
+        return np.nonzero(self._bank.tripped[: self.racks])[0]
+
+    def tripped_pdus(self) -> np.ndarray:
+        """Mid-tier PDU indices whose breaker is currently open."""
+        topo = self.topology
+        if not topo.has_pdu_tier:
+            return np.empty(0, dtype=np.intp)
+        return np.nonzero(self._bank.tripped[topo.racks : -1])[0]
 
     @property
     def any_tripped(self) -> bool:
-        """True if any rack or the cluster breaker is open."""
-        return self.cluster_pdu.is_tripped or bool(self.tripped_racks())
+        """True if any breaker in the tree is open."""
+        return self._bank.any_tripped
 
     def reset(self) -> None:
         """Re-arm every breaker in the tree."""
-        self.cluster_pdu.reset()
-        for pdu in self.rack_pdus:
-            pdu.reset()
+        self._bank.reset_all()

@@ -38,6 +38,7 @@ from ..errors import SimulationError
 from ..faults.spec import FaultPlan
 from ..power.breaker import TripEvent
 from ..power.breaker_kernels import make_breaker_bank
+from ..power.topology import compile_topology, pdu_breaker_id
 from ..workload.cluster import ClusterModel
 from ..workload.trace import UtilizationTrace
 from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
@@ -275,6 +276,16 @@ class DataCenterSimulation:
             proven periodic and refuses whenever any precondition is
             unclear. Off by default; :attr:`fast_forward_stats` reports
             what the layer did.
+        recorder_row_budget: Bound every run's recorder to at most this
+            many rows per channel: once a channel fills the budget it is
+            decimated in place (every other row dropped, sampling stride
+            doubled), so month-long warehouse-scale runs keep constant
+            memory while the retained rows stay a uniform subsample.
+            ``None`` (default) records every offered row.
+        record_pdu_aggregates: Record per-PDU vector channels
+            (``pdu_utility_w``, ``pdu_soc``) instead of the per-rack
+            ``rack_utility_w`` / ``rack_soc`` matrices — the streaming
+            aggregation that keeps 1000-rack recorder output narrow.
     """
 
     def __init__(
@@ -291,6 +302,8 @@ class DataCenterSimulation:
         fault_plan: "FaultPlan | None" = None,
         telemetry_ttl_s: "float | None" = None,
         fast_forward: bool = False,
+        recorder_row_budget: "int | None" = None,
+        record_pdu_aggregates: bool = False,
     ) -> None:
         if overshoot_tolerance < 0.0:
             raise SimulationError("overshoot tolerance must be non-negative")
@@ -313,17 +326,34 @@ class DataCenterSimulation:
         self.bus = EventBus(record=False)
         racks = self.cluster.racks
         budget_w = config.cluster.pdu_budget_w
-        self.soft_limits_w = np.full(racks, budget_w / racks)
+        # The compiled hierarchy: rack -> PDU membership, contiguous
+        # segment offsets and per-PDU budgets as flat index arrays. A
+        # flat (single-PDU) cluster keeps the historical expressions and
+        # bank layout bit-for-bit.
+        self.topology = compile_topology(config.cluster)
+        topo = self.topology
+        self._n_mid = topo.n_mid_breakers
+        if topo.has_pdu_tier:
+            pdu_of_rack = topo.rack_to_pdu
+            self.soft_limits_w = (
+                topo.pdu_budget_w[pdu_of_rack]
+                / topo.pdu_rack_counts[pdu_of_rack]
+            )
+        else:
+            self.soft_limits_w = np.full(racks, budget_w / racks)
         self.rating_w = self.soft_limits_w * (1.0 + overshoot_tolerance)
         shape = config.cluster.rack.breaker
-        # One bank holds every breaker: racks 0..n-1 plus the cluster
-        # PDU breaker at index n, so protection advances in one call.
+        # One bank holds every breaker: racks 0..n-1, then any mid-tier
+        # PDU breakers, then the cluster PDU breaker last, so protection
+        # advances in one call.
         self._cluster_rated_w = budget_w * (1.0 + overshoot_tolerance)
-        self.breakers = make_breaker_bank(
-            backend,
-            shape,
-            np.append(self.rating_w, self._cluster_rated_w),
-        )
+        self._pdu_rated_w = topo.pdu_budget_w * (1.0 + overshoot_tolerance)
+        bank_ratings = np.empty(topo.n_breakers)
+        bank_ratings[:racks] = self.rating_w
+        if self._n_mid:
+            bank_ratings[racks:-1] = self._pdu_rated_w
+        bank_ratings[-1] = self._cluster_rated_w
+        self.breakers = make_breaker_bank(backend, shape, bank_ratings)
         if telemetry_ttl_s is None:
             telemetry_ttl_s = 3.0 * management_interval_s
         if telemetry_ttl_s <= 0.0:
@@ -339,6 +369,7 @@ class DataCenterSimulation:
                 bus=self.bus,
                 backend=backend,
                 telemetry_ttl_s=telemetry_ttl_s,
+                topology=self.topology,
             )
         )
         self._mgmt_interval = management_interval_s
@@ -353,17 +384,17 @@ class DataCenterSimulation:
         self._metered_rack_avg = self.soft_limits_w.copy()
         self._metered_server_util = np.zeros(self.cluster.servers)
         self._rack_down_until = np.full(racks, -np.inf)
-        self._was_over = np.zeros(racks + 1, dtype=bool)
+        self._was_over = np.zeros(topo.n_breakers, dtype=bool)
         # Rack index of every server — machine m lives in rack
         # m // servers_per_rack; hoisted out of the per-step demand stage.
         self._server_rack_index = (
             np.arange(self.cluster.servers) // config.cluster.rack.servers
         )
-        # Reusable (racks + 1)-wide buffers for the breaker bank: ratings
-        # and loads, with the cluster entry last. The bank reads, never
-        # stores, these.
-        self._ratings_buf = np.append(self.rating_w, self._cluster_rated_w)
-        self._loads_buf = np.empty(racks + 1)
+        # Reusable bank-wide buffers: ratings and loads, with mid-tier
+        # entries (if any) between the racks and the cluster entry last.
+        # The bank reads, never stores, these.
+        self._ratings_buf = bank_ratings.copy()
+        self._loads_buf = np.empty(topo.n_breakers)
         self._applied_soft_limits_w = self.soft_limits_w.copy()
         # Enforcement derating: a mis-rated breaker trips at derate *
         # nominal while overload *detection* keeps the nominal rating —
@@ -371,6 +402,10 @@ class DataCenterSimulation:
         # (faulty) hardware threshold moves.
         self._breaker_derate: "np.ndarray | None" = None
         self._derate_dirty = False
+        if recorder_row_budget is not None and recorder_row_budget < 2:
+            raise SimulationError("recorder row budget must be at least 2")
+        self._recorder_row_budget = recorder_row_budget
+        self._record_pdu_aggregates = bool(record_pdu_aggregates)
         self.fast_forward = bool(fast_forward)
         self.fast_forward_stats = FastForwardStats()
         self._paused: "_PausedRun | None" = None
@@ -458,8 +493,9 @@ class DataCenterSimulation:
     def set_breaker_derate(self, derate: "np.ndarray | None") -> None:
         """Install per-breaker enforcement derating (cluster entry last).
 
-        ``derate`` multiplies the *enforced* breaker ratings — shape
-        ``(racks + 1,)``, strictly positive — while ``self.rating_w``
+        ``derate`` multiplies the *enforced* breaker ratings — one entry
+        per breaker in bank order (racks, then mid-tier PDUs, then the
+        cluster breaker), strictly positive — while ``self.rating_w``
         (overload detection, soft-limit maths) stays nominal. ``None``
         restores nominal enforcement. Takes effect at this step's
         protection stage. Called by the fault injector for
@@ -467,10 +503,10 @@ class DataCenterSimulation:
         """
         if derate is not None:
             derate = np.asarray(derate, dtype=float)
-            if derate.shape != (self.cluster.racks + 1,):
+            if derate.shape != (self.topology.n_breakers,):
                 raise SimulationError(
-                    "breaker derate needs one entry per rack plus the "
-                    "cluster breaker"
+                    "breaker derate needs one entry per breaker (racks, "
+                    "then mid-tier PDUs, then the cluster breaker)"
                 )
             if not bool(np.all(derate > 0.0)):
                 raise SimulationError("breaker derate must be positive")
@@ -571,7 +607,7 @@ class DataCenterSimulation:
             self.rating_w = ctx.dispatch.soft_limits_w * (
                 1.0 + self._overshoot_tolerance
             )
-            self._ratings_buf[:-1] = self.rating_w
+            self._ratings_buf[: self.cluster.racks] = self.rating_w
             self._applied_soft_limits_w = ctx.dispatch.soft_limits_w
         if limits_changed or self._derate_dirty:
             if self._breaker_derate is None:
@@ -584,19 +620,30 @@ class DataCenterSimulation:
                     self._ratings_buf * self._breaker_derate
                 )
             self._derate_dirty = False
-        total_utility = self._publish_overloads(ctx.utility, ctx.time_s)
+        # One segment reduction yields every mid-tier PDU load; reused by
+        # overload detection and the breaker bank alike.
+        pdu_utility = (
+            self.topology.pdu_sums(ctx.utility) if self._n_mid else None
+        )
+        total_utility = self._publish_overloads(
+            ctx.utility, ctx.time_s, pdu_utility
+        )
         racks = self.cluster.racks
         self._loads_buf[:racks] = ctx.utility
-        self._loads_buf[racks] = total_utility
+        if pdu_utility is not None:
+            self._loads_buf[racks:-1] = pdu_utility
+        self._loads_buf[-1] = total_utility
         # Newly-tripped indices come back ascending, so the publication
-        # order (racks first, cluster last) matches the scalar loop.
+        # order (racks first, then mid-tier, cluster last) matches the
+        # scalar loop.
+        topo = self.topology
         for index in self.breakers.step(self._loads_buf, ctx.dt, ctx.time_s):
             trip = self.breakers.trip_event(index)
             assert trip is not None
             self.bus.publish(
                 BreakerTripped(
                     time_s=ctx.time_s,
-                    rack_id=index if index < racks else -1,
+                    rack_id=topo.breaker_label(index),
                     trip=trip,
                 )
             )
@@ -644,7 +691,12 @@ class DataCenterSimulation:
             self._meter_time = 0.0
 
     def _down_racks(self, time_s: float) -> "list[int]":
-        """Racks currently dark (tripped and not yet repaired)."""
+        """Racks currently dark (tripped and not yet repaired).
+
+        A rack is dark when its own breaker is open *or* when the
+        mid-tier PDU breaker feeding it is open — an open row breaker
+        blacks out its whole contiguous rack block.
+        """
         if not self.breakers.any_tripped:
             return []
         racks = self.cluster.racks
@@ -660,15 +712,42 @@ class DataCenterSimulation:
                 else:
                     still_down.append(i)
             down = still_down
+        if self._n_mid:
+            dark = set(down)
+            topo = self.topology
+            for j in range(self._n_mid):
+                index = racks + j
+                if not tripped[index]:
+                    continue
+                if self._repair_time_s is not None:
+                    event = self.breakers.trip_event(index)
+                    assert event is not None
+                    if time_s - event.time_s >= self._repair_time_s:
+                        self.breakers.reset(index)
+                        continue
+                block = topo.rack_slice(j)
+                dark.update(range(block.start, block.stop))
+            if len(dark) != len(down):
+                down = sorted(dark)
         return down
 
-    def _publish_overloads(self, utility: np.ndarray, time_s: float) -> float:
-        """Publish rising edges of overload; return the total utility draw."""
+    def _publish_overloads(
+        self,
+        utility: np.ndarray,
+        time_s: float,
+        pdu_utility_w: "np.ndarray | None" = None,
+    ) -> float:
+        """Publish rising edges of overload; return the total utility draw.
+
+        Publication order matches the bank layout: racks ascending, then
+        mid-tier PDUs (labelled ``-(2 + j)``), then the cluster (``-1``).
+        """
+        racks = self.cluster.racks
         over_rack = utility > self.rating_w
         total = float(np.sum(utility))
         over_cluster = total > self._cluster_rated_w
         if over_rack.any():
-            for rack in np.nonzero(over_rack & ~self._was_over[:-1])[0]:
+            for rack in np.nonzero(over_rack & ~self._was_over[:racks])[0]:
                 self.bus.publish(
                     OverloadEvent(
                         time_s=time_s,
@@ -677,6 +756,20 @@ class DataCenterSimulation:
                         rating_w=float(self.rating_w[rack]),
                     )
                 )
+        self._was_over[:racks] = over_rack
+        if pdu_utility_w is not None:
+            over_pdu = pdu_utility_w > self._pdu_rated_w
+            if over_pdu.any():
+                for j in np.nonzero(over_pdu & ~self._was_over[racks:-1])[0]:
+                    self.bus.publish(
+                        OverloadEvent(
+                            time_s=time_s,
+                            rack_id=pdu_breaker_id(int(j)),
+                            utility_w=float(pdu_utility_w[j]),
+                            rating_w=float(self._pdu_rated_w[j]),
+                        )
+                    )
+            self._was_over[racks:-1] = over_pdu
         if over_cluster and not self._was_over[-1]:
             self.bus.publish(
                 OverloadEvent(
@@ -686,7 +779,6 @@ class DataCenterSimulation:
                     rating_w=self._cluster_rated_w,
                 )
             )
-        self._was_over[:-1] = over_rack
         self._was_over[-1] = over_cluster
         return total
 
@@ -779,6 +871,7 @@ class DataCenterSimulation:
             start_s=schedule[0].start_s,
             end_s=schedule[0].start_s,
             attack_start_s=attack_start,
+            recorder=self._make_recorder(),
         )
         unsubscribes = self._subscribe_result(result)
         try:
@@ -790,6 +883,10 @@ class DataCenterSimulation:
             for unsubscribe in unsubscribes:
                 unsubscribe()
         return result
+
+    def _make_recorder(self) -> Recorder:
+        """A fresh recorder honouring the configured row budget."""
+        return Recorder(row_budget=self._recorder_row_budget)
 
     @staticmethod
     def _validated_schedule(segments: "Sequence[Segment]") -> "list[Segment]":
@@ -908,6 +1005,7 @@ class DataCenterSimulation:
             start_s=schedule[0].start_s,
             end_s=schedule[0].start_s,
             attack_start_s=attack_start,
+            recorder=self._make_recorder(),
         )
         paused_index = len(schedule)
         paused_steps = 0
@@ -1030,6 +1128,22 @@ class DataCenterSimulation:
         )
         rec.append_row(**scalars)
         soc = self.scheme.fleet.soc_vector()
+        if self._record_pdu_aggregates:
+            # Streaming per-PDU aggregation: the recorder holds one lane
+            # per PDU instead of one per rack, so warehouse-scale runs
+            # stay narrow no matter how many racks each PDU feeds.
+            topo = self.topology
+            pdu_soc = topo.pdu_sums(np.asarray(soc, dtype=float))
+            pdu_soc /= topo.pdu_rack_counts
+            pdu_utility = topo.pdu_sums(ctx.utility)
+            rec.append_vector("pdu_soc", pdu_soc, copy=False)
+            rec.append_vector("pdu_utility_w", pdu_utility, copy=False)
+            ctx.row_scalars = scalars
+            ctx.row_vectors = {
+                "pdu_soc": pdu_soc,
+                "pdu_utility_w": pdu_utility,
+            }
+            return
         rec.append_vector("rack_soc", soc)
         # ``ctx.utility`` is a fresh float64 array built this step and
         # never reused after recording, so the documented copy=False path

@@ -29,14 +29,48 @@ from ..errors import SimulationError
 _INITIAL_CAPACITY = 256
 
 
+class _Decimation:
+    """Shared offered-sample gating for row-budgeted buffers.
+
+    Every buffer of a row-budgeted recorder counts the samples *offered*
+    to it and stores only every ``stride``-th one. When a buffer fills its
+    row budget it is decimated in place — every other retained row dropped
+    and the stride doubled — so the kept rows always form a uniform
+    subsample of the offered sequence (offered indices ``0, s, 2s, ...``).
+    Because channels are appended in lockstep (one sample per channel per
+    recorded step), every buffer's counters evolve identically and the
+    channels stay step-aligned through any number of decimations.
+    """
+
+    __slots__ = ("offered", "stride", "budget")
+
+    def __init__(self, budget: "int | None") -> None:
+        if budget is not None and budget < 2:
+            raise SimulationError("row budget must be at least 2")
+        self.offered = 0
+        self.stride = 1
+        self.budget = budget
+
+    def admit(self) -> bool:
+        """Account one offered sample; True when it should be stored."""
+        offered = self.offered
+        self.offered = offered + 1
+        return offered % self.stride == 0
+
+    def still_due(self) -> bool:
+        """Whether the sample just admitted survives a doubled stride."""
+        return (self.offered - 1) % self.stride == 0
+
+
 class _ScalarBuffer:
-    """Capacity-doubling 1-D float buffer."""
+    """Capacity-doubling 1-D float buffer with optional row budget."""
 
-    __slots__ = ("data", "count")
+    __slots__ = ("data", "count", "gate")
 
-    def __init__(self) -> None:
+    def __init__(self, budget: "int | None" = None) -> None:
         self.data = np.empty(_INITIAL_CAPACITY, dtype=float)
         self.count = 0
+        self.gate = _Decimation(budget)
 
     def _grow_to(self, needed: int) -> None:
         capacity = self.data.shape[0]
@@ -46,18 +80,37 @@ class _ScalarBuffer:
         grown[: self.count] = self.data[: self.count]
         self.data = grown
 
+    def _decimate(self) -> None:
+        kept = self.data[: self.count : 2].copy()
+        self.data[: kept.shape[0]] = kept
+        self.count = kept.shape[0]
+        self.gate.stride *= 2
+
     def append(self, value: float) -> None:
+        gate = self.gate
+        if not gate.admit():
+            return
+        if gate.budget is not None and self.count >= gate.budget:
+            self._decimate()
+            if not gate.still_due():
+                return
         if self.count == self.data.shape[0]:
             self._grow_to(self.count + 1)
         self.data[self.count] = value
         self.count += 1
 
     def extend(self, values: np.ndarray) -> None:
+        gate = self.gate
+        if gate.budget is not None or gate.stride != 1:
+            for value in values:
+                self.append(float(value))
+            return
         n = values.shape[0]
         if self.count + n > self.data.shape[0]:
             self._grow_to(self.count + n)
         self.data[self.count : self.count + n] = values
         self.count += n
+        gate.offered += n
 
     def view(self) -> np.ndarray:
         out = self.data[: self.count]
@@ -66,13 +119,14 @@ class _ScalarBuffer:
 
 
 class _VectorBuffer:
-    """Capacity-doubling ``(rows, width)`` float buffer."""
+    """Capacity-doubling ``(rows, width)`` buffer with optional row budget."""
 
-    __slots__ = ("data", "count")
+    __slots__ = ("data", "count", "gate")
 
-    def __init__(self, width: int) -> None:
+    def __init__(self, width: int, budget: "int | None" = None) -> None:
         self.data = np.empty((_INITIAL_CAPACITY, width), dtype=float)
         self.count = 0
+        self.gate = _Decimation(budget)
 
     @property
     def width(self) -> int:
@@ -86,11 +140,24 @@ class _VectorBuffer:
         grown[: self.count] = self.data[: self.count]
         self.data = grown
 
+    def _decimate(self) -> None:
+        kept = self.data[: self.count : 2].copy()
+        self.data[: kept.shape[0]] = kept
+        self.count = kept.shape[0]
+        self.gate.stride *= 2
+
     def append(self, value: np.ndarray) -> None:
         if value.shape != (self.width,):
             raise SimulationError(
                 f"vector sample shape {value.shape} != ({self.width},)"
             )
+        gate = self.gate
+        if not gate.admit():
+            return
+        if gate.budget is not None and self.count >= gate.budget:
+            self._decimate()
+            if not gate.still_due():
+                return
         if self.count == self.data.shape[0]:
             self._grow_to(self.count + 1)
         self.data[self.count] = value
@@ -102,11 +169,17 @@ class _VectorBuffer:
                 f"vector block shape {values.shape} incompatible with "
                 f"width {self.width}"
             )
+        gate = self.gate
+        if gate.budget is not None or gate.stride != 1:
+            for row in values:
+                self.append(row)
+            return
         n = values.shape[0]
         if self.count + n > self.data.shape[0]:
             self._grow_to(self.count + n)
         self.data[self.count : self.count + n] = values
         self.count += n
+        gate.offered += n
 
     def view(self) -> np.ndarray:
         out = self.data[: self.count]
@@ -115,11 +188,36 @@ class _VectorBuffer:
 
 
 class Recorder:
-    """Append-only, step-aligned channel store on preallocated buffers."""
+    """Append-only, step-aligned channel store on preallocated buffers.
 
-    def __init__(self) -> None:
+    Args:
+        row_budget: Optional bound (>= 2) on the retained rows per
+            channel. A full channel is decimated in place — every other
+            row dropped, sampling stride doubled — so memory stays
+            constant while the kept rows remain a uniform subsample of
+            the offered sequence. ``None`` retains every offered row.
+    """
+
+    def __init__(self, row_budget: "int | None" = None) -> None:
+        if row_budget is not None and row_budget < 2:
+            raise SimulationError("row budget must be at least 2")
+        self._row_budget = row_budget
         self._channels: "dict[str, _ScalarBuffer]" = {}
         self._vector_channels: "dict[str, _VectorBuffer]" = {}
+
+    @property
+    def row_budget(self) -> "int | None":
+        """The configured per-channel row bound (``None`` = unbounded)."""
+        return self._row_budget
+
+    @property
+    def stride(self) -> int:
+        """Current downsampling stride (1 until a budget decimation)."""
+        for buffer in self._channels.values():
+            return buffer.gate.stride
+        for vbuffer in self._vector_channels.values():
+            return vbuffer.gate.stride
+        return 1
 
     # ------------------------------------------------------------------ #
     # Writing                                                             #
@@ -129,7 +227,9 @@ class Recorder:
         """Append one scalar sample to ``channel``."""
         buffer = self._channels.get(channel)
         if buffer is None:
-            buffer = self._channels[channel] = _ScalarBuffer()
+            buffer = self._channels[channel] = _ScalarBuffer(
+                self._row_budget
+            )
         buffer.append(float(value))
 
     def append_vector(
@@ -155,7 +255,7 @@ class Recorder:
             if value.ndim != 1:
                 raise SimulationError("vector samples must be 1-D")
             buffer = self._vector_channels[channel] = _VectorBuffer(
-                value.shape[0]
+                value.shape[0], self._row_budget
             )
         buffer.append(value)
 
@@ -179,7 +279,9 @@ class Recorder:
                 )
             buffer = self._channels.get(channel)
             if buffer is None:
-                buffer = self._channels[channel] = _ScalarBuffer()
+                buffer = self._channels[channel] = _ScalarBuffer(
+                    self._row_budget
+                )
             buffer.extend(block)
         elif block.ndim == 2:
             if channel in self._channels:
@@ -189,7 +291,7 @@ class Recorder:
             buffer = self._vector_channels.get(channel)
             if buffer is None:
                 buffer = self._vector_channels[channel] = _VectorBuffer(
-                    block.shape[1]
+                    block.shape[1], self._row_budget
                 )
             buffer.extend(block)
         else:

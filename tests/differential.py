@@ -407,6 +407,50 @@ def charger_schedules(draw) -> ChargerSchedule:
 
 
 # ---------------------------------------------------------------------- #
+# Topologies                                                              #
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def topology_configs(
+    draw, max_pdus: int = 4, max_racks_per_pdu: int = 5
+):
+    """Hierarchies with 1-4 mid-tier PDU rows and uneven rack counts.
+
+    About half the multi-PDU draws carry explicit budget fractions with
+    a mild (+-10 %) skew away from the rack-count-proportional split —
+    enough to exercise uneven per-PDU budgets without starving a row
+    below its aggregate idle power (which :class:`ClusterConfig`
+    rightly rejects).
+    """
+    from repro.config import TopologyConfig
+
+    pdus = draw(st.integers(min_value=1, max_value=max_pdus))
+    racks_per_pdu = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max_racks_per_pdu),
+                min_size=pdus,
+                max_size=pdus,
+            )
+        )
+    )
+    fractions = None
+    if pdus > 1 and draw(st.booleans()):
+        weights = [
+            n * draw(st.floats(0.9, 1.1, allow_nan=False))
+            for n in racks_per_pdu
+        ]
+        total = sum(weights)
+        fractions = tuple(w / total for w in weights)
+    return TopologyConfig(
+        racks_per_pdu=racks_per_pdu,
+        pdu_budget_fractions=fractions,
+        pdu_breaker_margin=draw(st.sampled_from((1.0, 1.05))),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Fault plans                                                             #
 # ---------------------------------------------------------------------- #
 

@@ -1,0 +1,521 @@
+"""Hierarchical multi-PDU topology tests.
+
+Covers the compiled-topology layer end to end: configuration
+validation, :func:`compile_topology` index arrays, scalar-vs-vectorized
+:class:`PowerTree` equivalence over random hierarchies (Hypothesis),
+per-PDU vDEB pools, mid-tier trip propagation (a tripped row PDU
+darkens exactly its racks), cross-PDU attacker placement, the bounded
+recorder, and whole-simulation backend agreement on a multi-PDU
+cluster.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from .differential import assert_agree, assert_same_mask, topology_configs
+from repro.attack.attacker import Attacker
+from repro.attack.placement import PduPlacement, place_attack_nodes
+from repro.attack.spikes import SpikeTrainConfig
+from repro.config import ClusterConfig, DataCenterConfig, TopologyConfig
+from repro.defense import SCHEMES
+from repro.defense.base import SchemeContext, StepState
+from repro.defense.vdeb_only import VdebScheme
+from repro.errors import AttackError, ConfigError, PowerTopologyError
+from repro.power import (
+    CLUSTER_BREAKER_ID,
+    PowerTree,
+    compile_topology,
+    pdu_breaker_id,
+)
+from repro.sim.datacenter import DataCenterSimulation
+from repro.workload.cluster import ClusterModel
+from repro.workload.trace import UtilizationTrace
+
+
+def _cluster(racks_per_pdu, **kwargs) -> ClusterConfig:
+    return ClusterConfig(
+        racks=sum(racks_per_pdu),
+        topology=TopologyConfig(racks_per_pdu=tuple(racks_per_pdu)),
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Configuration validation                                                #
+# ---------------------------------------------------------------------- #
+
+
+class TestTopologyValidation:
+    def test_rack_count_mismatch(self):
+        with pytest.raises(ConfigError, match="rack count mismatch"):
+            ClusterConfig(
+                racks=10, topology=TopologyConfig(racks_per_pdu=(4, 4))
+            )
+
+    def test_tier_budget_exceeds_parent(self):
+        with pytest.raises(ConfigError, match="tier budget exceeds parent"):
+            TopologyConfig(
+                racks_per_pdu=(2, 2), pdu_budget_fractions=(0.7, 0.7)
+            )
+
+    def test_fraction_count_mismatch(self):
+        with pytest.raises(ConfigError, match="one budget fraction per PDU"):
+            TopologyConfig(
+                racks_per_pdu=(2, 2, 2), pdu_budget_fractions=(0.5, 0.5)
+            )
+
+    def test_budget_below_idle_rejected(self):
+        # PDU 0 gets 10 % of the cluster budget for half the racks —
+        # far below its racks' aggregate idle power.
+        with pytest.raises(ConfigError, match="idle"):
+            ClusterConfig(
+                racks=4,
+                topology=TopologyConfig(
+                    racks_per_pdu=(2, 2),
+                    pdu_budget_fractions=(0.1, 0.9),
+                ),
+            )
+
+    def test_empty_and_nonpositive_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(racks_per_pdu=())
+        with pytest.raises(ConfigError):
+            TopologyConfig(racks_per_pdu=(3, 0))
+
+    def test_breaker_margin_floor(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(racks_per_pdu=(2, 2), pdu_breaker_margin=0.9)
+
+
+# ---------------------------------------------------------------------- #
+# Compiled topology                                                       #
+# ---------------------------------------------------------------------- #
+
+
+class TestCompiledTopology:
+    def test_flat_cluster_has_no_mid_tier(self):
+        topo = compile_topology(ClusterConfig(racks=22))
+        assert not topo.has_pdu_tier
+        assert topo.pdus == 1
+        assert topo.n_mid_breakers == 0
+        assert topo.n_breakers == 23
+        assert topo.breaker_label(22) == CLUSTER_BREAKER_ID
+
+    def test_index_arrays(self):
+        topo = compile_topology(_cluster((2, 3, 1)))
+        assert topo.has_pdu_tier
+        assert list(topo.segment_starts) == [0, 2, 5]
+        assert list(topo.rack_to_pdu) == [0, 0, 1, 1, 1, 2]
+        assert topo.rack_slice(1) == slice(2, 5)
+        assert topo.n_breakers == 6 + 3 + 1
+
+    def test_pdu_sums_matches_per_block_sums(self):
+        topo = compile_topology(_cluster((1, 4, 2)))
+        values = np.arange(7.0) * 3.5
+        sums = topo.pdu_sums(values)
+        expected = [
+            values[topo.rack_slice(j)].sum() for j in range(topo.pdus)
+        ]
+        assert_agree("pdu_sums", expected, sums)
+
+    def test_breaker_labels(self):
+        topo = compile_topology(_cluster((2, 2)))
+        assert [topo.breaker_label(i) for i in range(topo.n_breakers)] == [
+            0, 1, 2, 3, pdu_breaker_id(0), pdu_breaker_id(1),
+            CLUSTER_BREAKER_ID,
+        ]
+
+    def test_budgets_split_proportionally(self):
+        config = _cluster((1, 3))
+        topo = compile_topology(config)
+        assert_agree(
+            "budgets",
+            [config.pdu_budget_w * 0.25, config.pdu_budget_w * 0.75],
+            topo.pdu_budget_w,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# PowerTree over hierarchies                                              #
+# ---------------------------------------------------------------------- #
+
+
+class TestHierarchicalPowerTree:
+    def test_soft_limits_respect_pdu_budgets(self):
+        tree = PowerTree(_cluster((2, 4)))
+        sums = tree.pdu_soft_limit_sums()
+        assert np.all(sums <= tree.topology.pdu_budget_w * (1 + 1e-9))
+
+    def test_set_soft_limits_checks_every_tier(self):
+        tree = PowerTree(_cluster((2, 2)))
+        limits = tree.soft_limits().copy()
+        # Shift budget from PDU 1 into PDU 0: the cluster total is
+        # unchanged but PDU 0's block oversubscribes its own budget.
+        limits[:2] *= 1.5
+        limits[2:] *= 0.5
+        with pytest.raises(PowerTopologyError, match="PDU 0"):
+            tree.set_soft_limits(limits)
+
+    def test_set_soft_limit_checks_owning_pdu(self):
+        tree = PowerTree(_cluster((2, 2)))
+        # Free cluster-level headroom in PDU 0 so the raise below can
+        # only fail at the PDU tier, not the cluster total.
+        limits = tree.soft_limits().copy()
+        limits[:2] *= 0.5
+        tree.set_soft_limits(limits)
+        with pytest.raises(PowerTopologyError, match="PDU 1"):
+            tree.set_soft_limit(3, limits[3] * 1.5)
+
+    def test_mid_tier_trip_reports_pdu_label(self):
+        config = _cluster((2, 2))
+        tree = PowerTree(config)
+        nameplate = config.rack.nameplate_w
+        # Every rack just below its own breaker, so PDU sums blow far
+        # past the row budget while no rack breaker fires.
+        loads = np.full(4, nameplate * 0.99)
+        tripped = []
+        for _ in range(200):
+            tripped = tree.step(loads, dt=1.0)
+            if tripped:
+                break
+        assert set(tripped) <= {
+            pdu_breaker_id(0), pdu_breaker_id(1), CLUSTER_BREAKER_ID
+        }
+        assert len(tree.tripped_pdus()) > 0
+        assert len(tree.tripped_racks()) == 0
+
+    def test_check_dispatch_reports_worst_offender(self):
+        tree = PowerTree(_cluster((2, 2)))
+        limits = tree.soft_limits()
+        demand = limits.copy()
+        demand[1] += 500.0
+        demand[3] += 2000.0  # the worst
+        with pytest.raises(
+            PowerTopologyError, match=r"rack 3: .*2 of 4 racks"
+        ):
+            tree.check_dispatch(demand, np.zeros(4))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    topology=topology_configs(),
+    data=st.data(),
+)
+def test_power_tree_backends_agree_on_hierarchies(topology, data) -> None:
+    """Scalar object tree and vectorized bank agree on any hierarchy."""
+    config = ClusterConfig(racks=topology.racks, topology=topology)
+    scalar = PowerTree(config, backend="scalar")
+    vector = PowerTree(config, backend="vectorized")
+    assert_agree("soft limits", scalar.soft_limits(), vector.soft_limits())
+    nameplate = config.rack.nameplate_w
+    dt = data.draw(st.sampled_from((0.5, 1.0, 7.5)), label="dt")
+    n_steps = data.draw(st.integers(2, 10), label="steps")
+    for index in range(n_steps):
+        ratios = data.draw(
+            st.lists(
+                st.floats(0.0, 3.0, allow_nan=False),
+                min_size=config.racks,
+                max_size=config.racks,
+            ),
+            label=f"ratios[{index}]",
+        )
+        loads = np.asarray(ratios) * nameplate
+        trips_s = scalar.step(loads, dt, time_s=index * dt)
+        trips_v = vector.step(loads, dt, time_s=index * dt)
+        assert trips_s == trips_v, f"step {index}: trip labels diverged"
+        assert_same_mask(
+            f"step {index}: tripped racks",
+            scalar.tripped_racks(),
+            vector.tripped_racks(),
+        )
+        assert_same_mask(
+            f"step {index}: tripped PDUs",
+            scalar.tripped_pdus(),
+            vector.tripped_pdus(),
+        )
+        assert scalar.any_tripped == vector.any_tripped
+
+
+# ---------------------------------------------------------------------- #
+# Per-PDU vDEB pools                                                      #
+# ---------------------------------------------------------------------- #
+
+
+def _vdeb_scheme(cluster_config: ClusterConfig) -> VdebScheme:
+    config = DataCenterConfig(cluster=cluster_config, seed=0)
+    topo = compile_topology(cluster_config)
+    pdu_of_rack = topo.rack_to_pdu
+    soft = (
+        topo.pdu_budget_w[pdu_of_rack] / topo.pdu_rack_counts[pdu_of_rack]
+    )
+    return VdebScheme(
+        SchemeContext(
+            config=config,
+            cluster=ClusterModel(cluster_config),
+            initial_soft_limits_w=soft,
+            topology=topo if topo.has_pdu_tier else None,
+        )
+    )
+
+
+class TestPerPduVdebPools:
+    def test_pool_duty_stays_inside_the_overloaded_pdu(self):
+        config = _cluster((3, 3))
+        scheme = _vdeb_scheme(config)
+        soft = scheme.soft_limits_w
+        # PDU 0's racks over budget, PDU 1's idling far below theirs.
+        demand = np.concatenate([soft[:3] * 1.05, soft[3:] * 0.5])
+        state = StepState(
+            time_s=0.0,
+            dt=1.0,
+            rack_demand_w=demand,
+            metered_rack_avg_w=demand.copy(),
+            metered_server_util=np.zeros(config.total_servers),
+        )
+        discharge = scheme.battery_discharge(state)
+        assert float(discharge[:3].sum()) > 0.0
+        # A battery behind PDU 1 cannot carry current for PDU 0's racks.
+        assert_agree("other-row duty", np.zeros(3), discharge[3:])
+
+    def test_flat_cluster_keeps_the_cluster_wide_pool(self):
+        config = ClusterConfig(racks=6)
+        scheme = _vdeb_scheme(config)
+        soft = scheme.soft_limits_w
+        # Whole cluster over budget: the flat pool spreads the duty
+        # SOC-proportionally across every (full-SOC) rack.
+        demand = soft * 1.05
+        state = StepState(
+            time_s=0.0,
+            dt=1.0,
+            rack_demand_w=demand,
+            metered_rack_avg_w=demand.copy(),
+            metered_server_util=np.zeros(config.total_servers),
+        )
+        discharge = scheme.battery_discharge(state)
+        # Paper Algorithm 1: every full-SOC rack shares the duty.
+        assert np.all(discharge > 0.0)
+
+    def test_soft_limit_reassignment_respects_pdu_budgets(self):
+        config = _cluster((3, 3))
+        scheme = _vdeb_scheme(config)
+        topo = compile_topology(config)
+        soft = scheme.soft_limits_w
+        demand = np.concatenate([soft[:3] * 1.05, soft[3:] * 0.5])
+        state = StepState(
+            time_s=0.0,
+            dt=1.0,
+            rack_demand_w=demand,
+            metered_rack_avg_w=demand.copy(),
+            metered_server_util=np.zeros(config.total_servers),
+        )
+        scheme.battery_discharge(state)
+        sums = topo.pdu_sums(scheme.soft_limits_w)
+        assert np.all(sums <= topo.pdu_budget_w * (1.0 + 1e-9))
+
+
+# ---------------------------------------------------------------------- #
+# Mid-tier trips darken their racks                                       #
+# ---------------------------------------------------------------------- #
+
+
+def _multi_pdu_sim(backend: str = "vectorized", **kwargs):
+    config = DataCenterConfig(cluster=_cluster((2, 2)), seed=1)
+    trace = UtilizationTrace(np.full((10, 40), 0.60), interval_s=60.0)
+    return DataCenterSimulation(
+        config, trace, SCHEMES["Conv"], backend=backend, **kwargs
+    )
+
+
+class TestMidTierTrips:
+    def test_derated_pdu_breaker_trips_and_darkens_its_racks(self):
+        sim = _multi_pdu_sim()
+        derate = np.ones(sim.topology.n_breakers)
+        derate[sim.cluster.racks + 0] = 0.3  # mid-tier PDU 0
+        sim.set_breaker_derate(derate)
+        result = sim.run(duration_s=120.0, dt=1.0)
+        labels = [
+            e.rack_id
+            for e in result.events
+            if type(e).__name__ == "BreakerTripped"
+        ]
+        assert pdu_breaker_id(0) in labels
+        # The whole row is dark; PDU 1's racks keep running.
+        assert sim._down_racks(120.0) == [0, 1]
+
+    def test_derate_needs_one_entry_per_breaker(self):
+        sim = _multi_pdu_sim()
+        with pytest.raises(Exception, match="per breaker"):
+            sim.set_breaker_derate(np.ones(sim.cluster.racks))
+
+
+# ---------------------------------------------------------------------- #
+# Cross-PDU attacker placement                                            #
+# ---------------------------------------------------------------------- #
+
+
+class TestPlacement:
+    def _fixture(self):
+        config = _cluster((4, 4, 4))
+        return ClusterModel(config), compile_topology(config)
+
+    def test_concentrated_lands_in_one_rack_of_the_target(self):
+        cluster, topo = self._fixture()
+        result = place_attack_nodes(
+            cluster, topo, 5, PduPlacement("concentrated", target_pdu=1),
+            seed=3,
+        )
+        assert result.pdu_node_counts == (0, 5, 0)
+        racks = {cluster.rack_of(n) for n in result.nodes}
+        assert len(racks) == 1
+        assert racks <= set(range(4, 8))
+
+    def test_striped_spreads_across_every_pdu(self):
+        cluster, topo = self._fixture()
+        result = place_attack_nodes(
+            cluster, topo, 7, PduPlacement("striped"), seed=3
+        )
+        assert result.pdu_node_counts == (3, 2, 2)
+        assert len(result.racks) == 3
+
+    def test_fraction_apportions_exactly(self):
+        cluster, topo = self._fixture()
+        result = place_attack_nodes(
+            cluster, topo, 6,
+            PduPlacement("fraction", fraction_per_pdu=(2.0, 1.0, 0.0)),
+            seed=3,
+        )
+        assert result.pdu_node_counts == (4, 2, 0)
+        assert sum(result.pdu_node_counts) == len(result.nodes)
+
+    def test_deterministic_for_a_seed(self):
+        cluster, topo = self._fixture()
+        runs = [
+            place_attack_nodes(
+                cluster, topo, 6, PduPlacement("striped"), seed=9
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_validation_errors(self):
+        cluster, topo = self._fixture()
+        with pytest.raises(AttackError, match="unknown placement mode"):
+            PduPlacement("diagonal")
+        with pytest.raises(AttackError, match="needs fraction_per_pdu"):
+            PduPlacement("fraction")
+        with pytest.raises(AttackError, match="only applies to fraction"):
+            PduPlacement("striped", fraction_per_pdu=(1.0,))
+        with pytest.raises(AttackError, match="outside topology"):
+            place_attack_nodes(
+                cluster, topo, 2,
+                PduPlacement("concentrated", target_pdu=7),
+            )
+        with pytest.raises(AttackError, match="names 2 PDUs"):
+            place_attack_nodes(
+                cluster, topo, 2,
+                PduPlacement("fraction", fraction_per_pdu=(0.5, 0.5)),
+            )
+        with pytest.raises(AttackError, match="cannot co-locate"):
+            place_attack_nodes(
+                cluster, topo, 11,
+                PduPlacement("concentrated", target_pdu=0),
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Bounded recorder                                                        #
+# ---------------------------------------------------------------------- #
+
+
+class TestBoundedRecorder:
+    def test_rows_stay_under_budget_and_uniform(self):
+        sim = _multi_pdu_sim(recorder_row_budget=16)
+        result = sim.run(duration_s=200.0, dt=1.0, record_every=1)
+        recorder = result.recorder
+        assert recorder.row_budget == 16
+        assert len(recorder) <= 16
+        stride = recorder.stride
+        assert stride >= 1 and (stride & (stride - 1)) == 0
+        times = recorder.series("time_s")
+        # Decimation keeps a uniform subsample: constant spacing.
+        assert np.all(np.diff(times) == stride * 1.0)
+        # Every channel stays row-aligned.
+        for channel in recorder.channels:
+            assert len(recorder.series(channel)) == len(times)
+        for channel in recorder.vector_channels:
+            assert recorder.matrix(channel).shape[0] == len(times)
+
+    def test_pdu_aggregate_channels_replace_rack_matrices(self):
+        sim = _multi_pdu_sim(record_pdu_aggregates=True)
+        result = sim.run(duration_s=60.0, dt=1.0, record_every=10)
+        recorder = result.recorder
+        assert "pdu_soc" in recorder.vector_channels
+        assert "pdu_utility_w" in recorder.vector_channels
+        assert "rack_soc" not in recorder.vector_channels
+        assert recorder.matrix("pdu_soc").shape[1] == 2
+
+    def test_budget_floor_validated(self):
+        with pytest.raises(Exception, match="at least 2"):
+            _multi_pdu_sim(recorder_row_budget=1)
+
+
+# ---------------------------------------------------------------------- #
+# Whole-simulation backend agreement on a multi-PDU cluster               #
+# ---------------------------------------------------------------------- #
+
+
+def _attacked_run(backend: str, scheme: str):
+    config = DataCenterConfig(cluster=_cluster((2, 2)), seed=1)
+    trace = UtilizationTrace(np.full((8, 40), 0.55), interval_s=60.0)
+    attacker = Attacker(
+        nodes=(0, 1, 2, 3),
+        spikes=SpikeTrainConfig(
+            width_s=4.0, rate_per_min=6.0, baseline_util=0.15
+        ),
+        start_s=60.0,
+        autonomy_estimate_s=120.0,
+        seed=1,
+    )
+    sim = DataCenterSimulation(
+        config, trace, SCHEMES[scheme], attacker=attacker, backend=backend
+    )
+    return sim.run(duration_s=300.0, dt=1.0, record_every=20)
+
+
+@pytest.mark.parametrize("scheme", ["PS", "vDEB", "PAD"])
+def test_multi_pdu_simulation_backends_agree(scheme: str) -> None:
+    """Attacked multi-PDU runs agree across backends, channel by channel."""
+    scalar = _attacked_run("scalar", scheme)
+    vector = _attacked_run("vectorized", scheme)
+    assert scalar.end_s == vector.end_s
+    assert_agree(
+        "delivered_work", scalar.delivered_work, vector.delivered_work
+    )
+    assert_agree(
+        "demanded_work", scalar.demanded_work, vector.demanded_work
+    )
+    assert len(scalar.trips) == len(vector.trips)
+    for trip_s, trip_v in zip(scalar.trips, vector.trips):
+        assert trip_s.rack_id == trip_v.rack_id
+        assert_agree("trip time", trip_s.time_s, trip_v.time_s)
+    stream_s = [(type(e).__name__, e.time_s) for e in scalar.events]
+    stream_v = [(type(e).__name__, e.time_s) for e in vector.events]
+    assert stream_s == stream_v
+    assert scalar.recorder.channels == vector.recorder.channels
+    assert (
+        scalar.recorder.vector_channels == vector.recorder.vector_channels
+    )
+    for channel in scalar.recorder.channels:
+        assert_agree(
+            f"series:{channel}",
+            scalar.recorder.series(channel),
+            vector.recorder.series(channel),
+        )
+    for channel in scalar.recorder.vector_channels:
+        assert_agree(
+            f"matrix:{channel}",
+            scalar.recorder.matrix(channel),
+            vector.recorder.matrix(channel),
+        )
