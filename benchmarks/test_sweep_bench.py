@@ -9,7 +9,9 @@ toggle the three PR-5 optimisation layers independently:
 * ``recorder_only``  — preallocated recorder buffers alone.
 * ``ff_only``        — quiescent-segment fast-forward alone.
 * ``snapshot_only``  — prefix-snapshot sharing alone.
-* ``all_three``      — the production configuration.
+* ``all_three``      — the production per-cell configuration.
+* ``cohort``         — the PR-7 batched backend: all 36 cells stacked
+  into one multi-cell simulation (with narrow-prefix expansion).
 
 Every configuration must produce the *identical* metric tuple — the
 layers are proven bit-exact, so the sweep numbers cannot move. The
@@ -40,8 +42,12 @@ WINDOW_S = 2400.0
 #: dominates each cell and prefix sharing has something to share.
 ONSET_S = 2100.0
 #: Conservative wall-clock floor for CI; BENCH_sweep.json carries the
-#: real measured ratio (>= 3x on the recording machine).
+#: real measured ratio (>= 3x per-cell, >= 10x cohort on the recording
+#: machine).
 SPEEDUP_FLOOR = 1.5
+#: The cohort backend must beat the per-cell fast paths even on a noisy
+#: runner; the recorded ratio is the real target (>= 10x).
+COHORT_FLOOR = 4.0
 
 CONFIGS = {
     "pr2_baseline": dict(list_recorder=True, fast_forward=False, share=False),
@@ -49,6 +55,10 @@ CONFIGS = {
     "ff_only": dict(list_recorder=False, fast_forward=True, share=False),
     "snapshot_only": dict(list_recorder=False, fast_forward=False, share=True),
     "all_three": dict(list_recorder=False, fast_forward=True, share=True),
+    "cohort": dict(
+        list_recorder=False, fast_forward=False, share=False,
+        backend="cohort",
+    ),
 }
 
 
@@ -59,7 +69,7 @@ class _ListRecorderResult(SimResult):
     recorder: Recorder = field(default_factory=ListRecorder)
 
 
-def _grid(fast_forward: bool) -> "list[SweepCell]":
+def _grid(fast_forward: bool, backend: str = "vectorized") -> "list[SweepCell]":
     scenarios = [
         replace(DENSE_ATTACK, start_s=ONSET_S, name="dense-late"),
         replace(SPARSE_ATTACK, start_s=ONSET_S, name="sparse-late"),
@@ -76,6 +86,7 @@ def _grid(fast_forward: bool) -> "list[SweepCell]":
             scenario=scenario,
             window_s=WINDOW_S,
             seed=seed,
+            backend=backend,
             fast_forward=fast_forward,
         )
         for scenario in scenarios
@@ -85,7 +96,8 @@ def _grid(fast_forward: bool) -> "list[SweepCell]":
 
 
 def _run_config(setup, list_recorder: bool, fast_forward: bool,
-                share: bool) -> "tuple[float, tuple[float, ...]]":
+                share: bool, backend: str = "vectorized",
+                ) -> "tuple[float, tuple[float, ...]]":
     # The run methods resolve ``SimResult`` through the module global at
     # call time, so swapping it in is enough to revert the recorder to
     # the PR-2 list-backed implementation for the baseline measurement.
@@ -94,7 +106,7 @@ def _run_config(setup, list_recorder: bool, fast_forward: bool,
         datacenter.SimResult = _ListRecorderResult
     try:
         sweep = ScenarioSweep(
-            setup, _grid(fast_forward), share_prefixes=share
+            setup, _grid(fast_forward, backend), share_prefixes=share
         )
         start = time.perf_counter()
         result = sweep.run()
@@ -105,10 +117,12 @@ def _run_config(setup, list_recorder: bool, fast_forward: bool,
     return elapsed, result.metrics
 
 
-#: Passes over the config set; timings interleave (cfg1..cfg5, cfg1..)
+#: Passes over the config set; timings interleave (cfg1..cfg6, cfg1..)
 #: and keep the per-config minimum, so slow drift on a shared machine
-#: cannot masquerade as a per-layer difference.
-REPEATS = 2
+#: cannot masquerade as a per-layer difference. Three passes: the
+#: minimum of two still carried ~10 % of scheduler noise into the
+#: headline ratio.
+REPEATS = 3
 
 
 def test_sweep_fast_path_attribution(once):
@@ -133,7 +147,10 @@ def test_sweep_fast_path_attribution(once):
         )
         ratio = timings["pr2_baseline"][0] / elapsed
         print(f"sweep {name:13s}: {elapsed:7.2f}s  ({ratio:.2f}x)")
-    speedup = timings["pr2_baseline"][0] / timings["all_three"][0]
+    per_cell_speedup = (
+        timings["pr2_baseline"][0] / timings["all_three"][0]
+    )
+    speedup = timings["pr2_baseline"][0] / timings["cohort"][0]
     if BASELINE.exists():
         recorded = json.loads(BASELINE.read_text())
         print(
@@ -161,13 +178,20 @@ def test_sweep_fast_path_attribution(once):
                         for name, (elapsed, _) in timings.items()
                     },
                     "speedup": round(speedup, 3),
-                    "recorded_on": "dev container (single run)",
+                    "speedup_per_cell": round(per_cell_speedup, 3),
+                    "recorded_on": (
+                        "dev container (min of 3 interleaved passes)"
+                    ),
                 },
                 indent=1,
             )
             + "\n"
         )
         print(f"wrote {BASELINE}")
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"fast paths lost their lead: {speedup:.2f}x < {SPEEDUP_FLOOR}x"
+    assert per_cell_speedup >= SPEEDUP_FLOOR, (
+        f"fast paths lost their lead: {per_cell_speedup:.2f}x < "
+        f"{SPEEDUP_FLOOR}x"
+    )
+    assert speedup >= COHORT_FLOOR, (
+        f"cohort backend lost its lead: {speedup:.2f}x < {COHORT_FLOOR}x"
     )

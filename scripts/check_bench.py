@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fresh speedups vs a committed baseline.
+
+Usage::
+
+    python scripts/check_bench.py COMMITTED.json FRESH.json \
+        [--tolerance 0.35]
+
+Every ``BENCH_*.json`` at the repo root records a headline speedup
+measured on the machine that produced it. CI regenerates each file and
+then runs this gate, which fails when the fresh headline drops below
+
+* the **absolute floor** — the ``speedup_floor`` recorded in the
+  committed baseline (falling back to a per-bench default), the
+  "this optimisation has stopped working" line; or
+* the **tolerance band** — ``committed * (1 - tolerance)``, the
+  "this PR made it meaningfully slower" line. The default band is wide
+  because shared CI runners are noisy; it catches collapses (a fast
+  path silently disabled), not single-digit jitter.
+
+One gate for every bench replaces the previous ad-hoc arrangement
+where each bench hard-coded its own conservative floor and nothing
+compared against the committed measurement at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Absolute floors when the committed baseline predates the
+#: ``speedup_floor`` field. Keys match the headline-speedup semantics
+#: of each bench file.
+DEFAULT_FLOORS = {
+    "BENCH_sweep.json": 4.0,     # cohort backend vs the PR-2 baseline
+    "BENCH_scale.json": 5.0,     # vectorized vs scalar at 1024 racks
+    "BENCH_cohort.json": 4.0,    # stacked cells vs per-cell vectorized
+    "BENCH_kernels.json": 1.1,   # vectorized battery kernel vs scalar
+}
+
+
+def headline_speedup(report: dict) -> float:
+    """The bench's headline ratio, whatever the file calls it."""
+    for key in ("speedup", "speedup_at_max_scale"):
+        if key in report:
+            return float(report[key])
+    raise KeyError("no headline speedup field in bench report")
+
+
+def check(committed_path: str, fresh_path: str, tolerance: float) -> int:
+    with open(committed_path, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    with open(fresh_path, "r", encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    name = fresh_path.rsplit("/", 1)[-1]
+    baseline = headline_speedup(committed)
+    measured = headline_speedup(fresh)
+    floor = float(committed.get("speedup_floor", DEFAULT_FLOORS.get(name, 1.0)))
+    band = baseline * (1.0 - tolerance)
+
+    print(f"{name}: fresh {measured:.2f}x vs committed {baseline:.2f}x "
+          f"(floor {floor:.2f}x, band {band:.2f}x)")
+    failed = False
+    if measured < floor:
+        print(f"error: {name} fell below its absolute floor "
+              f"({measured:.2f}x < {floor:.2f}x)")
+        failed = True
+    if measured < band:
+        print(f"error: {name} regressed more than {tolerance:.0%} vs the "
+              f"committed baseline ({measured:.2f}x < {band:.2f}x)")
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.35,
+        help="allowed fractional drop vs the committed headline speedup "
+             "(default 0.35 — wide, to absorb shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("tolerance must lie in [0, 1)")
+    return check(args.committed, args.fresh, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

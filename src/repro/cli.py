@@ -8,7 +8,9 @@ Commands:
 * ``report`` — run every reproduction experiment and write EXPERIMENTS.md.
 * ``demo`` — the testbed two-phase attack walkthrough (Figs. 6/7).
 * ``bench`` — a reduced fig15-style sweep through the fast paths
-  (fast-forward + prefix sharing), with optional cProfile output.
+  (fast-forward + prefix sharing), with optional cProfile output;
+  ``--scale`` and ``--cohort`` switch to the topology-scale and
+  stacked-cohort benchmarks respectively.
 """
 
 from __future__ import annotations
@@ -85,6 +87,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", action="store_true",
         help="topology scale benchmark instead: both backends at "
              "22/128/512/1024 racks, writing BENCH_scale.json",
+    )
+    bench.add_argument(
+        "--cohort", action="store_true",
+        help="cohort benchmark instead: the committed 36-cell sweep "
+             "grid stacked through the cohort backend vs per-cell "
+             "vectorized runs, writing BENCH_cohort.json "
+             "(--window/--onset do not apply; the grid is fixed so the "
+             "baseline stays comparable across runs)",
+    )
+    bench.add_argument(
+        "--cohort-output", default="BENCH_cohort.json",
+        help="where the cohort benchmark writes its JSON report",
     )
     bench.add_argument(
         "--scale-duration", type=float, default=60.0,
@@ -246,6 +260,129 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Cohort-benchmark grid shape — the exact committed BENCH_sweep grid,
+#: so the two baselines describe the same work.
+COHORT_BENCH_WINDOW_S = 2400.0
+COHORT_BENCH_ONSET_S = 2100.0
+
+#: Required stacked-over-per-cell advantage. Conservative for shared CI
+#: runners; BENCH_cohort.json records the real measured ratio.
+COHORT_SPEEDUP_FLOOR = 4.0
+
+#: Interleaved passes (cohort, per-cell, cohort, ...) keeping per-side
+#: minima, mirroring the sweep bench's noise-rejection protocol.
+COHORT_BENCH_REPEATS = 2
+
+
+def _cmd_bench_cohort(args: argparse.Namespace) -> int:
+    """Benchmark the stacked cohort backend against per-cell runs.
+
+    Runs the committed 36-cell fig15-style grid (six Table-III schemes,
+    three late-onset scenarios, two attacker seeds) once as a single
+    batched cohort and once as 36 individual vectorized survival runs,
+    demands bit-identical per-cell metrics, and writes the measured
+    ratio to a JSON report. Exits non-zero when the metrics disagree or
+    the speedup drops below the floor, so CI catches both a correctness
+    break and a silently disabled batch path.
+    """
+    import json
+    import time
+    from dataclasses import replace
+
+    from .attack.scenario import DENSE_ATTACK, SPARSE_ATTACK
+    from .experiments.common import (
+        SCHEME_ORDER,
+        CohortMember,
+        run_survival,
+        run_survival_cohort,
+        standard_setup,
+    )
+
+    onset = COHORT_BENCH_ONSET_S
+    window = COHORT_BENCH_WINDOW_S
+    setup = standard_setup(seed=args.seed)
+    scenarios = [
+        replace(DENSE_ATTACK, start_s=onset, name="dense-late"),
+        replace(SPARSE_ATTACK, start_s=onset, name="sparse-late"),
+        replace(DENSE_ATTACK.with_nodes(4), start_s=onset + 60.0,
+                name="dense4-later"),
+    ]
+    members = [
+        CohortMember(scheme=scheme, scenario=scenario, seed=seed)
+        for scenario in scenarios
+        for seed in (7, 11)
+        for scheme in SCHEME_ORDER
+    ]
+
+    cohort_s = per_cell_s = float("inf")
+    cohort_metrics: "list[float]" = []
+    per_cell_metrics: "list[float]" = []
+    for _ in range(COHORT_BENCH_REPEATS):
+        start = time.perf_counter()
+        batched = run_survival_cohort(setup, members, window_s=window)
+        cohort_s = min(cohort_s, time.perf_counter() - start)
+        cohort_metrics = [r.survival_or_window() for r in batched]
+
+        start = time.perf_counter()
+        singles = [
+            run_survival(
+                setup, member.scheme, member.scenario,
+                window_s=window, seed=member.seed,
+            )
+            for member in members
+        ]
+        per_cell_s = min(per_cell_s, time.perf_counter() - start)
+        per_cell_metrics = [r.survival_or_window() for r in singles]
+
+    mismatches = [
+        (member.scheme, member.scenario.name, member.seed, got, want)
+        for member, got, want in zip(
+            members, cohort_metrics, per_cell_metrics
+        )
+        if got != want
+    ]
+    speedup = per_cell_s / cohort_s
+    print(f"cohort  : {cohort_s:7.2f}s  ({len(members)} cells stacked)")
+    print(f"per-cell: {per_cell_s:7.2f}s  (vectorized backend)")
+    print(f"speedup : {speedup:.2f}x  (floor {COHORT_SPEEDUP_FLOOR:.1f}x)")
+
+    report = {
+        "benchmark": (
+            "fig15-style survival grid: 6 schemes x 3 late-onset "
+            "scenarios x 2 seeds (36 cells), stacked cohort vs "
+            "per-cell vectorized"
+        ),
+        "window_s": window,
+        "onset_s": onset,
+        "cells": len(members),
+        "cohort_s": round(cohort_s, 4),
+        "per_cell_s": round(per_cell_s, 4),
+        "speedup": round(speedup, 3),
+        "speedup_floor": COHORT_SPEEDUP_FLOOR,
+        "metrics_identical": not mismatches,
+        "recorded_on": (
+            f"dev container (min of {COHORT_BENCH_REPEATS} interleaved "
+            "passes)"
+        ),
+    }
+    with open(args.cohort_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(f"\nwrote {args.cohort_output}")
+    if mismatches:
+        for scheme, scenario, seed, got, want in mismatches[:6]:
+            print(f"error: {scheme}/{scenario}/s{seed}: cohort {got!r} "
+                  f"!= per-cell {want!r}")
+        print(f"error: {len(mismatches)} of {len(members)} cohort cells "
+              f"diverged from the per-cell reference")
+        return 1
+    if speedup < COHORT_SPEEDUP_FLOOR:
+        print(f"error: cohort backend is only {speedup:.2f}x per-cell "
+              f"(floor {COHORT_SPEEDUP_FLOOR:.1f}x)")
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time a reduced fig15-style sweep with every fast path enabled.
 
@@ -253,10 +390,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     and prints wall-clock plus the fast-forward counters; exits non-zero
     when fast-forward never jumped, so CI smoke jobs catch a silently
     disabled fast path. ``--profile`` wraps the sweep in cProfile;
-    ``--scale`` runs the topology scale benchmark instead.
+    ``--scale`` runs the topology scale benchmark instead; ``--cohort``
+    runs the stacked-vs-per-cell cohort benchmark instead.
     """
     if args.scale:
         return _cmd_bench_scale(args)
+    if args.cohort:
+        return _cmd_bench_cohort(args)
     import time
     from dataclasses import replace
 

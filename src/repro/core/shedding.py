@@ -103,6 +103,16 @@ class LoadShedder:
         """Fraction of the cluster currently asleep."""
         return float(np.sum(self._asleep)) / self._servers
 
+    @property
+    def any_asleep(self) -> bool:
+        """True when at least one server is currently shed.
+
+        With nothing asleep and no required reduction, :meth:`update`
+        is a structural no-op — callers on hot paths use this to skip
+        the call.
+        """
+        return bool(self._asleep.any())
+
     def update(
         self,
         now_s: float,

@@ -19,6 +19,7 @@ from . import (
     table1_detection,
 )
 from .common import (
+    CohortMember,
     ExperimentSetup,
     SCHEME_ORDER,
     SURVIVAL_WINDOW_S,
@@ -26,6 +27,7 @@ from .common import (
     learned_autonomy_prior,
     rising_edge_time,
     run_survival,
+    run_survival_cohort,
     run_throughput,
     standard_setup,
 )
@@ -41,6 +43,7 @@ from .sweep import (
 
 __all__ = [
     "CellFailure",
+    "CohortMember",
     "ExperimentSetup",
     "SCHEME_ORDER",
     "SURVIVAL_WINDOW_S",
@@ -62,6 +65,7 @@ __all__ = [
     "learned_autonomy_prior",
     "rising_edge_time",
     "run_survival",
+    "run_survival_cohort",
     "run_throughput",
     "standard_setup",
     "survival_grid_cells",

@@ -30,6 +30,7 @@ from ..defense import SCHEMES
 from ..errors import SimulationError
 from ..faults.spec import FaultPlan
 from ..power.topology import compile_topology
+from ..sim.cohort import CohortCell, CohortSimulation, run_cohort_expanded
 from ..sim.datacenter import DataCenterSimulation, SimResult, SimSnapshot
 from ..sim.runner import ATTACK_DT_S, AttackWindow, Runner
 from ..units import days
@@ -187,6 +188,83 @@ def build_attacker(
     )
 
 
+@dataclass(frozen=True)
+class CohortMember:
+    """One cell of a batched survival cohort.
+
+    Attributes:
+        scheme: A key of :data:`repro.defense.SCHEMES`.
+        scenario: The cell's attack, or ``None`` for a benign cell.
+        seed: Node-lottery / attacker seed (matches ``run_survival``).
+    """
+
+    scheme: str
+    scenario: "AttackScenario | None"
+    seed: int = 7
+
+
+def run_survival_cohort(
+    setup: ExperimentSetup,
+    members: "list[CohortMember]",
+    window_s: float = SURVIVAL_WINDOW_S,
+    dt: float = ATTACK_DT_S,
+    record_every: int = 40,
+    expand_prefix: bool = True,
+) -> "list[SimResult]":
+    """Run N sibling survival cells batched through the cohort backend.
+
+    Every member shares the setup's config and trace; each differs only
+    in scheme, scenario and seed. Results come back in member order and
+    are bit-identical per cell to the equivalent :func:`run_survival`
+    calls with ``backend="vectorized"``, ``lead_in_s=0`` and no fault
+    plan (proven by ``tests/test_cohort.py``).
+
+    ``expand_prefix`` (default on) runs the shared pre-onset window as
+    a narrow one-cell-per-scheme cohort and tiles it out at the first
+    aligned boundary — see :func:`repro.sim.cohort.run_cohort_expanded`.
+    Ineligible cohorts fall back to the plain single-pass run, so the
+    flag never changes results, only wall time.
+    """
+    if not members:
+        raise SimulationError("a cohort needs at least one member")
+    for member in members:
+        if member.scheme not in SCHEMES:
+            raise SimulationError(f"unknown scheme: {member.scheme!r}")
+        if member.scenario is not None and member.scenario.placement is not None:
+            raise SimulationError(
+                "cohort cells use the flat topology; PDU placements need "
+                "the per-cell path"
+            )
+    cells = [
+        CohortCell(
+            scheme=member.scheme,
+            attacker=(
+                build_attacker(setup, member.scenario, seed=member.seed)
+                if member.scenario is not None
+                else None
+            ),
+        )
+        for member in members
+    ]
+    if expand_prefix:
+        return run_cohort_expanded(
+            setup.config,
+            setup.trace,
+            cells,
+            setup.attack_time_s,
+            setup.attack_time_s + window_s,
+            dt,
+            record_every=record_every,
+        )
+    sim = CohortSimulation(setup.config, setup.trace, cells)
+    return sim.run_cohort(
+        setup.attack_time_s,
+        setup.attack_time_s + window_s,
+        dt,
+        record_every=record_every,
+    )
+
+
 def run_survival(
     setup: ExperimentSetup,
     scheme_name: str,
@@ -217,6 +295,18 @@ def run_survival(
         raise SimulationError(f"unknown scheme: {scheme_name!r}")
     if lead_in_s < 0.0:
         raise SimulationError("lead_in_s must be non-negative")
+    if backend == "cohort":
+        if lead_in_s != 0.0:
+            raise SimulationError("cohort runs do not support lead-in")
+        if fault_plan is not None:
+            raise SimulationError("cohort runs do not support fault plans")
+        return run_survival_cohort(
+            setup,
+            [CohortMember(scheme=scheme_name, scenario=scenario, seed=seed)],
+            window_s=window_s,
+            dt=dt,
+            record_every=record_every,
+        )[0]
     attacker = (
         build_attacker(setup, scenario, seed=seed) if scenario else None
     )

@@ -53,10 +53,12 @@ from ..faults.spec import FaultPlan
 from ..sim.datacenter import DataCenterSimulation, SimSnapshot
 from ..sim.runner import ATTACK_DT_S
 from .common import (
+    CohortMember,
     ExperimentSetup,
     prepare_survival_prefix,
     resume_survival_from_snapshot,
     run_survival,
+    run_survival_cohort,
     run_throughput,
 )
 
@@ -79,7 +81,12 @@ class SweepCell:
         record_every: Recorder cadence (baseline throughput cells only;
             the survival/throughput harnesses fix their own cadence).
         backend: Physics implementation for the cell's simulation
-            (``"vectorized"`` or ``"scalar"``).
+            (``"vectorized"``, ``"scalar"`` or ``"cohort"``). Cohort
+            cells are survival-only; the sweep batches compatible ones
+            into stacked multi-cell runs (see
+            :meth:`ScenarioSweep._run_cohorts`) and any leftover cell
+            runs through the same backend individually, so the metric
+            never depends on how cells were grouped.
         fault_plan: Optional fault schedule injected into the cell's
             simulation (degraded-mode sweeps).
         fast_forward: Enable quiescent-segment fast-forward for the
@@ -106,8 +113,21 @@ class SweepCell:
             raise SimulationError(f"unknown sweep mode: {self.mode!r}")
         if self.scheme not in SCHEMES:
             raise SimulationError(f"unknown scheme: {self.scheme!r}")
-        if self.backend not in ("scalar", "vectorized"):
+        if self.backend not in ("scalar", "vectorized", "cohort"):
             raise SimulationError(f"unknown backend: {self.backend!r}")
+        if self.backend == "cohort":
+            # Eager rejection, mirroring run_survival's cohort limits:
+            # a cell the backend cannot execute must fail at grid
+            # construction, not inside a pool worker.
+            if self.mode != "survival":
+                raise ConfigError(
+                    "cohort backend supports survival cells only, got "
+                    f"mode={self.mode!r}"
+                )
+            if self.fault_plan is not None:
+                raise ConfigError(
+                    "cohort backend does not support fault plans"
+                )
         # Eager numeric validation: a malformed cell must fail at grid
         # construction, not hours later inside a pool worker.
         if not self.window_s > 0.0:
@@ -526,9 +546,11 @@ class ScenarioSweep:
             else None
         )
         snapshots: "dict[int, SimSnapshot]" = {}
-        if pending and self._share_prefixes:
-            snapshots = self._prefix_snapshots(pending)
         try:
+            if pending:
+                pending = self._run_cohorts(pending, outcomes, journal)
+            if pending and self._share_prefixes:
+                snapshots = self._prefix_snapshots(pending)
             if pending:
                 if self._workers <= 1:
                     self._run_sequential(
@@ -558,6 +580,85 @@ class ScenarioSweep:
         )
 
     # ------------------------------------------------------------------ #
+    # Cohort batching                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _run_cohorts(
+        self,
+        pending: "list[int]",
+        outcomes: "dict[int, _Outcome]",
+        journal: "_Journal | None",
+    ) -> "list[int]":
+        """Resolve cohort-backend cells as batched stacked runs.
+
+        Cells with ``backend="cohort"`` that share a ``(window_s, dt)``
+        grid — survival mode, a flat-topology scenario, default SOC, no
+        fault plan — are compatible siblings: they stack into one
+        :class:`~repro.sim.cohort.CohortSimulation` stepping every cell
+        per kernel call. The batch runs in-process (it already amortises
+        the grid across cells, so shipping it to one pool worker would
+        serialise the sweep, not parallelise it) and each resolved cell
+        is journalled exactly like a straight execution.
+
+        The metric is a pure function of ``(setup, cell)`` either way:
+        batched cells are bit-identical per cell to single-cell cohort
+        runs (both proven against ``backend="vectorized"`` by
+        ``tests/test_cohort.py``), so grouping never changes bits. If a
+        batch fails for any reason its cells stay pending and fall back
+        to the hardened per-cell path, where failures surface with the
+        usual retry/:class:`CellFailure` semantics.
+
+        Returns the still-pending indices (cells not resolved here).
+        """
+        groups: "dict[tuple, list[int]]" = {}
+        for index in pending:
+            cell = self._cells[index]
+            if (
+                cell.backend != "cohort"
+                or cell.mode != "survival"
+                or cell.scenario is None
+                or cell.scenario.placement is not None
+                or cell.fault_plan is not None
+                or cell.initial_battery_soc != 1.0
+            ):
+                continue
+            groups.setdefault((cell.window_s, cell.dt), []).append(index)
+        resolved: "set[int]" = set()
+        for members_idx in groups.values():
+            if len(members_idx) < 2:
+                continue  # the per-cell path is already a width-1 cohort
+            first = self._cells[members_idx[0]]
+            members = [
+                CohortMember(
+                    scheme=self._cells[i].scheme,
+                    scenario=self._cells[i].scenario,
+                    seed=self._cells[i].seed,
+                )
+                for i in members_idx
+            ]
+            try:
+                results = run_survival_cohort(
+                    self._setup,
+                    members,
+                    window_s=first.window_s,
+                    dt=first.dt,
+                )
+            except Exception:
+                # Batch-level failure: leave every member pending so the
+                # per-cell path reproduces (and properly classifies) the
+                # error, or succeeds where the batch could not.
+                continue
+            for index, result in zip(members_idx, results):
+                outcome = _Outcome(
+                    metric=result.survival_or_window(),
+                    attempts=1,
+                    error=None,
+                )
+                self._resolve(index, outcome, outcomes, journal)
+                resolved.add(index)
+        return [i for i in pending if i not in resolved]
+
+    # ------------------------------------------------------------------ #
     # Prefix sharing                                                      #
     # ------------------------------------------------------------------ #
 
@@ -579,7 +680,12 @@ class ScenarioSweep:
                 cell.mode != "survival"
                 or cell.scenario is None
                 or cell.scenario.start_s <= 0.0
+                or cell.backend == "cohort"
             ):
+                # Cohort cells never fork from snapshots: their batched
+                # path shares the prefix internally (narrow-cohort
+                # expansion), and prepare_survival_prefix cannot build a
+                # cohort-backend simulation for the leftovers.
                 continue
             key = (
                 cell.scheme,

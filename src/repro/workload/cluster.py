@@ -175,6 +175,22 @@ class ClusterModel:
         down_racks: "list[int] | None",
     ) -> float:
         """Delivered work from already-clipped utilisation."""
+        return float(
+            np.sum(self.delivered_vector(u, capped, asleep, down_racks))
+        )
+
+    def delivered_vector(
+        self,
+        u: np.ndarray,
+        capped: "np.ndarray | None" = None,
+        asleep: "np.ndarray | None" = None,
+        down_racks: "list[int] | None" = None,
+    ) -> np.ndarray:
+        """Per-server delivered work from already-clipped utilisation.
+
+        The cohort backend sums this per cell; :meth:`throughput` and
+        :meth:`work_snapshot` sum it over the whole fleet.
+        """
         delivered = u.astype(float)
         if capped is not None:
             capped = self._check_vector("capped", capped)
@@ -192,7 +208,7 @@ class ClusterModel:
         if down_racks:
             down_mask = np.isin(self._rack_of, np.asarray(down_racks, dtype=int))
             delivered = np.where(down_mask, 0.0, delivered)
-        return float(np.sum(delivered))
+        return delivered
 
     def work_snapshot(
         self,

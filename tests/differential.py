@@ -539,6 +539,77 @@ def fault_plans(draw, racks: int, horizon_s: float) -> FaultPlan:
 
 
 # ---------------------------------------------------------------------- #
+# Cohort grids                                                            #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CohortGrid:
+    """A replayable batched-survival grid for the cohort backend.
+
+    Each member is ``(scheme, attack, onset_s, nodes, seed)`` where
+    ``attack`` names a base scenario shape (``"dense"``/``"sparse"``) or
+    ``None`` for a benign cell. The differential test materialises the
+    members, runs them stacked through
+    :func:`repro.experiments.common.run_survival_cohort` and per cell
+    through ``run_survival(backend="vectorized")``, and demands
+    bit-identical :class:`SimResult`\\ s.
+
+    Attributes:
+        members: The grid, in caller order.
+        window_s: Observation window (short — every example simulates).
+        record_every: Recorder cadence in steps.
+        expand_prefix: Whether the narrow-prefix expansion fast path is
+            armed (results must be identical either way).
+    """
+
+    members: "tuple[tuple[str, str | None, float, int, int], ...]"
+    window_s: float
+    record_every: int
+    expand_prefix: bool
+
+
+#: Table-III scheme names, duplicated from
+#: :data:`repro.experiments.common.SCHEME_ORDER` so this module keeps
+#: importing only leaf modules.
+COHORT_SCHEMES = ("Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD")
+
+
+@st.composite
+def cohort_grids(draw) -> CohortGrid:
+    """Small heterogeneous grids: shared schemes, mixed onsets/seeds.
+
+    Deliberately biased toward repeated schemes (stacked families of
+    width >= 2, where the batching actually batches) and toward at least
+    one attacking cell; benign members and lone-scheme families stay in
+    the mix because the width-1 forwarder path must hold too.
+    """
+    n_members = draw(st.integers(min_value=1, max_value=5))
+    schemes = draw(
+        st.lists(
+            st.sampled_from(COHORT_SCHEMES),
+            min_size=n_members,
+            max_size=n_members,
+        )
+    )
+    members = []
+    for scheme in schemes:
+        attack = draw(
+            st.sampled_from(("dense", "dense", "sparse", None))
+        )
+        onset_s = draw(st.sampled_from((10.0, 25.0, 40.0)))
+        nodes = draw(st.integers(min_value=2, max_value=4))
+        seed = draw(st.sampled_from((7, 11, 23)))
+        members.append((scheme, attack, onset_s, nodes, seed))
+    return CohortGrid(
+        members=tuple(members),
+        window_s=draw(st.sampled_from((60.0, 90.0))),
+        record_every=draw(st.sampled_from((1, 10))),
+        expand_prefix=draw(st.booleans()),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Fast-path run toggles                                                   #
 # ---------------------------------------------------------------------- #
 

@@ -1,0 +1,172 @@
+"""Cohort-backend equivalence: stacked cells vs the per-cell pipeline.
+
+``backend="cohort"`` steps N sibling survival cells as one stacked
+``(cells, racks)`` array per kernel call. Its contract is the same one
+the vectorized backend answered to: every cell's :class:`SimResult` —
+work integrals, event stream, trips, every recorder sample — must be
+*bit-identical* to the equivalent per-cell ``backend="vectorized"`` run.
+The Hypothesis suite here drives randomised heterogeneous grids (shared
+schemes, mixed scenarios/onsets/seeds, benign members, both prefix
+modes) through both paths and demands exact agreement; directed tests
+pin the narrow-prefix expansion toggle and the sweep-level batching.
+
+Per-cell references are memoised across examples: the strategy draws
+members from small value sets precisely so repeated cells amortise the
+reference runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.attack.scenario import DENSE_ATTACK, SPARSE_ATTACK
+from repro.experiments.common import (
+    CohortMember,
+    run_survival,
+    run_survival_cohort,
+    standard_setup,
+)
+from repro.experiments.sweep import ScenarioSweep, survival_grid_cells
+
+from .differential import (
+    CohortGrid,
+    assert_results_identical,
+    cohort_grids,
+)
+
+SETUP = standard_setup()
+
+_SCENARIO_BASE = {"dense": DENSE_ATTACK, "sparse": SPARSE_ATTACK}
+
+#: Memoised per-cell vectorized references, keyed by everything that
+#: shapes a run. Hypothesis draws members from small value pools, so
+#: most examples hit this cache instead of re-simulating.
+_REFERENCES: "dict[tuple, object]" = {}
+
+
+def _materialise(grid: CohortGrid) -> "list[CohortMember]":
+    members = []
+    for scheme, attack, onset_s, nodes, seed in grid.members:
+        scenario = None
+        if attack is not None:
+            scenario = replace(
+                _SCENARIO_BASE[attack].with_nodes(nodes),
+                start_s=onset_s,
+                name=f"{attack}{nodes}@{onset_s:g}s",
+            )
+        members.append(
+            CohortMember(scheme=scheme, scenario=scenario, seed=seed)
+        )
+    return members
+
+
+def _reference(member: CohortMember, window_s: float, record_every: int):
+    scenario = member.scenario
+    key = (
+        member.scheme,
+        None if scenario is None else repr(scenario),
+        member.seed,
+        window_s,
+        record_every,
+    )
+    if key not in _REFERENCES:
+        _REFERENCES[key] = run_survival(
+            SETUP,
+            member.scheme,
+            scenario,
+            window_s=window_s,
+            seed=member.seed,
+            record_every=record_every,
+            backend="vectorized",
+        )
+    return _REFERENCES[key]
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(grid=cohort_grids())
+def test_cohort_cells_match_per_cell_vectorized(grid: CohortGrid) -> None:
+    """Randomised stacked grids reproduce the per-cell pipeline exactly,
+    cell by cell, with the prefix expansion both armed and disarmed."""
+    members = _materialise(grid)
+    batched = run_survival_cohort(
+        SETUP,
+        members,
+        window_s=grid.window_s,
+        record_every=grid.record_every,
+        expand_prefix=grid.expand_prefix,
+    )
+    assert len(batched) == len(members)
+    for index, (member, result) in enumerate(zip(members, batched)):
+        reference = _reference(member, grid.window_s, grid.record_every)
+        assert_results_identical(
+            f"cohort cell {index} ({member.scheme}, "
+            f"expand={grid.expand_prefix})",
+            reference,
+            result,
+        )
+
+
+def _checker_members() -> "list[CohortMember]":
+    """A small heterogeneous grid with stacked families of width >= 2
+    and distinct onsets, so the expansion path genuinely forks."""
+    dense = replace(DENSE_ATTACK, start_s=30.0, name="dense-late")
+    sparse = replace(SPARSE_ATTACK, start_s=30.0, name="sparse-late")
+    return [
+        CohortMember(scheme=scheme, scenario=scenario, seed=seed)
+        for scenario in (dense, sparse)
+        for seed in (7, 11)
+        for scheme in ("Conv", "PS", "uDEB", "PAD")
+    ]
+
+
+def test_expand_prefix_toggle_is_bit_identical() -> None:
+    """Narrow-prefix expansion is a pure wall-clock optimisation: the
+    expanded run must reproduce the single-pass cohort bit for bit."""
+    members = _checker_members()
+    plain = run_survival_cohort(
+        SETUP, members, window_s=120.0, record_every=10,
+        expand_prefix=False,
+    )
+    expanded = run_survival_cohort(
+        SETUP, members, window_s=120.0, record_every=10,
+        expand_prefix=True,
+    )
+    for index, (a, b) in enumerate(zip(plain, expanded)):
+        assert_results_identical(f"expanded cell {index}", a, b)
+
+
+def test_sweep_cohort_backend_matches_vectorized() -> None:
+    """``ScenarioSweep`` with ``backend="cohort"`` batches compatible
+    cells and returns the exact metrics of the per-cell vectorized
+    sweep, including for a lone cell that falls through to the
+    per-cell cohort path."""
+    scenarios = [
+        replace(DENSE_ATTACK, start_s=60.0, name="dense-late"),
+        replace(SPARSE_ATTACK, start_s=60.0, name="sparse-late"),
+    ]
+    schemes = ("Conv", "uDEB")
+    reference = ScenarioSweep(
+        SETUP,
+        survival_grid_cells(scenarios, schemes, 180.0, backend="vectorized"),
+    ).run()
+    assert reference.ok, reference.failures
+    batched = ScenarioSweep(
+        SETUP,
+        survival_grid_cells(scenarios, schemes, 180.0, backend="cohort"),
+    ).run()
+    assert batched.ok, batched.failures
+    assert batched.metrics == reference.metrics
+    lone = ScenarioSweep(
+        SETUP,
+        survival_grid_cells(
+            scenarios[:1], schemes[:1], 180.0, backend="cohort"
+        ),
+    ).run()
+    assert lone.ok, lone.failures
+    assert lone.metrics[0] == reference.metrics[0]

@@ -4,9 +4,10 @@ A short PAD run against the first standard attack scenario is frozen in
 ``tests/data/golden_pad_attack.json``: the recorder series, the typed
 event stream, the work integrals and the final per-rack battery SOC.
 Any change to the physics, the dispatch pipeline, or the kernels that
-moves these numbers past 1e-7 relative fails here — on *both* backends,
-which also ties the scalar oracle and the vectorized kernels to the same
-frozen history.
+moves these numbers past 1e-7 relative fails here — on *every* backend
+(scalar, vectorized and the stacked cohort), which ties the scalar
+oracle, the vectorized kernels and the batched multi-cell path to the
+same frozen history.
 
 Regenerate the fixture after an intentional physics change with::
 
@@ -93,8 +94,19 @@ def _assert_matches(golden: dict, summary: dict) -> None:
     )
 
 
-@pytest.mark.parametrize("fast_forward", [False, True])
-@pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+@pytest.mark.parametrize(
+    "backend,fast_forward",
+    [
+        ("scalar", False),
+        ("scalar", True),
+        ("vectorized", False),
+        ("vectorized", True),
+        # The stacked backend answers to the same frozen history as the
+        # per-cell pipelines (fast_forward does not apply: the cohort
+        # path manages its own quiescent freezing internally).
+        ("cohort", False),
+    ],
+)
 def test_pad_attack_matches_golden_trace(
     backend: str, fast_forward: bool
 ) -> None:

@@ -1,0 +1,134 @@
+"""Placement-lottery determinism across process boundaries.
+
+The sweep ships cells to pool workers as pickled ``(setup, cell)``
+pairs, and a cell's attacker placement re-runs its lottery inside the
+worker. That is only sound if :func:`place_attack_nodes` is a pure
+function of its (picklable) inputs — identical in a freshly spawned
+interpreter, under a different hash seed, to what the parent process
+computes. A dependence on process-local state (hash randomisation,
+import order, an ambient global RNG) would make parallel sweeps
+silently non-reproducible, which is exactly the class of bug these
+tests pin.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.attack.placement import (
+    PduPlacement,
+    PlacementResult,
+    place_attack_nodes,
+)
+from repro.config import ClusterConfig, TopologyConfig
+from repro.power import compile_topology
+from repro.workload.cluster import ClusterModel
+
+#: Child process: unpickle the lottery inputs, run the placement in a
+#: fresh interpreter, pickle the result back. Mirrors what a sweep
+#: worker does with a shipped cell.
+_WORKER = """
+import pickle, sys
+from repro.attack.placement import place_attack_nodes
+from repro.power import compile_topology
+from repro.workload.cluster import ClusterModel
+
+with open(sys.argv[1], "rb") as handle:
+    payload = pickle.load(handle)
+config = payload["config"]
+result = place_attack_nodes(
+    ClusterModel(config),
+    compile_topology(config),
+    payload["count"],
+    payload["placement"],
+    seed=payload["seed"],
+)
+with open(sys.argv[2], "wb") as handle:
+    pickle.dump(result, handle)
+"""
+
+
+def _config() -> ClusterConfig:
+    return ClusterConfig(
+        racks=12, topology=TopologyConfig(racks_per_pdu=(4, 4, 4))
+    )
+
+
+def _run_in_fresh_interpreter(
+    tmp_path, config, placement, count, seed
+) -> PlacementResult:
+    payload = tmp_path / "payload.pkl"
+    out = tmp_path / "result.pkl"
+    payload.write_bytes(
+        pickle.dumps(
+            {
+                "config": config,
+                "placement": placement,
+                "count": count,
+                "seed": seed,
+            }
+        )
+    )
+    env = dict(os.environ)
+    # A different hash seed than the parent: placement must not lean on
+    # anything hash-ordered.
+    env["PYTHONHASHSEED"] = "12345"
+    subprocess.run(
+        [sys.executable, "-c", _WORKER, str(payload), str(out)],
+        check=True,
+        env=env,
+        timeout=120,
+    )
+    return pickle.loads(out.read_bytes())
+
+
+@pytest.mark.parametrize(
+    "placement",
+    [
+        PduPlacement("concentrated", target_pdu=1),
+        PduPlacement("striped"),
+        PduPlacement("fraction", fraction_per_pdu=(2.0, 1.0, 1.0)),
+    ],
+    ids=["concentrated", "striped", "fraction"],
+)
+def test_same_seed_same_placement_across_processes(tmp_path, placement):
+    """A pickled lottery re-run in a spawned interpreter (different
+    ``PYTHONHASHSEED``) lands on exactly the parent's placement."""
+    config = _config()
+    parent = place_attack_nodes(
+        ClusterModel(config), compile_topology(config), 6, placement,
+        seed=9,
+    )
+    child = _run_in_fresh_interpreter(tmp_path, config, placement, 6, 9)
+    assert child == parent
+
+
+def test_different_seeds_diverge_across_processes(tmp_path):
+    """The boundary must not collapse seeds either: a different seed in
+    the worker is a different lottery."""
+    config = _config()
+    placement = PduPlacement("striped")
+    parent = place_attack_nodes(
+        ClusterModel(config), compile_topology(config), 6, placement,
+        seed=9,
+    )
+    child = _run_in_fresh_interpreter(tmp_path, config, placement, 6, 10)
+    assert child != parent
+
+
+def test_placement_types_pickle_losslessly():
+    """The lottery's input and output are plain frozen dataclasses;
+    a pickle round-trip (what the pool does) must be exact."""
+    placement = PduPlacement("fraction", fraction_per_pdu=(3.0, 1.0, 0.0))
+    assert pickle.loads(pickle.dumps(placement)) == placement
+    config = _config()
+    result = place_attack_nodes(
+        ClusterModel(config), compile_topology(config), 5, placement,
+        seed=4,
+    )
+    assert pickle.loads(pickle.dumps(result)) == result
