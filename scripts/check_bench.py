@@ -37,6 +37,7 @@ DEFAULT_FLOORS = {
     "BENCH_scale.json": 5.0,     # vectorized vs scalar at 1024 racks
     "BENCH_cohort.json": 4.0,    # stacked cells vs per-cell vectorized
     "BENCH_kernels.json": 1.1,   # vectorized battery kernel vs scalar
+    "BENCH_search.json": 3.0,    # pruned+batched search vs naive runs
 }
 
 
@@ -48,15 +49,28 @@ def headline_speedup(report: dict) -> float:
     raise KeyError("no headline speedup field in bench report")
 
 
-def check(committed_path: str, fresh_path: str, tolerance: float) -> int:
-    with open(committed_path, "r", encoding="utf-8") as handle:
-        committed = json.load(handle)
-    with open(fresh_path, "r", encoding="utf-8") as handle:
-        fresh = json.load(handle)
+def _load_report(path: str) -> dict:
+    """Parse one bench JSON; any unreadable input is a gate failure."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict):
+        raise ValueError(f"bench report {path!r} is not a JSON object")
+    return report
 
+
+def check(committed_path: str, fresh_path: str, tolerance: float) -> int:
     name = fresh_path.rsplit("/", 1)[-1]
-    baseline = headline_speedup(committed)
-    measured = headline_speedup(fresh)
+    try:
+        committed = _load_report(committed_path)
+        fresh = _load_report(fresh_path)
+        baseline = headline_speedup(committed)
+        measured = headline_speedup(fresh)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        # Missing files, malformed JSON, or a report without a headline
+        # ratio: the gate cannot certify anything, so it must fail —
+        # cleanly, not with a traceback CI readers have to decode.
+        print(f"error: {name}: {exc}")
+        return 1
     floor = float(committed.get("speedup_floor", DEFAULT_FLOORS.get(name, 1.0)))
     band = baseline * (1.0 - tolerance)
 

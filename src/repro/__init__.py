@@ -66,6 +66,7 @@ from .errors import (
     FaultInjectionError,
     PowerTopologyError,
     ReproError,
+    SearchError,
     SimulationError,
     SweepExecutionError,
     TraceFormatError,
@@ -86,6 +87,15 @@ from .faults import (
     TelemetryNoise,
     UdebStuckOpen,
     VdebCommLoss,
+)
+from .search import (
+    AttackCandidate,
+    AttackSpace,
+    DefenseKnobs,
+    DefenseSpace,
+    DefenseTuner,
+    FrontierResult,
+    FrontierSearch,
 )
 from .sim import (
     AttackWindow,
@@ -111,8 +121,10 @@ from .workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AttackCandidate",
     "AttackError",
     "AttackScenario",
+    "AttackSpace",
     "AttackWindow",
     "Attacker",
     "BatteryConfig",
@@ -128,6 +140,9 @@ __all__ = [
     "DENSE_ATTACK",
     "DataCenterConfig",
     "DataCenterSimulation",
+    "DefenseKnobs",
+    "DefenseSpace",
+    "DefenseTuner",
     "EventBus",
     "FaultCleared",
     "FaultEvent",
@@ -135,6 +150,8 @@ __all__ = [
     "FaultInjectionError",
     "FaultPlan",
     "FaultSpec",
+    "FrontierResult",
+    "FrontierSearch",
     "MeterConfig",
     "PolicyConfig",
     "PowerTopologyError",
@@ -143,6 +160,7 @@ __all__ = [
     "Runner",
     "SCHEMES",
     "SPARSE_ATTACK",
+    "SearchError",
     "Segment",
     "ServerConfig",
     "SimEvent",

@@ -39,12 +39,28 @@ class SpikeTrainConfig:
     baseline_util: float = 0.10
     phase_jitter_s: float = 0.0
 
+    @staticmethod
+    def fits(width_s: float, rate_per_min: float) -> bool:
+        """Whether a ``(width, rate)`` pair describes a realisable train.
+
+        The burst must be positive and strictly shorter than its period.
+        Exposed so parameter sweeps (the adversarial search space crosses
+        width and rate axes freely) can filter impossible combinations
+        up front instead of catching :class:`AttackError` per candidate;
+        ``__post_init__`` enforces the identical constraint.
+        """
+        return (
+            width_s > 0.0
+            and rate_per_min > 0.0
+            and width_s < 60.0 / rate_per_min
+        )
+
     def __post_init__(self) -> None:
         if self.width_s <= 0.0:
             raise AttackError("spike width must be positive")
         if self.rate_per_min <= 0.0:
             raise AttackError("spike rate must be positive")
-        if self.width_s >= self.period_s:
+        if not self.fits(self.width_s, self.rate_per_min):
             raise AttackError(
                 f"width {self.width_s}s does not fit in period {self.period_s}s"
             )

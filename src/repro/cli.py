@@ -11,6 +11,11 @@ Commands:
   (fast-forward + prefix sharing), with optional cProfile output;
   ``--scale`` and ``--cohort`` switch to the topology-scale and
   stacked-cohort benchmarks respectively.
+* ``search`` — adversarial worst-case search over an attack space,
+  with optional grid refinement; ``--bench`` runs the pruned+batched
+  vs naive throughput benchmark and writes ``BENCH_search.json``.
+* ``tune`` — walk a defense-knob grid cost-ascending until the
+  searched worst case meets a survival target (Fig. 17, adaptive).
 """
 
 from __future__ import annotations
@@ -108,7 +113,255 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale-output", default="BENCH_scale.json",
         help="where the scale benchmark writes its JSON report",
     )
+
+    search = sub.add_parser(
+        "search",
+        help="adversarial worst-case search over an attack space",
+    )
+    _add_space_arguments(search)
+    search.add_argument(
+        "--scheme", choices=list(SCHEMES), default="PAD",
+        help="defense scheme to search against",
+    )
+    search.add_argument(
+        "--probes", default="0.25,0.5",
+        help="comma-separated probe fractions of the window in (0, 1); "
+             "empty string evaluates exhaustively",
+    )
+    search.add_argument(
+        "--budget", type=int, default=0,
+        help="sample this many candidates from the space instead of "
+             "enumerating it (0 = exhaustive enumeration)",
+    )
+    search.add_argument(
+        "--refine", type=int, default=0,
+        help="grid-refinement iterations around the found worst case",
+    )
+    search.add_argument(
+        "--journal", default=None,
+        help="JSONL checkpoint journal (enables --resume)",
+    )
+    search.add_argument(
+        "--resume", action="store_true",
+        help="replay resolved candidates from the journal",
+    )
+    search.add_argument(
+        "--output", default=None,
+        help="write the frontier JSON document here",
+    )
+    search.add_argument(
+        "--bench", action="store_true",
+        help="run the pruned+batched vs naive throughput benchmark "
+             "instead (space flags do not apply; the grid is fixed so "
+             "the baseline stays comparable across runs)",
+    )
+    search.add_argument(
+        "--bench-output", default="BENCH_search.json",
+        help="where the search benchmark writes its JSON report",
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help="cheapest defense configuration meeting a survival target",
+    )
+    _add_space_arguments(tune)
+    tune.add_argument(
+        "--scheme", choices=list(SCHEMES), default="PAD",
+        help="defense scheme to tune",
+    )
+    tune.add_argument(
+        "--target", type=float, default=1200.0,
+        help="survival target in seconds the searched worst case "
+             "must meet",
+    )
+    tune.add_argument(
+        "--probes", default="0.25,0.5",
+        help="probe fractions for the inner search",
+    )
+    tune.add_argument(
+        "--udeb", default="",
+        help="comma-separated uDEB capacities (Wh/rack) to try",
+    )
+    tune.add_argument(
+        "--vdeb", default="",
+        help="comma-separated vDEB ideal-discharge fractions to try",
+    )
+    tune.add_argument(
+        "--shed", default="",
+        help="comma-separated Level-3 shed-ratio caps to try",
+    )
+    tune.add_argument(
+        "--output", default=None,
+        help="write the tuning JSON document here",
+    )
     return parser
+
+
+def _add_space_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attack-space axes shared by the ``search`` and ``tune`` verbs."""
+    parser.add_argument("--window", type=float, default=2400.0,
+                        help="observation window in seconds")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--onsets", default="300",
+        help="comma-separated attack onsets (s) inside the window",
+    )
+    parser.add_argument(
+        "--widths", default="1,2,4",
+        help="comma-separated spike widths (s)",
+    )
+    parser.add_argument(
+        "--rates", default="2,6",
+        help="comma-separated spike rates (per minute)",
+    )
+    parser.add_argument(
+        "--nodes", default="3,6",
+        help="comma-separated attacker node counts",
+    )
+    parser.add_argument(
+        "--kind", choices=[k.value for k in VirusKind], default="cpu",
+        help="virus benchmark class",
+    )
+
+
+def _parse_floats(text: str) -> "tuple[float, ...]":
+    return tuple(float(x) for x in text.split(",") if x.strip())
+
+
+def _parse_ints(text: str) -> "tuple[int, ...]":
+    return tuple(int(x) for x in text.split(",") if x.strip())
+
+
+def _build_space(args: argparse.Namespace):
+    from .search import AttackSpace
+
+    return AttackSpace(
+        onsets_s=_parse_floats(args.onsets),
+        widths_s=_parse_floats(args.widths),
+        rates_per_min=_parse_floats(args.rates),
+        node_counts=_parse_ints(args.nodes),
+        kinds=(VirusKind(args.kind),),
+    )
+
+
+def _cmd_search_bench(args: argparse.Namespace) -> int:
+    """Run the search benchmark and gate it like the other bench verbs."""
+    import json
+
+    from .search.bench import SEARCH_SPEEDUP_FLOOR, run_search_bench
+
+    report, problems = run_search_bench(seed=args.seed)
+    print(f"search : {report['search_s']:7.2f}s  "
+          f"({report['candidates']} candidates, "
+          f"{report['cells_run']} cells run)")
+    print(f"naive  : {report['naive_s']:7.2f}s  "
+          f"(per-candidate full-window runs)")
+    print(f"speedup: {report['speedup']:.2f}x  "
+          f"(floor {SEARCH_SPEEDUP_FLOOR:.1f}x)")
+    with open(args.bench_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(f"\nwrote {args.bench_output}")
+    if problems:
+        for problem in problems[:6]:
+            print(f"error: {problem}")
+        print(f"error: searched frontier diverged from the naive "
+              f"reference ({len(problems)} discrepancies)")
+        return 1
+    if report["speedup"] < SEARCH_SPEEDUP_FLOOR:
+        print(f"error: search is only {report['speedup']:.2f}x naive "
+              f"(floor {SEARCH_SPEEDUP_FLOOR:.1f}x)")
+        return 1
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Search an attack space for a scheme's worst case."""
+    import json
+
+    from .experiments.common import standard_setup
+    from .search import FrontierSearch
+
+    if args.bench:
+        return _cmd_search_bench(args)
+    setup = standard_setup(seed=args.seed)
+    space = _build_space(args)
+    probes = _parse_floats(args.probes)
+    candidates = (
+        space.sample(args.budget, seed=args.seed)
+        if args.budget > 0
+        else list(space.candidates())
+    )
+    search = FrontierSearch(
+        setup, candidates, args.scheme,
+        window_s=args.window,
+        probe_fractions=probes,
+        journal_path=args.journal,
+    )
+    result = search.run(resume=args.resume)
+    for _ in range(args.refine):
+        space = space.refine(candidates[result.worst[0].index])
+        candidates = list(space.candidates())
+        search = FrontierSearch(
+            setup, candidates, args.scheme,
+            window_s=args.window,
+            probe_fractions=probes,
+        )
+        result = search.run()
+    exact = sum(1 for o in result.outcomes if o.status == "exact")
+    pruned = len(result.outcomes) - exact
+    print(f"scheme     : {args.scheme}")
+    print(f"candidates : {len(result.outcomes)} resolved "
+          f"({exact} exact, {pruned} pruned, "
+          f"{result.cells_run} cells run)")
+    print(f"worst case : {result.worst_survival_s:.1f} s")
+    for outcome in result.worst:
+        print(f"  {outcome.key}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Tune defense knobs against the searched worst case."""
+    import json
+
+    from .experiments.common import standard_setup
+    from .search import DefenseSpace, DefenseTuner
+
+    setup = standard_setup(seed=args.seed)
+    space = _build_space(args)
+    defenses = DefenseSpace(
+        udeb_capacities_wh=_parse_floats(args.udeb),
+        vdeb_ideal_discharge_fractions=_parse_floats(args.vdeb),
+        shed_ratio_caps=_parse_floats(args.shed),
+    )
+    tuner = DefenseTuner(
+        setup, space, defenses, args.scheme,
+        target_survival_s=args.target,
+        window_s=args.window,
+        probe_fractions=_parse_floats(args.probes),
+    )
+    result = tuner.run()
+    print(f"scheme : {args.scheme}  target {args.target:.0f} s")
+    for trial in result.trials:
+        verdict = "meets target" if trial.met_target else "fails"
+        print(f"  {trial.knobs.label():<32} ${trial.cost_dollars:>8.0f}  "
+              f"worst {trial.worst_survival_s:>7.1f} s  {verdict}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    if result.best is None:
+        print("no configuration in the space met the target")
+        return 1
+    print(f"cheapest pass: {result.best.label()} "
+          f"(${result.best_cost_dollars:.0f})")
+    return 0
 
 
 def _cmd_survive(args: argparse.Namespace) -> int:
@@ -498,6 +751,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "report": _cmd_report,
         "demo": _cmd_demo,
         "bench": _cmd_bench,
+        "search": _cmd_search,
+        "tune": _cmd_tune,
     }
     return handlers[args.command](args)
 

@@ -67,6 +67,16 @@ class FaultInjectionError(ReproError):
     """
 
 
+class SearchError(ReproError):
+    """An adversarial search or tuning run is invalid or inconsistent.
+
+    Examples: an empty attack space, probe fractions outside ``(0, 1)``,
+    or a search journal that belongs to a different candidate set.
+    Distinct from :class:`AttackError` (one malformed scenario) — this is
+    the *search over* scenarios being misused.
+    """
+
+
 class SweepExecutionError(ReproError):
     """A sweep cell failed to *execute* (worker crash, timeout, exhaustion).
 

@@ -1,0 +1,52 @@
+"""Adversarial attack search and defense auto-tuning.
+
+Turns the paper's hand-picked worst-case schedules (Figs. 14-17) into an
+automated, reproducible process:
+
+* :mod:`repro.search.space` — the parameterized :class:`AttackSpace`
+  with a seedable sampler and coordinate/grid refinement;
+* :mod:`repro.search.frontier` — the pruned :class:`FrontierSearch`
+  driver (probe rounds, cohort batching, snapshot forking, resumable
+  journal) whose frontier provably equals exhaustive evaluation;
+* :mod:`repro.search.tuner` — the :class:`DefenseTuner` wrapping the
+  search as an inner oracle to meet a survival target at minimum cost;
+* :mod:`repro.search.events` — typed search events on the simulation
+  :class:`~repro.sim.events.EventBus`;
+* :mod:`repro.search.bench` — the pruned+batched vs naive throughput
+  benchmark behind ``BENCH_search.json``.
+"""
+
+from .bench import run_search_bench
+from .events import CandidateEvaluated, FrontierUpdated, SearchEvent
+from .frontier import (
+    CandidateOutcome,
+    FrontierResult,
+    FrontierSearch,
+    candidate_fingerprint,
+)
+from .space import AttackCandidate, AttackSpace
+from .tuner import (
+    DefenseKnobs,
+    DefenseSpace,
+    DefenseTuner,
+    TuningResult,
+    TuningTrial,
+)
+
+__all__ = [
+    "AttackCandidate",
+    "AttackSpace",
+    "CandidateEvaluated",
+    "CandidateOutcome",
+    "DefenseKnobs",
+    "DefenseSpace",
+    "DefenseTuner",
+    "FrontierResult",
+    "FrontierSearch",
+    "FrontierUpdated",
+    "SearchEvent",
+    "TuningResult",
+    "TuningTrial",
+    "candidate_fingerprint",
+    "run_search_bench",
+]

@@ -1,0 +1,164 @@
+"""Search-throughput benchmark: pruned+batched vs naive evaluation.
+
+Measures how many candidate evaluations per second the
+:class:`~repro.search.frontier.FrontierSearch` fast paths deliver
+(shared benign prefix via cohort expansion, probe-round pruning)
+against the naive reference — one full-window
+:func:`~repro.experiments.common.run_survival` per candidate — on the
+same late-onset grid the committed cohort benchmark uses, so the two
+baselines describe comparable work.
+
+The benchmark is also a correctness spot-check: the searched frontier
+must match the naive frontier exactly (minimum value and argmin set),
+every exact search metric must be bit-identical to its naive run, and
+every pruning bound must actually lower-bound its candidate's naive
+metric. A report where the fast path got fast by being wrong exits
+non-zero instead of shipping a number.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..attack.virus import VirusKind
+from ..experiments.common import run_survival, standard_setup
+from .frontier import FrontierSearch
+from .space import AttackSpace
+
+__all__ = [
+    "SEARCH_BENCH_ONSET_S",
+    "SEARCH_BENCH_REPEATS",
+    "SEARCH_BENCH_SCHEME",
+    "SEARCH_BENCH_WINDOW_S",
+    "SEARCH_SPEEDUP_FLOOR",
+    "bench_space",
+    "run_search_bench",
+]
+
+#: Bench grid shape — the cohort benchmark's late onset, so the shared
+#: benign prefix dominates naive cost exactly as it does in real sweeps.
+SEARCH_BENCH_WINDOW_S = 2400.0
+SEARCH_BENCH_ONSET_S = 2100.0
+
+#: Scheme under attack. PS trips quickly for strong spike trains, which
+#: exercises both the exact-probe and the prune path.
+SEARCH_BENCH_SCHEME = "PS"
+
+#: Probe horizon covering the post-onset span (0.9 x 2400 = 2160 s).
+SEARCH_BENCH_PROBES = (0.9,)
+
+#: Required pruned+batched over naive advantage. Conservative for shared
+#: CI runners; BENCH_search.json records the real measured ratio.
+SEARCH_SPEEDUP_FLOOR = 3.0
+
+#: Interleaved passes (search, naive, search, ...) keeping per-side
+#: minima, mirroring the cohort bench's noise-rejection protocol.
+SEARCH_BENCH_REPEATS = 2
+
+
+def bench_space() -> AttackSpace:
+    """The committed 12-candidate benchmark space (flat, cohortable)."""
+    return AttackSpace(
+        onsets_s=(SEARCH_BENCH_ONSET_S,),
+        widths_s=(1.0, 2.0, 4.0),
+        rates_per_min=(2.0, 6.0),
+        node_counts=(4, 6),
+        kinds=(VirusKind.CPU,),
+    )
+
+
+def run_search_bench(
+    seed: int = 3, repeats: int = SEARCH_BENCH_REPEATS
+) -> "tuple[dict, list[str]]":
+    """Run the benchmark; returns ``(report, problems)``.
+
+    ``problems`` is empty when the searched frontier matched the naive
+    reference in full; each entry is a human-readable discrepancy.
+    """
+    setup = standard_setup(seed=seed)
+    space = bench_space()
+    candidates = list(space.candidates())
+
+    search_s = naive_s = float("inf")
+    result = None
+    naive: "dict[str, float]" = {}
+    for _ in range(repeats):
+        search = FrontierSearch(
+            setup,
+            space,
+            SEARCH_BENCH_SCHEME,
+            window_s=SEARCH_BENCH_WINDOW_S,
+            probe_fractions=SEARCH_BENCH_PROBES,
+        )
+        start = time.perf_counter()
+        result = search.run()
+        search_s = min(search_s, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        naive = {
+            candidate.key(): run_survival(
+                setup,
+                SEARCH_BENCH_SCHEME,
+                candidate.scenario(),
+                window_s=SEARCH_BENCH_WINDOW_S,
+                seed=candidate.seed,
+            ).survival_or_window()
+            for candidate in candidates
+        }
+        naive_s = min(naive_s, time.perf_counter() - start)
+
+    problems: "list[str]" = []
+    naive_worst = min(naive.values())
+    naive_argmin = [
+        c.key() for c in candidates if naive[c.key()] == naive_worst
+    ]
+    if result.worst_survival_s != naive_worst:
+        problems.append(
+            f"frontier value {result.worst_survival_s!r} != naive "
+            f"{naive_worst!r}"
+        )
+    if [o.key for o in result.worst] != naive_argmin:
+        problems.append(
+            f"frontier argmin {[o.key for o in result.worst]} != naive "
+            f"{naive_argmin}"
+        )
+    for outcome in result.outcomes:
+        reference = naive[outcome.key]
+        if outcome.status == "exact" and outcome.survival_s != reference:
+            problems.append(
+                f"{outcome.key}: exact {outcome.survival_s!r} != naive "
+                f"{reference!r}"
+            )
+        if outcome.status == "pruned" and outcome.survival_s > reference:
+            problems.append(
+                f"{outcome.key}: pruning bound {outcome.survival_s!r} "
+                f"exceeds naive metric {reference!r}"
+            )
+
+    speedup = naive_s / search_s
+    report = {
+        "benchmark": (
+            "adversarial frontier search: 12-candidate late-onset "
+            "space, probe-round pruning + cohort batching vs naive "
+            "per-candidate full-window runs"
+        ),
+        "scheme": SEARCH_BENCH_SCHEME,
+        "window_s": SEARCH_BENCH_WINDOW_S,
+        "onset_s": SEARCH_BENCH_ONSET_S,
+        "probe_fractions": list(SEARCH_BENCH_PROBES),
+        "candidates": len(candidates),
+        "cells_run": result.cells_run,
+        "search_s": round(search_s, 4),
+        "naive_s": round(naive_s, 4),
+        "search_candidates_per_s": round(len(candidates) / search_s, 3),
+        "naive_candidates_per_s": round(len(candidates) / naive_s, 3),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SEARCH_SPEEDUP_FLOOR,
+        "frontier_identical": not problems,
+        "worst_survival_s": result.worst_survival_s,
+        "worst": [o.key for o in result.worst],
+        "recorded_on": (
+            f"dev container (min of {repeats} interleaved passes)"
+        ),
+    }
+    return report, problems

@@ -1,0 +1,69 @@
+"""Typed events emitted by the adversarial search driver.
+
+The search publishes its progress on the same synchronous
+:class:`~repro.sim.events.EventBus` the simulation engine uses, so one
+subscriber sees simulation *and* search occurrences through a single
+mechanism. Search events are :class:`~repro.sim.events.SimEvent`
+subclasses whose ``time_s`` is the **evaluation ordinal** (0, 1, 2, ...
+in resolution order), not wall-clock time — search runs carry no clock,
+and the ordinal keeps event streams bit-identical across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.events import SimEvent
+
+__all__ = [
+    "CandidateEvaluated",
+    "FrontierUpdated",
+    "SearchEvent",
+]
+
+
+@dataclass(frozen=True)
+class SearchEvent(SimEvent):
+    """Base class for search-driver occurrences.
+
+    Attributes:
+        time_s: Evaluation ordinal (resolution order), not wall clock.
+    """
+
+
+@dataclass(frozen=True)
+class CandidateEvaluated(SearchEvent):
+    """One candidate resolved to an exact metric or was pruned.
+
+    Attributes:
+        index: The candidate's position in the space enumeration.
+        key: The candidate's stable identity label.
+        scheme: Defense scheme the candidate was evaluated against.
+        survival_s: Exact survival metric, or the sound lower bound the
+            candidate was pruned at.
+        pruned: True when the metric is a lower bound from a censored
+            probe window, not an exact full-window result.
+        round_index: Probe round in which the candidate resolved.
+    """
+
+    index: int
+    key: str
+    scheme: str
+    survival_s: float
+    pruned: bool
+    round_index: int
+
+
+@dataclass(frozen=True)
+class FrontierUpdated(SearchEvent):
+    """The incumbent worst case improved (survival dropped).
+
+    Attributes:
+        index: Candidate index now (co-)defining the frontier.
+        key: That candidate's stable identity label.
+        survival_s: The new frontier (minimum exact survival) value.
+    """
+
+    index: int
+    key: str
+    survival_s: float

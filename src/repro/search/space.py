@@ -1,0 +1,304 @@
+"""Parameterized attack-candidate space (the search's domain).
+
+The paper's worst-case figures evaluate a handful of hand-picked attack
+shapes; this module makes the space those shapes live in a first-class,
+enumerable object. An :class:`AttackSpace` is a cross product of axes —
+onset offset, spike width/rate, node count, virus class, baseline
+utilisation, cross-PDU placement, acquisition seed — and every point in
+it is an :class:`AttackCandidate`: a frozen, picklable record that
+compiles to exactly one :class:`~repro.attack.scenario.AttackScenario`.
+
+Three access patterns cover the search driver's needs:
+
+* :meth:`AttackSpace.candidates` — deterministic lexicographic
+  enumeration (exhaustive evaluation, golden fixtures);
+* :meth:`AttackSpace.sample` — a seedable without-replacement sampler
+  for budgeted searches over large spaces;
+* :meth:`AttackSpace.refine` — coordinate/grid refinement around an
+  incumbent worst case: continuous axes re-grid to the midpoints of the
+  incumbent's bracket, discrete axes pin, so repeated refinement closes
+  in geometrically on a local worst case.
+
+Combinations where the spike width does not fit its period are filtered
+out of the enumeration (see :meth:`SpikeTrainConfig.fits`) instead of
+raising per candidate, so spaces may cross width and rate axes freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..attack.placement import PduPlacement
+from ..attack.scenario import AttackScenario
+from ..attack.spikes import SpikeTrainConfig
+from ..attack.virus import VirusKind
+from ..errors import SearchError
+from ..rng import child_rng
+
+__all__ = ["AttackCandidate", "AttackSpace"]
+
+
+def _label_num(value: float) -> str:
+    """A compact, deterministic number label (no trailing zeros)."""
+    text = f"{value:g}"
+    return text.replace(".", "p").replace("-", "m")
+
+
+@dataclass(frozen=True)
+class AttackCandidate:
+    """One fully specified point of an :class:`AttackSpace`.
+
+    Attributes:
+        onset_s: Attack start relative to the experiment window
+            (:attr:`AttackScenario.start_s`).
+        width_s: Phase-II spike width.
+        rate_per_min: Phase-II spikes per minute.
+        nodes: Number of co-located attacker machines.
+        kind: Virus benchmark class.
+        baseline_util: Utilisation held between bursts.
+        placement: Cross-PDU node distribution, or ``None`` for the
+            classic single-rack lottery.
+        seed: Node-acquisition / attacker seed.
+    """
+
+    onset_s: float
+    width_s: float
+    rate_per_min: float
+    nodes: int
+    kind: VirusKind
+    baseline_util: float = 0.10
+    placement: "PduPlacement | None" = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.onset_s < 0.0:
+            raise SearchError("candidate onset must be non-negative")
+        if not SpikeTrainConfig.fits(self.width_s, self.rate_per_min):
+            raise SearchError(
+                f"candidate spike width {self.width_s}s does not fit a "
+                f"{self.rate_per_min}/min train"
+            )
+        if self.nodes <= 0:
+            raise SearchError("candidate needs at least one attacker node")
+
+    def scenario(self) -> AttackScenario:
+        """The scenario this candidate compiles to (label included)."""
+        return AttackScenario(
+            name=self.key(),
+            kind=self.kind,
+            nodes=self.nodes,
+            spikes=SpikeTrainConfig(
+                width_s=self.width_s,
+                rate_per_min=self.rate_per_min,
+                baseline_util=self.baseline_util,
+            ),
+            start_s=self.onset_s,
+            placement=self.placement,
+        )
+
+    def key(self) -> str:
+        """A stable human-readable identity label.
+
+        Deterministic across processes and platforms (pure string
+        formatting of the candidate's fields), used for journal entries,
+        event payloads and frontier JSON.
+        """
+        parts = [
+            f"search-{self.kind.value}",
+            f"n{self.nodes}",
+            f"w{_label_num(self.width_s)}",
+            f"r{_label_num(self.rate_per_min)}",
+            f"o{_label_num(self.onset_s)}",
+            f"b{_label_num(self.baseline_util)}",
+            f"s{self.seed}",
+        ]
+        if self.placement is not None:
+            tag = self.placement.mode
+            if self.placement.mode == "concentrated":
+                tag += str(self.placement.target_pdu)
+            parts.append(tag)
+        return "-".join(parts)
+
+
+@dataclass(frozen=True)
+class AttackSpace:
+    """A cross product of attack-parameter axes.
+
+    Every axis is a tuple of admissible values; the space is their
+    product, minus width/rate combinations whose spike does not fit its
+    period. Axes are normalised to sorted, duplicate-free tuples (value
+    order never carries meaning) so equal spaces enumerate identically.
+
+    Attributes:
+        onsets_s: Attack onsets relative to the experiment window. Keep
+            them positive and on the fine step grid so the search can
+            share each family's benign prefix.
+        widths_s: Spike widths (paper Fig. 8 sweeps 1-4 s).
+        rates_per_min: Spike rates (paper sweeps 1-6 per minute).
+        node_counts: Co-located attacker node counts.
+        kinds: Virus benchmark classes.
+        baseline_utils: Between-burst utilisation levels.
+        placements: Cross-PDU placements; ``None`` entries keep the
+            flat single-rack lottery (and stay cohort-batchable).
+        seeds: Node-acquisition seeds (placement lottery variation).
+    """
+
+    onsets_s: "tuple[float, ...]" = (300.0,)
+    widths_s: "tuple[float, ...]" = (1.0, 2.0, 4.0)
+    rates_per_min: "tuple[float, ...]" = (2.0, 6.0)
+    node_counts: "tuple[int, ...]" = (3, 6)
+    kinds: "tuple[VirusKind, ...]" = (VirusKind.CPU,)
+    baseline_utils: "tuple[float, ...]" = (0.10,)
+    placements: "tuple[PduPlacement | None, ...]" = (None,)
+    seeds: "tuple[int, ...]" = (7,)
+
+    def __post_init__(self) -> None:
+        numeric = {
+            "onsets_s": self.onsets_s,
+            "widths_s": self.widths_s,
+            "rates_per_min": self.rates_per_min,
+            "node_counts": self.node_counts,
+            "baseline_utils": self.baseline_utils,
+            "seeds": self.seeds,
+        }
+        for name, axis in numeric.items():
+            if not axis:
+                raise SearchError(f"attack space axis {name} is empty")
+            object.__setattr__(self, name, tuple(sorted(set(axis))))
+        if not self.kinds:
+            raise SearchError("attack space axis kinds is empty")
+        object.__setattr__(
+            self,
+            "kinds",
+            tuple(sorted(set(self.kinds), key=lambda k: k.value)),
+        )
+        if not self.placements:
+            raise SearchError("attack space axis placements is empty")
+        seen: "list[PduPlacement | None]" = []
+        for placement in self.placements:
+            if placement not in seen:
+                seen.append(placement)
+        object.__setattr__(self, "placements", tuple(seen))
+        if any(o < 0.0 for o in self.onsets_s):
+            raise SearchError("attack onsets must be non-negative")
+        if any(w <= 0.0 for w in self.widths_s):
+            raise SearchError("spike widths must be positive")
+        if any(r <= 0.0 for r in self.rates_per_min):
+            raise SearchError("spike rates must be positive")
+        if any(n <= 0 for n in self.node_counts):
+            raise SearchError("node counts must be positive")
+        if any(not 0.0 <= b <= 1.0 for b in self.baseline_utils):
+            raise SearchError("baseline utilisations must be in [0, 1]")
+        if not any(True for _ in self.candidates()):
+            raise SearchError(
+                "attack space is empty: no width fits any rate's period"
+            )
+
+    def candidates(self) -> "Iterator[AttackCandidate]":
+        """Every admissible candidate, in lexicographic axis order.
+
+        The order is a pure function of the (normalised) axes — stable
+        across processes, platforms and hash seeds — which is what lets
+        journals and frontier JSON refer to candidates by index.
+        """
+        for onset in self.onsets_s:
+            for width in self.widths_s:
+                for rate in self.rates_per_min:
+                    if not SpikeTrainConfig.fits(width, rate):
+                        continue
+                    for nodes in self.node_counts:
+                        for kind in self.kinds:
+                            for baseline in self.baseline_utils:
+                                for placement in self.placements:
+                                    for seed in self.seeds:
+                                        yield AttackCandidate(
+                                            onset_s=onset,
+                                            width_s=width,
+                                            rate_per_min=rate,
+                                            nodes=nodes,
+                                            kind=kind,
+                                            baseline_util=baseline,
+                                            placement=placement,
+                                            seed=seed,
+                                        )
+
+    @property
+    def size(self) -> int:
+        """Number of admissible candidates in the space."""
+        fitting = sum(
+            1
+            for width in self.widths_s
+            for rate in self.rates_per_min
+            if SpikeTrainConfig.fits(width, rate)
+        )
+        return (
+            fitting
+            * len(self.onsets_s)
+            * len(self.node_counts)
+            * len(self.kinds)
+            * len(self.baseline_utils)
+            * len(self.placements)
+            * len(self.seeds)
+        )
+
+    def sample(self, budget: int, seed: "int | None" = None) -> "list[AttackCandidate]":
+        """A seedable without-replacement sample of the space.
+
+        Draws ``budget`` distinct candidates (the whole space when the
+        budget covers it) from a named child stream, returned in
+        enumeration order so downstream journals stay index-stable.
+        """
+        if budget <= 0:
+            raise SearchError("sample budget must be positive")
+        population = list(self.candidates())
+        if budget >= len(population):
+            return population
+        rng = child_rng(seed, "attack-space-sample")
+        chosen = rng.choice(len(population), size=budget, replace=False)
+        return [population[i] for i in sorted(int(i) for i in chosen)]
+
+    def refine(self, around: AttackCandidate) -> "AttackSpace":
+        """The coordinate-refined neighbourhood of one candidate.
+
+        Continuous axes (onset, width, rate, baseline) re-grid to the
+        candidate's value plus the midpoints toward its nearest axis
+        neighbours — halving the local grid pitch per application —
+        while discrete axes (nodes, kind, placement, seed) pin to the
+        candidate's value. Iterating search-then-refine therefore
+        converges geometrically on a local worst case without ever
+        leaving the original bracket.
+        """
+        return AttackSpace(
+            onsets_s=_bracket(self.onsets_s, around.onset_s),
+            widths_s=_bracket(self.widths_s, around.width_s),
+            rates_per_min=_bracket(self.rates_per_min, around.rate_per_min),
+            node_counts=(around.nodes,),
+            kinds=(around.kind,),
+            baseline_utils=_bracket(
+                self.baseline_utils, around.baseline_util
+            ),
+            placements=(around.placement,),
+            seeds=(around.seed,),
+        )
+
+    def with_placements(
+        self, placements: "tuple[PduPlacement | None, ...]"
+    ) -> "AttackSpace":
+        """This space with a different placement axis."""
+        return replace(self, placements=placements)
+
+
+def _bracket(axis: "tuple[float, ...]", value: float) -> "tuple[float, ...]":
+    """Refined grid around ``value``: itself plus neighbour midpoints."""
+    if value not in axis:
+        raise SearchError(
+            f"refinement pivot {value!r} is not on its axis {axis!r}"
+        )
+    index = axis.index(value)
+    points = {value}
+    if index > 0:
+        points.add((axis[index - 1] + value) / 2.0)
+    if index + 1 < len(axis):
+        points.add((value + axis[index + 1]) / 2.0)
+    return tuple(sorted(points))

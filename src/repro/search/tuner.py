@@ -1,0 +1,344 @@
+"""Defense auto-tuning against a searched worst case (Fig. 17, adaptive).
+
+The paper sizes the uDEB by sweeping capacity against a *fixed* attack
+(Fig. 17); :class:`DefenseTuner` closes the loop instead: it treats the
+adversarial :class:`~repro.search.frontier.FrontierSearch` as an inner
+oracle and walks a grid of defense knobs in ascending dollar cost,
+returning the **cheapest configuration whose searched worst case still
+meets a survival target**.
+
+Two properties keep the tuner deterministic and honest:
+
+* knob grids enumerate in a fixed order and are sorted by exact dollar
+  cost (ties broken by enumeration order), so the "first config that
+  meets the target" is well defined;
+* the inner search runs with ``stop_below_s=target``: the moment any
+  single attack's *exact* survival drops below the target the
+  configuration is disproven and the search aborts — a sound early
+  exit, because one witness suffices to reject and a full frontier is
+  only needed for configurations that pass.
+
+Only the uDEB capacity costs money (:func:`~repro.sim.costs.supercap_cost`
+— supercap banks plus the ORing stage); the vDEB ideal-discharge
+fraction and the policy shed cap are free software knobs, which is why
+cost-ascending order explores "reconfigure software first, buy hardware
+only if needed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import DataCenterConfig
+from ..errors import SearchError
+from ..experiments.common import SURVIVAL_WINDOW_S, ExperimentSetup
+from ..sim.costs import supercap_cost
+from ..sim.events import EventBus
+from ..sim.runner import ATTACK_DT_S
+from .frontier import FrontierResult, FrontierSearch
+from .space import AttackSpace
+
+__all__ = [
+    "DefenseKnobs",
+    "DefenseSpace",
+    "DefenseTuner",
+    "TuningResult",
+    "TuningTrial",
+]
+
+
+@dataclass(frozen=True)
+class DefenseKnobs:
+    """One point of the defense-parameter grid.
+
+    ``None`` leaves the corresponding subsystem at the base
+    configuration's value.
+
+    Attributes:
+        udeb_capacity_wh: Supercap bank capacity per rack (the hardware
+            knob — the only one that costs dollars).
+        vdeb_ideal_discharge_fraction: vDEB per-rack discharge cap as a
+            fraction of battery ``max_discharge_w`` (free).
+        shed_ratio_cap: Maximum fraction of servers Level 3 may shed
+            (free).
+    """
+
+    udeb_capacity_wh: "float | None" = None
+    vdeb_ideal_discharge_fraction: "float | None" = None
+    shed_ratio_cap: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.udeb_capacity_wh is not None and self.udeb_capacity_wh <= 0.0:
+            raise SearchError("uDEB capacity knob must be positive")
+        if self.vdeb_ideal_discharge_fraction is not None and not (
+            0.0 < self.vdeb_ideal_discharge_fraction <= 1.0
+        ):
+            raise SearchError("vDEB discharge knob must be in (0, 1]")
+        if self.shed_ratio_cap is not None and not (
+            0.0 < self.shed_ratio_cap <= 1.0
+        ):
+            raise SearchError("shed-ratio knob must be in (0, 1]")
+
+    def apply(self, config: DataCenterConfig) -> DataCenterConfig:
+        """``config`` with these knobs substituted in."""
+        tuned = config
+        if self.udeb_capacity_wh is not None:
+            tuned = replace(
+                tuned,
+                supercap=replace(
+                    tuned.supercap, capacity_wh=self.udeb_capacity_wh
+                ),
+            )
+        if self.vdeb_ideal_discharge_fraction is not None:
+            tuned = replace(
+                tuned,
+                vdeb=replace(
+                    tuned.vdeb,
+                    ideal_discharge_fraction=(
+                        self.vdeb_ideal_discharge_fraction
+                    ),
+                ),
+            )
+        if self.shed_ratio_cap is not None:
+            tuned = replace(
+                tuned,
+                policy=replace(
+                    tuned.policy, shed_ratio_cap=self.shed_ratio_cap
+                ),
+            )
+        return tuned
+
+    def cost_dollars(self, config: DataCenterConfig) -> float:
+        """Installed hardware cost of this knob point on ``config``."""
+        tuned = self.apply(config)
+        return supercap_cost(tuned.supercap, tuned.cluster.racks)
+
+    def label(self) -> str:
+        """A compact deterministic label for reports."""
+        parts = []
+        if self.udeb_capacity_wh is not None:
+            parts.append(f"udeb={self.udeb_capacity_wh:g}Wh")
+        if self.vdeb_ideal_discharge_fraction is not None:
+            parts.append(f"vdeb={self.vdeb_ideal_discharge_fraction:g}")
+        if self.shed_ratio_cap is not None:
+            parts.append(f"shed={self.shed_ratio_cap:g}")
+        return ",".join(parts) if parts else "base"
+
+
+@dataclass(frozen=True)
+class DefenseSpace:
+    """A cross product of defense-knob axes.
+
+    Empty-tuple axes mean "do not touch that knob" (a single ``None``
+    entry on that axis), so the default space is the base configuration
+    alone.
+
+    Attributes:
+        udeb_capacities_wh: Candidate supercap capacities per rack.
+        vdeb_ideal_discharge_fractions: Candidate vDEB discharge caps.
+        shed_ratio_caps: Candidate Level-3 shed caps.
+    """
+
+    udeb_capacities_wh: "tuple[float, ...]" = ()
+    vdeb_ideal_discharge_fractions: "tuple[float, ...]" = ()
+    shed_ratio_caps: "tuple[float, ...]" = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "udeb_capacities_wh",
+            "vdeb_ideal_discharge_fractions",
+            "shed_ratio_caps",
+        ):
+            axis = getattr(self, name)
+            object.__setattr__(self, name, tuple(sorted(set(axis))))
+
+    def knob_points(self) -> "list[DefenseKnobs]":
+        """Every knob combination, in deterministic enumeration order."""
+        udeb_axis = self.udeb_capacities_wh or (None,)
+        vdeb_axis = self.vdeb_ideal_discharge_fractions or (None,)
+        shed_axis = self.shed_ratio_caps or (None,)
+        return [
+            DefenseKnobs(
+                udeb_capacity_wh=udeb,
+                vdeb_ideal_discharge_fraction=vdeb,
+                shed_ratio_cap=shed,
+            )
+            for udeb in udeb_axis
+            for vdeb in vdeb_axis
+            for shed in shed_axis
+        ]
+
+    def by_cost(self, config: DataCenterConfig) -> "list[DefenseKnobs]":
+        """Knob points sorted by ascending dollar cost on ``config``.
+
+        Python's sort is stable, so equal-cost points (all-software
+        variants share the base hardware cost) keep enumeration order —
+        the tie-break that makes "cheapest passing config" well defined.
+        """
+        return sorted(
+            self.knob_points(), key=lambda k: k.cost_dollars(config)
+        )
+
+
+@dataclass(frozen=True)
+class TuningTrial:
+    """One defense configuration tried against the inner search.
+
+    Attributes:
+        knobs: The knob point.
+        cost_dollars: Its installed hardware cost.
+        met_target: Whether its searched worst case met the target.
+        worst_survival_s: The frontier found — exact when the trial
+            passed; for failed trials, the (exact) witness survival the
+            early exit fired on, an upper bound on the true frontier.
+    """
+
+    knobs: DefenseKnobs
+    cost_dollars: float
+    met_target: bool
+    worst_survival_s: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning run.
+
+    Attributes:
+        scheme: Defense scheme tuned.
+        target_survival_s: The survival target.
+        best: The cheapest passing knob point, or ``None`` when no
+            point in the space met the target.
+        best_cost_dollars: Its cost (``NaN`` when nothing passed).
+        frontier: The passing configuration's full frontier result.
+        trials: Every configuration tried, in evaluation (cost) order.
+    """
+
+    scheme: str
+    target_survival_s: float
+    best: "DefenseKnobs | None"
+    best_cost_dollars: float
+    frontier: "FrontierResult | None"
+    trials: "tuple[TuningTrial, ...]"
+
+    def to_json(self) -> dict:
+        """A JSON-ready dict, deterministic across processes."""
+        return {
+            "scheme": self.scheme,
+            "target_survival_s": self.target_survival_s,
+            "best": None if self.best is None else self.best.label(),
+            "best_cost_dollars": self.best_cost_dollars,
+            "frontier": (
+                None if self.frontier is None else self.frontier.to_json()
+            ),
+            "trials": [
+                {
+                    "knobs": t.knobs.label(),
+                    "cost_dollars": t.cost_dollars,
+                    "met_target": t.met_target,
+                    "worst_survival_s": t.worst_survival_s,
+                }
+                for t in self.trials
+            ],
+        }
+
+
+class DefenseTuner:
+    """Finds the cheapest defense configuration meeting a survival target.
+
+    Args:
+        setup: Base calibrated setup; each trial substitutes tuned knobs
+            into its configuration (trace and attack time are knob-
+            independent and shared).
+        attack_space: The adversary model — the space the inner search
+            draws worst cases from.
+        defense_space: The knob grid to walk.
+        scheme: A key of :data:`repro.defense.SCHEMES`.
+        target_survival_s: Minimum acceptable worst-case survival.
+        window_s: Observation window for the inner search.
+        dt: Fine simulation step.
+        probe_fractions: Inner-search probe horizons.
+        use_cohort: Inner-search cohort batching toggle.
+        bus: Optional event bus shared by every inner search.
+    """
+
+    def __init__(
+        self,
+        setup: ExperimentSetup,
+        attack_space: AttackSpace,
+        defense_space: DefenseSpace,
+        scheme: str,
+        target_survival_s: float,
+        window_s: float = SURVIVAL_WINDOW_S,
+        dt: float = ATTACK_DT_S,
+        probe_fractions: "tuple[float, ...]" = (0.25, 0.5),
+        use_cohort: bool = True,
+        bus: "EventBus | None" = None,
+    ) -> None:
+        if target_survival_s <= 0.0:
+            raise SearchError("survival target must be positive")
+        if target_survival_s > window_s:
+            raise SearchError(
+                f"survival target {target_survival_s}s exceeds the "
+                f"{window_s}s observation window and can never be met"
+            )
+        self._setup = setup
+        self._attack_space = attack_space
+        self._defense_space = defense_space
+        self._scheme = scheme
+        self._target_s = target_survival_s
+        self._window_s = window_s
+        self._dt = dt
+        self._probe_fractions = probe_fractions
+        self._use_cohort = use_cohort
+        self._bus = bus
+
+    def run(self) -> TuningResult:
+        """Walk the knob grid cost-ascending; stop at the first pass."""
+        trials: "list[TuningTrial]" = []
+        best: "DefenseKnobs | None" = None
+        best_cost = float("nan")
+        frontier: "FrontierResult | None" = None
+        for knobs in self._defense_space.by_cost(self._setup.config):
+            tuned_setup = ExperimentSetup(
+                config=knobs.apply(self._setup.config),
+                trace=self._setup.trace,
+                attack_time_s=self._setup.attack_time_s,
+            )
+            search = FrontierSearch(
+                tuned_setup,
+                self._attack_space,
+                self._scheme,
+                window_s=self._window_s,
+                dt=self._dt,
+                probe_fractions=self._probe_fractions,
+                use_cohort=self._use_cohort,
+                bus=self._bus,
+                stop_below_s=self._target_s,
+            )
+            result = search.run()
+            met = (
+                not result.early_stopped
+                and result.worst_survival_s >= self._target_s
+            )
+            cost = knobs.cost_dollars(self._setup.config)
+            trials.append(
+                TuningTrial(
+                    knobs=knobs,
+                    cost_dollars=cost,
+                    met_target=met,
+                    worst_survival_s=result.worst_survival_s,
+                )
+            )
+            if met:
+                best = knobs
+                best_cost = cost
+                frontier = result
+                break
+        return TuningResult(
+            scheme=self._scheme,
+            target_survival_s=self._target_s,
+            best=best,
+            best_cost_dollars=best_cost,
+            frontier=frontier,
+            trials=tuple(trials),
+        )

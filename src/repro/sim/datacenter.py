@@ -61,6 +61,7 @@ __all__ = [
     "SimResult",
     "SimSnapshot",
     "StepContext",
+    "truncate_snapshot_schedule",
 ]
 
 #: Format version of :class:`SimSnapshot` payloads. Bumped whenever the
@@ -1153,3 +1154,73 @@ class DataCenterSimulation:
         # just recorded instead of recomputing them.
         ctx.row_scalars = scalars
         ctx.row_vectors = {"rack_soc": soc, "rack_utility_w": ctx.utility}
+
+
+def truncate_snapshot_schedule(
+    snapshot: SimSnapshot, end_s: float
+) -> SimSnapshot:
+    """A copy of a paused snapshot whose remaining schedule ends at ``end_s``.
+
+    The adversarial search evaluates candidates in escalating probe
+    windows; each window is a *prefix* of the full survival schedule, so
+    one shared benign-prefix snapshot can serve every window by clipping
+    the paused schedule instead of re-simulating the prefix. Steps are
+    anchored at each segment's start, so a clipped segment executes
+    exactly the same step sequence as the full one up to ``end_s`` —
+    forked runs stay bit-identical to a straight run over the shorter
+    schedule.
+
+    Args:
+        snapshot: A snapshot taken after
+            :meth:`DataCenterSimulation.run_prefix` paused.
+        end_s: New schedule end. Must land on a step boundary of the
+            segment it falls in and lie strictly after the pause point.
+
+    Raises:
+        SimulationError: when the snapshot holds no paused run, ``end_s``
+            precedes the pause point, or ``end_s`` misses the step grid.
+    """
+    sim = DataCenterSimulation.restore(snapshot)
+    paused = sim._paused
+    if paused is None:
+        raise SimulationError(
+            "snapshot holds no paused run to truncate"
+        )
+    if paused.segment_index >= len(paused.schedule):
+        raise SimulationError("paused run has no remaining schedule")
+    cursor = paused.schedule[paused.segment_index]
+    pause_s = cursor.start_s + paused.steps_done * cursor.dt
+    if end_s <= pause_s + 1e-9:
+        raise SimulationError(
+            f"truncation end {end_s} not after pause point {pause_s}"
+        )
+    clipped: "list[Segment]" = []
+    for segment in paused.schedule:
+        if segment.start_s >= end_s - 1e-9:
+            break
+        if segment.end_s <= end_s + 1e-9:
+            clipped.append(segment)
+            continue
+        steps = round((end_s - segment.start_s) / segment.dt)
+        boundary = segment.start_s + steps * segment.dt
+        if abs(boundary - end_s) > 1e-6 or steps < 1:
+            raise SimulationError(
+                "truncation end must land on a step boundary of its "
+                "segment"
+            )
+        clipped.append(
+            Segment(
+                start_s=segment.start_s,
+                end_s=boundary,
+                dt=segment.dt,
+                record_every=segment.record_every,
+            )
+        )
+        break
+    sim._paused = _PausedRun(
+        schedule=tuple(clipped),
+        segment_index=paused.segment_index,
+        steps_done=paused.steps_done,
+        result=paused.result,
+    )
+    return sim.snapshot()

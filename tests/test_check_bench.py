@@ -1,0 +1,137 @@
+"""Unit tests for the CI bench-regression gate (``scripts/check_bench.py``).
+
+The gate guards every ``BENCH_*.json`` headline speedup; a gate that
+crashes, passes bad input, or reads the wrong floor silently disables a
+whole class of CI protection, so its behaviour is pinned here: absolute
+floor, tolerance band, per-bench default floors, and non-zero exits on
+missing or malformed input.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "scripts" / "check_bench.py"
+_spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _write(tmp_path, name: str, payload) -> str:
+    path = tmp_path / name
+    path.write_text(
+        payload if isinstance(payload, str) else json.dumps(payload)
+    )
+    return str(path)
+
+
+def _gate(tmp_path, committed, fresh, tolerance=0.35, name="BENCH_x.json"):
+    return check_bench.check(
+        _write(tmp_path, "committed.json", committed),
+        _write(tmp_path, name, fresh),
+        tolerance,
+    )
+
+
+class TestHeadlineSpeedup:
+
+    def test_reads_either_field_name(self):
+        assert check_bench.headline_speedup({"speedup": 4.5}) == 4.5
+        assert check_bench.headline_speedup(
+            {"speedup_at_max_scale": 7.0}
+        ) == 7.0
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            check_bench.headline_speedup({"elapsed_s": 3.0})
+
+
+class TestFloorAndBand:
+
+    def test_passes_above_floor_and_band(self, tmp_path):
+        committed = {"speedup": 6.0, "speedup_floor": 3.0}
+        assert _gate(tmp_path, committed, {"speedup": 5.5}) == 0
+
+    def test_fails_below_absolute_floor(self, tmp_path):
+        committed = {"speedup": 6.0, "speedup_floor": 3.0}
+        assert _gate(tmp_path, committed, {"speedup": 2.9}) == 1
+
+    def test_fails_below_tolerance_band(self, tmp_path):
+        # Above the 3.0x floor but a >35% collapse vs the committed 6.0x.
+        committed = {"speedup": 6.0, "speedup_floor": 3.0}
+        assert _gate(tmp_path, committed, {"speedup": 3.5}) == 1
+
+    def test_band_boundary_is_inclusive(self, tmp_path):
+        # Exactly committed * (1 - tolerance) passes: the gate fires on
+        # strict drops below the band.
+        committed = {"speedup": 10.0, "speedup_floor": 1.0}
+        assert _gate(tmp_path, committed, {"speedup": 6.5}) == 0
+        assert _gate(tmp_path, committed, {"speedup": 6.4999}) == 1
+
+    def test_default_floor_is_looked_up_by_filename(self, tmp_path):
+        # No speedup_floor in the baseline: BENCH_search.json falls back
+        # to its registered 3.0x default.
+        committed = {"speedup": 6.0}
+        assert _gate(
+            tmp_path, committed, {"speedup": 2.9}, name="BENCH_search.json"
+        ) == 1
+        # An unregistered name falls back to 1.0x and passes.
+        assert _gate(
+            tmp_path, committed, {"speedup": 4.5}, name="BENCH_novel.json"
+        ) == 0
+
+    def test_every_repo_bench_has_a_default_floor(self):
+        repo_root = _SCRIPT.parent.parent
+        for path in repo_root.glob("BENCH_*.json"):
+            assert path.name in check_bench.DEFAULT_FLOORS, path.name
+
+
+class TestBadInput:
+
+    def test_missing_committed_file_fails(self, tmp_path):
+        fresh = _write(tmp_path, "fresh.json", {"speedup": 5.0})
+        assert check_bench.check(
+            str(tmp_path / "absent.json"), fresh, 0.35
+        ) == 1
+
+    def test_missing_fresh_file_fails(self, tmp_path):
+        committed = _write(tmp_path, "committed.json", {"speedup": 5.0})
+        assert check_bench.check(
+            committed, str(tmp_path / "absent.json"), 0.35
+        ) == 1
+
+    def test_malformed_json_fails(self, tmp_path):
+        committed = {"speedup": 5.0}
+        assert _gate(tmp_path, committed, "{not json") == 1
+
+    def test_non_object_json_fails(self, tmp_path):
+        assert _gate(tmp_path, {"speedup": 5.0}, "[1, 2, 3]") == 1
+
+    def test_report_without_headline_fails(self, tmp_path):
+        assert _gate(tmp_path, {"speedup": 5.0}, {"elapsed_s": 2.0}) == 1
+
+    def test_non_numeric_headline_fails(self, tmp_path):
+        assert _gate(tmp_path, {"speedup": 5.0}, {"speedup": "fast"}) == 1
+
+
+class TestMain:
+
+    def test_main_wires_arguments_through(self, tmp_path):
+        committed = _write(
+            tmp_path, "committed.json", {"speedup": 6.0, "speedup_floor": 3.0}
+        )
+        fresh = _write(tmp_path, "fresh.json", {"speedup": 5.5})
+        assert check_bench.main([committed, fresh]) == 0
+        assert check_bench.main(
+            [committed, fresh, "--tolerance", "0.01"]
+        ) == 1
+
+    def test_main_rejects_out_of_range_tolerance(self, tmp_path):
+        committed = _write(tmp_path, "committed.json", {"speedup": 6.0})
+        fresh = _write(tmp_path, "fresh.json", {"speedup": 6.0})
+        with pytest.raises(SystemExit):
+            check_bench.main([committed, fresh, "--tolerance", "1.5"])

@@ -1,0 +1,143 @@
+"""Defense auto-tuning against the searched worst case.
+
+:class:`~repro.search.tuner.DefenseTuner` promises the *cheapest* knob
+configuration whose searched worst case meets a survival target — walked
+in deterministic cost order with a sound early exit per trial. The knob
+mechanics (grid enumeration, cost sorting, config substitution) are
+tested without simulation; the end-to-end tests ride a pinned gradient:
+a 10-node wide-spike attack trips the uDEB scheme at 265.0 s with a
+0.02 Wh supercap and 267.0 s with 0.5 Wh, so a 267 s target forces the
+tuner past the cheap failing bank to the cheapest passing one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SearchError
+from repro.experiments.common import standard_setup
+from repro.search import (
+    AttackSpace,
+    DefenseKnobs,
+    DefenseSpace,
+    DefenseTuner,
+)
+from repro.sim.costs import supercap_cost
+
+SETUP = standard_setup()
+
+#: A single co-located wide-spike attack that stresses the supercap.
+ATTACK = AttackSpace(widths_s=(4.0,), rates_per_min=(6.0,), node_counts=(10,))
+WINDOW_S = 600.0
+
+
+class TestKnobMechanics:
+
+    def test_apply_substitutes_only_named_knobs(self):
+        knobs = DefenseKnobs(udeb_capacity_wh=0.5, shed_ratio_cap=0.4)
+        tuned = knobs.apply(SETUP.config)
+        assert tuned.supercap.capacity_wh == 0.5
+        assert tuned.policy.shed_ratio_cap == 0.4
+        assert tuned.vdeb == SETUP.config.vdeb
+        assert DefenseKnobs().apply(SETUP.config) == SETUP.config
+
+    def test_only_the_udeb_knob_costs_dollars(self):
+        base = DefenseKnobs().cost_dollars(SETUP.config)
+        software = DefenseKnobs(
+            vdeb_ideal_discharge_fraction=0.3, shed_ratio_cap=0.4
+        )
+        assert software.cost_dollars(SETUP.config) == base
+        hardware = DefenseKnobs(udeb_capacity_wh=0.5)
+        expected = supercap_cost(
+            hardware.apply(SETUP.config).supercap, SETUP.config.cluster.racks
+        )
+        assert hardware.cost_dollars(SETUP.config) == expected
+        assert expected != base
+
+    def test_labels_are_compact_and_deterministic(self):
+        assert DefenseKnobs().label() == "base"
+        assert DefenseKnobs(
+            udeb_capacity_wh=0.5, vdeb_ideal_discharge_fraction=0.3
+        ).label() == "udeb=0.5Wh,vdeb=0.3"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"udeb_capacity_wh": 0.0},
+        {"vdeb_ideal_discharge_fraction": 1.5},
+        {"shed_ratio_cap": 0.0},
+    ])
+    def test_bad_knob_values_rejected(self, kwargs):
+        with pytest.raises(SearchError):
+            DefenseKnobs(**kwargs)
+
+    def test_empty_space_is_the_base_configuration_alone(self):
+        assert DefenseSpace().knob_points() == [DefenseKnobs()]
+
+    def test_by_cost_sorts_ascending_with_stable_ties(self):
+        space = DefenseSpace(
+            udeb_capacities_wh=(2.0, 0.1),
+            shed_ratio_caps=(0.3, 0.6),
+        )
+        ordered = space.by_cost(SETUP.config)
+        costs = [k.cost_dollars(SETUP.config) for k in ordered]
+        assert costs == sorted(costs)
+        # Equal-cost software variants keep enumeration (axis) order.
+        assert [k.shed_ratio_cap for k in ordered] == [0.3, 0.6, 0.3, 0.6]
+        assert [k.udeb_capacity_wh for k in ordered] == [0.1, 0.1, 2.0, 2.0]
+
+
+class TestTunerValidation:
+
+    @pytest.mark.parametrize("target", [0.0, -5.0, 700.0])
+    def test_bad_targets_rejected(self, target):
+        with pytest.raises(SearchError):
+            DefenseTuner(
+                SETUP, ATTACK, DefenseSpace(), "uDEB", target,
+                window_s=WINDOW_S,
+            )
+
+
+class TestTunerEndToEnd:
+
+    def test_picks_the_cheapest_passing_capacity(self):
+        # 0.02 Wh survives 265.0 s (fails), 0.5 Wh survives 267.0 s
+        # (passes); 2.0 Wh would also pass but costs more and must not
+        # even be tried.
+        tuner = DefenseTuner(
+            SETUP,
+            ATTACK,
+            DefenseSpace(udeb_capacities_wh=(0.5, 0.02, 2.0)),
+            "uDEB",
+            target_survival_s=267.0,
+            window_s=WINDOW_S,
+        )
+        result = tuner.run()
+        assert result.best == DefenseKnobs(udeb_capacity_wh=0.5)
+        assert result.best_cost_dollars == DefenseKnobs(
+            udeb_capacity_wh=0.5
+        ).cost_dollars(SETUP.config)
+        assert [t.knobs.udeb_capacity_wh for t in result.trials] == [0.02, 0.5]
+        assert [t.met_target for t in result.trials] == [False, True]
+        assert result.trials[0].worst_survival_s == 265.0
+        assert result.frontier is not None
+        assert result.frontier.worst_survival_s == 267.0
+
+    def test_reports_failure_when_no_configuration_passes(self):
+        tuner = DefenseTuner(
+            SETUP,
+            ATTACK,
+            DefenseSpace(udeb_capacities_wh=(0.02, 0.1)),
+            "uDEB",
+            target_survival_s=400.0,
+            window_s=WINDOW_S,
+        )
+        result = tuner.run()
+        assert result.best is None
+        assert math.isnan(result.best_cost_dollars)
+        assert result.frontier is None
+        assert len(result.trials) == 2
+        assert not any(t.met_target for t in result.trials)
+        document = result.to_json()
+        assert document["best"] is None
+        assert [t["met_target"] for t in document["trials"]] == [False, False]

@@ -1,0 +1,105 @@
+"""Golden-frontier regression: a frozen worst-case search.
+
+A small pruned search — Conv over a four-candidate space mixing flat and
+cross-PDU-placed candidates — is frozen in
+``tests/data/golden_frontier.json``: every outcome (status, survival,
+resolution round), the frontier value and argmin set, and the cell
+count. Any change to the search driver, the pruning rule, the probe
+grid, the cohort batching or the snapshot forking that moves these past
+1e-7 relative fails here — on *both* evaluation paths (cohort batching
+on and off), which ties them to the same frozen frontier.
+
+Regenerate the fixture after an intentional change with::
+
+    PYTHONPATH=src python -m tests.test_golden_frontier
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.attack.placement import PduPlacement
+from repro.experiments.common import standard_setup
+from repro.search import AttackSpace, FrontierSearch
+
+FIXTURE = Path(__file__).parent / "data" / "golden_frontier.json"
+RTOL = 1e-7
+WINDOW_S = 600.0
+
+
+def _space() -> AttackSpace:
+    return AttackSpace(
+        widths_s=(1.0,),
+        rates_per_min=(6.0,),
+        node_counts=(2, 6),
+        placements=(None, PduPlacement(mode="striped")),
+    )
+
+
+def _run(use_cohort: bool) -> dict:
+    setup = standard_setup()
+    result = FrontierSearch(
+        setup,
+        _space(),
+        "Conv",
+        window_s=WINDOW_S,
+        # Probe end 450 s: past the Conv trips (~360 s), before the
+        # window — the probe round resolves the trippers exactly and
+        # prunes the censored survivors, freezing both mechanisms.
+        probe_fractions=(0.75,),
+        use_cohort=use_cohort,
+    ).run()
+    document = result.to_json()
+    document["schema"] = 1
+    return document
+
+
+def _assert_matches(golden: dict, document: dict) -> None:
+    assert document["scheme"] == golden["scheme"]
+    assert document["window_s"] == golden["window_s"]
+    assert document["dt"] == golden["dt"]
+    assert document["worst"] == golden["worst"]
+    assert document["cells_run"] == golden["cells_run"]
+    assert document["early_stopped"] == golden["early_stopped"]
+    np.testing.assert_allclose(
+        document["worst_survival_s"],
+        golden["worst_survival_s"],
+        rtol=RTOL,
+        err_msg="worst_survival_s",
+    )
+    assert len(document["outcomes"]) == len(golden["outcomes"])
+    for fresh, frozen in zip(document["outcomes"], golden["outcomes"]):
+        for field in ("index", "key", "status", "round"):
+            assert fresh[field] == frozen[field], frozen["key"]
+        np.testing.assert_allclose(
+            fresh["survival_s"],
+            frozen["survival_s"],
+            rtol=RTOL,
+            err_msg=frozen["key"],
+        )
+
+
+@pytest.mark.parametrize("use_cohort", [True, False])
+def test_search_matches_golden_frontier(use_cohort: bool) -> None:
+    """Both evaluation paths answer to the same frozen frontier."""
+    if not FIXTURE.exists():
+        pytest.fail(
+            f"missing fixture {FIXTURE}; regenerate with "
+            "`PYTHONPATH=src python -m tests.test_golden_frontier`"
+        )
+    golden = json.loads(FIXTURE.read_text())
+    _assert_matches(golden, _run(use_cohort))
+
+
+def _write_fixture() -> None:
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(_run(use_cohort=True), indent=1) + "\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    _write_fixture()

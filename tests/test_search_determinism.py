@@ -1,0 +1,78 @@
+"""Cross-process determinism of the frontier search.
+
+Journals and frontier JSON refer to candidates by enumeration index and
+string key, so the search must produce byte-identical documents in a
+fresh interpreter — including under a *different* ``PYTHONHASHSEED``,
+which reorders every set and dict iteration Python does not explicitly
+sort. Mirrors :mod:`tests.test_placement_pickle`: the worker script runs
+the search end-to-end in a subprocess and the parent compares documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.experiments.common import standard_setup
+from repro.search import AttackSpace, FrontierSearch
+
+#: One fixed search configuration shared by parent and workers: small
+#: enough to run three times in a test, rich enough to exercise probe
+#: rounds, pruning, a tie and the sampler.
+_WORKER = """
+import json, sys
+from repro.experiments.common import standard_setup
+from repro.search import AttackSpace, FrontierSearch
+
+setup = standard_setup()
+space = AttackSpace(widths_s=(1.0, 2.0), rates_per_min=(6.0,),
+                    node_counts=(2, 6))
+result = FrontierSearch(
+    setup, space, "Conv", window_s=600.0, probe_fractions=(0.5,)
+).run()
+sample = [c.key() for c in space.sample(3, seed=17)]
+document = {"frontier": result.to_json(), "sample": sample}
+with open(sys.argv[1], "w", encoding="utf-8") as handle:
+    json.dump(document, handle, sort_keys=True)
+"""
+
+
+def _in_process_document() -> dict:
+    setup = standard_setup()
+    space = AttackSpace(
+        widths_s=(1.0, 2.0), rates_per_min=(6.0,), node_counts=(2, 6)
+    )
+    result = FrontierSearch(
+        setup, space, "Conv", window_s=600.0, probe_fractions=(0.5,)
+    ).run()
+    sample = [c.key() for c in space.sample(3, seed=17)]
+    return {"frontier": result.to_json(), "sample": sample}
+
+
+def _worker_document(tmp_path, hash_seed: str) -> dict:
+    out = tmp_path / f"frontier-{hash_seed}.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+    # Force a specific hash seed so dict/set iteration orders genuinely
+    # differ between the workers and from this process.
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER, str(out)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(out.read_text())
+
+
+def test_frontier_is_identical_across_interpreters(tmp_path):
+    reference = _in_process_document()
+    for hash_seed in ("0", "4242"):
+        fresh = _worker_document(tmp_path, hash_seed)
+        assert fresh == reference, f"PYTHONHASHSEED={hash_seed}"
+    # The search found something real, not a vacuous agreement.
+    assert reference["frontier"]["worst_survival_s"] == 57.0
+    assert len(reference["sample"]) == 3
