@@ -88,6 +88,14 @@ from .faults import (
     UdebStuckOpen,
     VdebCommLoss,
 )
+from .grid import (
+    FrequencyRegulationDuty,
+    GridEventSpec,
+    GridPlan,
+    ReservePolicy,
+    UtilityBrownout,
+    VoltageSag,
+)
 from .search import (
     AttackCandidate,
     AttackSpace,
@@ -150,13 +158,17 @@ __all__ = [
     "FaultInjectionError",
     "FaultPlan",
     "FaultSpec",
+    "FrequencyRegulationDuty",
     "FrontierResult",
     "FrontierSearch",
+    "GridEventSpec",
+    "GridPlan",
     "MeterConfig",
     "PolicyConfig",
     "PowerTopologyError",
     "RackConfig",
     "ReproError",
+    "ReservePolicy",
     "Runner",
     "SCHEMES",
     "SPARSE_ATTACK",
@@ -177,10 +189,12 @@ __all__ = [
     "TopologyConfig",
     "TraceFormatError",
     "UdebStuckOpen",
+    "UtilityBrownout",
     "UtilizationTrace",
     "VdebCommLoss",
     "VdebConfig",
     "VirusKind",
+    "VoltageSag",
     "acquire_nodes",
     "generate_trace",
     "google_like_trace",

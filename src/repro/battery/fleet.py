@@ -106,6 +106,19 @@ class BatteryFleet:
         """Per-rack (possibly faded) capacity in joules."""
         return np.array([p.capacity_j for p in self._packs])
 
+    def charge_above_j(self, floor_soc: float) -> np.ndarray:
+        """Per-rack stored energy above a reserve floor, in joules.
+
+        The defense slice of a :class:`~repro.grid.reserve.ReservePolicy`
+        partition: what the schemes may spend without eating into the
+        ride-through reserve. Clamped at zero once a pack sinks below
+        the floor.
+        """
+        return np.maximum(
+            0.0,
+            self.charge_vector_j() - floor_soc * self.capacity_j_vector(),
+        )
+
     @property
     def total_charge_j(self) -> float:
         """Aggregate stored energy across the fleet."""

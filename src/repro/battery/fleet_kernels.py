@@ -376,6 +376,18 @@ class VectorBatteryFleet:
         """Per-rack (possibly faded) capacity in joules."""
         return self._cells.capacity_j.copy()
 
+    def charge_above_j(self, floor_soc: float) -> np.ndarray:
+        """Per-rack stored energy above a reserve floor, in joules.
+
+        Same elementwise expression as the scalar oracle, so the two
+        backends agree bitwise whenever the underlying charge and
+        capacity vectors do.
+        """
+        return np.maximum(
+            0.0,
+            self.charge_vector_j() - floor_soc * self.capacity_j_vector(),
+        )
+
     def available_j_vector(self) -> np.ndarray:
         """Per-rack charge in the KiBaM available well."""
         return self._cells.available_j.copy()

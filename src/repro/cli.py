@@ -63,6 +63,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool width for the sweep (0 = sequential; "
              "parallel results are bit-identical)",
     )
+    grid.add_argument(
+        "--demo", action="store_true",
+        help="run the pinned attack-during-sag ride-through "
+             "demonstration instead of the Fig.-15 sweep (the demo "
+             "pins its own seeds; --window/--seed/--workers do not "
+             "apply)",
+    )
 
     report = sub.add_parser(
         "report", help="run all experiments and write EXPERIMENTS.md"
@@ -189,6 +196,20 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument(
         "--shed", default="",
         help="comma-separated Level-3 shed-ratio caps to try",
+    )
+    tune.add_argument(
+        "--reserve", default="",
+        help="comma-separated ride-through reserve floors (SOC in "
+             "[0, 1); 0 removes the reserve) to try",
+    )
+    tune.add_argument(
+        "--journal", default=None,
+        help="JSONL checkpoint journal stem for the inner searches "
+             "(one file per trial; enables --resume)",
+    )
+    tune.add_argument(
+        "--resume", action="store_true",
+        help="replay resolved candidates from the per-trial journals",
     )
     tune.add_argument(
         "--output", default=None,
@@ -338,14 +359,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         udeb_capacities_wh=_parse_floats(args.udeb),
         vdeb_ideal_discharge_fractions=_parse_floats(args.vdeb),
         shed_ratio_caps=_parse_floats(args.shed),
+        reserve_floors=_parse_floats(args.reserve),
     )
     tuner = DefenseTuner(
         setup, space, defenses, args.scheme,
         target_survival_s=args.target,
         window_s=args.window,
         probe_fractions=_parse_floats(args.probes),
+        journal_path=args.journal,
     )
-    result = tuner.run()
+    result = tuner.run(resume=args.resume)
     print(f"scheme : {args.scheme}  target {args.target:.0f} s")
     for trial in result.trials:
         verdict = "meets target" if trial.met_target else "fails"
@@ -389,6 +412,12 @@ def _cmd_survive(args: argparse.Namespace) -> int:
 def _cmd_grid(args: argparse.Namespace) -> int:
     from .experiments import fig15_survival
     from .experiments.common import standard_setup
+
+    if args.demo:
+        from .experiments import attack_during_sag
+
+        summary = attack_during_sag.main()
+        return 0 if summary.rides_through else 1
 
     setup = standard_setup(seed=args.seed)
     grid = fig15_survival.run(

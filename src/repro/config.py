@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .errors import ConfigError
 from .units import TRACE_INTERVAL_S, wh_to_joules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .grid.reserve import ReservePolicy
 
 
 def _require(condition: bool, message: str) -> None:
@@ -540,7 +544,15 @@ class VdebConfig:
 
 @dataclass(frozen=True)
 class DataCenterConfig:
-    """Top-level configuration wiring every subsystem together."""
+    """Top-level configuration wiring every subsystem together.
+
+    Attributes:
+        reserve: Optional battery-reserve partition
+            (:class:`~repro.grid.reserve.ReservePolicy`). ``None`` —
+            the default — keeps the paper's undivided battery budget
+            and is bitwise-identical to builds that predate grid
+            disturbance modelling.
+    """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     meter: MeterConfig = field(default_factory=MeterConfig)
@@ -550,3 +562,4 @@ class DataCenterConfig:
     supercap: SupercapConfig = field(default_factory=SupercapConfig)
     charging: ChargingPolicy = ChargingPolicy.ONLINE
     seed: int | None = None
+    reserve: "ReservePolicy | None" = None

@@ -118,6 +118,7 @@ class LoadShedder:
         now_s: float,
         metered_util: np.ndarray,
         required_reduction_w: float,
+        prefer: "np.ndarray | None" = None,
     ) -> SheddingDecision:
         """Recompute the sleep set.
 
@@ -127,10 +128,24 @@ class LoadShedder:
                 interval averages, not instantaneous truth.
             required_reduction_w: Demand the cluster must drop to get back
                 inside its budget; zero or negative releases servers.
+            prefer: Optional per-server mask of servers whose relief is
+                load-bearing *where they sit* — e.g. servers on a
+                sag-drained rack about to brown out against a derated
+                breaker. Preferred servers shed before hotter ones
+                elsewhere, and the cap-reached rotation swaps toward
+                them unconditionally (the preference itself is the
+                justification; raw wattage is not). ``None`` keeps the
+                historical hottest-first behaviour bit-for-bit.
         """
         util = np.asarray(metered_util, dtype=float)
         if util.shape != (self._servers,):
             raise ConfigError("need one metered utilisation per server")
+        if prefer is not None:
+            prefer = np.asarray(prefer, dtype=bool)
+            if prefer.shape != (self._servers,):
+                raise ConfigError("need one preference flag per server")
+            if not prefer.any():
+                prefer = None
         newly_shed: list[int] = []
         newly_released: list[int] = []
         shed_now = int(np.sum(self._asleep))
@@ -149,6 +164,11 @@ class LoadShedder:
             candidates = np.nonzero(~self._asleep & ~self._critical)[0]
             # Hottest metered servers first — they buy the most relief.
             order = candidates[np.argsort(-util[candidates], kind="stable")]
+            if prefer is not None:
+                preferred = prefer[order]
+                order = np.concatenate(
+                    [order[preferred], order[~preferred]]
+                )
             for server in order[: target - shed_now]:
                 self._asleep[server] = True
                 self._shed_at[server] = now_s
@@ -178,7 +198,30 @@ class LoadShedder:
                 if now_s - self._shed_at[s] >= self._config.shed_hysteresis_s
             ]
             awake = np.nonzero(~self._asleep & ~self._critical)[0]
-            if eligible and awake.size:
+            preferred_awake = (
+                awake[prefer[awake]] if prefer is not None else awake[:0]
+            )
+            if preferred_awake.size:
+                # A preferred server is still awake: swap it in for the
+                # coldest non-preferred sleeper, unconditionally — the
+                # relief is needed where the preferred server sits, not
+                # where the watts are largest. Release hysteresis is
+                # bypassed: it exists to stop flapping, and an imminent
+                # brown-out outranks flap protection.
+                swappable = [
+                    int(s) for s in sleeping if not prefer[s]
+                ]
+                if swappable:
+                    coldest = min(swappable, key=lambda s: util[s])
+                    hottest = int(
+                        preferred_awake[np.argmax(util[preferred_awake])]
+                    )
+                    self._asleep[coldest] = False
+                    newly_released.append(coldest)
+                    self._asleep[hottest] = True
+                    self._shed_at[hottest] = now_s
+                    newly_shed.append(hottest)
+            elif eligible and awake.size:
                 coldest = min(eligible, key=lambda s: util[s])
                 hottest = int(awake[np.argmax(util[awake])])
                 if util[hottest] > util[coldest]:

@@ -60,6 +60,16 @@ class StepState:
             on the healthy path.
         telemetry_stale: True once held telemetry outlived the TTL —
             schemes must fail safe instead of trusting the numbers.
+        grid_feed_factor: Per-rack fraction of the budgeted utility feed
+            the grid can currently serve (sags/brownouts), or ``None``
+            on the healthy path. Racks untouched by a targeted sag hold
+            exactly ``1.0``.
+        grid_freg_w: Commanded per-rack frequency-regulation discharge
+            power for this tick, or ``None`` when no duty is in its on
+            phase.
+        grid_freg_floor_soc: Per-rack contracted SoC floor below which
+            the regulation duty stops discharging (paired with
+            ``grid_freg_w``).
     """
 
     time_s: float
@@ -69,6 +79,9 @@ class StepState:
     metered_server_util: np.ndarray
     telemetry_age_s: float = 0.0
     telemetry_stale: bool = False
+    grid_feed_factor: "np.ndarray | None" = None
+    grid_freg_w: "np.ndarray | None" = None
+    grid_freg_floor_soc: "np.ndarray | None" = None
 
 
 @dataclass(frozen=True)
@@ -207,6 +220,13 @@ class DefenseScheme:
         # True while any cap controller is pending or active — lets the
         # management loop skip the per-rack walk on quiet ticks.
         self._cap_busy = False
+        # Battery-reserve partition (grid ride-through vs defense
+        # budget); None keeps the paper's undivided battery.
+        self.reserve = cfg.reserve
+        # Rising-edge state for the typed grid transitions the scheme
+        # publishes (RideThroughEngaged / ReserveBreached).
+        self._ride_engaged = np.zeros(racks, dtype=bool)
+        self._reserve_breached = np.zeros(racks, dtype=bool)
         # The sensor boundary: every metered/sensed quantity the software
         # plane consumes flows through here, so telemetry faults have one
         # choke point and staleness one definition.
@@ -258,6 +278,14 @@ class DefenseScheme:
                 # returns (fail safe: never act on readings past TTL).
                 return
             deliverable = self.fleet.max_discharge_vector(state.dt)
+            if self.reserve is not None:
+                # Under a reserve partition, capping triggers once the
+                # *defense slice* can no longer cover the excess — the
+                # ride-through floor is off-limits to peak shaving, so
+                # DVFS steps in earlier instead of silently eating it.
+                deliverable = np.minimum(
+                    deliverable, self.defense_cap_w(state.dt)
+                )
             need = state.metered_rack_avg_w - self.soft_limits_w
             # DVFS is the fallback once the DEB runs out (paper Fig. 6:
             # "Once the peak-shaving DEB runs out, data center servers
@@ -284,25 +312,91 @@ class DefenseScheme:
     # The shared dispatch pipeline                                        #
     # ------------------------------------------------------------------ #
 
+    def defense_cap_w(self, dt: float) -> np.ndarray:
+        """Per-rack power the defense slice can sustain for one tick.
+
+        Only meaningful with a :class:`~repro.grid.reserve.ReservePolicy`
+        installed: the stored energy above the ride-through floor,
+        spread over ``dt``. Zero once a pack sinks to the floor — the
+        reserve is breached and the scheme must degrade instead of
+        drawing it down further.
+        """
+        assert self.reserve is not None
+        return (
+            self.fleet.charge_above_j(self.reserve.ride_through_floor_soc)
+            / dt
+        )
+
     def dispatch(self, state: StepState) -> Dispatch:
-        """Run one tick: management, battery stage, uDEB stage, charging."""
+        """Run one tick: management, battery stage, uDEB stage, charging.
+
+        Grid-aware extensions (each a bitwise no-op when its input is
+        absent):
+
+        * a :class:`~repro.grid.reserve.ReservePolicy` clamps the
+          *defense* discharge to the slice above the ride-through
+          floor;
+        * an active sag/brownout lowers the effective utility ceiling
+          to ``feed_factor * soft_limits`` — the deficit rides through
+          on battery with the **full** deliverable power (ride-through
+          may spend the reserve floor; that is what it is for);
+        * an on-phase frequency-regulation duty discharges its
+          commanded power behind the meter, gated on the contracted
+          SoC floor.
+        """
         self.management(state)
         request = np.minimum(
             self.battery_discharge(state), state.rack_demand_w
         )
         deliverable = self.fleet.max_discharge_vector(state.dt)
-        request = np.minimum(request, deliverable)
+        if self.reserve is None:
+            defense_cap_w = None
+            request = np.minimum(request, deliverable)
+        else:
+            defense_cap_w = self.defense_cap_w(state.dt)
+            request = np.minimum(
+                request, np.minimum(deliverable, defense_cap_w)
+            )
+        ff = state.grid_feed_factor
+        if ff is None:
+            limits = self.soft_limits_w
+            ride = None
+        else:
+            limits = ff * self.soft_limits_w
+            # Only sagged racks (ff < 1) ride through: demand the
+            # derated feed cannot carry transfers to battery,
+            # bypassing the reserve clamp.
+            ride_need = np.where(
+                ff < 1.0,
+                np.maximum(0.0, state.rack_demand_w - limits),
+                0.0,
+            )
+            ride = np.minimum(ride_need, deliverable)
+            request = np.maximum(request, ride)
+        if state.grid_freg_w is not None:
+            duty = np.where(
+                self.fleet.soc_vector() > state.grid_freg_floor_soc,
+                state.grid_freg_w,
+                0.0,
+            )
+            # Behind-the-meter: the duty offsets local draw, so it can
+            # never exceed the rack's own demand (no export path).
+            duty = np.minimum(
+                duty, np.minimum(state.rack_demand_w, deliverable)
+            )
+            request = np.maximum(request, duty)
+        self._publish_grid_transitions(state, ride, defense_cap_w)
 
         # Charging: only racks that are not discharging, from headroom
-        # under the soft limit.
-        headroom = self.soft_limits_w - (state.rack_demand_w - request)
+        # under the (possibly sagged) soft limit.
+        headroom = limits - (state.rack_demand_w - request)
         active = (request <= 0.0) & (headroom > 0.0)
         charge = self.charger.fleet_charge_power(
             self.fleet, headroom, active, state.dt
         )
         delivered = self.fleet.step(request, charge, state.dt, state.time_s)
 
-        local_need = np.maximum(0.0, state.rack_demand_w - self.soft_limits_w)
+        local_need = np.maximum(0.0, state.rack_demand_w - limits)
         residual = np.maximum(0.0, local_need - delivered)
         udeb_w, udeb_charge_w = self.after_battery(state, residual)
 
@@ -319,6 +413,58 @@ class DefenseScheme:
             # unchanged breaker ratings.
             soft_limits_w=self.soft_limits_w,
         )
+
+    def _publish_grid_transitions(
+        self,
+        state: StepState,
+        ride: "np.ndarray | None",
+        defense_cap_w: "np.ndarray | None",
+    ) -> None:
+        """Publish rising-edge grid transitions (ride-through, breach).
+
+        Only edges are published — a rack riding through a 10-minute sag
+        produces one :class:`~repro.sim.events.RideThroughEngaged`, not
+        1200. State arrays reset when the condition clears so the next
+        disturbance publishes fresh edges.
+        """
+        if ride is not None:
+            engaged = ride > 0.0
+            rising = engaged & ~self._ride_engaged
+            if rising.any():
+                from ..sim.events import RideThroughEngaged
+
+                self.bus.publish(RideThroughEngaged(
+                    time_s=state.time_s,
+                    event="ride-through",
+                    racks=tuple(int(r) for r in np.nonzero(rising)[0]),
+                ))
+            self._ride_engaged = engaged
+        elif self._ride_engaged.any():
+            self._ride_engaged[:] = False
+        if defense_cap_w is not None:
+            # A breach only means something on racks the grid is
+            # actively stressing (sagged feed or commanded regulation
+            # duty) — quiescent low SoC (e.g. right after an attack) is
+            # the schemes' normal recharge path, and a rack untouched by
+            # a targeted sag is not riding anything out.
+            stressed = np.zeros(len(defense_cap_w), dtype=bool)
+            if state.grid_feed_factor is not None:
+                stressed |= state.grid_feed_factor < 1.0
+            if state.grid_freg_w is not None:
+                stressed |= state.grid_freg_w > 0.0
+            breached = (defense_cap_w <= 0.0) & stressed
+            rising = breached & ~self._reserve_breached
+            if rising.any():
+                from ..sim.events import ReserveBreached
+
+                self.bus.publish(ReserveBreached(
+                    time_s=state.time_s,
+                    event="reserve-breached",
+                    racks=tuple(int(r) for r in np.nonzero(rising)[0]),
+                ))
+            self._reserve_breached = breached
+        elif self._reserve_breached.any():
+            self._reserve_breached[:] = False
 
     # ------------------------------------------------------------------ #
     # Fast-forward support                                                 #
@@ -340,6 +486,8 @@ class DefenseScheme:
             "cap_busy": self._cap_busy,
             "soft_limits_w": self.soft_limits_w,
             "telemetry": self.telemetry.ff_state(now_s),
+            "ride_engaged": self._ride_engaged,
+            "reserve_breached": self._reserve_breached,
         }
 
     def ff_shift_times(self, delta_s: float) -> None:
@@ -355,4 +503,6 @@ class DefenseScheme:
         self.capped_racks[:] = False
         self.asleep_servers[:] = False
         self._cap_busy = False
+        self._ride_engaged[:] = False
+        self._reserve_breached[:] = False
         self.telemetry.reset()

@@ -85,6 +85,20 @@ class PadScheme(VdebScheme):
     #: Extra headroom above the tracked peak when pinning a limit.
     PIN_MARGIN_W = 100.0
 
+    def _vdeb_pool_available(self) -> bool:
+        """Whether the vDEB pool still holds usable *defense* energy.
+
+        Under a :class:`~repro.grid.reserve.ReservePolicy` only the
+        slice above the ride-through floor counts — a fleet sitting
+        exactly at the floor is empty from the policy's point of view,
+        so PAD escalates instead of pretending Level 1 still works.
+        """
+        pool = self.telemetry.pool_soc(self.fleet)
+        if self.reserve is not None:
+            floor = self.reserve.ride_through_floor_soc
+            pool = max(0.0, (pool - floor) / (1.0 - floor))
+        return pool > self.ctx.config.policy.vdeb_empty_soc
+
     def soft_limit_floors(self, state: StepState) -> np.ndarray:
         """Pin spike-suspect racks at their observed fine-grained peak."""
         floors = super().soft_limit_floors(state)
@@ -124,10 +138,7 @@ class PadScheme(VdebScheme):
             # would sleep the wrong servers. The hardware paths (battery,
             # supercap, breakers) below keep acting on real current.
             inputs = PolicyInputs(
-                vdeb_available=(
-                    self.telemetry.pool_soc(self.fleet)
-                    > cfg.policy.vdeb_empty_soc
-                ),
+                vdeb_available=self._vdeb_pool_available(),
                 udeb_available=False,
                 visible_peak=False,
             )
@@ -142,10 +153,7 @@ class PadScheme(VdebScheme):
             state.metered_rack_avg_w, self.soft_limits_w
         )
         inputs = PolicyInputs(
-            vdeb_available=(
-                self.telemetry.pool_soc(self.fleet)
-                > cfg.policy.vdeb_empty_soc
-            ),
+            vdeb_available=self._vdeb_pool_available(),
             udeb_available=self.shaver.min_soc > cfg.policy.udeb_empty_soc,
             visible_peak=vp.any_peak,
         )
@@ -180,8 +188,31 @@ class PadScheme(VdebScheme):
             weak = (soc < self.VULNERABLE_SOC) | (deliverable < rack_over)
             vulnerable = weak & over_budget
             required += float(rack_over[vulnerable].sum())
+        # Graceful degradation mid-sag: a sagged rack whose battery has
+        # drained to the ride-through floor can no longer bridge the gap
+        # between demand and the derated feed — shed that gap instead of
+        # letting the rack brown out against a derated breaker. The
+        # drained racks' own servers are marked preferred: relief
+        # anywhere else leaves their derated breakers overloaded.
+        prefer = None
+        if self.reserve is not None and state.grid_feed_factor is not None:
+            ff = state.grid_feed_factor
+            sag_over = state.metered_rack_avg_w - ff * self.soft_limits_w
+            drained = (
+                (sag_over > 0.0)
+                & (ff < 1.0)
+                & (
+                    self.telemetry.battery_soc(self.fleet)
+                    <= self.reserve.ride_through_floor_soc
+                )
+            )
+            if drained.any():
+                required += float(sag_over[drained].sum())
+                per_rack = self.ctx.cluster.config.rack.servers
+                prefer = np.repeat(drained, per_rack)
         decision = self.shedder.update(
-            state.time_s, state.metered_server_util, required
+            state.time_s, state.metered_server_util, required,
+            prefer=prefer,
         )
         if decision.changed:
             self.bus.publish(SheddingAction(

@@ -29,6 +29,7 @@ from ..config import DataCenterConfig
 from ..defense import SCHEMES
 from ..errors import SimulationError
 from ..faults.spec import FaultPlan
+from ..grid.spec import GridPlan
 from ..power.topology import compile_topology
 from ..sim.cohort import CohortCell, CohortSimulation, run_cohort_expanded
 from ..sim.datacenter import DataCenterSimulation, SimResult, SimSnapshot
@@ -196,11 +197,14 @@ class CohortMember:
         scheme: A key of :data:`repro.defense.SCHEMES`.
         scenario: The cell's attack, or ``None`` for a benign cell.
         seed: Node-lottery / attacker seed (matches ``run_survival``).
+        grid_plan: The cell's grid-disturbance plan (window times are
+            absolute simulation times), or ``None`` for a healthy grid.
     """
 
     scheme: str
     scenario: "AttackScenario | None"
     seed: int = 7
+    grid_plan: "GridPlan | None" = None
 
 
 def run_survival_cohort(
@@ -243,6 +247,7 @@ def run_survival_cohort(
                 if member.scenario is not None
                 else None
             ),
+            grid_plan=member.grid_plan,
         )
         for member in members
     ]
@@ -276,6 +281,7 @@ def run_survival(
     lead_in_s: float = 0.0,
     backend: str = "vectorized",
     fault_plan: "FaultPlan | None" = None,
+    grid_plan: "GridPlan | None" = None,
     fast_forward: bool = False,
 ) -> SimResult:
     """One survival-style run: attack at the calibrated time, stop on trip.
@@ -302,7 +308,12 @@ def run_survival(
             raise SimulationError("cohort runs do not support fault plans")
         return run_survival_cohort(
             setup,
-            [CohortMember(scheme=scheme_name, scenario=scenario, seed=seed)],
+            [CohortMember(
+                scheme=scheme_name,
+                scenario=scenario,
+                seed=seed,
+                grid_plan=grid_plan,
+            )],
             window_s=window_s,
             dt=dt,
             record_every=record_every,
@@ -317,6 +328,7 @@ def run_survival(
         attacker=attacker,
         backend=backend,
         fault_plan=fault_plan,
+        grid_plan=grid_plan,
         fast_forward=fast_forward,
     )
     runner = Runner(
@@ -344,6 +356,7 @@ def prepare_survival_prefix(
     record_every: int = 40,
     backend: str = "vectorized",
     fault_plan: "FaultPlan | None" = None,
+    grid_plan: "GridPlan | None" = None,
     fast_forward: bool = False,
 ) -> "SimSnapshot | None":
     """Simulate the shared benign prefix of a survival cell family once.
@@ -369,6 +382,7 @@ def prepare_survival_prefix(
         SCHEMES[scheme_name],
         backend=backend,
         fault_plan=fault_plan,
+        grid_plan=grid_plan,
         fast_forward=fast_forward,
     )
     runner = Runner(
@@ -420,6 +434,7 @@ def run_throughput(
     initial_battery_soc: float = 1.0,
     backend: str = "vectorized",
     fault_plan: "FaultPlan | None" = None,
+    grid_plan: "GridPlan | None" = None,
     fast_forward: bool = False,
 ) -> SimResult:
     """One throughput-style run: breakers re-arm, run the whole window.
@@ -440,6 +455,7 @@ def run_throughput(
         initial_battery_soc=initial_battery_soc,
         backend=backend,
         fault_plan=fault_plan,
+        grid_plan=grid_plan,
         fast_forward=fast_forward,
     )
     runner = Runner(

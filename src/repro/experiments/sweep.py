@@ -50,6 +50,7 @@ from ..attack.scenario import AttackScenario
 from ..defense import SCHEMES
 from ..errors import ConfigError, ReproError, SimulationError, SweepExecutionError
 from ..faults.spec import FaultPlan
+from ..grid.spec import GridPlan
 from ..sim.datacenter import DataCenterSimulation, SimSnapshot
 from ..sim.runner import ATTACK_DT_S
 from .common import (
@@ -89,6 +90,10 @@ class SweepCell:
             never depends on how cells were grouped.
         fault_plan: Optional fault schedule injected into the cell's
             simulation (degraded-mode sweeps).
+        grid_plan: Optional grid-disturbance schedule injected into the
+            cell's simulation (ride-through sweeps; window times are
+            absolute simulation times, and all three backends accept
+            one).
         fast_forward: Enable quiescent-segment fast-forward for the
             cell's simulation (bit-identical; see
             :mod:`repro.sim.fastforward`).
@@ -106,6 +111,7 @@ class SweepCell:
     record_every: int = 200
     backend: str = "vectorized"
     fault_plan: "FaultPlan | None" = None
+    grid_plan: "GridPlan | None" = None
     fast_forward: bool = False
 
     def __post_init__(self) -> None:
@@ -147,6 +153,10 @@ class SweepCell:
             self.fault_plan, FaultPlan
         ):
             raise ConfigError("sweep cell fault_plan must be a FaultPlan")
+        if self.grid_plan is not None and not isinstance(
+            self.grid_plan, GridPlan
+        ):
+            raise ConfigError("sweep cell grid_plan must be a GridPlan")
 
 
 def derive_cell_seed(base_seed: int, *labels: str) -> int:
@@ -238,6 +248,7 @@ def execute_cell(
             seed=cell.seed,
             backend=cell.backend,
             fault_plan=cell.fault_plan,
+            grid_plan=cell.grid_plan,
             fast_forward=cell.fast_forward,
         )
         return result.survival_or_window()
@@ -252,6 +263,7 @@ def execute_cell(
             initial_battery_soc=cell.initial_battery_soc,
             backend=cell.backend,
             fault_plan=cell.fault_plan,
+            grid_plan=cell.grid_plan,
             fast_forward=cell.fast_forward,
         )
         result = sim.run(
@@ -271,6 +283,7 @@ def execute_cell(
         initial_battery_soc=cell.initial_battery_soc,
         backend=cell.backend,
         fault_plan=cell.fault_plan,
+        grid_plan=cell.grid_plan,
         fast_forward=cell.fast_forward,
     )
     return result.throughput_ratio
@@ -364,11 +377,39 @@ class _Outcome:
     done: bool = False
 
 
+def repair_jsonl_tail(path: str) -> None:
+    """Make a JSONL journal safe to append to after a mid-write kill.
+
+    A SIGKILL landing inside :meth:`_Journal.record` can leave a torn
+    final line; appending after it would weld the next record onto the
+    fragment, corrupting the journal for every later resume. A torn
+    (unparseable) tail is truncated away; a complete record that merely
+    lost its newline gets the newline back instead of being dropped.
+    """
+    try:
+        if os.path.getsize(path) == 0:
+            return
+    except OSError:
+        return  # nothing to repair
+    with open(path, "rb+") as handle:
+        data = handle.read()
+        if data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1
+        try:
+            json.loads(data[cut:].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            handle.truncate(cut)
+        else:
+            handle.write(b"\n")
+
+
 class _Journal:
     """Append-only JSONL checkpoint of resolved sweep cells."""
 
     def __init__(self, path: str) -> None:
         self._path = path
+        repair_jsonl_tail(path)
         self._handle = open(path, "a", encoding="utf-8")
 
     def record(
@@ -633,6 +674,7 @@ class ScenarioSweep:
                     scheme=self._cells[i].scheme,
                     scenario=self._cells[i].scenario,
                     seed=self._cells[i].seed,
+                    grid_plan=self._cells[i].grid_plan,
                 )
                 for i in members_idx
             ]
@@ -695,6 +737,7 @@ class ScenarioSweep:
                 cell.backend,
                 cell.fast_forward,
                 repr(cell.fault_plan),
+                repr(cell.grid_plan),
             )
             families.setdefault(key, []).append(index)
         snapshots: "dict[int, SimSnapshot]" = {}
@@ -713,6 +756,7 @@ class ScenarioSweep:
                 dt=first.dt,
                 backend=first.backend,
                 fault_plan=first.fault_plan,
+                grid_plan=first.grid_plan,
                 fast_forward=first.fast_forward,
             )
             if snapshot is None:

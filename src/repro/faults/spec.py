@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import ClassVar
 
-from ..errors import FaultInjectionError
+from ..errors import ConfigError, FaultInjectionError
 
 __all__ = [
     "BatteryFade",
@@ -32,7 +32,49 @@ __all__ = [
     "TelemetryNoise",
     "UdebStuckOpen",
     "VdebCommLoss",
+    "reject_overlapping_windows",
 ]
+
+
+def reject_overlapping_windows(specs, plan_name: str) -> None:
+    """Reject same-kind windowed specs whose windows and targets overlap.
+
+    Two windowed specs of the same ``kind`` that are simultaneously
+    active on a shared rack would silently compose last-writer-wins (a
+    frozen SOC vector, a sag depth) instead of doing anything physical.
+    Such plans are almost always authoring mistakes, so they fail
+    eagerly with a :class:`~repro.errors.ConfigError` naming both
+    windows. One-shot specs are exempt (no duration to overlap), and
+    ``racks=None`` (every rack) conflicts with any target set.
+
+    Shared by :class:`FaultPlan` and :class:`~repro.grid.spec.GridPlan`.
+    """
+    windowed = [
+        (index, spec)
+        for index, spec in enumerate(specs)
+        if not spec.one_shot
+    ]
+    for position, (i, a) in enumerate(windowed):
+        for j, b in windowed[position + 1:]:
+            if a.kind != b.kind:
+                continue
+            if not (a.start_s < b.end_s and b.start_s < a.end_s):
+                continue
+            racks_a = a.racks
+            racks_b = b.racks
+            if (
+                racks_a is not None
+                and racks_b is not None
+                and not set(racks_a) & set(racks_b)
+            ):
+                continue
+            raise ConfigError(
+                f"{plan_name}: {a.kind} windows "
+                f"[{a.start_s:g}, {a.end_s:g}) (spec {i}) and "
+                f"[{b.start_s:g}, {b.end_s:g}) (spec {j}) overlap on "
+                "shared racks — overlapping same-target windows compose "
+                "last-writer-wins; merge them into one spec"
+            )
 
 
 def _normalised_racks(racks) -> "tuple[int, ...] | None":
@@ -335,6 +377,7 @@ class FaultPlan:
                 raise FaultInjectionError(
                     f"fault plan entries must be FaultSpecs, got {spec!r}"
                 )
+        reject_overlapping_windows(specs, "fault plan")
         object.__setattr__(self, "specs", specs)
 
     def __len__(self) -> int:

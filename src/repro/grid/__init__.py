@@ -1,0 +1,43 @@
+"""Grid-side disturbance modelling (voltage sags, regulation duty).
+
+The paper's defense budget assumes a healthy utility feed; this package
+models the grid events a real battery-backed facility must also spend
+its batteries on — voltage sags the UPS rides through on battery,
+frequency-regulation duty cycles that pre-drain state of charge, and
+utility brownouts that derate the available feed — so an attacker who
+times a power spike to coincide with a depleted grid event faces the
+defense the facility *actually* has left.
+
+Public surface:
+
+* :class:`~repro.grid.spec.GridPlan` and its windowed specs
+  (:class:`~repro.grid.spec.VoltageSag`,
+  :class:`~repro.grid.spec.FrequencyRegulationDuty`,
+  :class:`~repro.grid.spec.UtilityBrownout`) — declarative, picklable,
+  validated;
+* :class:`~repro.grid.reserve.ReservePolicy` — the SoC partition between
+  ride-through floor and defense budget.
+
+The :class:`~repro.grid.injector.GridInjector` is an engine-side detail
+owned by :class:`~repro.sim.datacenter.DataCenterSimulation`; the sim
+layer imports it directly (mirroring the fault injector) so this package
+root stays import-cycle-free for :mod:`repro.config`.
+"""
+
+from .reserve import ReservePolicy
+from .spec import (
+    FrequencyRegulationDuty,
+    GridEventSpec,
+    GridPlan,
+    UtilityBrownout,
+    VoltageSag,
+)
+
+__all__ = [
+    "FrequencyRegulationDuty",
+    "GridEventSpec",
+    "GridPlan",
+    "ReservePolicy",
+    "UtilityBrownout",
+    "VoltageSag",
+]

@@ -1,0 +1,48 @@
+"""Battery-reserve partitioning between ride-through and defense.
+
+The same rack packs serve two masters: the defense schemes spend them
+against power attacks, and the UPS spends them riding grid disturbances
+through. Without a policy the two drains silently compose — a sag that
+arrives mid-attack finds the pack already spent, and the facility
+browns out with no warning. :class:`ReservePolicy` draws the line: SoC
+below ``ride_through_floor_soc`` belongs to ride-through and is
+off-limits to the defense budget; everything above it is the defense
+slice. When the defense slice runs dry the schemes publish
+:class:`~repro.sim.events.ReserveBreached`, shed load, and escalate off
+NORMAL — graceful degradation instead of a silent blackout.
+
+The policy is a frozen, picklable config object living on
+:attr:`~repro.config.DataCenterConfig.reserve`, so it flows through
+sweep cells, search candidates and cohort families like every other
+knob, and :class:`~repro.search.tuner.DefenseKnobs` can price it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ReservePolicy"]
+
+
+@dataclass(frozen=True)
+class ReservePolicy:
+    """Partition of battery SoC between ride-through floor and defense.
+
+    Attributes:
+        ride_through_floor_soc: SoC fraction reserved for grid
+            ride-through, in ``[0, 1)``. Defense discharge (vDEB
+            boosts, capping avoidance) only draws on charge *above*
+            this floor; ride-through discharge may drain all the way to
+            the pack's own low-voltage disconnect.
+    """
+
+    ride_through_floor_soc: float = 0.5
+
+    def __post_init__(self) -> None:
+        floor = self.ride_through_floor_soc
+        if not 0.0 <= floor < 1.0:
+            raise ConfigError(
+                "reserve policy: ride_through_floor_soc must be in [0, 1)"
+            )

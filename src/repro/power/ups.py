@@ -137,6 +137,24 @@ class CentralUps:
         self._charge_j = 0.0
         return served
 
+    def grid_step(
+        self, load_w: float, dt: float, utility_available: bool
+    ) -> float:
+        """One step with automatic transfer switching.
+
+        The convenience wrapper for grid-disturbance scenarios: a voltage
+        sag (or any utility loss) flips the transfer switch to battery,
+        and restoration flips it back — the same semantics a
+        :class:`~repro.grid.spec.VoltageSag` window applies to the
+        distributed fleet. Returns the load power actually served.
+        """
+        if utility_available:
+            if self._on_battery:
+                self.switch_to_line()
+        elif not self._on_battery:
+            self.switch_to_battery()
+        return self.step(load_w, dt)
+
     def recharge(self, power_w: float, dt: float) -> float:
         """Refill the string from the utility; returns power absorbed."""
         if power_w < 0.0 or dt <= 0.0:

@@ -63,6 +63,7 @@ from ..experiments.common import (
     run_survival,
     run_survival_cohort,
 )
+from ..experiments.sweep import repair_jsonl_tail
 from ..sim.datacenter import SimResult, SimSnapshot, truncate_snapshot_schedule
 from ..sim.events import EventBus
 from ..sim.runner import ATTACK_DT_S
@@ -182,6 +183,10 @@ class _SearchJournal:
 
     def __init__(self, path: str) -> None:
         self._path = path
+        # A SIGKILL can tear the final line mid-write; repair before
+        # appending so a resumed-then-killed-then-resumed search never
+        # welds a new record onto the fragment.
+        repair_jsonl_tail(path)
         self._handle = open(path, "a", encoding="utf-8")
 
     def record(self, outcome: CandidateOutcome, fingerprint: str) -> None:
@@ -377,9 +382,16 @@ class FrontierSearch:
 
         Forks from the shared benign-prefix snapshot when one exists
         (clipped to the probe horizon), else runs straight — both are
-        bit-identical to ``run_survival(window_s=end_s)``.
+        bit-identical to ``run_survival(window_s=end_s)``. Candidates
+        carrying a grid plan always run straight: the shared snapshot's
+        prefix was simulated on a healthy feed, so forking it would
+        silently drop any grid window opening before the pause.
         """
-        snapshot = self._prefix_snapshot(candidate.onset_s)
+        snapshot = (
+            None
+            if candidate.grid is not None
+            else self._prefix_snapshot(candidate.onset_s)
+        )
         if snapshot is None:
             return run_survival(
                 self._setup,
@@ -388,6 +400,7 @@ class FrontierSearch:
                 window_s=end_s,
                 dt=self._dt,
                 seed=candidate.seed,
+                grid_plan=candidate.grid,
             )
         if end_s >= self._window_s:
             clipped = snapshot
@@ -422,6 +435,7 @@ class FrontierSearch:
                     scheme=self._scheme,
                     scenario=candidates[i].scenario(),
                     seed=candidates[i].seed,
+                    grid_plan=candidates[i].grid,
                 )
                 for i in flat
             ]

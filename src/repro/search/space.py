@@ -34,6 +34,7 @@ from ..attack.scenario import AttackScenario
 from ..attack.spikes import SpikeTrainConfig
 from ..attack.virus import VirusKind
 from ..errors import SearchError
+from ..grid.spec import GridPlan
 from ..rng import child_rng
 
 __all__ = ["AttackCandidate", "AttackSpace"]
@@ -60,6 +61,11 @@ class AttackCandidate:
         placement: Cross-PDU node distribution, or ``None`` for the
             classic single-rack lottery.
         seed: Node-acquisition / attacker seed.
+        grid: Grid-disturbance plan running alongside the attack
+            (window times are absolute simulation times), or ``None``
+            for a healthy utility feed. The search treats the grid as
+            one more adversarial axis: the worst case of an
+            attack x disturbance composition, not of the attack alone.
     """
 
     onset_s: float
@@ -70,6 +76,7 @@ class AttackCandidate:
     baseline_util: float = 0.10
     placement: "PduPlacement | None" = None
     seed: int = 7
+    grid: "GridPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.onset_s < 0.0:
@@ -118,6 +125,8 @@ class AttackCandidate:
             if self.placement.mode == "concentrated":
                 tag += str(self.placement.target_pdu)
             parts.append(tag)
+        if self.grid is not None:
+            parts.append(f"g{self.grid.label()}")
         return "-".join(parts)
 
 
@@ -142,6 +151,10 @@ class AttackSpace:
         placements: Cross-PDU placements; ``None`` entries keep the
             flat single-rack lottery (and stay cohort-batchable).
         seeds: Node-acquisition seeds (placement lottery variation).
+        grids: Grid-disturbance plans composed with every attack shape;
+            ``None`` entries keep the healthy-feed baseline. Like
+            placements the axis preserves declaration order (plans have
+            no natural ordering) and deduplicates.
     """
 
     onsets_s: "tuple[float, ...]" = (300.0,)
@@ -152,6 +165,7 @@ class AttackSpace:
     baseline_utils: "tuple[float, ...]" = (0.10,)
     placements: "tuple[PduPlacement | None, ...]" = (None,)
     seeds: "tuple[int, ...]" = (7,)
+    grids: "tuple[GridPlan | None, ...]" = (None,)
 
     def __post_init__(self) -> None:
         numeric = {
@@ -180,6 +194,13 @@ class AttackSpace:
             if placement not in seen:
                 seen.append(placement)
         object.__setattr__(self, "placements", tuple(seen))
+        if not self.grids:
+            raise SearchError("attack space axis grids is empty")
+        grids_seen: "list[GridPlan | None]" = []
+        for grid in self.grids:
+            if grid not in grids_seen:
+                grids_seen.append(grid)
+        object.__setattr__(self, "grids", tuple(grids_seen))
         if any(o < 0.0 for o in self.onsets_s):
             raise SearchError("attack onsets must be non-negative")
         if any(w <= 0.0 for w in self.widths_s):
@@ -212,16 +233,18 @@ class AttackSpace:
                             for baseline in self.baseline_utils:
                                 for placement in self.placements:
                                     for seed in self.seeds:
-                                        yield AttackCandidate(
-                                            onset_s=onset,
-                                            width_s=width,
-                                            rate_per_min=rate,
-                                            nodes=nodes,
-                                            kind=kind,
-                                            baseline_util=baseline,
-                                            placement=placement,
-                                            seed=seed,
-                                        )
+                                        for grid in self.grids:
+                                            yield AttackCandidate(
+                                                onset_s=onset,
+                                                width_s=width,
+                                                rate_per_min=rate,
+                                                nodes=nodes,
+                                                kind=kind,
+                                                baseline_util=baseline,
+                                                placement=placement,
+                                                seed=seed,
+                                                grid=grid,
+                                            )
 
     @property
     def size(self) -> int:
@@ -240,6 +263,7 @@ class AttackSpace:
             * len(self.baseline_utils)
             * len(self.placements)
             * len(self.seeds)
+            * len(self.grids)
         )
 
     def sample(self, budget: int, seed: "int | None" = None) -> "list[AttackCandidate]":
@@ -264,8 +288,8 @@ class AttackSpace:
         Continuous axes (onset, width, rate, baseline) re-grid to the
         candidate's value plus the midpoints toward its nearest axis
         neighbours — halving the local grid pitch per application —
-        while discrete axes (nodes, kind, placement, seed) pin to the
-        candidate's value. Iterating search-then-refine therefore
+        while discrete axes (nodes, kind, placement, seed, grid) pin to
+        the candidate's value. Iterating search-then-refine therefore
         converges geometrically on a local worst case without ever
         leaving the original bracket.
         """
@@ -280,6 +304,7 @@ class AttackSpace:
             ),
             placements=(around.placement,),
             seeds=(around.seed,),
+            grids=(around.grid,),
         )
 
     def with_placements(

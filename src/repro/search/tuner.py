@@ -32,6 +32,7 @@ from dataclasses import dataclass, replace
 from ..config import DataCenterConfig
 from ..errors import SearchError
 from ..experiments.common import SURVIVAL_WINDOW_S, ExperimentSetup
+from ..grid.reserve import ReservePolicy
 from ..sim.costs import supercap_cost
 from ..sim.events import EventBus
 from ..sim.runner import ATTACK_DT_S
@@ -61,11 +62,17 @@ class DefenseKnobs:
             fraction of battery ``max_discharge_w`` (free).
         shed_ratio_cap: Maximum fraction of servers Level 3 may shed
             (free).
+        reserve_floor_soc: Battery SoC floor reserved for grid
+            ride-through (installs a
+            :class:`~repro.grid.reserve.ReservePolicy`; free — it
+            repartitions energy already bought). ``0.0`` explicitly
+            removes any reserve from the base configuration.
     """
 
     udeb_capacity_wh: "float | None" = None
     vdeb_ideal_discharge_fraction: "float | None" = None
     shed_ratio_cap: "float | None" = None
+    reserve_floor_soc: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.udeb_capacity_wh is not None and self.udeb_capacity_wh <= 0.0:
@@ -78,6 +85,10 @@ class DefenseKnobs:
             0.0 < self.shed_ratio_cap <= 1.0
         ):
             raise SearchError("shed-ratio knob must be in (0, 1]")
+        if self.reserve_floor_soc is not None and not (
+            0.0 <= self.reserve_floor_soc < 1.0
+        ):
+            raise SearchError("reserve-floor knob must be in [0, 1)")
 
     def apply(self, config: DataCenterConfig) -> DataCenterConfig:
         """``config`` with these knobs substituted in."""
@@ -106,6 +117,15 @@ class DefenseKnobs:
                     tuned.policy, shed_ratio_cap=self.shed_ratio_cap
                 ),
             )
+        if self.reserve_floor_soc is not None:
+            reserve = (
+                None
+                if self.reserve_floor_soc == 0.0
+                else ReservePolicy(
+                    ride_through_floor_soc=self.reserve_floor_soc
+                )
+            )
+            tuned = replace(tuned, reserve=reserve)
         return tuned
 
     def cost_dollars(self, config: DataCenterConfig) -> float:
@@ -122,6 +142,8 @@ class DefenseKnobs:
             parts.append(f"vdeb={self.vdeb_ideal_discharge_fraction:g}")
         if self.shed_ratio_cap is not None:
             parts.append(f"shed={self.shed_ratio_cap:g}")
+        if self.reserve_floor_soc is not None:
+            parts.append(f"reserve={self.reserve_floor_soc:g}")
         return ",".join(parts) if parts else "base"
 
 
@@ -137,17 +159,21 @@ class DefenseSpace:
         udeb_capacities_wh: Candidate supercap capacities per rack.
         vdeb_ideal_discharge_fractions: Candidate vDEB discharge caps.
         shed_ratio_caps: Candidate Level-3 shed caps.
+        reserve_floors: Candidate ride-through reserve floors (free;
+            ``0.0`` means "no reserve").
     """
 
     udeb_capacities_wh: "tuple[float, ...]" = ()
     vdeb_ideal_discharge_fractions: "tuple[float, ...]" = ()
     shed_ratio_caps: "tuple[float, ...]" = ()
+    reserve_floors: "tuple[float, ...]" = ()
 
     def __post_init__(self) -> None:
         for name in (
             "udeb_capacities_wh",
             "vdeb_ideal_discharge_fractions",
             "shed_ratio_caps",
+            "reserve_floors",
         ):
             axis = getattr(self, name)
             object.__setattr__(self, name, tuple(sorted(set(axis))))
@@ -157,15 +183,18 @@ class DefenseSpace:
         udeb_axis = self.udeb_capacities_wh or (None,)
         vdeb_axis = self.vdeb_ideal_discharge_fractions or (None,)
         shed_axis = self.shed_ratio_caps or (None,)
+        reserve_axis = self.reserve_floors or (None,)
         return [
             DefenseKnobs(
                 udeb_capacity_wh=udeb,
                 vdeb_ideal_discharge_fraction=vdeb,
                 shed_ratio_cap=shed,
+                reserve_floor_soc=reserve,
             )
             for udeb in udeb_axis
             for vdeb in vdeb_axis
             for shed in shed_axis
+            for reserve in reserve_axis
         ]
 
     def by_cost(self, config: DataCenterConfig) -> "list[DefenseKnobs]":
@@ -259,6 +288,11 @@ class DefenseTuner:
         probe_fractions: Inner-search probe horizons.
         use_cohort: Inner-search cohort batching toggle.
         bus: Optional event bus shared by every inner search.
+        journal_path: Base path for inner-search JSONL journals. Each
+            trial appends to its own file — ``<path>.<knob label>`` —
+            because candidate fingerprints do not encode the tuned
+            configuration, so trials must never share a journal.
+            Required for ``run(resume=True)``.
     """
 
     def __init__(
@@ -273,6 +307,7 @@ class DefenseTuner:
         probe_fractions: "tuple[float, ...]" = (0.25, 0.5),
         use_cohort: bool = True,
         bus: "EventBus | None" = None,
+        journal_path: "str | None" = None,
     ) -> None:
         if target_survival_s <= 0.0:
             raise SearchError("survival target must be positive")
@@ -291,9 +326,26 @@ class DefenseTuner:
         self._probe_fractions = probe_fractions
         self._use_cohort = use_cohort
         self._bus = bus
+        self._journal_path = journal_path
 
-    def run(self) -> TuningResult:
-        """Walk the knob grid cost-ascending; stop at the first pass."""
+    def _trial_journal(self, knobs: DefenseKnobs) -> "str | None":
+        """The per-trial journal file for one knob point."""
+        if self._journal_path is None:
+            return None
+        return f"{self._journal_path}.{knobs.label()}"
+
+    def run(self, resume: bool = False) -> TuningResult:
+        """Walk the knob grid cost-ascending; stop at the first pass.
+
+        Args:
+            resume: Forwarded to every inner :class:`FrontierSearch` —
+                resolved candidates replay from each trial's journal
+                instead of re-simulating (requires ``journal_path``).
+        """
+        if resume and self._journal_path is None:
+            raise SearchError(
+                "resume=True needs a journal_path to resume from"
+            )
         trials: "list[TuningTrial]" = []
         best: "DefenseKnobs | None" = None
         best_cost = float("nan")
@@ -313,9 +365,10 @@ class DefenseTuner:
                 probe_fractions=self._probe_fractions,
                 use_cohort=self._use_cohort,
                 bus=self._bus,
+                journal_path=self._trial_journal(knobs),
                 stop_below_s=self._target_s,
             )
-            result = search.run()
+            result = search.run(resume=resume)
             met = (
                 not result.early_stopped
                 and result.worst_survival_s >= self._target_s

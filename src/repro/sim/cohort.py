@@ -51,7 +51,7 @@ from __future__ import annotations
 import copy
 import enum
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -64,6 +64,7 @@ from ..defense import SCHEMES
 from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
 from ..defense.pad import PadScheme
 from ..errors import SimulationError
+from ..grid.spec import GridPlan
 from ..power.breaker_kernels import make_breaker_bank
 from ..power.topology import CompiledTopology
 from ..workload.cluster import ClusterModel
@@ -74,6 +75,7 @@ from .events import (
     CappingChanged,
     EventBus,
     FaultEvent,
+    GridEvent,
     OverloadEvent,
     PolicyEscalation,
     SheddingAction,
@@ -99,10 +101,14 @@ class CohortCell:
         scheme: Defense-scheme registry key (``repro.defense.SCHEMES``).
         attacker: The cell's adversary, built against the *single-cell*
             cluster (local node ids); ``None`` runs the cell benign.
+        grid_plan: The cell's grid-disturbance plan, built against the
+            *single-cell* cluster (local rack ids); ``None`` runs the
+            cell on a healthy grid.
     """
 
     scheme: str
     attacker: "Attacker | None" = None
+    grid_plan: "GridPlan | None" = None
 
 
 class CohortTopology(CompiledTopology):
@@ -178,6 +184,49 @@ class _Family:
     proving_metered: "tuple[np.ndarray, np.ndarray] | None" = None
     metered_ref: "tuple[np.ndarray, np.ndarray] | None" = None
     events_in_period: bool = False
+    # --- per-cell grid machinery (see ``stage_grid_cells``) ----------- #
+    #: ``(cell position within family, injector)`` for grid-plan cells.
+    grid_injectors: "list[tuple[int, object]]" = field(default_factory=list)
+    #: Family-stitched grid inputs for this step's :class:`StepState`
+    #: (``None`` while the corresponding machinery is inactive, exactly
+    #: like the per-cell injector exposes them).
+    grid_feed: "np.ndarray | None" = None
+    grid_freg_w: "np.ndarray | None" = None
+    grid_freg_floor: "np.ndarray | None" = None
+
+
+class _Facet:
+    """A bag of fixed attributes (shapes the grid host advertises)."""
+
+    def __init__(self, **attrs) -> None:
+        self.__dict__.update(attrs)
+
+
+class _CellGridHost:
+    """The sim-shaped adapter one cell's :class:`GridInjector` drives.
+
+    Presents a cell's slice of the cohort as the single-cell simulation
+    the injector expects: local rack count, a flat ``racks + 1`` breaker
+    bank, the cell's own event bus (so published grid events carry
+    cell-local rack ids, exactly like the per-cell run), and a
+    ``set_grid_derate`` that parks the cell derate for the cohort to
+    recompose into the composite bank derate.
+    """
+
+    __slots__ = ("cluster", "topology", "bus", "derate", "_cohort")
+
+    def __init__(
+        self, racks: int, bus: EventBus, cohort: "CohortSimulation"
+    ) -> None:
+        self.cluster = _Facet(racks=racks)
+        self.topology = _Facet(n_breakers=racks + 1)
+        self.bus = bus
+        self.derate: "np.ndarray | None" = None
+        self._cohort = cohort
+
+    def set_grid_derate(self, derate: "np.ndarray | None") -> None:
+        self.derate = derate
+        self._cohort._grid_dirty = True
 
 
 @dataclass
@@ -260,6 +309,22 @@ class CohortPadScheme(PadScheme):
         over_budget = rack_over > 0.0
         over_any = over_budget.reshape(F, R).any(axis=1).tolist()
         metered_rows = metered.reshape(F, R).sum(axis=1).tolist()
+        # Graceful degradation mid-sag (mirrors PadScheme.management):
+        # elementwise precomputes slice bitwise per cell.
+        ff = state.grid_feed_factor
+        sag_over = sag_drained = None
+        reserve_floor = (
+            self.reserve.ride_through_floor_soc
+            if self.reserve is not None
+            else None
+        )
+        if reserve_floor is not None and ff is not None:
+            sag_over = metered - ff * self.soft_limits_w
+            sag_drained = (
+                (sag_over > 0.0)
+                & (ff < 1.0)
+                & (self.telemetry.battery_soc(self.fleet) <= reserve_floor)
+            )
         # The vulnerability mask needs SOC and the deliverable ceiling —
         # only racks over budget consult it, so compute it lazily.
         weak = None
@@ -277,6 +342,12 @@ class CohortPadScheme(PadScheme):
             total_charge = float(sum(charge_j[lo:hi]))
             total_capacity = float(sum(capacity_j[lo:hi]))
             pool_soc = total_charge / total_capacity if total_capacity else 0.0
+            if reserve_floor is not None:
+                # Same rescale as PadScheme._vdeb_pool_available: only
+                # the defense slice above the ride-through floor counts.
+                pool_soc = max(
+                    0.0, (pool_soc - reserve_floor) / (1.0 - reserve_floor)
+                )
             inputs = PolicyInputs(
                 vdeb_available=pool_soc > vdeb_empty,
                 udeb_available=shaver_min[k] > udeb_empty,
@@ -304,6 +375,12 @@ class CohortPadScheme(PadScheme):
                 sl = slice(lo, hi)
                 vulnerable = weak[sl] & over_budget[sl]
                 required += float(rack_over[sl][vulnerable].sum())
+            prefer = None
+            if sag_drained is not None:
+                drained = sag_drained[lo:hi]
+                if drained.any():
+                    required += float(sag_over[lo:hi][drained].sum())
+                    prefer = np.repeat(drained, S // R)
             shedder = self._cohort_shedders[k]
             if required <= 0.0 and not shedder.any_asleep:
                 # Nothing to shed, nothing to wake: ``update`` would be
@@ -311,7 +388,8 @@ class CohortPadScheme(PadScheme):
                 continue
             ssl = slice(k * S, (k + 1) * S)
             decision = shedder.update(
-                t, state.metered_server_util[ssl], required
+                t, state.metered_server_util[ssl], required,
+                prefer=prefer,
             )
             if decision.changed:
                 bus.publish(SheddingAction(
@@ -435,6 +513,9 @@ class CohortSimulation(DataCenterSimulation):
         self._attack_nodes = None
         self._attack_racks = ()
         self._injector = None
+        self._grid = None
+        self._grid_derate = None
+        self._grid_dirty = False
         self.pipeline = (
             self.stage_workload,
             self.stage_attack,
@@ -483,6 +564,36 @@ class CohortSimulation(DataCenterSimulation):
             ))
         onsets = [a.onset_s for a in self._cell_attacks if a is not None]
         self._min_onset_s = min(onsets) if onsets else float("inf")
+        # Per-cell grid injectors, each driving a cell-local host so its
+        # events and validation match the per-cell run exactly.
+        from ..grid.injector import GridInjector
+
+        self._cell_grid: "list[GridInjector | None]" = []
+        self._grid_hosts: "list[_CellGridHost | None]" = []
+        min_grid_edge = float("inf")
+        for position, cell in enumerate(ordered):
+            plan = cell.grid_plan
+            if plan is None or len(plan) == 0:
+                self._cell_grid.append(None)
+                self._grid_hosts.append(None)
+                continue
+            host = _CellGridHost(
+                cell_racks, self._cell_buses[position], self
+            )
+            self._cell_grid.append(GridInjector(plan, host))
+            self._grid_hosts.append(host)
+            min_grid_edge = min(min_grid_edge, min(plan.edge_times()))
+        self._min_grid_edge_s = min_grid_edge
+        if any(g is not None for g in self._cell_grid):
+            self.pipeline = (
+                self.stage_workload,
+                self.stage_attack,
+                self.stage_demand,
+                self.stage_grid_cells,
+                self.stage_defense,
+                self.stage_protection,
+                self.stage_accounting,
+            )
         for family in self._families:
             cell_onsets = [
                 self._cell_attacks[c].onset_s
@@ -492,13 +603,22 @@ class CohortSimulation(DataCenterSimulation):
             family.min_onset_s = (
                 min(cell_onsets) if cell_onsets else float("inf")
             )
+            family.grid_injectors = [
+                (k, self._cell_grid[cid])
+                for k, cid in enumerate(family.cell_ids)
+                if self._cell_grid[cid] is not None
+            ]
             family.freezable = bool(family.scheme.ff_eligible)
             # Steady-drain replay additionally requires the stock
             # management/battery hooks, whose no-op and constancy
-            # conditions the replay guards reproduce exactly.
+            # conditions the replay guards reproduce exactly. A reserve
+            # partition disqualifies it outright: dispatch clamps the
+            # request by the (draining) defense slice, so a captured
+            # nonzero request would not stay constant.
             scheme_cls = type(family.scheme)
             family.drainable = (
                 family.freezable
+                and self.config.reserve is None
                 and scheme_cls.management is DefenseScheme.management
                 and scheme_cls.battery_discharge
                 is DefenseScheme.battery_discharge
@@ -583,6 +703,7 @@ class CohortSimulation(DataCenterSimulation):
             bus.subscribe(
                 SoftLimitsReassigned, self._limits_forwarder(family)
             )
+            bus.subscribe(GridEvent, self._grid_event_forwarder(family))
         # Any event during a freeze-proving period means the scheme is
         # not at a fixed point; the flag vetoes the freeze decision.
         def _flag(event: SimEvent, family: _Family = family) -> None:
@@ -630,6 +751,35 @@ class CohortSimulation(DataCenterSimulation):
                 ]
                 self._cell_buses[cid].publish(SoftLimitsReassigned(
                     time_s=event.time_s, soft_limits_w=block.copy(),
+                ))
+
+        return forward
+
+    def _grid_event_forwarder(self, family: _Family):
+        """Split a family scheme's grid transition events per cell.
+
+        The scheme publishes :class:`RideThroughEngaged` /
+        :class:`ReserveBreached` with family-local rack tuples; each
+        cell's slice is republished on its own bus with cell-local ids,
+        matching the per-cell run's event stream exactly.
+        """
+        cell_racks = self._racks_per_cell
+        done = self._done
+
+        def forward(event: GridEvent) -> None:
+            by_cell: "dict[int, list[int]]" = {}
+            for rack in event.racks:
+                by_cell.setdefault(rack // cell_racks, []).append(
+                    rack % cell_racks
+                )
+            for k, local_racks in by_cell.items():
+                cid = family.cell_ids[k]
+                if done[cid]:
+                    continue
+                self._cell_buses[cid].publish(type(event)(
+                    time_s=event.time_s,
+                    event=event.event,
+                    racks=tuple(local_racks),
                 ))
 
         return forward
@@ -754,6 +904,82 @@ class CohortSimulation(DataCenterSimulation):
             )
         self._update_meters(ctx.demand, ctx.util, ctx.dt)
 
+    def stage_grid_cells(self, ctx: StepContext) -> None:
+        """Step every live cell's grid injector; recompose composites.
+
+        Only in the pipeline when at least one cell carries a grid plan.
+        Done (tripped) cells keep their injector frozen — their racks
+        are dark and their result stream is closed, exactly like the
+        per-cell ``stop_on_trip`` run never reaching the edge.
+        """
+        done = self._done
+        for cid, injector in enumerate(self._cell_grid):
+            if injector is None or done[cid]:
+                continue
+            injector.stage_grid(ctx)
+        if self._grid_dirty:
+            self._grid_dirty = False
+            self._recompose_grid_derate()
+        for family in self._families:
+            if family.grid_injectors:
+                self._compose_family_grid(family)
+
+    def _recompose_grid_derate(self) -> None:
+        """Stitch per-cell derates into the composite bank derate.
+
+        Rack entries carry each cell's feed factor, the cell's mid-tier
+        breaker its facility factor, and the root (rated ``inf``) stays
+        at ``1.0``; cells without an active derate multiply by ``1.0``,
+        which is bitwise a no-op on their ratings.
+        """
+        if all(
+            host is None or host.derate is None
+            for host in self._grid_hosts
+        ):
+            if self._grid_derate is not None:
+                self._grid_derate = None
+                self._derate_dirty = True
+            return
+        racks = self.cluster.racks
+        cell_racks = self._racks_per_cell
+        derate = np.ones(self.topology.n_breakers)
+        for cid, host in enumerate(self._grid_hosts):
+            if host is None or host.derate is None:
+                continue
+            lo = cid * cell_racks
+            derate[lo:lo + cell_racks] = host.derate[:cell_racks]
+            derate[racks + cid] = host.derate[cell_racks]
+        self._grid_derate = derate
+        self._derate_dirty = True
+
+    def _compose_family_grid(self, family: _Family) -> None:
+        """Stitch a family's per-cell grid inputs for this step.
+
+        ``None`` whenever no cell's machinery is active, so grid-free
+        stretches take the exact per-cell ``is None`` fast paths; cells
+        without an active feed hold ``1.0`` (freg: ``0.0``), which the
+        dispatch arithmetic treats bitwise as absent.
+        """
+        R = self._racks_per_cell
+        n = len(family.cell_ids) * R
+        feed = freg_w = freg_floor = None
+        for k, injector in family.grid_injectors:
+            cell_feed = injector.feed_factor
+            if cell_feed is not None:
+                if feed is None:
+                    feed = np.ones(n)
+                feed[k * R:(k + 1) * R] = cell_feed
+            cell_w, cell_floor = injector.freg_command()
+            if cell_w is not None:
+                if freg_w is None:
+                    freg_w = np.zeros(n)
+                    freg_floor = np.zeros(n)
+                freg_w[k * R:(k + 1) * R] = cell_w
+                freg_floor[k * R:(k + 1) * R] = cell_floor
+        family.grid_feed = feed
+        family.grid_freg_w = freg_w
+        family.grid_freg_floor = freg_floor
+
     def stage_defense(self, ctx: StepContext) -> None:
         assert ctx.demand is not None
         t = ctx.time_s
@@ -811,6 +1037,9 @@ class CohortSimulation(DataCenterSimulation):
                 # every step, so age and staleness are constants.
                 telemetry_age_s=0.0,
                 telemetry_stale=False,
+                grid_feed_factor=family.grid_feed,
+                grid_freg_w=family.grid_freg_w,
+                grid_freg_floor_soc=family.grid_freg_floor,
             )
             dispatch = scheme.dispatch(state)
             if family.proving is not None:
@@ -888,6 +1117,20 @@ class CohortSimulation(DataCenterSimulation):
             and until >= t + (self._freeze_period + 1) * dt
             and family.min_onset_s >= t + self._freeze_period * dt
         )
+        if ok and family.grid_injectors:
+            # Never freeze across (or inside) a grid window: an open
+            # window perturbs dispatch, and ``stage_grid_cells`` keeps
+            # running while a family is frozen, so an edge inside the
+            # period would change inputs the skipped dispatch never
+            # sees. Probe one step back, like the fast-forward guard.
+            horizon = t + (self._freeze_period + 1) * dt
+            for _, injector in family.grid_injectors:
+                if (
+                    injector.any_active
+                    or injector.next_edge_after(t - dt) < horizon
+                ):
+                    ok = False
+                    break
         return ok, until
 
     def _metered_matches(self, family: _Family) -> bool:
@@ -1348,6 +1591,7 @@ class CohortSimulation(DataCenterSimulation):
                     (lambda r: lambda e: r.trips.append(e.trip))(result),
                 ),
                 bus.subscribe(FaultEvent, result.faults.append),
+                bus.subscribe(GridEvent, result.grid.append),
             ))
         self._results = results
         scratch = SimResult(
@@ -1554,7 +1798,7 @@ def _prefix_fork_steps(
         total += 1
     while total > 0 and start_s + (total - 1) * dt >= end_s - 1e-9:
         total -= 1
-    horizon = min(wide._min_onset_s, end_s)
+    horizon = min(wide._min_onset_s, wide._min_grid_edge_s, end_s)
     limit = total - 1
     if horizon < end_s:
         onset_steps = int((horizon - start_s) / dt + 1e-9)

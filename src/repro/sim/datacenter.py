@@ -36,6 +36,7 @@ from ..attack.attacker import Attacker
 from ..config import DataCenterConfig
 from ..errors import SimulationError
 from ..faults.spec import FaultPlan
+from ..grid.spec import GridPlan
 from ..power.breaker import TripEvent
 from ..power.breaker_kernels import make_breaker_bank
 from ..power.topology import compile_topology, pdu_breaker_id
@@ -48,6 +49,7 @@ from .events import (
     EventBus,
     FaultEvent,
     FaultInjected,
+    GridEvent,
     OverloadEvent,
     SimEvent,
 )
@@ -122,6 +124,9 @@ class SimResult:
         faults: Fault-injection edges (:class:`FaultInjected` /
             :class:`FaultCleared`) in publication order — the per-fault
             accounting for degraded-mode runs.
+        grid: Grid-disturbance occurrences (window edges from the
+            injector plus the schemes' ride-through/reserve
+            transitions) in publication order.
         delivered_work: Integrated delivered throughput (machine-seconds).
         demanded_work: Integrated demanded throughput (machine-seconds).
         recorder: Step-aligned time series.
@@ -135,6 +140,7 @@ class SimResult:
     trips: "list[TripEvent]" = field(default_factory=list)
     events: "list[SimEvent]" = field(default_factory=list)
     faults: "list[FaultEvent]" = field(default_factory=list)
+    grid: "list[GridEvent]" = field(default_factory=list)
     delivered_work: float = 0.0
     demanded_work: float = 0.0
     recorder: Recorder = field(default_factory=Recorder)
@@ -267,6 +273,14 @@ class DataCenterSimulation:
             plan prescribes. ``None`` leaves the pipeline untouched —
             runs without a plan are bit-identical to builds that predate
             fault injection.
+        grid_plan: Optional declarative grid-disturbance schedule; when
+            given, a :class:`~repro.grid.injector.GridInjector` stage
+            runs between the fault and defense stages, deriving the
+            per-rack feed factor, the breaker enforcement derate and
+            the frequency-regulation duty command exactly as the plan
+            prescribes. ``None`` leaves the pipeline untouched — runs
+            without a plan are bit-identical to builds that predate
+            grid modelling.
         telemetry_ttl_s: Staleness TTL for the scheme's telemetry view;
             defaults to three management intervals, so one missed meter
             publication is tolerated and held, while a sustained dropout
@@ -301,6 +315,7 @@ class DataCenterSimulation:
         initial_battery_soc: "float | list[float]" = 1.0,
         backend: str = "vectorized",
         fault_plan: "FaultPlan | None" = None,
+        grid_plan: "GridPlan | None" = None,
         telemetry_ttl_s: "float | None" = None,
         fast_forward: bool = False,
         recorder_row_budget: "int | None" = None,
@@ -422,11 +437,18 @@ class DataCenterSimulation:
         self._injector: "FaultInjector | None" = None
         if fault_plan is not None and len(fault_plan) > 0:
             self._injector = FaultInjector(fault_plan, self)
+        # Same deferred-import reasoning as the fault injector.
+        from ..grid.injector import GridInjector
+
+        self._grid: "GridInjector | None" = None
+        self._grid_derate: "np.ndarray | None" = None
+        if grid_plan is not None and len(grid_plan) > 0:
+            self._grid = GridInjector(grid_plan, self)
         #: The step pipeline, in execution order. Each stage reads and
         #: extends the :class:`StepContext`; tests (and exotic workloads)
-        #: may call stages individually or swap the tuple. The fault
-        #: stage only exists when a plan was supplied, so no-plan runs
-        #: execute the exact historical pipeline.
+        #: may call stages individually or swap the tuple. The fault and
+        #: grid stages only exist when a plan was supplied, so no-plan
+        #: runs execute the exact historical pipeline.
         stages = [
             self.stage_workload,
             self.stage_attack,
@@ -437,6 +459,11 @@ class DataCenterSimulation:
         ]
         if self._injector is not None:
             stages.insert(3, self._injector.stage_faults)
+        if self._grid is not None:
+            stages.insert(
+                4 if self._injector is not None else 3,
+                self._grid.stage_grid,
+            )
         self.pipeline = tuple(stages)
 
     @property
@@ -454,6 +481,16 @@ class DataCenterSimulation:
     def fault_injector(self):
         """The active :class:`~repro.faults.FaultInjector`, if any."""
         return self._injector
+
+    @property
+    def grid_plan(self) -> "GridPlan | None":
+        """The active grid plan, if any."""
+        return self._grid.plan if self._grid is not None else None
+
+    @property
+    def grid_injector(self):
+        """The active :class:`~repro.grid.injector.GridInjector`, if any."""
+        return self._grid
 
     @property
     def management_interval_s(self) -> float:
@@ -491,6 +528,20 @@ class DataCenterSimulation:
             for start, end in self._injector.plan.windows()
         ]
 
+    def grid_windows(self) -> "list[AttackWindow]":
+        """Windows of the grid plan, as fine-step schedule refinements.
+
+        The runner merges these with the attack and fault windows so
+        grid edges (and duty-cycle phases inside regulation windows)
+        land on sub-second steps.
+        """
+        if self._grid is None:
+            return []
+        return [
+            AttackWindow(start_s=start, end_s=end)
+            for start, end in self._grid.plan.windows()
+        ]
+
     def set_breaker_derate(self, derate: "np.ndarray | None") -> None:
         """Install per-breaker enforcement derating (cluster entry last).
 
@@ -513,6 +564,29 @@ class DataCenterSimulation:
                 raise SimulationError("breaker derate must be positive")
             derate = derate.copy()
         self._breaker_derate = derate
+        self._derate_dirty = True
+
+    def set_grid_derate(self, derate: "np.ndarray | None") -> None:
+        """Install the grid-side enforcement derate (cluster entry last).
+
+        Same contract as :meth:`set_breaker_derate`, but owned by the
+        grid injector so a sag and a
+        :class:`~repro.faults.BreakerMisrating` compose multiplicatively
+        instead of overwriting each other. Detection (``rating_w``)
+        stays nominal: the operator's "over budget" view is unchanged;
+        only the physical feed the breakers enforce moves.
+        """
+        if derate is not None:
+            derate = np.asarray(derate, dtype=float)
+            if derate.shape != (self.topology.n_breakers,):
+                raise SimulationError(
+                    "grid derate needs one entry per breaker (racks, "
+                    "then mid-tier PDUs, then the cluster breaker)"
+                )
+            if not bool(np.all(derate > 0.0)):
+                raise SimulationError("grid derate must be positive")
+            derate = derate.copy()
+        self._grid_derate = derate
         self._derate_dirty = True
 
     # ------------------------------------------------------------------ #
@@ -580,15 +654,30 @@ class DataCenterSimulation:
                 server_mask=server_ok,
             )
         age_s = view.age_s(ctx.time_s)
-        ctx.state = StepState(
-            time_s=ctx.time_s,
-            dt=ctx.dt,
-            rack_demand_w=ctx.demand,
-            metered_rack_avg_w=view.rack_avg_w(),
-            metered_server_util=view.server_util(),
-            telemetry_age_s=age_s,
-            telemetry_stale=view.is_stale(ctx.time_s),
-        )
+        if self._grid is None:
+            ctx.state = StepState(
+                time_s=ctx.time_s,
+                dt=ctx.dt,
+                rack_demand_w=ctx.demand,
+                metered_rack_avg_w=view.rack_avg_w(),
+                metered_server_util=view.server_util(),
+                telemetry_age_s=age_s,
+                telemetry_stale=view.is_stale(ctx.time_s),
+            )
+        else:
+            freg_w, freg_floor = self._grid.freg_command()
+            ctx.state = StepState(
+                time_s=ctx.time_s,
+                dt=ctx.dt,
+                rack_demand_w=ctx.demand,
+                metered_rack_avg_w=view.rack_avg_w(),
+                metered_server_util=view.server_util(),
+                telemetry_age_s=age_s,
+                telemetry_stale=view.is_stale(ctx.time_s),
+                grid_feed_factor=self._grid.feed_factor,
+                grid_freg_w=freg_w,
+                grid_freg_floor_soc=freg_floor,
+            )
         ctx.dispatch = self.scheme.dispatch(ctx.state)
         ctx.utility = ctx.dispatch.utility_w(ctx.demand)
         ctx.utility[ctx.down] = 0.0
@@ -611,15 +700,16 @@ class DataCenterSimulation:
             self._ratings_buf[: self.cluster.racks] = self.rating_w
             self._applied_soft_limits_w = ctx.dispatch.soft_limits_w
         if limits_changed or self._derate_dirty:
-            if self._breaker_derate is None:
-                self.breakers.set_ratings(self._ratings_buf)
-            else:
-                # Enforcement-only derating: the bank trips at the
-                # derated threshold while rating_w (detection) and the
-                # ratings buffer itself stay nominal.
-                self.breakers.set_ratings(
-                    self._ratings_buf * self._breaker_derate
-                )
+            # Enforcement-only derating: the bank trips at the derated
+            # threshold while rating_w (detection) and the ratings
+            # buffer itself stay nominal. Fault misrating and grid feed
+            # loss compose multiplicatively.
+            enforced = self._ratings_buf
+            if self._breaker_derate is not None:
+                enforced = enforced * self._breaker_derate
+            if self._grid_derate is not None:
+                enforced = enforced * self._grid_derate
+            self.breakers.set_ratings(enforced)
             self._derate_dirty = False
         # One segment reduction yields every mid-tier PDU load; reused by
         # overload detection and the breaker bank alike.
@@ -805,6 +895,9 @@ class DataCenterSimulation:
         }
         if self._injector is not None:
             state["injector"] = self._injector.ff_state()
+        if self._grid is not None:
+            state["grid"] = self._grid.ff_state()
+            state["grid_derate"] = self._grid_derate
         return state
 
     def ff_shift_times(self, delta_s: float) -> None:
@@ -910,6 +1003,7 @@ class DataCenterSimulation:
                 BreakerTripped, lambda e: result.trips.append(e.trip)
             ),
             self.bus.subscribe(FaultEvent, result.faults.append),
+            self.bus.subscribe(GridEvent, result.grid.append),
         )
 
     def _run_segment(

@@ -141,6 +141,48 @@ class FaultCleared(FaultEvent):
     """A fault window closed; the faulted path is healthy again."""
 
 
+@dataclass(frozen=True)
+class GridEvent(SimEvent):
+    """Base class for grid-side disturbance occurrences.
+
+    Window edges are published by the
+    :class:`~repro.grid.injector.GridInjector` in declaration order
+    within a step; reserve/ride-through transitions are published by the
+    defense schemes. The differential harness asserts the combined
+    stream's ordering across backends.
+
+    Attributes:
+        event: The grid-event kind label (``GridEventSpec.kind``) or
+            the scheme-side transition name.
+        racks: Racks the occurrence touches.
+    """
+
+    event: str
+    racks: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
+class GridEventStarted(GridEvent):
+    """A grid-disturbance window opened (sag, brownout, regulation)."""
+
+
+@dataclass(frozen=True)
+class GridEventCleared(GridEvent):
+    """A grid-disturbance window closed; the feed is healthy again."""
+
+
+@dataclass(frozen=True)
+class RideThroughEngaged(GridEvent):
+    """Rising edge: racks began covering a feed deficit from battery."""
+
+
+@dataclass(frozen=True)
+class ReserveBreached(GridEvent):
+    """Rising edge: the defense SoC slice above the ride-through floor
+    ran dry on these racks — the scheme degrades (sheds, escalates)
+    instead of silently browning out."""
+
+
 #: An event handler: called synchronously with the published event.
 Handler = Callable[[SimEvent], None]
 

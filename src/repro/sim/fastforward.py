@@ -345,6 +345,19 @@ class SegmentFastForward:
             edge = injector.next_edge_after(time_s - dt)
             if math.isfinite(edge):
                 k = min(k, int(math.floor((edge - time_s) / block_s + 1e-9)))
+        grid = getattr(sim, "grid_injector", None)
+        if grid is not None:
+            # Hard guard: quiescent replay must never leapfrog a grid
+            # window. An open window refuses outright (the duty phase
+            # flips inside it); a future edge caps the jump exactly the
+            # way fault edges do, probed from one step back for the
+            # same not-yet-applied-edge reason.
+            if grid.any_active:
+                self._stats.refused_jumps += 1
+                return 0
+            edge = grid.next_edge_after(time_s - dt)
+            if math.isfinite(edge):
+                k = min(k, int(math.floor((edge - time_s) / block_s + 1e-9)))
         if sim.breakers.any_tripped:
             self._stats.refused_jumps += 1
             return 0

@@ -192,14 +192,18 @@ class Runner:
     ) -> "list[Segment]":
         """The segment schedule :meth:`run` would execute.
 
-        The simulation's fault-plan windows (if any) are merged in as
-        additional fine-step spans, so fault edges land on sub-second
-        steps just like attack activity does.
+        The simulation's fault-plan and grid-plan windows (if any) are
+        merged in as additional fine-step spans, so fault edges and
+        grid disturbances land on sub-second steps just like attack
+        activity does.
         """
         windows = list(attack_windows)
         fault_windows = getattr(self._sim, "fault_windows", None)
         if fault_windows is not None:
             windows.extend(fault_windows())
+        grid_windows = getattr(self._sim, "grid_windows", None)
+        if grid_windows is not None:
+            windows.extend(grid_windows())
         return build_schedule(
             start_s,
             end_s,

@@ -493,8 +493,7 @@ def fault_plans(draw, racks: int, horizon_s: float) -> FaultPlan:
         )
         return start, start + length
 
-    def draw_spec() -> FaultSpec:
-        kind = draw(st.sampled_from(FAULT_KINDS))
+    def draw_spec(kind: str) -> FaultSpec:
         where = draw(rack_targets)
         if kind == "battery-fade":
             return BatteryFade(
@@ -533,9 +532,99 @@ def fault_plans(draw, racks: int, horizon_s: float) -> FaultPlan:
         )
 
     n_specs = draw(st.integers(min_value=1, max_value=4))
-    plan_specs = tuple(draw_spec() for _ in range(n_specs))
+    # Distinct kinds per plan: FaultPlan rejects same-kind windows that
+    # overlap on shared racks (last-writer-wins composition), and a
+    # random window pair overlaps often enough that drawing duplicate
+    # kinds would mostly generate invalid plans.
+    kinds = draw(
+        st.lists(
+            st.sampled_from(FAULT_KINDS),
+            min_size=n_specs,
+            max_size=n_specs,
+            unique=True,
+        )
+    )
+    plan_specs = tuple(draw_spec(kind) for kind in kinds)
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
     return FaultPlan(specs=plan_specs, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# Grid plans                                                              #
+# ---------------------------------------------------------------------- #
+
+#: Grid-event kinds a generated plan may draw from.
+GRID_KINDS = ("voltage-sag", "utility-brownout", "freq-regulation")
+
+
+@st.composite
+def grid_plans(draw, racks: int, horizon_s: float) -> "GridPlan":
+    """Valid :class:`GridPlan`\\ s with 1-3 windowed disturbance specs.
+
+    Windows land inside ``[0, horizon_s)`` with room to both open and
+    clear mid-run, so the differential tests see the transfer-to-battery
+    edge *and* the return-to-line edge. Kinds are distinct per plan —
+    :class:`GridPlan` rejects same-kind windows overlapping on shared
+    racks, and random window pairs overlap more often than not.
+    """
+    from repro.grid.spec import (
+        FrequencyRegulationDuty,
+        GridPlan,
+        UtilityBrownout,
+        VoltageSag,
+    )
+
+    rack_targets = st.one_of(
+        st.none(),
+        st.sets(
+            st.integers(min_value=0, max_value=racks - 1),
+            min_size=1,
+            max_size=racks,
+        ).map(tuple),
+    )
+
+    def draw_window() -> "tuple[float, float]":
+        start = draw(st.floats(0.0, 0.7 * horizon_s, allow_nan=False))
+        length = draw(
+            st.floats(0.05 * horizon_s, 0.5 * horizon_s, allow_nan=False)
+        )
+        return start, start + length
+
+    def draw_spec(kind: str):
+        start_s, end_s = draw_window()
+        if kind == "voltage-sag":
+            return VoltageSag(
+                start_s=start_s,
+                end_s=end_s,
+                depth=draw(st.floats(0.05, 0.6, allow_nan=False)),
+                racks=draw(rack_targets),
+            )
+        if kind == "utility-brownout":
+            return UtilityBrownout(
+                start_s=start_s,
+                end_s=end_s,
+                derate=draw(st.floats(0.05, 0.5, allow_nan=False)),
+            )
+        return FrequencyRegulationDuty(
+            start_s=start_s,
+            end_s=end_s,
+            power_w=draw(st.floats(200.0, 3000.0, allow_nan=False)),
+            period_s=draw(st.sampled_from((20.0, 60.0, 120.0))),
+            duty=draw(st.floats(0.2, 0.8, allow_nan=False)),
+            floor_soc=draw(st.floats(0.0, 0.5, allow_nan=False)),
+            racks=draw(rack_targets),
+        )
+
+    n_specs = draw(st.integers(min_value=1, max_value=3))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(GRID_KINDS),
+            min_size=n_specs,
+            max_size=n_specs,
+            unique=True,
+        )
+    )
+    return GridPlan(specs=tuple(draw_spec(kind) for kind in kinds))
 
 
 # ---------------------------------------------------------------------- #
@@ -678,7 +767,7 @@ def assert_results_identical(label: str, reference, candidate) -> None:
         f"{label}: demanded_work "
         f"{candidate.demanded_work!r} != {reference.demanded_work!r}"
     )
-    for stream in ("events", "overloads", "trips", "faults"):
+    for stream in ("events", "overloads", "trips", "faults", "grid"):
         got = [repr(e) for e in getattr(candidate, stream)]
         want = [repr(e) for e in getattr(reference, stream)]
         assert got == want, f"{label}: {stream} diverged"

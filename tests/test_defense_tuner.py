@@ -87,6 +87,39 @@ class TestKnobMechanics:
         assert [k.udeb_capacity_wh for k in ordered] == [0.1, 0.1, 2.0, 2.0]
 
 
+class TestReserveKnob:
+
+    def test_apply_sets_and_removes_the_reserve(self):
+        from dataclasses import replace
+
+        from repro.grid import ReservePolicy
+
+        guarded = DefenseKnobs(reserve_floor_soc=0.45).apply(SETUP.config)
+        assert guarded.reserve == ReservePolicy(ride_through_floor_soc=0.45)
+        # Floor 0.0 strips any reserve from the base configuration,
+        # letting the tuner price "no ride-through guarantee" as a point.
+        base = replace(
+            SETUP.config,
+            reserve=ReservePolicy(ride_through_floor_soc=0.5),
+        )
+        assert DefenseKnobs(reserve_floor_soc=0.0).apply(base).reserve is None
+
+    def test_reserve_is_free_and_labelled(self):
+        knobs = DefenseKnobs(reserve_floor_soc=0.45)
+        base_cost = DefenseKnobs().cost_dollars(SETUP.config)
+        assert knobs.cost_dollars(SETUP.config) == base_cost
+        assert "reserve=0.45" in knobs.label()
+
+    @pytest.mark.parametrize("floor", [1.0, 1.5, -0.1])
+    def test_bad_floors_rejected(self, floor):
+        with pytest.raises(SearchError):
+            DefenseKnobs(reserve_floor_soc=floor)
+
+    def test_space_enumerates_the_reserve_axis(self):
+        points = DefenseSpace(reserve_floors=(0.0, 0.5)).knob_points()
+        assert [k.reserve_floor_soc for k in points] == [0.0, 0.5]
+
+
 class TestTunerValidation:
 
     @pytest.mark.parametrize("target", [0.0, -5.0, 700.0])
@@ -141,3 +174,60 @@ class TestTunerEndToEnd:
         document = result.to_json()
         assert document["best"] is None
         assert [t["met_target"] for t in document["trials"]] == [False, False]
+
+
+class TestJournalledTuning:
+    """Per-trial journals: each knob point owns its own resumable file.
+
+    Candidate fingerprints do not encode the tuned configuration, so
+    trials must never share a journal — the tuner derives one file per
+    knob point (``<path>.<label>``) and forwards ``resume`` to every
+    inner search.
+    """
+
+    def test_per_trial_journals_then_resume_replays(
+        self, tmp_path, monkeypatch
+    ):
+        journal = str(tmp_path / "tune.jsonl")
+        space = DefenseSpace(udeb_capacities_wh=(0.02, 0.5))
+
+        def make_tuner():
+            return DefenseTuner(
+                SETUP,
+                ATTACK,
+                space,
+                "uDEB",
+                target_survival_s=267.0,
+                window_s=WINDOW_S,
+                journal_path=journal,
+            )
+
+        first = make_tuner().run()
+        assert first.best == DefenseKnobs(udeb_capacity_wh=0.5)
+        for trial in first.trials:
+            assert (tmp_path / f"tune.jsonl.{trial.knobs.label()}").exists()
+
+        # Resume must replay every trial from its journal without a
+        # single new simulation.
+        from repro.search import frontier as frontier_mod
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("resume must not re-simulate candidates")
+
+        monkeypatch.setattr(frontier_mod, "run_survival", forbidden)
+        monkeypatch.setattr(frontier_mod, "run_survival_cohort", forbidden)
+        resumed = make_tuner().run(resume=True)
+        assert resumed.best == first.best
+        assert [t.worst_survival_s for t in resumed.trials] == [
+            t.worst_survival_s for t in first.trials
+        ]
+        assert [t.met_target for t in resumed.trials] == [
+            t.met_target for t in first.trials
+        ]
+
+    def test_resume_requires_a_journal_path(self):
+        tuner = DefenseTuner(
+            SETUP, ATTACK, DefenseSpace(), "uDEB", 267.0, window_s=WINDOW_S
+        )
+        with pytest.raises(SearchError, match="journal_path"):
+            tuner.run(resume=True)

@@ -1,15 +1,16 @@
-"""Golden-trace regression: a frozen PAD-under-attack run.
+"""Golden-trace regression: frozen PAD runs, attacked and sagged.
 
-A short PAD run against the first standard attack scenario is frozen in
-``tests/data/golden_pad_attack.json``: the recorder series, the typed
-event stream, the work integrals and the final per-rack battery SOC.
-Any change to the physics, the dispatch pipeline, or the kernels that
-moves these numbers past 1e-7 relative fails here — on *every* backend
-(scalar, vectorized and the stacked cohort), which ties the scalar
-oracle, the vectorized kernels and the batched multi-cell path to the
-same frozen history.
+Two short PAD runs are frozen under ``tests/data/``: the original
+attacked run (``golden_pad_attack.json``) and a reserve-guarded
+attack-during-sag composition (``golden_sag_ride_through.json``) — the
+recorder series, the typed event streams (grid events included), the
+work integrals and the final per-rack battery SOC. Any change to the
+physics, the dispatch pipeline, or the kernels that moves these numbers
+past 1e-7 relative fails here — on *every* backend (scalar, vectorized
+and the stacked cohort), which ties the scalar oracle, the vectorized
+kernels and the batched multi-cell path to the same frozen history.
 
-Regenerate the fixture after an intentional physics change with::
+Regenerate the fixtures after an intentional physics change with::
 
     PYTHONPATH=src python -m tests.test_golden_trace
 """
@@ -26,8 +27,12 @@ from repro.attack.scenario import standard_scenarios
 from repro.experiments.common import run_survival, standard_setup
 
 FIXTURE = Path(__file__).parent / "data" / "golden_pad_attack.json"
+SAG_FIXTURE = (
+    Path(__file__).parent / "data" / "golden_sag_ride_through.json"
+)
 RTOL = 1e-7
 WINDOW_S = 90.0
+SAG_WINDOW_S = 150.0
 RECORD_EVERY = 10
 
 
@@ -45,6 +50,43 @@ def _run(backend: str, fast_forward: bool = False):
     )
 
 
+def _run_sag(backend: str, fast_forward: bool = False):
+    """A reserve-guarded PAD run with a targeted sag over the attack."""
+    from dataclasses import replace
+
+    from repro.experiments.common import ExperimentSetup
+    from repro.grid import GridPlan, ReservePolicy, VoltageSag
+
+    setup = standard_setup()
+    t0 = setup.attack_time_s
+    guarded = ExperimentSetup(
+        config=replace(
+            setup.config,
+            reserve=ReservePolicy(ride_through_floor_soc=0.6),
+        ),
+        trace=setup.trace,
+        attack_time_s=t0,
+    )
+    plan = GridPlan(specs=(
+        VoltageSag(
+            start_s=t0 + 30.0, end_s=t0 + 120.0, depth=0.35, racks=(1, 2)
+        ),
+    ))
+    scenario = replace(
+        standard_scenarios()[0], start_s=20.0, name="golden-sag"
+    )
+    return run_survival(
+        guarded,
+        "PAD",
+        scenario,
+        window_s=SAG_WINDOW_S,
+        record_every=RECORD_EVERY,
+        backend=backend,
+        fast_forward=fast_forward,
+        grid_plan=plan,
+    )
+
+
 def _summary(result) -> dict:
     return {
         "schema": 1,
@@ -56,6 +98,11 @@ def _summary(result) -> dict:
         "trip_times_s": [trip.time_s for trip in result.trips],
         "events": [
             [type(event).__name__, event.time_s] for event in result.events
+        ],
+        "grid_events": [
+            [type(event).__name__, event.time_s, event.event,
+             list(event.racks)]
+            for event in result.grid
         ],
         "series": {
             channel: result.recorder.series(channel).tolist()
@@ -70,6 +117,8 @@ def _assert_matches(golden: dict, summary: dict) -> None:
     assert summary["end_s"] == golden["end_s"]
     assert summary["attack_start_s"] == golden["attack_start_s"]
     assert summary["events"] == golden["events"]
+    if "grid_events" in golden:
+        assert summary["grid_events"] == golden["grid_events"]
     np.testing.assert_allclose(
         summary["trip_times_s"], golden["trip_times_s"], rtol=RTOL
     )
@@ -94,19 +143,19 @@ def _assert_matches(golden: dict, summary: dict) -> None:
     )
 
 
-@pytest.mark.parametrize(
-    "backend,fast_forward",
-    [
-        ("scalar", False),
-        ("scalar", True),
-        ("vectorized", False),
-        ("vectorized", True),
-        # The stacked backend answers to the same frozen history as the
-        # per-cell pipelines (fast_forward does not apply: the cohort
-        # path manages its own quiescent freezing internally).
-        ("cohort", False),
-    ],
-)
+BACKEND_CASES = [
+    ("scalar", False),
+    ("scalar", True),
+    ("vectorized", False),
+    ("vectorized", True),
+    # The stacked backend answers to the same frozen history as the
+    # per-cell pipelines (fast_forward does not apply: the cohort
+    # path manages its own quiescent freezing internally).
+    ("cohort", False),
+]
+
+
+@pytest.mark.parametrize("backend,fast_forward", BACKEND_CASES)
 def test_pad_attack_matches_golden_trace(
     backend: str, fast_forward: bool
 ) -> None:
@@ -121,11 +170,31 @@ def test_pad_attack_matches_golden_trace(
     _assert_matches(golden, _summary(_run(backend, fast_forward)))
 
 
+@pytest.mark.parametrize("backend,fast_forward", BACKEND_CASES)
+def test_sag_ride_through_matches_golden_trace(
+    backend: str, fast_forward: bool
+) -> None:
+    """The frozen attack-during-sag history — reserve partition, grid
+    event stream included — holds on every backend and fast path."""
+    if not SAG_FIXTURE.exists():
+        pytest.fail(
+            f"missing fixture {SAG_FIXTURE}; regenerate with "
+            "`PYTHONPATH=src python -m tests.test_golden_trace`"
+        )
+    golden = json.loads(SAG_FIXTURE.read_text())
+    summary = _summary(_run_sag(backend, fast_forward))
+    assert golden["grid_events"], "sag fixture must freeze grid events"
+    _assert_matches(golden, summary)
+
+
 def _write_fixture() -> None:
     FIXTURE.parent.mkdir(parents=True, exist_ok=True)
     summary = _summary(_run("vectorized"))
     FIXTURE.write_text(json.dumps(summary, indent=1) + "\n")
     print(f"wrote {FIXTURE}")
+    sag = _summary(_run_sag("vectorized"))
+    SAG_FIXTURE.write_text(json.dumps(sag, indent=1) + "\n")
+    print(f"wrote {SAG_FIXTURE}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,300 @@
+"""Grid-disturbance equivalence: every backend, same disturbed history.
+
+The acceptance bar for the grid subsystem mirrors the fault and cohort
+suites: a :class:`GridPlan` staged through the pipeline must produce the
+same simulation on every backend —
+
+* scalar vs vectorized full runs under arbitrary generated plans (with
+  an attacker in the window, so attack-during-sag compositions arise
+  naturally), with and without a :class:`ReservePolicy`;
+* cohort-stacked cells carrying per-member grid plans vs per-cell
+  vectorized runs, *bit-identical* result for result;
+* a directed three-backend run of the reserve-guarded attack-during-sag
+  composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attack import Attacker, SpikeTrainConfig, VirusKind
+from repro.attack.scenario import DENSE_ATTACK
+from repro.config import ClusterConfig, DataCenterConfig
+from repro.defense import SCHEMES
+from repro.experiments.common import (
+    CohortMember,
+    ExperimentSetup,
+    run_survival,
+    run_survival_cohort,
+    standard_setup,
+)
+from repro.grid import (
+    FrequencyRegulationDuty,
+    GridPlan,
+    ReservePolicy,
+    UtilityBrownout,
+    VoltageSag,
+)
+from repro.sim import DataCenterSimulation
+from repro.workload import UtilizationTrace
+
+from .differential import (
+    assert_agree,
+    assert_results_identical,
+    grid_plans,
+)
+
+#: Cluster width and horizon for the grid-plan differential runs. Small
+#: on purpose: each Hypothesis example replays a whole simulation twice.
+GRID_RACKS = 4
+GRID_HORIZON_S = 300.0
+
+
+def _grid_run(backend: str, scheme: str, plan, reserve_floor):
+    reserve = (
+        None
+        if reserve_floor is None
+        else ReservePolicy(ride_through_floor_soc=reserve_floor)
+    )
+    config = DataCenterConfig(
+        cluster=ClusterConfig(racks=GRID_RACKS), reserve=reserve
+    )
+    trace = UtilizationTrace(
+        np.full((8, GRID_RACKS * 10), 0.55), interval_s=60.0
+    )
+    attacker = Attacker(
+        nodes=(0, 1, 2, 3, 4, 5),
+        kind=VirusKind.CPU,
+        spikes=SpikeTrainConfig(
+            width_s=4.0, rate_per_min=6.0, baseline_util=0.15
+        ),
+        start_s=60.0,
+        autonomy_estimate_s=120.0,
+        seed=1,
+    )
+    sim = DataCenterSimulation(
+        config,
+        trace,
+        SCHEMES[scheme],
+        attacker=attacker,
+        backend=backend,
+        grid_plan=plan,
+    )
+    return sim.run(duration_s=GRID_HORIZON_S, dt=1.0, record_every=20)
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    plan=grid_plans(racks=GRID_RACKS, horizon_s=GRID_HORIZON_S),
+    scheme=st.sampled_from(("PAD", "vDEB", "uDEB", "PSPC")),
+    reserve_floor=st.sampled_from((None, 0.4, 0.7)),
+)
+def test_simulation_backends_agree_under_grid(
+    plan, scheme: str, reserve_floor
+) -> None:
+    """Whole attacked runs under arbitrary grid plans stay equivalent.
+
+    Scalar and vectorized backends must agree on the SOC series, the
+    trip list and the *complete* typed event stream — every
+    ``GridEventStarted``/``GridEventCleared`` edge in declaration order
+    plus every scheme-side ``RideThroughEngaged``/``ReserveBreached``
+    transition — for any valid sag/brownout/regulation plan, whether or
+    not a reserve partitions the batteries, with the attack window
+    inside the disturbance horizon (the attack-during-sag composition).
+    """
+    scalar = _grid_run("scalar", scheme, plan, reserve_floor)
+    vector = _grid_run("vectorized", scheme, plan, reserve_floor)
+    assert scalar.end_s == vector.end_s
+
+    def fingerprint(events):
+        return [
+            (type(e).__name__, e.time_s, getattr(e, "event", None),
+             getattr(e, "racks", None), getattr(e, "rack_id", None))
+            for e in events
+        ]
+
+    assert fingerprint(scalar.grid) == fingerprint(vector.grid)
+    assert fingerprint(scalar.events) == fingerprint(vector.events)
+    assert len(scalar.trips) == len(vector.trips)
+    for trip_s, trip_v in zip(scalar.trips, vector.trips):
+        assert_agree("trip time", trip_s.time_s, trip_v.time_s)
+        assert_agree("trip power", trip_s.power_w, trip_v.power_w)
+    assert scalar.recorder.channels == vector.recorder.channels
+    assert scalar.recorder.vector_channels == vector.recorder.vector_channels
+    for channel in scalar.recorder.channels:
+        assert_agree(
+            f"series:{channel}",
+            scalar.recorder.series(channel),
+            vector.recorder.series(channel),
+        )
+    for channel in scalar.recorder.vector_channels:
+        assert_agree(
+            f"matrix:{channel}",
+            scalar.recorder.matrix(channel),
+            vector.recorder.matrix(channel),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Cohort backend with per-member grid plans                               #
+# ---------------------------------------------------------------------- #
+
+SETUP = standard_setup()
+
+#: Survival windows run on the absolute trace clock starting at the
+#: setup's attack instant — plan windows anchor there, like scenario
+#: onsets do.
+_T0 = SETUP.attack_time_s
+
+#: A small pool of plans so repeated members hit the reference memo and
+#: stacked families mix disturbed and healthy cells. Windows sit inside
+#: the short cohort observation windows below.
+_PLAN_POOL = (
+    None,
+    GridPlan(specs=(
+        VoltageSag(
+            start_s=_T0 + 15.0, end_s=_T0 + 45.0, depth=0.3, racks=(1,)
+        ),
+    )),
+    GridPlan(specs=(
+        UtilityBrownout(
+            start_s=_T0 + 10.0, end_s=_T0 + 70.0, derate=0.15
+        ),
+    )),
+    GridPlan(specs=(
+        FrequencyRegulationDuty(
+            start_s=_T0 + 5.0, end_s=_T0 + 80.0, power_w=2000.0,
+            period_s=20.0, duty=0.5, floor_soc=0.3, racks=(0, 2),
+        ),
+    )),
+    GridPlan(specs=(
+        VoltageSag(
+            start_s=_T0 + 20.0, end_s=_T0 + 50.0, depth=0.4,
+            racks=(2, 3),
+        ),
+        FrequencyRegulationDuty(
+            start_s=_T0 + 10.0, end_s=_T0 + 60.0, power_w=1500.0,
+            period_s=30.0,
+        ),
+    )),
+)
+
+_REFERENCES: "dict[tuple, object]" = {}
+
+
+def _reference(member: CohortMember, window_s: float):
+    scenario = member.scenario
+    key = (
+        member.scheme,
+        None if scenario is None else repr(scenario),
+        member.seed,
+        repr(member.grid_plan),
+        window_s,
+    )
+    if key not in _REFERENCES:
+        _REFERENCES[key] = run_survival(
+            SETUP,
+            member.scheme,
+            scenario,
+            window_s=window_s,
+            seed=member.seed,
+            backend="vectorized",
+            grid_plan=member.grid_plan,
+        )
+    return _REFERENCES[key]
+
+
+@st.composite
+def grid_cohorts(draw):
+    """Small stacked grids mixing disturbed, attacked and benign cells."""
+    n_members = draw(st.integers(min_value=1, max_value=4))
+    members = []
+    for _ in range(n_members):
+        scheme = draw(st.sampled_from(("PAD", "vDEB", "PS")))
+        attacked = draw(st.sampled_from((True, True, False)))
+        scenario = None
+        if attacked:
+            onset = draw(st.sampled_from((10.0, 25.0)))
+            scenario = replace(
+                DENSE_ATTACK.with_nodes(3),
+                start_s=onset,
+                name=f"dense3@{onset:g}s",
+            )
+        members.append(CohortMember(
+            scheme=scheme,
+            scenario=scenario,
+            seed=draw(st.sampled_from((7, 11))),
+            grid_plan=draw(st.sampled_from(_PLAN_POOL)),
+        ))
+    return members, draw(st.sampled_from((60.0, 90.0)))
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(cohort=grid_cohorts())
+def test_cohort_cells_with_grid_plans_match_per_cell(cohort) -> None:
+    """Stacked cells carrying grid plans reproduce per-cell vectorized
+    runs bit-for-bit — mixed families where some cells ride a sag while
+    siblings stay healthy must not leak disturbance across the stack."""
+    members, window_s = cohort
+    batched = run_survival_cohort(SETUP, members, window_s=window_s)
+    assert len(batched) == len(members)
+    for index, (member, result) in enumerate(zip(members, batched)):
+        reference = _reference(member, window_s)
+        label = (
+            f"cohort grid cell {index} ({member.scheme}, "
+            f"{'-' if member.grid_plan is None else member.grid_plan.label()})"
+        )
+        assert_results_identical(label, reference, result)
+
+
+# ---------------------------------------------------------------------- #
+# Directed: reserve-guarded attack-during-sag on all three backends      #
+# ---------------------------------------------------------------------- #
+
+
+def test_attack_during_sag_three_backend_agreement() -> None:
+    """The reserve-contention composition is identical on every backend."""
+    setup = standard_setup()
+    guarded = ExperimentSetup(
+        config=replace(
+            setup.config,
+            reserve=ReservePolicy(ride_through_floor_soc=0.6),
+        ),
+        trace=setup.trace,
+        attack_time_s=setup.attack_time_s,
+    )
+    scenario = replace(DENSE_ATTACK, start_s=20.0, name="dense-sag-short")
+    t0 = setup.attack_time_s
+    plan = GridPlan(specs=(
+        VoltageSag(
+            start_s=t0 + 40.0, end_s=t0 + 100.0, depth=0.35, racks=(1, 2)
+        ),
+    ))
+    vector = run_survival(
+        guarded, "PAD", scenario, window_s=120.0, seed=7, grid_plan=plan,
+    )
+    scalar = run_survival(
+        guarded, "PAD", scenario, window_s=120.0, seed=7, grid_plan=plan,
+        backend="scalar",
+    )
+    cohort = run_survival_cohort(
+        guarded,
+        [CohortMember(
+            scheme="PAD", scenario=scenario, seed=7, grid_plan=plan,
+        )],
+        window_s=120.0,
+    )[0]
+    assert_results_identical("sag scalar vs vectorized", vector, scalar)
+    assert_results_identical("sag cohort vs vectorized", vector, cohort)

@@ -103,6 +103,16 @@ class TestCellValidation:
                          window_s=100.0, fault_plan=FaultPlan())
         assert cell.fault_plan == FaultPlan()
 
+    def test_grid_plan_validates_eagerly(self):
+        from repro.grid import GridPlan
+
+        with pytest.raises(ConfigError):
+            SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                      window_s=100.0, grid_plan="not-a-plan")
+        cell = SweepCell(row="r", column="c", scheme="PS", scenario=None,
+                         window_s=100.0, grid_plan=GridPlan())
+        assert cell.grid_plan == GridPlan()
+
 
 class TestFailureSemantics:
     def test_invalid_cell_fails_once_without_retry(self, monkeypatch):
@@ -286,6 +296,77 @@ class TestJournalResume:
         ).run(resume=True)
         assert resumed.metrics == original.metrics
 
+    def test_torn_tail_resume_append_resume_again(
+        self, monkeypatch, tmp_path
+    ):
+        """The full crash cycle: tear, resume (repair + append), resume.
+
+        A SIGKILL mid-``record`` leaves the journal with a torn final
+        line. The first resume must truncate the fragment on append-open
+        and re-run only the lost cells, welding *complete* records after
+        the repaired tail. A second resume then replays the whole grid
+        from the journal without executing anything — proving the
+        repaired-then-appended file is a valid journal, not a one-shot
+        salvage.
+        """
+        import json
+
+        journal = str(tmp_path / "sweep.jsonl")
+        cells = small_cells(3)
+        clean = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run()
+        lines = open(journal).read().splitlines()
+        with open(journal, "w") as handle:
+            handle.write(lines[0] + "\n")
+            handle.write(lines[1][: len(lines[1]) // 2])  # torn mid-record
+        resumed = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run(resume=True)
+        assert resumed.metrics == clean.metrics
+        repaired = open(journal).read()
+        assert repaired.endswith("\n")
+        entries = [json.loads(line) for line in repaired.splitlines()]
+        assert sorted(e["index"] for e in entries) == [0, 1, 2]
+
+        def forbidden(setup, cell):
+            raise AssertionError("second resume must be a pure replay")
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", forbidden)
+        replayed = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run(resume=True)
+        assert replayed.metrics == clean.metrics
+
+    def test_unterminated_final_record_is_kept(self, monkeypatch, tmp_path):
+        """A kill *between* the last byte and the newline loses nothing.
+
+        The final record is complete JSON that merely lost its trailing
+        newline; repair must restore the newline and keep the record, so
+        resume replays every cell without executing a single one.
+        """
+        journal = str(tmp_path / "sweep.jsonl")
+        cells = small_cells(3)
+        clean = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run()
+        content = open(journal).read()
+        assert content.endswith("\n")
+        with open(journal, "w") as handle:
+            handle.write(content[:-1])
+
+        def forbidden(setup, cell):
+            raise AssertionError(
+                "a complete-but-unterminated record must not be dropped"
+            )
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", forbidden)
+        resumed = ScenarioSweep(
+            small_setup(), cells, journal_path=journal
+        ).run(resume=True)
+        assert resumed.metrics == clean.metrics
+        assert open(journal).read() == content
+
     def test_resume_rejects_foreign_journal(self, tmp_path):
         journal = str(tmp_path / "sweep.jsonl")
         ScenarioSweep(
@@ -317,6 +398,40 @@ class TestJournalResume:
             ScenarioSweep(
                 small_setup(), cells, journal_path=journal
             ).run(resume=True)
+
+    def test_repair_jsonl_tail_contract(self, tmp_path):
+        """The repair primitive itself: truncate torn, terminate whole.
+
+        ``repair_jsonl_tail`` is shared by the sweep and search journals;
+        its contract is pinned here directly — a torn tail is cut back to
+        the last newline, a complete unterminated record gains only its
+        newline, terminated and empty files are untouched, and a missing
+        file is a no-op.
+        """
+        from repro.experiments.sweep import repair_jsonl_tail
+
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"a": 1}\n{"b": 2}\n{"c": 3, "fingerp')
+        repair_jsonl_tail(str(torn))
+        assert torn.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+        unterminated = tmp_path / "unterminated.jsonl"
+        unterminated.write_text('{"a": 1}\n{"b": 2}')
+        repair_jsonl_tail(str(unterminated))
+        assert unterminated.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+        intact = tmp_path / "intact.jsonl"
+        intact.write_text('{"a": 1}\n')
+        repair_jsonl_tail(str(intact))
+        assert intact.read_text() == '{"a": 1}\n'
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        repair_jsonl_tail(str(empty))
+        assert empty.read_text() == ""
+
+        repair_jsonl_tail(str(tmp_path / "missing.jsonl"))
+        assert not (tmp_path / "missing.jsonl").exists()
 
     def test_kill_mid_run_then_resume_is_bit_identical(self, tmp_path):
         """The CI smoke: SIGKILL a running sweep, resume, compare bits.
