@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 
 from repro.attack.scenario import standard_scenarios
+from repro.benchmeta import bench_environment
 from repro.experiments.common import SCHEME_ORDER, run_survival, standard_setup
 
 BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
@@ -30,16 +31,13 @@ REPEATS = 3
 SPEEDUP_FLOOR = 1.1
 
 
-def _sweep_time(scheme: str, backend: str, setup, scenario) -> float:
-    best = float("inf")
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        run_survival(
-            setup, scheme, scenario, window_s=WINDOW_S, dt=DT_S,
-            backend=backend,
-        )
-        best = min(best, time.perf_counter() - start)
-    return best
+def _one_run(scheme: str, backend: str, setup, scenario) -> float:
+    start = time.perf_counter()
+    run_survival(
+        setup, scheme, scenario, window_s=WINDOW_S, dt=DT_S,
+        backend=backend,
+    )
+    return time.perf_counter() - start
 
 
 def test_kernel_speedup(once):
@@ -47,12 +45,22 @@ def test_kernel_speedup(once):
     scenario = standard_scenarios()[0]
 
     def measure():
-        per_scheme = {}
-        for scheme in SCHEME_ORDER:
-            per_scheme[scheme] = {
-                backend: _sweep_time(scheme, backend, setup, scenario)
-                for backend in ("scalar", "vectorized")
+        # Interleaved min-of-N (scalar, vectorized, scalar, ...): both
+        # backends sample the same noise environment, so a load spike
+        # on a shared runner cannot penalise only one side of the ratio.
+        per_scheme = {
+            scheme: {
+                "scalar": float("inf"), "vectorized": float("inf"),
             }
+            for scheme in SCHEME_ORDER
+        }
+        for _ in range(REPEATS):
+            for scheme in SCHEME_ORDER:
+                for backend in ("scalar", "vectorized"):
+                    per_scheme[scheme][backend] = min(
+                        per_scheme[scheme][backend],
+                        _one_run(scheme, backend, setup, scenario),
+                    )
         return per_scheme
 
     per_scheme = once(measure)
@@ -72,10 +80,10 @@ def test_kernel_speedup(once):
     )
     if BASELINE.exists():
         recorded = json.loads(BASELINE.read_text())
-        print(
-            f"kernels baseline: {recorded['speedup']:.2f}x "
-            f"(recorded {recorded['recorded_on']})"
+        protocol = recorded.get("environment", {}).get(
+            "protocol", recorded.get("recorded_on", "unknown protocol")
         )
+        print(f"kernels baseline: {recorded['speedup']:.2f}x ({protocol})")
     if os.environ.get("REGEN_BENCH"):
         BASELINE.write_text(
             json.dumps(
@@ -97,7 +105,9 @@ def test_kernel_speedup(once):
                         }
                         for scheme, times in per_scheme.items()
                     },
-                    "recorded_on": "dev container (min of 3 repeats)",
+                    "environment": bench_environment(
+                        f"min of {REPEATS} interleaved passes"
+                    ),
                 },
                 indent=1,
             )

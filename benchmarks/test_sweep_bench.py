@@ -31,6 +31,7 @@ from pathlib import Path
 
 import repro.sim.datacenter as datacenter
 from repro.attack.scenario import DENSE_ATTACK, SPARSE_ATTACK
+from repro.benchmeta import bench_environment
 from repro.experiments.common import SCHEME_ORDER, standard_setup
 from repro.experiments.sweep import ScenarioSweep, SweepCell
 from repro.sim.datacenter import SimResult
@@ -153,10 +154,10 @@ def test_sweep_fast_path_attribution(once):
     speedup = timings["pr2_baseline"][0] / timings["cohort"][0]
     if BASELINE.exists():
         recorded = json.loads(BASELINE.read_text())
-        print(
-            f"sweep baseline: {recorded['speedup']:.2f}x "
-            f"(recorded {recorded['recorded_on']})"
+        protocol = recorded.get("environment", {}).get(
+            "protocol", recorded.get("recorded_on", "unknown protocol")
         )
+        print(f"sweep baseline: {recorded['speedup']:.2f}x ({protocol})")
     if os.environ.get("REGEN_BENCH"):
         BASELINE.write_text(
             json.dumps(
@@ -179,8 +180,8 @@ def test_sweep_fast_path_attribution(once):
                     },
                     "speedup": round(speedup, 3),
                     "speedup_per_cell": round(per_cell_speedup, 3),
-                    "recorded_on": (
-                        "dev container (min of 3 interleaved passes)"
+                    "environment": bench_environment(
+                        f"min of {REPEATS} interleaved passes"
                     ),
                 },
                 indent=1,

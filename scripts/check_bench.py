@@ -38,6 +38,7 @@ DEFAULT_FLOORS = {
     "BENCH_cohort.json": 4.0,    # stacked cells vs per-cell vectorized
     "BENCH_kernels.json": 1.1,   # vectorized battery kernel vs scalar
     "BENCH_search.json": 3.0,    # pruned+batched search vs naive runs
+    "BENCH_compiled.json": 1.5,  # compiled kernel tier vs numpy tier
 }
 
 

@@ -9,8 +9,9 @@ Commands:
 * ``demo`` — the testbed two-phase attack walkthrough (Figs. 6/7).
 * ``bench`` — a reduced fig15-style sweep through the fast paths
   (fast-forward + prefix sharing), with optional cProfile output;
-  ``--scale`` and ``--cohort`` switch to the topology-scale and
-  stacked-cohort benchmarks respectively.
+  ``--scale``, ``--cohort`` and ``--compiled`` switch to the
+  topology-scale, stacked-cohort and compiled-kernel-tier benchmarks
+  respectively.
 * ``search`` — adversarial worst-case search over an attack space,
   with optional grid refinement; ``--bench`` runs the pruned+batched
   vs naive throughput benchmark and writes ``BENCH_search.json``.
@@ -93,7 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--profile", action="store_true",
         help="wrap the sweep in cProfile and print the top 25 entries "
-             "by cumulative time",
+             "by cumulative time; with --compiled, profiles one "
+             "steady-state compiled pass (warm-up excluded, kernel "
+             "dispatch frames labeled per kernel)",
     )
     bench.add_argument(
         "--scale", action="store_true",
@@ -111,6 +114,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--cohort-output", default="BENCH_cohort.json",
         help="where the cohort benchmark writes its JSON report",
+    )
+    bench.add_argument(
+        "--compiled", action="store_true",
+        help="compiled-kernel benchmark instead: the numpy and compiled "
+             "kernel tiers over the same cohort sweeps — per-kernel "
+             "micro timings plus an end-to-end sustained-overload "
+             "survival sweep — writing BENCH_compiled.json",
+    )
+    bench.add_argument(
+        "--compiled-output", default="BENCH_compiled.json",
+        help="where the compiled-kernel benchmark writes its JSON report",
     )
     bench.add_argument(
         "--scale-duration", type=float, default=60.0,
@@ -461,6 +475,7 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
     import json
     import time
 
+    from .benchmeta import bench_environment
     from .config import ClusterConfig, DataCenterConfig, TopologyConfig
     from .sim.datacenter import DataCenterSimulation
     from .workload.synthetic import SyntheticTraceConfig, generate_trace
@@ -529,6 +544,7 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
         "speedup_floor": SCALE_SPEEDUP_FLOOR,
         "speedup_at_max_scale": top["speedup"],
         "cases": cases,
+        "environment": bench_environment("single pass per grid size"),
     }
     with open(args.scale_output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -572,6 +588,7 @@ def _cmd_bench_cohort(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from .attack.scenario import DENSE_ATTACK, SPARSE_ATTACK
+    from .benchmeta import bench_environment
     from .experiments.common import (
         SCHEME_ORDER,
         CohortMember,
@@ -642,9 +659,8 @@ def _cmd_bench_cohort(args: argparse.Namespace) -> int:
         "speedup": round(speedup, 3),
         "speedup_floor": COHORT_SPEEDUP_FLOOR,
         "metrics_identical": not mismatches,
-        "recorded_on": (
-            f"dev container (min of {COHORT_BENCH_REPEATS} interleaved "
-            "passes)"
+        "environment": bench_environment(
+            f"min of {COHORT_BENCH_REPEATS} interleaved passes"
         ),
     }
     with open(args.cohort_output, "w", encoding="utf-8") as handle:
@@ -665,6 +681,297 @@ def _cmd_bench_cohort(args: argparse.Namespace) -> int:
     return 0
 
 
+#: End-to-end compiled-tier sweep: the paper's Phase-I sustained power
+#: attack, where demand sits a few percent over the PDU budget and the
+#: batteries drain steadily — the regime the steady-drain replay (and
+#: its fused ``drain_block`` kernel) exists for. Levels bracket the
+#: overload threshold from just above; 0.60 and below is budget-clean
+#: (no battery activity, nothing for either tier to integrate).
+COMPILED_BENCH_UTILISATIONS = (0.61, 0.63, 0.65)
+
+#: Drainable schemes (stock management/battery hooks) stacked per level.
+COMPILED_BENCH_SCHEMES = ("PS", "PSPC", "uDEB")
+
+COMPILED_BENCH_WINDOW_S = 2400.0
+
+#: Required compiled-over-numpy advantage on the end-to-end sweep.
+#: Conservative for shared CI runners; BENCH_compiled.json records the
+#: real measured ratio (~2.4x on the dev container).
+COMPILED_SPEEDUP_FLOOR = 1.5
+
+#: Interleaved passes (numpy, compiled, numpy, ...) keeping per-tier
+#: minima, after one untimed warm-up pass per tier so kernel
+#: compilation (numba JIT or the cc shared-object build) never lands
+#: in a timed sample.
+COMPILED_BENCH_REPEATS = 3
+
+
+def _cmd_bench_compiled(args: argparse.Namespace) -> int:
+    """Benchmark the compiled kernel tier against the numpy tier.
+
+    Two sections, both min-of-N interleaved with warm-up excluded:
+
+    * per-kernel micro timings — the live fused-dispatch call and the
+      breaker thermal step at stacked-family width (132 branches), and
+      the steady-drain replay (numpy per-tick ``_drain_step`` vs the
+      fused ``drain_block`` call) on a drain-dominated cohort run;
+    * an end-to-end survival sweep over the paper's Phase-I sustained
+      overload: drainable schemes stacked at three utilisation levels
+      just over the PDU budget, run once per kernel tier.
+
+    Demands identical per-cell metrics across tiers and exits non-zero
+    on divergence or when the end-to-end speedup drops below the floor,
+    so CI catches both a correctness break and a silently degraded
+    compiled tier.
+    """
+    import json
+    import time
+
+    import numpy as np
+
+    from .benchmeta import bench_environment
+    from .config import (
+        BreakerConfig,
+        ChargingPolicy,
+        ClusterConfig,
+        DataCenterConfig,
+    )
+    from .defense import SCHEMES, SchemeContext, StepState
+    from .experiments.common import (
+        CohortMember,
+        ExperimentSetup,
+        run_survival_cohort,
+    )
+    from .kernels import active_provider
+    from .power.breaker_kernels import make_breaker_bank
+    from .workload.cluster import ClusterModel
+    from .workload.trace import UtilizationTrace
+
+    provider = active_provider()
+    if provider is None:
+        print("error: no compiled-kernel provider available — install "
+              "the repro[compiled] extra (numba) or a C compiler")
+        return 1
+
+    width = 132  # six stacked 22-rack cells, the cohort family shape
+
+    def make_scheme(kernels: str):
+        config = DataCenterConfig(
+            cluster=ClusterConfig(racks=width, pdu_budget_fraction=0.83),
+            charging=ChargingPolicy.ONLINE,
+            seed=args.seed,
+        )
+        cluster = ClusterModel(config.cluster)
+        limits = np.full(width, config.cluster.pdu_budget_w / width)
+        context = SchemeContext(
+            config=config,
+            cluster=cluster,
+            initial_soft_limits_w=limits,
+            branch_rating_w=limits * 1.03,
+            backend="vectorized",
+            initial_battery_soc=0.6,
+            kernels=kernels,
+        )
+        return SCHEMES["uDEB"](context)
+
+    def time_dispatch(kernels: str, calls: int = 1500) -> float:
+        scheme = make_scheme(kernels)
+        rng = np.random.default_rng(args.seed)
+        base = scheme.soft_limits_w.copy()
+        servers = scheme.ctx.cluster.servers
+        demands = [base * rng.uniform(0.3, 1.4, width) for _ in range(32)]
+        utils = [rng.uniform(0.0, 1.0, servers) for _ in range(32)]
+        start = time.perf_counter()
+        t = 0.0
+        for i in range(calls):
+            scheme.dispatch(StepState(
+                time_s=t, dt=1.0,
+                rack_demand_w=demands[i % 32],
+                metered_rack_avg_w=demands[i % 32],
+                metered_server_util=utils[i % 32],
+            ))
+            t += 1.0
+        return (time.perf_counter() - start) / calls
+
+    def time_breaker(kernels: str, calls: int = 4000) -> float:
+        rng = np.random.default_rng(args.seed)
+        ratings = rng.uniform(900.0, 1100.0, width)
+        bank = make_breaker_bank(
+            "vectorized", BreakerConfig(), ratings, kernels=kernels
+        )
+        # Mixed benign/overloaded ticks; periodic re-arm keeps the trip
+        # logic (not just whole-bank cooling) in the measured loop.
+        loads = [ratings * rng.uniform(0.7, 1.2, width) for _ in range(32)]
+        start = time.perf_counter()
+        for i in range(calls):
+            if i % 256 == 0:
+                bank.reset_all()
+            bank.step(loads[i % 32], 0.5, time_s=i * 0.5)
+        return (time.perf_counter() - start) / calls
+
+    def sustained_setup(level: float) -> ExperimentSetup:
+        config = DataCenterConfig(seed=args.seed)
+        machines = ClusterModel(config.cluster).servers
+        flat = np.full((200, machines), level)
+        return ExperimentSetup(
+            config=config,
+            trace=UtilizationTrace(flat, interval_s=300.0),
+            attack_time_s=600.0,
+        )
+
+    def time_drain(kernels: str) -> float:
+        members = [
+            CohortMember(scheme="PS", scenario=None, seed=7)
+            for _ in range(4)
+        ]
+        start = time.perf_counter()
+        run_survival_cohort(
+            sustained_setup(0.63), members, window_s=1800.0,
+            record_every=40, kernels=kernels,
+        )
+        return time.perf_counter() - start
+
+    def sweep(kernels: str) -> "tuple[float, list]":
+        metrics = []
+        start = time.perf_counter()
+        for level in COMPILED_BENCH_UTILISATIONS:
+            members = [
+                CohortMember(scheme=scheme, scenario=None, seed=7)
+                for scheme in COMPILED_BENCH_SCHEMES
+                for _ in range(4)
+            ]
+            results = run_survival_cohort(
+                sustained_setup(level), members,
+                window_s=COMPILED_BENCH_WINDOW_S,
+                record_every=40, kernels=kernels,
+            )
+            metrics.extend(
+                (level, member.scheme, r.survival_or_window(),
+                 r.delivered_work, r.demanded_work,
+                 tuple(t.time_s for t in r.trips))
+                for member, r in zip(members, results)
+            )
+        return time.perf_counter() - start, metrics
+
+    # Warm-up (untimed): first compiled use builds/loads the kernels.
+    for tier in ("numpy", "compiled"):
+        time_dispatch(tier, calls=10)
+        time_breaker(tier, calls=10)
+
+    micro = {
+        "dispatch": {"numpy": float("inf"), "compiled": float("inf")},
+        "breaker": {"numpy": float("inf"), "compiled": float("inf")},
+        "steady_drain": {"numpy": float("inf"), "compiled": float("inf")},
+    }
+    end_to_end = {"numpy": float("inf"), "compiled": float("inf")}
+    sweep_metrics: "dict[str, list]" = {}
+    for _ in range(COMPILED_BENCH_REPEATS):
+        for tier in ("numpy", "compiled"):
+            micro["dispatch"][tier] = min(
+                micro["dispatch"][tier], time_dispatch(tier)
+            )
+            micro["breaker"][tier] = min(
+                micro["breaker"][tier], time_breaker(tier)
+            )
+            micro["steady_drain"][tier] = min(
+                micro["steady_drain"][tier], time_drain(tier)
+            )
+            elapsed, metrics = sweep(tier)
+            end_to_end[tier] = min(end_to_end[tier], elapsed)
+            sweep_metrics[tier] = metrics
+
+    mismatches = [
+        (got[0], got[1], got[2:], want[2:])
+        for got, want in zip(
+            sweep_metrics["compiled"], sweep_metrics["numpy"]
+        )
+        if got != want
+    ]
+    speedup = end_to_end["numpy"] / end_to_end["compiled"]
+
+    def section(label: str, scale: float, unit: str) -> dict:
+        numpy_t = micro[label]["numpy"] * scale
+        compiled_t = micro[label]["compiled"] * scale
+        print(f"{label:13s}: numpy {numpy_t:9.2f}{unit}  "
+              f"compiled {compiled_t:9.2f}{unit}  "
+              f"({numpy_t / compiled_t:.2f}x)")
+        return {
+            f"numpy_{unit}": round(numpy_t, 3),
+            f"compiled_{unit}": round(compiled_t, 3),
+            "speedup": round(numpy_t / compiled_t, 3),
+        }
+
+    kernels_report = {
+        "dispatch": {"width": width, **section("dispatch", 1e6, "us")},
+        "breaker": {"width": width, **section("breaker", 1e6, "us")},
+        "steady_drain": {
+            "window_s": 1800.0, **section("steady_drain", 1.0, "s"),
+        },
+    }
+    print(f"end-to-end   : numpy {end_to_end['numpy']:9.2f}s  "
+          f"compiled {end_to_end['compiled']:9.2f}s  ({speedup:.2f}x, "
+          f"floor {COMPILED_SPEEDUP_FLOOR:.1f}x)")
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        # Kernel compilation happened during the warm-up passes above,
+        # so the profile shows steady-state dispatch only. cc-provider
+        # kernel calls appear as labeled <repro-kernels:NAME> frames;
+        # under numba they surface as the numba dispatcher's __call__.
+        print("\nprofile: one compiled end-to-end pass (warm-up/JIT "
+              "excluded; C-kernel dispatch frames are labeled "
+              "<repro-kernels:NAME>)")
+        profiler = cProfile.Profile()
+        profiler.runcall(sweep, "compiled")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+
+    report = {
+        "benchmark": (
+            "compiled kernel tier vs numpy tier: per-kernel micro "
+            "timings plus an end-to-end Phase-I sustained-overload "
+            "survival sweep (3 drainable schemes x 4 stacked cells x "
+            "3 utilisation levels just over the PDU budget)"
+        ),
+        "provider": provider,
+        "window_s": COMPILED_BENCH_WINDOW_S,
+        "utilisation_levels": list(COMPILED_BENCH_UTILISATIONS),
+        "schemes": list(COMPILED_BENCH_SCHEMES),
+        "cells_per_level": 4 * len(COMPILED_BENCH_SCHEMES),
+        "kernels": kernels_report,
+        "end_to_end": {
+            "numpy_s": round(end_to_end["numpy"], 4),
+            "compiled_s": round(end_to_end["compiled"], 4),
+            "speedup": round(speedup, 3),
+        },
+        "speedup": round(speedup, 3),
+        "speedup_floor": COMPILED_SPEEDUP_FLOOR,
+        "metrics_identical": not mismatches,
+        "environment": bench_environment(
+            f"min of {COMPILED_BENCH_REPEATS} interleaved passes; "
+            "warm-up excluded"
+        ),
+    }
+    with open(args.compiled_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(f"\nwrote {args.compiled_output}")
+    if mismatches:
+        for level, scheme, got, want in mismatches[:6]:
+            print(f"error: u={level}/{scheme}: compiled {got!r} "
+                  f"!= numpy {want!r}")
+        print(f"error: {len(mismatches)} of "
+              f"{len(sweep_metrics['numpy'])} cells diverged across "
+              "kernel tiers")
+        return 1
+    if speedup < COMPILED_SPEEDUP_FLOOR:
+        print(f"error: compiled tier is only {speedup:.2f}x numpy "
+              f"(floor {COMPILED_SPEEDUP_FLOOR:.1f}x)")
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time a reduced fig15-style sweep with every fast path enabled.
 
@@ -673,12 +980,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     when fast-forward never jumped, so CI smoke jobs catch a silently
     disabled fast path. ``--profile`` wraps the sweep in cProfile;
     ``--scale`` runs the topology scale benchmark instead; ``--cohort``
-    runs the stacked-vs-per-cell cohort benchmark instead.
+    runs the stacked-vs-per-cell cohort benchmark instead;
+    ``--compiled`` runs the compiled-vs-numpy kernel-tier benchmark
+    instead.
     """
     if args.scale:
         return _cmd_bench_scale(args)
     if args.cohort:
         return _cmd_bench_cohort(args)
+    if args.compiled:
+        return _cmd_bench_compiled(args)
     import time
     from dataclasses import replace
 

@@ -24,15 +24,20 @@ simulation engine applies the result to the breakers and metrics.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..battery.charger import make_charger
+from ..battery.charger import OfflineCharger, OnlineCharger, make_charger
 from ..battery.fleet_kernels import make_fleet
+from ..battery.lead_acid import _RECONNECT_HYSTERESIS
+from ..battery.pack import check_step_args
 from ..config import DataCenterConfig
+from ..core.udeb import VectorUdebShaver
 from ..errors import ConfigError
+from ..kernels import get_kernels, resolve_kernels
 from ..power.capping import CapController
 from ..power.topology import CompiledTopology
 from ..workload.cluster import ClusterModel
@@ -40,6 +45,13 @@ from .telemetry import TelemetryView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..sim.events import EventBus
+
+# Placeholder arrays for kernel parameters a given call never reads
+# (e.g. the offline-charger mask when the charger is online). The fused
+# kernels index these only inside branches their mode flags disable.
+_UNUSED_F64 = np.zeros(1)
+_UNUSED_I64 = np.zeros(1, dtype=np.int64)
+_UNUSED_U8 = np.zeros(1, dtype=np.uint8)
 
 
 @dataclass(frozen=True)
@@ -144,6 +156,13 @@ class SchemeContext:
             their shave requirement and soft-limit reassignment to each
             PDU's rack block; ``None`` (or a flat hierarchy) keeps the
             paper's single cluster-wide pool.
+        kernels: Step-kernel tier: ``"numpy"`` (vector expressions) or
+            ``"compiled"`` (fused numba/C loops over the same arrays).
+            Orthogonal to ``backend`` — the compiled tier accelerates
+            the vectorized stores and is bit-identical to numpy by
+            construction; it silently degrades to numpy when no
+            provider is installed (one :class:`~repro.kernels.
+            KernelFallbackWarning` per process).
     """
 
     config: DataCenterConfig
@@ -156,6 +175,7 @@ class SchemeContext:
     backend: str = "scalar"
     telemetry_ttl_s: float = 30.0
     topology: "CompiledTopology | None" = None
+    kernels: str = "numpy"
 
     def ratings(self) -> np.ndarray:
         """Per-rack branch breaker ratings (defaults to the soft limits)."""
@@ -190,6 +210,12 @@ class DefenseScheme:
     #: block will repeat verbatim. Schemes with slowly-drifting internal
     #: state (vDEB's equalisation) opt out.
     ff_eligible: bool = True
+    #: True when ``after_battery`` is the shared uDEB shave/recharge body
+    #: (UdebScheme, PadScheme set this), letting the compiled tier fuse
+    #: the supercap stage into the dispatch kernel. Schemes with a
+    #: different ``after_battery`` leave it False and run that hook in
+    #: Python on the kernel-computed residual.
+    fused_after_battery: bool = False
 
     def __init__(self, ctx: SchemeContext) -> None:
         # Deferred import: repro.sim imports the defense layer.
@@ -206,6 +232,26 @@ class DefenseScheme:
             initial_soc=ctx.initial_battery_soc,
         )
         self.charger = make_charger(cfg.charging, cfg.cluster.rack.battery)
+        # Kernel tier (resolved: "compiled" degrades to "numpy" with a
+        # warning when no provider is installed).
+        self.kernels = resolve_kernels(ctx.kernels)
+        # dt -> precomputed scalar-coefficient tuple for the fused
+        # kernels (dt is constant within a run, so this hits every tick).
+        self._fused_coeffs: "tuple[float, tuple] | None" = None
+        # How the fused kernel reproduces battery_discharge: 0 = zeros
+        # (no peak shaving), 1 = local excess over the soft limits, 2 =
+        # overridden hook, evaluated in Python and passed through.
+        if type(self).battery_discharge is DefenseScheme.battery_discharge:
+            self._fused_request_mode = 1 if self.uses_peak_shaving else 0
+        else:
+            self._fused_request_mode = 2
+        # Charger flavour the kernel understands (-1 = unknown, skip).
+        if type(self.charger) is OnlineCharger:
+            self._fused_charger_mode = 0
+        elif type(self.charger) is OfflineCharger:
+            self._fused_charger_mode = 1
+        else:
+            self._fused_charger_mode = -1
         self.soft_limits_w = np.asarray(
             ctx.initial_soft_limits_w, dtype=float
         ).copy()
@@ -344,6 +390,10 @@ class DefenseScheme:
           commanded power behind the meter, gated on the contracted
           SoC floor.
         """
+        if self.kernels == "compiled":
+            fused = self._dispatch_compiled(state)
+            if fused is not None:
+                return fused
         self.management(state)
         request = np.minimum(
             self.battery_discharge(state), state.rack_demand_w
@@ -411,6 +461,178 @@ class DefenseScheme:
             # in a fresh array), so the live array is safe to hand out —
             # and its identity lets the protection stage skip re-applying
             # unchanged breaker ratings.
+            soft_limits_w=self.soft_limits_w,
+        )
+
+    def _fused_scalar_args(self, dt: float) -> tuple:
+        """The scalar-coefficient block both fused kernels consume.
+
+        Every derived scalar (the ``exp`` relaxation factor, the KiBaM
+        shape coefficients, the LVD thresholds) is evaluated here with
+        the numpy path's *exact* expressions, so the compiled loops do
+        no transcendental or re-associated arithmetic of their own —
+        the cornerstone of the bit-identity argument (see
+        ``repro.kernels.loops``).
+        """
+        cached = self._fused_coeffs
+        if cached is not None and cached[0] == dt:
+            return cached[1]
+        check_step_args(0.0, dt)
+        cells = self.fleet.cells
+        cfg = self.fleet._config
+        k, c = cells._k, cells._c
+        e = math.exp(-k * dt)
+        args = (
+            e, 1.0 - e, 1.0 - c, k, c,
+            (k * dt - 1.0 + e) / k,
+            (1.0 - e) / k + c * (k * dt - 1.0 + e) / k,
+            dt,
+            cfg.max_discharge_w, cfg.max_charge_w, cfg.charge_efficiency,
+            cfg.lvd_soc, cfg.lvd_soc + _RECONNECT_HYSTERESIS,
+        )
+        self._fused_coeffs = (dt, args)
+        return args
+
+    def _fused_udeb_mode(self) -> "tuple[int, object]":
+        """Classify the uDEB stage for the kernel.
+
+        Returns ``(mode, shaver_state)``: 0 = no supercaps (the base
+        ``after_battery``), 1 = fuse the shared shave/recharge body over
+        the vectorized supercap state, 2 = run the Python hook on the
+        kernel's residual (overridden hook, scalar shaver, or stuck-open
+        FETs this tick).
+        """
+        if type(self).after_battery is DefenseScheme.after_battery:
+            return 0, None
+        if self.fused_after_battery:
+            shaver = getattr(self, "shaver", None)
+            if (
+                type(shaver) is VectorUdebShaver
+                and not shaver._any_stuck
+            ):
+                return 1, shaver._state
+        return 2, None
+
+    def _dispatch_compiled(self, state: StepState) -> "Dispatch | None":
+        """One tick through the fused compiled kernel, when eligible.
+
+        Returns ``None`` for anything the kernel does not model —
+        reserve partitions, grid disturbances, scalar/logging fleets,
+        unknown chargers — and ``dispatch`` falls through to the stock
+        numpy pipeline. Eligibility is deliberately conservative: the
+        kernel must be a bitwise drop-in, never an approximation.
+
+        State handling mirrors the numpy path's semantics exactly:
+        arrays numpy mutates in place are handed to the kernel in
+        place; arrays numpy *rebinds* (``_y1``/``_y2``, the LVD mask,
+        the offline-charger mask, supercap charge) go in as fresh
+        copies and are swapped in afterwards, so snapshots and aliases
+        taken before the tick never observe a half-step.
+        """
+        ns = get_kernels()
+        fleet = self.fleet
+        if (
+            ns is None
+            or self.reserve is not None
+            or state.grid_feed_factor is not None
+            or state.grid_freg_w is not None
+            or not getattr(fleet, "vectorized", False)
+            or fleet._keep_log
+            or self._fused_charger_mode < 0
+        ):
+            return None
+        self.management(state)
+        udeb_mode, sc_state = self._fused_udeb_mode()
+        n = len(fleet)
+        dt = state.dt
+        demand = np.ascontiguousarray(state.rack_demand_w, dtype=float)
+        mode = self._fused_request_mode
+        if mode == 2:
+            request_raw = np.ascontiguousarray(
+                self.battery_discharge(state), dtype=float
+            )
+        else:
+            request_raw = _UNUSED_F64
+        # Read the soft limits only now: an overridden battery_discharge
+        # (vDEB's Algorithm 1) reassigns them as a side effect, and the
+        # stock pipeline consumes the post-reassignment array.
+        limits = np.ascontiguousarray(self.soft_limits_w, dtype=float)
+        scalars = self._fused_scalar_args(dt)
+        cells = fleet._cells
+        y1 = cells._y1.copy()
+        y2 = cells._y2.copy()
+        disc = fleet._disconnected.copy().view(np.uint8)
+        if self._fused_charger_mode == 1:
+            off = getattr(fleet, OfflineCharger.STATE_ATTR, None)
+            off = np.zeros(n, dtype=bool) if off is None else off.copy()
+            off_u8 = off.view(np.uint8)
+            recharge_soc = self.charger._recharge_soc
+            full_soc = self.charger._full_soc
+        else:
+            off = None
+            off_u8 = _UNUSED_U8
+            recharge_soc = 0.0
+            full_soc = 0.0
+        if udeb_mode == 1:
+            sc_cfg = sc_state._config
+            sc_charge = sc_state._charge_j.copy()
+            sc_flags = np.array([1 if sc_state._full else 0], np.int64)
+            sc_args = (
+                sc_charge, sc_state._shave_events, sc_state._shaved_j,
+                sc_flags, sc_state._capacity_j, sc_cfg.efficiency,
+                sc_cfg.max_power_w, sc_cfg.max_charge_w,
+                sc_cfg.efficiency * dt,
+            )
+        else:
+            sc_charge = None
+            sc_flags = None
+            sc_args = (
+                _UNUSED_F64, _UNUSED_I64, _UNUSED_F64, _UNUSED_I64,
+                0.0, 1.0, 0.0, 0.0, 1.0,
+            )
+        out_charge = np.empty(n)
+        out_delivered = np.empty(n)
+        out_udeb = np.empty(n)
+        out_udeb_charge = np.empty(n)
+        out_residual = np.empty(n)
+        ns.fused_dispatch(
+            n, demand, limits, mode, request_raw,
+            y1, y2, cells._capacity_j, cells._cap_available,
+            cells._cap_bound, disc,
+            fleet._discharged_j, fleet._charged_j,
+            fleet._deep_discharge_events,
+            *scalars,
+            self._fused_charger_mode, off_u8, recharge_soc, full_soc,
+            1 if udeb_mode == 1 else 0, *sc_args,
+            out_charge, out_delivered, out_udeb, out_udeb_charge,
+            out_residual,
+        )
+        cells._y1 = y1
+        cells._y2 = y2
+        cells._version += 1
+        fleet._disconnected = disc.view(bool)
+        if off is not None:
+            setattr(fleet, OfflineCharger.STATE_ATTR, off)
+        if udeb_mode == 1:
+            sc_state._charge_j = sc_charge
+            sc_state._full = bool(sc_flags[0])
+        # _publish_grid_transitions with ride and defense cap both None
+        # reduces to clearing any leftover rising-edge state.
+        if self._ride_engaged.any():
+            self._ride_engaged[:] = False
+        if self._reserve_breached.any():
+            self._reserve_breached[:] = False
+        if udeb_mode == 2:
+            udeb_w, udeb_charge_w = self.after_battery(state, out_residual)
+        else:
+            udeb_w, udeb_charge_w = out_udeb, out_udeb_charge
+        return Dispatch(
+            battery_w=out_delivered,
+            charge_w=out_charge,
+            udeb_w=udeb_w,
+            udeb_charge_w=udeb_charge_w,
+            capped_racks=self.capped_racks.copy(),
+            asleep_servers=self.asleep_servers.copy(),
             soft_limits_w=self.soft_limits_w,
         )
 

@@ -37,6 +37,9 @@ class PadScheme(VdebScheme):
     uses_vdeb = True
     uses_udeb = True
     uses_shedding = True
+    # after_battery below is the shared uDEB shave/recharge body the
+    # compiled tier can fuse into the dispatch kernel.
+    fused_after_battery = True
     # PAD keeps the deployment's existing DVFS capping as the very last
     # resort. The design goal is that it almost never fires — the vDEB
     # pool, the uDEB and the shedder act first — which is exactly why

@@ -20,6 +20,9 @@ class UdebScheme(DefenseScheme):
 
     name = "uDEB"
     uses_udeb = True
+    # after_battery below is the shared shave/recharge body the compiled
+    # tier knows how to fuse (see DefenseScheme.fused_after_battery).
+    fused_after_battery = True
     # Supercap charge is part of the fingerprint (``ff_state`` below), so
     # a mid-recharge bank blocks jumps until it tops off and goes static.
     ff_eligible = True

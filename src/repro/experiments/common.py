@@ -214,6 +214,7 @@ def run_survival_cohort(
     dt: float = ATTACK_DT_S,
     record_every: int = 40,
     expand_prefix: bool = True,
+    kernels: str = "numpy",
 ) -> "list[SimResult]":
     """Run N sibling survival cells batched through the cohort backend.
 
@@ -260,8 +261,9 @@ def run_survival_cohort(
             setup.attack_time_s + window_s,
             dt,
             record_every=record_every,
+            kernels=kernels,
         )
-    sim = CohortSimulation(setup.config, setup.trace, cells)
+    sim = CohortSimulation(setup.config, setup.trace, cells, kernels=kernels)
     return sim.run_cohort(
         setup.attack_time_s,
         setup.attack_time_s + window_s,
@@ -283,6 +285,7 @@ def run_survival(
     fault_plan: "FaultPlan | None" = None,
     grid_plan: "GridPlan | None" = None,
     fast_forward: bool = False,
+    kernels: str = "numpy",
 ) -> SimResult:
     """One survival-style run: attack at the calibrated time, stop on trip.
 
@@ -317,6 +320,7 @@ def run_survival(
             window_s=window_s,
             dt=dt,
             record_every=record_every,
+            kernels=kernels,
         )[0]
     attacker = (
         build_attacker(setup, scenario, seed=seed) if scenario else None
@@ -330,6 +334,7 @@ def run_survival(
         fault_plan=fault_plan,
         grid_plan=grid_plan,
         fast_forward=fast_forward,
+        kernels=kernels,
     )
     runner = Runner(
         sim,
@@ -358,6 +363,7 @@ def prepare_survival_prefix(
     fault_plan: "FaultPlan | None" = None,
     grid_plan: "GridPlan | None" = None,
     fast_forward: bool = False,
+    kernels: str = "numpy",
 ) -> "SimSnapshot | None":
     """Simulate the shared benign prefix of a survival cell family once.
 
@@ -384,6 +390,7 @@ def prepare_survival_prefix(
         fault_plan=fault_plan,
         grid_plan=grid_plan,
         fast_forward=fast_forward,
+        kernels=kernels,
     )
     runner = Runner(
         sim,
@@ -436,6 +443,7 @@ def run_throughput(
     fault_plan: "FaultPlan | None" = None,
     grid_plan: "GridPlan | None" = None,
     fast_forward: bool = False,
+    kernels: str = "numpy",
 ) -> SimResult:
     """One throughput-style run: breakers re-arm, run the whole window.
 
@@ -457,6 +465,7 @@ def run_throughput(
         fault_plan=fault_plan,
         grid_plan=grid_plan,
         fast_forward=fast_forward,
+        kernels=kernels,
     )
     runner = Runner(
         sim,

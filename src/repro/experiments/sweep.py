@@ -51,6 +51,7 @@ from ..defense import SCHEMES
 from ..errors import ConfigError, ReproError, SimulationError, SweepExecutionError
 from ..faults.spec import FaultPlan
 from ..grid.spec import GridPlan
+from ..kernels import KERNEL_TIERS
 from ..sim.datacenter import DataCenterSimulation, SimSnapshot
 from ..sim.runner import ATTACK_DT_S
 from .common import (
@@ -97,6 +98,9 @@ class SweepCell:
         fast_forward: Enable quiescent-segment fast-forward for the
             cell's simulation (bit-identical; see
             :mod:`repro.sim.fastforward`).
+        kernels: Per-step kernel tier (``"numpy"`` or ``"compiled"``),
+            orthogonal to ``backend`` and bit-identical across tiers
+            (see :mod:`repro.kernels`).
     """
 
     row: str
@@ -113,6 +117,7 @@ class SweepCell:
     fault_plan: "FaultPlan | None" = None
     grid_plan: "GridPlan | None" = None
     fast_forward: bool = False
+    kernels: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.mode not in ("survival", "throughput"):
@@ -121,6 +126,8 @@ class SweepCell:
             raise SimulationError(f"unknown scheme: {self.scheme!r}")
         if self.backend not in ("scalar", "vectorized", "cohort"):
             raise SimulationError(f"unknown backend: {self.backend!r}")
+        if self.kernels not in KERNEL_TIERS:
+            raise SimulationError(f"unknown kernel tier: {self.kernels!r}")
         if self.backend == "cohort":
             # Eager rejection, mirroring run_survival's cohort limits:
             # a cell the backend cannot execute must fail at grid
@@ -181,6 +188,7 @@ def survival_grid_cells(
     per_cell_seeds: bool = False,
     backend: str = "vectorized",
     fast_forward: bool = False,
+    kernels: str = "numpy",
 ) -> "list[SweepCell]":
     """The Fig.-15-style grid: scenarios as rows, schemes as columns.
 
@@ -213,6 +221,7 @@ def survival_grid_cells(
                     seed=cell_seed,
                     backend=backend,
                     fast_forward=fast_forward,
+                    kernels=kernels,
                 )
             )
     return cells
@@ -250,6 +259,7 @@ def execute_cell(
             fault_plan=cell.fault_plan,
             grid_plan=cell.grid_plan,
             fast_forward=cell.fast_forward,
+            kernels=cell.kernels,
         )
         return result.survival_or_window()
     if cell.scenario is None:
@@ -265,6 +275,7 @@ def execute_cell(
             fault_plan=cell.fault_plan,
             grid_plan=cell.grid_plan,
             fast_forward=cell.fast_forward,
+            kernels=cell.kernels,
         )
         result = sim.run(
             duration_s=cell.window_s,
@@ -285,6 +296,7 @@ def execute_cell(
         fault_plan=cell.fault_plan,
         grid_plan=cell.grid_plan,
         fast_forward=cell.fast_forward,
+        kernels=cell.kernels,
     )
     return result.throughput_ratio
 
@@ -663,7 +675,9 @@ class ScenarioSweep:
                 or cell.initial_battery_soc != 1.0
             ):
                 continue
-            groups.setdefault((cell.window_s, cell.dt), []).append(index)
+            groups.setdefault(
+                (cell.window_s, cell.dt, cell.kernels), []
+            ).append(index)
         resolved: "set[int]" = set()
         for members_idx in groups.values():
             if len(members_idx) < 2:
@@ -684,6 +698,7 @@ class ScenarioSweep:
                     members,
                     window_s=first.window_s,
                     dt=first.dt,
+                    kernels=first.kernels,
                 )
             except Exception:
                 # Batch-level failure: leave every member pending so the
@@ -736,6 +751,7 @@ class ScenarioSweep:
                 cell.initial_battery_soc,
                 cell.backend,
                 cell.fast_forward,
+                cell.kernels,
                 repr(cell.fault_plan),
                 repr(cell.grid_plan),
             )
@@ -758,6 +774,7 @@ class ScenarioSweep:
                 fault_plan=first.fault_plan,
                 grid_plan=first.grid_plan,
                 fast_forward=first.fast_forward,
+                kernels=first.kernels,
             )
             if snapshot is None:
                 continue  # prefix tripped: run the family straight

@@ -1,0 +1,110 @@
+"""Kernel-tier selection: ``kernels="numpy" | "compiled"``.
+
+The compiled tier fuses the per-step hot path (battery dispatch, the
+steady-drain inner loop, breaker-bank thermal steps) into single
+compiled calls over the flat cohort arrays. Providers, in preference
+order:
+
+1. ``numba`` — ``@njit(cache=True)`` over :mod:`repro.kernels.loops`
+   (the ``repro[compiled]`` extra);
+2. ``cc`` — a ctypes-loaded shared object compiled from the mirrored C
+   source, used when numba is absent but a C compiler exists;
+3. none — ``kernels="compiled"`` degrades to the numpy tier with a
+   single :class:`KernelFallbackWarning`.
+
+All tiers are bit-identical by construction (see ``loops``); the tier
+only changes how fast a step runs, never what it computes.
+``REPRO_KERNELS_DISABLE`` (comma list: ``numba``, ``cc``) force-skips
+providers — tests use it to exercise the fallback path.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from types import SimpleNamespace
+
+__all__ = [
+    "KERNEL_TIERS",
+    "KernelFallbackWarning",
+    "active_provider",
+    "get_kernels",
+    "resolve_kernels",
+]
+
+#: The supported kernel tiers.
+KERNEL_TIERS = ("numpy", "compiled")
+
+
+class KernelFallbackWarning(RuntimeWarning):
+    """Compiled kernels were requested but no provider is available."""
+
+
+#: ``(provider name | None, namespace | None)`` once resolved.
+_RESOLVED: "tuple[str | None, SimpleNamespace | None] | None" = None
+_WARNED = False
+
+
+def _disabled() -> "set[str]":
+    raw = os.environ.get("REPRO_KERNELS_DISABLE", "")
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def _resolve() -> "tuple[str | None, SimpleNamespace | None]":
+    global _RESOLVED
+    if _RESOLVED is None:
+        disabled = _disabled()
+        providers = []
+        if "numba" not in disabled:
+            from . import numba_backend
+
+            providers.append(("numba", numba_backend.load))
+        if "cc" not in disabled:
+            from . import cc_backend
+
+            providers.append(("cc", cc_backend.load))
+        _RESOLVED = (None, None)
+        for name, loader in providers:
+            try:
+                _RESOLVED = (name, loader())
+                break
+            except Exception:
+                continue
+    return _RESOLVED
+
+
+def active_provider() -> "str | None":
+    """Name of the compiled provider in use (``numba``/``cc``/None)."""
+    return _resolve()[0]
+
+
+def get_kernels() -> "SimpleNamespace | None":
+    """The compiled kernel namespace, or ``None`` when unavailable."""
+    return _resolve()[1]
+
+
+def resolve_kernels(kernels: str) -> str:
+    """Validate a requested tier; degrade ``compiled`` when unbacked.
+
+    Returns the *effective* tier. The downgrade warns exactly once per
+    process, and the degraded run is bit-identical to an explicit
+    ``kernels="numpy"`` run.
+    """
+    if kernels not in KERNEL_TIERS:
+        raise ValueError(
+            f"kernels must be one of {KERNEL_TIERS}, got {kernels!r}"
+        )
+    if kernels == "compiled" and get_kernels() is None:
+        global _WARNED
+        if not _WARNED:
+            _WARNED = True
+            warnings.warn(
+                "kernels='compiled' requested but neither numba nor a C "
+                "compiler is available; falling back to the (bit-"
+                "identical) numpy kernels. Install repro[compiled] to "
+                "enable the compiled tier.",
+                KernelFallbackWarning,
+                stacklevel=2,
+            )
+        return "numpy"
+    return kernels

@@ -1,0 +1,144 @@
+"""ctypes/cc kernel backend — compiles :mod:`repro.kernels.c_src` once.
+
+Used when numba is not installed but a C compiler is. The shared object
+is cached under a content-hash filename, so the compile happens once per
+source revision per machine. Flags are chosen for bit-identity, not raw
+speed: ``-O2`` with ``-ffp-contract=off`` (no FMA contraction), never
+``-ffast-math`` or ``-march=native``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from types import SimpleNamespace
+
+import numpy as np
+
+from .c_src import SOURCE
+
+_F64 = ctypes.POINTER(ctypes.c_double)
+_U8 = ctypes.POINTER(ctypes.c_uint8)
+_I64 = ctypes.POINTER(ctypes.c_int64)
+
+#: argtypes per exported symbol; mirrors the loop signatures with
+#: numpy arrays mapped to pointers and Python floats/ints to scalars.
+_SIGNATURES = {
+    "fused_dispatch": (
+        [ctypes.c_int64, _F64, _F64, ctypes.c_int64, _F64]
+        + [_F64, _F64, _F64, _F64, _F64, _U8, _F64, _F64, _I64]
+        + [ctypes.c_double] * 13
+        + [ctypes.c_int64, _U8, ctypes.c_double, ctypes.c_double]
+        + [ctypes.c_int64, _F64, _I64, _F64, _I64]
+        + [ctypes.c_double] * 5
+        + [_F64] * 5
+    ),
+    "drain_block": (
+        [ctypes.c_int64, ctypes.c_int64, _F64, _F64, _U8, _F64, _F64]
+        + [ctypes.c_int64, _I64, _F64]
+        + [_F64, _F64, _F64, _F64, _F64, _U8, _F64, _F64, _I64]
+        + [ctypes.c_double] * 13
+        + [ctypes.c_int64, _U8, ctypes.c_double, ctypes.c_double]
+        + [ctypes.c_int64, _F64, _I64, _F64, _I64]
+        + [ctypes.c_double] * 5
+        + [_F64] * 4
+    ),
+    "breaker_step": (
+        [ctypes.c_int64, _F64, _F64, _F64, _U8, _U8]
+        + [ctypes.c_double] * 4
+    ),
+}
+
+_LOADED: "SimpleNamespace | None" = None
+
+
+def _compiler() -> "str | None":
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build() -> str:
+    """Compile (or reuse) the kernel shared object; return its path."""
+    compiler = _compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler on PATH")
+    digest = hashlib.sha256(SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.environ.get("REPRO_KERNEL_CACHE") or os.path.join(
+        tempfile.gettempdir(), "repro-kernels"
+    )
+    os.makedirs(cache_dir, exist_ok=True)
+    so_path = os.path.join(cache_dir, f"repro_kernels_{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    c_path = os.path.join(cache_dir, f"repro_kernels_{digest}.c")
+    with open(c_path, "w", encoding="utf-8") as fh:
+        fh.write(SOURCE)
+    tmp_path = f"{so_path}.tmp.{os.getpid()}"
+    subprocess.run(
+        [
+            compiler, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+            c_path, "-o", tmp_path, "-lm",
+        ],
+        check=True,
+        capture_output=True,
+    )
+    os.replace(tmp_path, so_path)  # atomic under concurrent builds
+    return so_path
+
+
+def _wrap(name, fn, argtypes):
+    """Adapt a ctypes symbol to the uniform array-in signature.
+
+    The wrapper is generated (one ``exec`` per symbol, at load time)
+    with the argument conversions unrolled: array arguments pass their
+    raw data address into a ``c_void_p`` slot instead of going through
+    ``ctypes.cast``/``data_as`` objects. The kernels sit on the per-tick
+    hot path, so per-call marshalling cost is wall-clock that directly
+    erodes the compiled tier's advantage.
+
+    The wrapper is compiled under a ``<repro-kernels:{name}>`` filename
+    and carries the symbol in its function name, so profiler output
+    (``repro bench --compiled --profile``) attributes C-kernel dispatch
+    per kernel instead of lumping it into an anonymous ``<string>``
+    frame.
+    """
+    fn.argtypes = [
+        ctypes.c_void_p if spec in (_F64, _U8, _I64) else spec
+        for spec in argtypes
+    ]
+    fn.restype = ctypes.c_int64
+    converted = []
+    for index, spec in enumerate(argtypes):
+        if spec is ctypes.c_int64:
+            converted.append(f"int(a[{index}])")
+        elif spec is ctypes.c_double:
+            converted.append(f"float(a[{index}])")
+        else:
+            converted.append(f"a[{index}].ctypes.data")
+    source = (
+        f"def kernel_{name}(*a):\n"
+        f"    return fn({', '.join(converted)})\n"
+    )
+    code = compile(source, f"<repro-kernels:{name}>", "exec")
+    namespace = {"fn": fn}
+    exec(code, namespace)  # noqa: S102 - load-time codegen, fixed source
+    return namespace[f"kernel_{name}"]
+
+
+def load() -> SimpleNamespace:
+    """Build/load the library; raises when no compiler is available."""
+    global _LOADED
+    if _LOADED is None:
+        lib = ctypes.CDLL(_build())
+        _LOADED = SimpleNamespace(**{
+            name: _wrap(name, getattr(lib, name), argtypes)
+            for name, argtypes in _SIGNATURES.items()
+        })
+    return _LOADED

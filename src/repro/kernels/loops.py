@@ -1,0 +1,562 @@
+"""Loop-form fused step kernels — the compiled tier's reference bodies.
+
+Each function here is a *transliteration* of the numpy hot path into
+plain element loops, written inside the numba ``@njit`` subset so the
+numba backend can JIT these exact bodies (``numba_backend``), while the
+C backend (``cc_backend`` + ``c_src``) mirrors them statement for
+statement. The bit-identity argument is the same one the vectorized
+backend makes against the scalar oracle:
+
+* every transcendental (``exp``) and every derived *scalar* coefficient
+  is computed once in Python by the caller — with the identical
+  expression the numpy path uses — and passed in;
+* all remaining per-element arithmetic is IEEE-754 float64 ``+ - * /``,
+  comparisons and selections, in the numpy expressions' left-to-right
+  evaluation order (C is compiled with ``-ffp-contract=off`` so no FMA
+  contraction can re-associate anything);
+* ``np.minimum``/``np.maximum`` become ``(a < b) ? a : b`` selections.
+  That matches numpy bitwise for every non-NaN input pair except mixed
+  signed zeros, which cannot reach these call sites: every min/max
+  operand below descends from ``max(0, ...)`` chains, positive configs,
+  or subtractions of equal finite values (which round to ``+0.0``).
+
+Boolean state travels as ``uint8`` views (shared memory with the numpy
+``bool_`` arrays), event counters as ``int64``.
+
+Conventions shared by all three kernels:
+
+* arrays the numpy path mutates in place (``_discharged_j``,
+  ``_charged_j``, ``_deep_discharge_events``, ``_shave_events``,
+  ``_shaved_j``, breaker ``heat``/``tripped``) are mutated in place;
+* arrays the numpy path *rebinds* (``_y1``, ``_y2``,
+  ``_disconnected``, supercap ``_charge_j``, the offline-charger mask)
+  are passed as caller-owned copies and written back by the glue, so no
+  stale alias ever observes a half-step;
+* scalar flags (the supercap ``_full`` latch) ride in ``int64[1]``
+  scratch.
+"""
+
+from __future__ import annotations
+
+
+def fused_dispatch(
+    n,
+    # step inputs
+    demand, limits, request_mode, request_raw,
+    # fleet state (y1/y2/disc are caller copies; counters in place)
+    y1, y2, capacity, cap_avail, cap_bound, disc,
+    discharged_j, charged_j, deep_events,
+    # scalar coefficients (precomputed in Python, see base.py)
+    e, one_minus_e, one_minus_c, kk, cc, shape_coef, coeff_b, dt,
+    max_discharge_w, max_charge_w, efficiency, lvd_soc, reconnect_soc,
+    # charger
+    charger_mode, offline_state, recharge_soc, full_soc,
+    # uDEB supercaps (mode 0: skip; 1: fused shave+recharge)
+    udeb_mode, sc_charge, sc_events, sc_shaved_j, sc_flags,
+    sc_capacity, sc_eff, sc_max_power, sc_max_charge, sc_eff_dt,
+    # outputs
+    out_charge, out_delivered, out_udeb, out_udeb_charge, out_residual,
+):
+    """One full post-management dispatch tick for one scheme family.
+
+    Covers: battery request clamp -> deliverable ceiling -> charger ->
+    fleet step (C-rate clamp, charge path, KiBaM update, clipping,
+    aging) -> LVD -> residual -> optional fused uDEB shave/recharge.
+    Returns 0.
+    """
+    any_out = False
+    any_in = False
+    any_disc_pre = False
+    # Pass 1: request, deliverable, headroom/active, charger.
+    for i in range(n):
+        if disc[i] != 0:
+            any_disc_pre = True
+        # request = min(battery_discharge(state), demand); then the
+        # reserve-free branch: request = min(request, deliverable).
+        if request_mode == 0:
+            req = 0.0
+        elif request_mode == 1:
+            bd = demand[i] - limits[i]
+            if bd < 0.0:
+                bd = 0.0
+            req = bd if bd < demand[i] else demand[i]
+        else:
+            req = (
+                request_raw[i]
+                if request_raw[i] < demand[i]
+                else demand[i]
+            )
+        # cells.max_discharge_power: coeff_a/coeff_b clamped at zero.
+        y0 = y1[i] + y2[i]
+        if coeff_b <= 0.0:
+            mdp = 0.0
+        else:
+            coeff_a = y1[i] * e + (y0 * cc) * one_minus_e
+            mdp = coeff_a / coeff_b
+            if mdp < 0.0:
+                mdp = 0.0
+        # fleet.max_discharge_vector: config ceiling, zero while open.
+        lim = max_discharge_w if max_discharge_w < mdp else mdp
+        deliverable = 0.0 if disc[i] != 0 else lim
+        req = req if req < deliverable else deliverable
+        if req > 0.0:
+            any_out = True
+        headroom = limits[i] - (demand[i] - req)
+        active = (req <= 0.0) and (headroom > 0.0)
+        # cells.max_charge_power / fleet.max_charge_vector.
+        mcp = (capacity[i] - (y1[i] + y2[i])) / dt
+        if mcp < 0.0:
+            mcp = 0.0
+        bus_limit = mcp / efficiency
+        mcv = max_charge_w if max_charge_w < bus_limit else bus_limit
+        if charger_mode == 0:
+            eligible = active and headroom > 0.0
+        else:
+            st = offline_state[i] != 0
+            soc = (y1[i] + y2[i]) / capacity[i]
+            turn_on = active and (not st) and soc <= recharge_soc
+            turn_off = active and st and soc >= full_soc
+            st = (st or turn_on) and not turn_off
+            offline_state[i] = 1 if st else 0
+            eligible = active and st and headroom > 0.0
+        if eligible:
+            charge = headroom if headroom < mcv else mcv
+        else:
+            charge = 0.0
+        if charge > 0.0:
+            any_in = True
+        out_charge[i] = charge
+        # Stash the clamped request for pass 2 (overwritten there).
+        out_delivered[i] = req
+    # Pass 2: fleet.step + LVD, element by element (pre-step values of
+    # element i are read before its state is overwritten).
+    for i in range(n):
+        req = out_delivered[i]
+        discharging = req > 0.0
+        if any_out:
+            if discharging and disc[i] == 0:
+                requested_out = (
+                    req if req < max_discharge_w else max_discharge_w
+                )
+                y0 = y1[i] + y2[i]
+                if coeff_b <= 0.0:
+                    mdp = 0.0
+                else:
+                    coeff_a = y1[i] * e + (y0 * cc) * one_minus_e
+                    mdp = coeff_a / coeff_b
+                    if mdp < 0.0:
+                        mdp = 0.0
+                delivered = requested_out if requested_out < mdp else mdp
+            else:
+                delivered = 0.0
+        else:
+            delivered = 0.0
+        if any_in:
+            inn = out_charge[i]
+            charging = inn > 0.0
+            bus_power = inn if inn < max_charge_w else max_charge_w
+            if charging:
+                mcp = (capacity[i] - (y1[i] + y2[i])) / dt
+                if mcp < 0.0:
+                    mcp = 0.0
+                scaled = bus_power * efficiency
+                cell_request = scaled if scaled < mcp else mcp
+            else:
+                cell_request = 0.0
+            power = delivered - cell_request
+        else:
+            charging = False
+            power = delivered
+        before = y1[i] + y2[i]
+        y0 = before
+        y1n = (
+            y1[i] * e
+            + (((y0 * kk) * cc) - power) * one_minus_e / kk
+            - (power * cc) * shape_coef
+        )
+        y2n = (
+            y2[i] * e
+            + (y0 * one_minus_c) * one_minus_e
+            - (power * one_minus_c) * shape_coef
+        )
+        if y1n < 0.0:
+            y1n = 0.0
+        y1[i] = y1n if y1n < cap_avail[i] else cap_avail[i]
+        if y2n < 0.0:
+            y2n = 0.0
+        y2[i] = y2n if y2n < cap_bound[i] else cap_bound[i]
+        if any_in:
+            stored = ((y1[i] + y2[i]) - before) / dt
+            accepted = stored / efficiency if charging else 0.0
+            charged_j[i] += accepted * dt
+        if any_out:
+            discharged_j[i] += delivered * dt
+        # LVD update on the post-step SOC; the discharge-while-
+        # disconnected path skips its own rack, mirroring the pack.
+        soc = (y1[i] + y2[i]) / capacity[i]
+        opening = disc[i] == 0 and soc <= lvd_soc
+        closing = disc[i] != 0 and soc >= reconnect_soc
+        if any_out and any_disc_pre:
+            masked_out = not (discharging and disc[i] != 0)
+            opening = opening and masked_out
+            closing = closing and masked_out
+        if opening:
+            disc[i] = 1
+            deep_events[i] += 1
+        elif closing:
+            disc[i] = 0
+        out_delivered[i] = delivered
+    # Pass 3: residual + optional fused uDEB.
+    any_asked = False
+    any_headroom = False
+    for i in range(n):
+        local_need = demand[i] - limits[i]
+        if local_need < 0.0:
+            local_need = 0.0
+        residual = local_need - out_delivered[i]
+        if residual < 0.0:
+            residual = 0.0
+        out_residual[i] = residual
+        if residual > 0.0:
+            any_asked = True
+            out_udeb_charge[i] = 0.0
+        else:
+            hu = limits[i] - demand[i]
+            if hu < 0.0:
+                hu = 0.0
+            out_udeb_charge[i] = hu  # scratch: recharge headroom
+            if hu > 0.0:
+                any_headroom = True
+    if udeb_mode == 0:
+        for i in range(n):
+            out_udeb[i] = 0.0
+            out_udeb_charge[i] = 0.0
+        return 0
+    # SupercapFleetState.shave over conducted = residual (no stuck FETs
+    # on the fused path).
+    if any_asked:
+        for i in range(n):
+            excess = out_residual[i]
+            if excess > 0.0:
+                energy_limit = (sc_charge[i] * sc_eff) / dt
+                mds = (
+                    sc_max_power
+                    if sc_max_power < energy_limit
+                    else energy_limit
+                )
+                shaved = excess if excess < mds else mds
+            else:
+                shaved = 0.0
+            fired = shaved > 0.0
+            drained = sc_charge[i] - (shaved * dt) / sc_eff
+            if drained < 0.0:
+                drained = 0.0
+            if fired:
+                sc_charge[i] = drained
+                sc_events[i] += 1
+            sc_shaved_j[i] += shaved * dt
+            out_udeb[i] = shaved
+        sc_flags[0] = 0
+    else:
+        for i in range(n):
+            out_udeb[i] = 0.0
+    # SupercapFleetState.recharge from the budget headroom.
+    if sc_flags[0] != 0 or not any_headroom:
+        for i in range(n):
+            out_udeb_charge[i] = 0.0
+        return 0
+    all_full = True
+    for i in range(n):
+        hu = out_udeb_charge[i]
+        if hu > 0.0:
+            headroom_j = sc_capacity - sc_charge[i]
+            bus_limit = headroom_j / sc_eff_dt
+            mcs = sc_max_charge if sc_max_charge < bus_limit else bus_limit
+            accepted = hu if hu < mcs else mcs
+            filled = sc_charge[i] + (accepted * sc_eff) * dt
+            if filled > sc_capacity:
+                filled = sc_capacity
+            sc_charge[i] = filled
+        else:
+            accepted = 0.0
+        out_udeb_charge[i] = accepted
+        if not (sc_charge[i] >= sc_capacity):
+            all_full = False
+    sc_flags[0] = 1 if all_full else 0
+    return 0
+
+
+def drain_block(
+    n_steps, n,
+    # constants captured at drain entry
+    request, headroom, active, residual, headroom_udeb,
+    n_cap, cap_idx, cap_need,
+    # fleet state (caller copies / in-place counters, as above)
+    y1, y2, capacity, cap_avail, cap_bound, disc,
+    discharged_j, charged_j, deep_events,
+    e, one_minus_e, one_minus_c, kk, cc, shape_coef, coeff_b, dt,
+    max_discharge_w, max_charge_w, efficiency, lvd_soc, reconnect_soc,
+    charger_mode, offline_state, recharge_soc, full_soc,
+    udeb_mode, sc_charge, sc_events, sc_shaved_j, sc_flags,
+    sc_capacity, sc_eff, sc_max_power, sc_max_charge, sc_eff_dt,
+    # (n_steps, n) row-major output rows
+    charge_rows, udeb_rows, udeb_charge_rows, soc_rows,
+):
+    """Advance a quiescent steady-drain family up to ``n_steps`` ticks.
+
+    One compiled call replaces ``n_steps`` Python-level ``_drain_step``
+    dispatches. Each tick re-checks the read-only drain guards *before*
+    touching any state, so a failed guard at tick ``s`` returns ``s``
+    with the state exactly as the per-step path would leave it — the
+    caller hands tick ``s`` to the live path.
+    """
+    any_out = False
+    for i in range(n):
+        if request[i] > 0.0:
+            any_out = True
+            break
+    any_asked = False
+    any_headroom = False
+    if udeb_mode == 1:
+        for i in range(n):
+            if residual[i] > 0.0:
+                any_asked = True
+            if headroom_udeb[i] > 0.0:
+                any_headroom = True
+    for s in range(n_steps):
+        # Guard: deliverable >= request everywhere (read-only).
+        ok = True
+        for i in range(n):
+            y0 = y1[i] + y2[i]
+            if coeff_b <= 0.0:
+                mdp = 0.0
+            else:
+                coeff_a = y1[i] * e + (y0 * cc) * one_minus_e
+                mdp = coeff_a / coeff_b
+                if mdp < 0.0:
+                    mdp = 0.0
+            lim = max_discharge_w if max_discharge_w < mdp else mdp
+            deliverable = 0.0 if disc[i] != 0 else lim
+            if deliverable < request[i]:
+                ok = False
+                break
+        if ok and n_cap > 0:
+            # Capping guard: metered excess still under the ceiling.
+            for j in range(n_cap):
+                i = cap_idx[j]
+                y0 = y1[i] + y2[i]
+                if coeff_b <= 0.0:
+                    mdp = 0.0
+                else:
+                    coeff_a = y1[i] * e + (y0 * cc) * one_minus_e
+                    mdp = coeff_a / coeff_b
+                    if mdp < 0.0:
+                        mdp = 0.0
+                lim = max_discharge_w if max_discharge_w < mdp else mdp
+                deliverable = 0.0 if disc[i] != 0 else lim
+                if deliverable < cap_need[j]:
+                    ok = False
+                    break
+        if not ok:
+            return s
+        row = s * n
+        any_in = False
+        any_disc_pre = False
+        # Charger (live, constant inputs) — same body as fused_dispatch.
+        for i in range(n):
+            if disc[i] != 0:
+                any_disc_pre = True
+            mcp = (capacity[i] - (y1[i] + y2[i])) / dt
+            if mcp < 0.0:
+                mcp = 0.0
+            bus_limit = mcp / efficiency
+            mcv = max_charge_w if max_charge_w < bus_limit else bus_limit
+            act = active[i] != 0
+            if charger_mode == 0:
+                eligible = act and headroom[i] > 0.0
+            else:
+                st = offline_state[i] != 0
+                soc = (y1[i] + y2[i]) / capacity[i]
+                turn_on = act and (not st) and soc <= recharge_soc
+                turn_off = act and st and soc >= full_soc
+                st = (st or turn_on) and not turn_off
+                offline_state[i] = 1 if st else 0
+                eligible = act and st and headroom[i] > 0.0
+            if eligible:
+                charge = headroom[i] if headroom[i] < mcv else mcv
+            else:
+                charge = 0.0
+            if charge > 0.0:
+                any_in = True
+            charge_rows[row + i] = charge
+        # Fleet step with out = request (delivered == request under the
+        # guard above) + LVD, as in fused_dispatch pass 2.
+        for i in range(n):
+            req = request[i]
+            discharging = req > 0.0
+            if any_out:
+                if discharging and disc[i] == 0:
+                    requested_out = (
+                        req if req < max_discharge_w else max_discharge_w
+                    )
+                    y0 = y1[i] + y2[i]
+                    if coeff_b <= 0.0:
+                        mdp = 0.0
+                    else:
+                        coeff_a = y1[i] * e + (y0 * cc) * one_minus_e
+                        mdp = coeff_a / coeff_b
+                        if mdp < 0.0:
+                            mdp = 0.0
+                    delivered = requested_out if requested_out < mdp else mdp
+                else:
+                    delivered = 0.0
+            else:
+                delivered = 0.0
+            if any_in:
+                inn = charge_rows[row + i]
+                charging = inn > 0.0
+                bus_power = inn if inn < max_charge_w else max_charge_w
+                if charging:
+                    mcp = (capacity[i] - (y1[i] + y2[i])) / dt
+                    if mcp < 0.0:
+                        mcp = 0.0
+                    scaled = bus_power * efficiency
+                    cell_request = scaled if scaled < mcp else mcp
+                else:
+                    cell_request = 0.0
+                power = delivered - cell_request
+            else:
+                charging = False
+                power = delivered
+            before = y1[i] + y2[i]
+            y0 = before
+            y1n = (
+                y1[i] * e
+                + (((y0 * kk) * cc) - power) * one_minus_e / kk
+                - (power * cc) * shape_coef
+            )
+            y2n = (
+                y2[i] * e
+                + (y0 * one_minus_c) * one_minus_e
+                - (power * one_minus_c) * shape_coef
+            )
+            if y1n < 0.0:
+                y1n = 0.0
+            y1[i] = y1n if y1n < cap_avail[i] else cap_avail[i]
+            if y2n < 0.0:
+                y2n = 0.0
+            y2[i] = y2n if y2n < cap_bound[i] else cap_bound[i]
+            if any_in:
+                stored = ((y1[i] + y2[i]) - before) / dt
+                accepted = stored / efficiency if charging else 0.0
+                charged_j[i] += accepted * dt
+            if any_out:
+                discharged_j[i] += delivered * dt
+            soc = (y1[i] + y2[i]) / capacity[i]
+            opening = disc[i] == 0 and soc <= lvd_soc
+            closing = disc[i] != 0 and soc >= reconnect_soc
+            if any_out and any_disc_pre:
+                masked_out = not (discharging and disc[i] != 0)
+                opening = opening and masked_out
+                closing = closing and masked_out
+            if opening:
+                disc[i] = 1
+                deep_events[i] += 1
+            elif closing:
+                disc[i] = 0
+            soc_rows[row + i] = (y1[i] + y2[i]) / capacity[i]
+        if udeb_mode == 1:
+            if any_asked:
+                for i in range(n):
+                    excess = residual[i]
+                    if excess > 0.0:
+                        energy_limit = (sc_charge[i] * sc_eff) / dt
+                        mds = (
+                            sc_max_power
+                            if sc_max_power < energy_limit
+                            else energy_limit
+                        )
+                        shaved = excess if excess < mds else mds
+                    else:
+                        shaved = 0.0
+                    fired = shaved > 0.0
+                    drained = sc_charge[i] - (shaved * dt) / sc_eff
+                    if drained < 0.0:
+                        drained = 0.0
+                    if fired:
+                        sc_charge[i] = drained
+                        sc_events[i] += 1
+                    sc_shaved_j[i] += shaved * dt
+                    udeb_rows[row + i] = shaved
+                sc_flags[0] = 0
+            else:
+                for i in range(n):
+                    udeb_rows[row + i] = 0.0
+            if sc_flags[0] != 0 or not any_headroom:
+                for i in range(n):
+                    udeb_charge_rows[row + i] = 0.0
+            else:
+                all_full = True
+                for i in range(n):
+                    hu = headroom_udeb[i]
+                    if hu > 0.0:
+                        headroom_j = sc_capacity - sc_charge[i]
+                        bus_limit = headroom_j / sc_eff_dt
+                        mcs = (
+                            sc_max_charge
+                            if sc_max_charge < bus_limit
+                            else bus_limit
+                        )
+                        accepted = hu if hu < mcs else mcs
+                        filled = sc_charge[i] + (accepted * sc_eff) * dt
+                        if filled > sc_capacity:
+                            filled = sc_capacity
+                        sc_charge[i] = filled
+                    else:
+                        accepted = 0.0
+                    udeb_charge_rows[row + i] = accepted
+                    if not (sc_charge[i] >= sc_capacity):
+                        all_full = False
+                sc_flags[0] = 1 if all_full else 0
+    return n_steps
+
+
+def breaker_step(
+    n, power, rated, heat, tripped, newly,
+    dt, e_cool, instant_trip_ratio, trip_energy,
+):
+    """One breaker-bank thermal tick; returns the newly-tripped count.
+
+    Mirrors ``BreakerBankState.step`` after its input validation
+    (validation stays in numpy — errors are not hot).
+    """
+    any_over = False
+    any_tripped = False
+    for i in range(n):
+        if power[i] / rated[i] > 1.0:
+            any_over = True
+        if tripped[i] != 0:
+            any_tripped = True
+    if not any_over and not any_tripped:
+        for i in range(n):
+            heat[i] *= e_cool
+        return 0
+    count = 0
+    for i in range(n):
+        newly[i] = 0
+        if tripped[i] != 0:
+            continue
+        ratio = power[i] / rated[i]
+        if ratio >= instant_trip_ratio:
+            tripped[i] = 1
+            newly[i] = 1
+            count += 1
+        elif ratio > 1.0:
+            heat[i] += (ratio * ratio - 1.0) * dt
+            if heat[i] >= trip_energy:
+                tripped[i] = 1
+                newly[i] = 1
+                count += 1
+        else:
+            heat[i] *= e_cool
+    return count

@@ -1,0 +1,30 @@
+"""Numba kernel backend — JITs the loop bodies with ``@njit(cache=True)``.
+
+Preferred provider when numba is installed (the ``repro[compiled]``
+extra). The jitted functions are the *same bodies* the C backend
+mirrors, so the two compiled providers and the numpy tier all agree
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from . import loops
+
+_LOADED: "SimpleNamespace | None" = None
+
+
+def load() -> SimpleNamespace:
+    """JIT the kernels; raises ImportError when numba is missing."""
+    global _LOADED
+    if _LOADED is None:
+        import numba
+
+        jit = numba.njit(cache=True)
+        _LOADED = SimpleNamespace(
+            fused_dispatch=jit(loops.fused_dispatch),
+            drain_block=jit(loops.drain_block),
+            breaker_step=jit(loops.breaker_step),
+        )
+    return _LOADED

@@ -25,10 +25,12 @@ import numpy as np
 
 from ..config import BreakerConfig
 from ..errors import ConfigError, PowerTopologyError
+from ..kernels import get_kernels
 from .breaker import CircuitBreaker, TripEvent
 
 __all__ = [
     "BreakerBankState",
+    "CompiledBreakerBank",
     "ScalarBreakerBank",
     "make_breaker_bank",
 ]
@@ -296,12 +298,79 @@ class BreakerBankState:
         self._trip_events = [None] * len(self)
 
 
+class CompiledBreakerBank(BreakerBankState):
+    """Breaker bank stepping through the compiled kernel tier.
+
+    Input validation (and the error taxonomy) stays in numpy — errors
+    are not hot; the thermal integration runs as one compiled call
+    mutating the heat/trip arrays in place. Trip *events* are rare, so
+    they are reconstructed in Python from the kernel's newly-tripped
+    mask with the exact expressions the numpy path records. Falls back
+    to the numpy step if the provider vanished (e.g. an unpickled bank
+    on a machine without numba or a C compiler).
+    """
+
+    def step(
+        self, power_w: np.ndarray, dt: float, time_s: float = 0.0
+    ) -> "list[int]":
+        kernels = get_kernels()
+        if kernels is None:
+            return super().step(power_w, dt, time_s)
+        if dt <= 0.0:
+            raise PowerTopologyError(f"dt must be positive, got {dt}")
+        power = np.ascontiguousarray(power_w, dtype=float)
+        if power.shape != self._rated_w.shape:
+            raise ConfigError("need one load entry per breaker")
+        if np.any(power < 0.0):
+            worst = float(np.min(power))
+            raise PowerTopologyError(
+                f"power must be non-negative, got {worst}"
+            )
+        ratio = power / self._rated_w
+        if not np.any(ratio > 1.0) and not self._tripped.any():
+            # Same whole-bank-cooling shortcut as the numpy step (the
+            # common benign-tick case); skips the kernel call and the
+            # newly-tripped scratch allocation. Bit-identical: the
+            # kernel's cooling branch computes heat[i] * cool too.
+            self._heat *= math.exp(-dt / self._shape.cooldown_tau_s)
+            return []
+        newly = np.zeros(len(self), dtype=np.uint8)
+        count = kernels.breaker_step(
+            len(self), power, self._rated_w, self._heat,
+            self._tripped.view(np.uint8), newly,
+            dt, math.exp(-dt / self._shape.cooldown_tau_s),
+            self._shape.instant_trip_ratio, self._shape.trip_energy,
+        )
+        if count == 0:
+            return []
+        indices = [int(i) for i in np.nonzero(newly)[0]]
+        for i in indices:
+            ratio = float(power[i] / self._rated_w[i])
+            self._trip_events[i] = TripEvent(
+                time_s=time_s,
+                power_w=float(power[i]),
+                overload_ratio=ratio,
+                instantaneous=bool(ratio >= self._shape.instant_trip_ratio),
+            )
+        return indices
+
+
 def make_breaker_bank(
-    backend: str, shape: BreakerConfig, rated_w: np.ndarray
+    backend: str,
+    shape: BreakerConfig,
+    rated_w: np.ndarray,
+    kernels: str = "numpy",
 ) -> "ScalarBreakerBank | BreakerBankState":
-    """Build a breaker bank for a backend (``scalar`` | ``vectorized``)."""
+    """Build a breaker bank for a backend (``scalar`` | ``vectorized``).
+
+    ``kernels="compiled"`` upgrades the vectorized bank to the compiled
+    thermal step (a no-op for the scalar oracle, which exists to check
+    the others).
+    """
     if backend == "scalar":
         return ScalarBreakerBank(shape, rated_w)
     if backend == "vectorized":
+        if kernels == "compiled" and get_kernels() is not None:
+            return CompiledBreakerBank(shape, rated_w)
         return BreakerBankState(shape, rated_w)
     raise ConfigError(f"unknown breaker backend: {backend!r}")

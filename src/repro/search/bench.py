@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 
 from ..attack.virus import VirusKind
+from ..benchmeta import bench_environment
 from ..experiments.common import run_survival, standard_setup
 from .frontier import FrontierSearch
 from .space import AttackSpace
@@ -157,8 +158,8 @@ def run_search_bench(
         "frontier_identical": not problems,
         "worst_survival_s": result.worst_survival_s,
         "worst": [o.key for o in result.worst],
-        "recorded_on": (
-            f"dev container (min of {repeats} interleaved passes)"
+        "environment": bench_environment(
+            f"min of {repeats} interleaved passes"
         ),
     }
     return report, problems

@@ -298,6 +298,9 @@ class FrontierSearch:
             below this value (the tuner's inner-loop early exit: once a
             single attack beats the survival target, the defense
             configuration is already disproven).
+        kernels: Per-step kernel tier (``"numpy"`` or ``"compiled"``)
+            for every evaluation; bit-identical across tiers, so the
+            frontier never depends on it (see :mod:`repro.kernels`).
     """
 
     def __init__(
@@ -312,6 +315,7 @@ class FrontierSearch:
         bus: "EventBus | None" = None,
         journal_path: "str | None" = None,
         stop_below_s: "float | None" = None,
+        kernels: str = "numpy",
     ) -> None:
         if scheme not in SCHEMES:
             raise SearchError(f"unknown scheme: {scheme!r}")
@@ -329,6 +333,7 @@ class FrontierSearch:
         self._window_s = window_s
         self._dt = dt
         self._use_cohort = use_cohort
+        self._kernels = kernels
         self._bus = bus
         self._journal_path = journal_path
         self._stop_below_s = stop_below_s
@@ -374,6 +379,7 @@ class FrontierSearch:
                 pause,
                 window_s=self._window_s,
                 dt=self._dt,
+                kernels=self._kernels,
             )
         return self._snapshot
 
@@ -401,6 +407,7 @@ class FrontierSearch:
                 dt=self._dt,
                 seed=candidate.seed,
                 grid_plan=candidate.grid,
+                kernels=self._kernels,
             )
         if end_s >= self._window_s:
             clipped = snapshot
@@ -440,7 +447,8 @@ class FrontierSearch:
                 for i in flat
             ]
             batch = run_survival_cohort(
-                self._setup, members, window_s=end_s, dt=self._dt
+                self._setup, members, window_s=end_s, dt=self._dt,
+                kernels=self._kernels,
             )
             results.update(zip(flat, batch))
         for i in rest:

@@ -60,11 +60,21 @@ from ..attack.attacker import Attacker
 from ..config import DataCenterConfig
 from ..core.policy import HierarchicalPolicy, PolicyInputs, SecurityLevel
 from ..core.shedding import LoadShedder
+from ..battery.charger import OfflineCharger
 from ..defense import SCHEMES
-from ..defense.base import DefenseScheme, Dispatch, SchemeContext, StepState
+from ..defense.base import (
+    _UNUSED_F64,
+    _UNUSED_I64,
+    _UNUSED_U8,
+    DefenseScheme,
+    Dispatch,
+    SchemeContext,
+    StepState,
+)
 from ..defense.pad import PadScheme
 from ..errors import SimulationError
 from ..grid.spec import GridPlan
+from ..kernels import get_kernels, resolve_kernels
 from ..power.breaker_kernels import make_breaker_bank
 from ..power.topology import CompiledTopology
 from ..workload.cluster import ClusterModel
@@ -427,6 +437,7 @@ class CohortSimulation(DataCenterSimulation):
         cells: "Sequence[CohortCell]",
         management_interval_s: float = 10.0,
         overshoot_tolerance: float = 0.03,
+        kernels: str = "numpy",
     ) -> None:
         if not cells:
             raise SimulationError("a cohort needs at least one cell")
@@ -438,6 +449,7 @@ class CohortSimulation(DataCenterSimulation):
             if cell.scheme not in SCHEMES:
                 raise SimulationError(f"unknown scheme: {cell.scheme!r}")
         self.backend = "vectorized"
+        self.kernels = resolve_kernels(kernels)
         self.config = config
         self._overshoot_tolerance = overshoot_tolerance
         cell_racks = config.cluster.racks
@@ -485,7 +497,8 @@ class CohortSimulation(DataCenterSimulation):
         bank_ratings[racks:-1] = self._pdu_rated_w
         bank_ratings[-1] = self._cluster_rated_w
         self.breakers = make_breaker_bank(
-            "vectorized", config.cluster.rack.breaker, bank_ratings
+            "vectorized", config.cluster.rack.breaker, bank_ratings,
+            kernels=self.kernels,
         )
         self._mgmt_interval = management_interval_s
         self._repair_time_s = None
@@ -625,6 +638,7 @@ class CohortSimulation(DataCenterSimulation):
             )
         self._freeze_period: "int | None" = None
         self._freeze_step = 0
+        self._total_steps = 0
         self._metered_prev = self._metered_rack_avg
         self.bus.subscribe(OverloadEvent, self._demux_overload)
         self.bus.subscribe(BreakerTripped, self._demux_trip)
@@ -674,6 +688,7 @@ class CohortSimulation(DataCenterSimulation):
             backend="vectorized",
             telemetry_ttl_s=telemetry_ttl_s,
             topology=topo,
+            kernels=self.kernels,
         )
         if name == "PAD" and width > 1:
             scheme: DefenseScheme = CohortPadScheme(ctx)
@@ -1297,7 +1312,25 @@ class CohortSimulation(DataCenterSimulation):
             "cap_idx": cap_idx,
             "cap_need": cap_need,
             "udeb_live": udeb_live,
+            "fused": None,
+            "block": None,
         }
+        if self.kernels == "compiled" and get_kernels() is not None:
+            udeb_mode, _ = scheme._fused_udeb_mode()
+            if scheme._fused_charger_mode >= 0 and udeb_mode != 2:
+                # All the uDEB stage's inputs are drain constants, so its
+                # recharge headroom is one too — precomputed here with
+                # ``after_battery``'s exact numpy expression.
+                headroom_udeb = (
+                    np.where(
+                        residual <= 0.0,
+                        np.maximum(0.0, limits - demand),
+                        0.0,
+                    )
+                    if udeb_mode == 1
+                    else None
+                )
+                family.drain["fused"] = (udeb_mode, headroom_udeb)
         return True
 
     def _drain_step(
@@ -1310,9 +1343,21 @@ class CohortSimulation(DataCenterSimulation):
         with no state to unwind. The charger itself runs live — same
         object, same (constant) inputs as dispatch would pass — and its
         per-step output is written through to the composite buffers.
+
+        Under the compiled kernel tier an eligible family instead
+        advances a whole management period in one ``drain_block`` call
+        (the per-tick guards run inside the kernel, pre-mutation) and
+        the per-step buffer rows are served from the block's cache.
         """
         drain = family.drain
         assert drain is not None
+        block = drain["block"]
+        if block is not None:
+            return self._serve_drain_row(family, drain, block)
+        if drain["fused"] is not None:
+            served = self._start_drain_block(family, ctx, t)
+            if served is not None:
+                return served
         scheme = family.scheme
         fleet = scheme.fleet
         dt = ctx.dt
@@ -1350,6 +1395,163 @@ class CohortSimulation(DataCenterSimulation):
             )
             self._buf_udeb[sl] = udeb_w
             self._buf_udeb_charge[sl] = udeb_charge_w
+        return True
+
+    def _start_drain_block(
+        self, family: _Family, ctx: StepContext, t: float
+    ) -> "bool | None":
+        """Advance a fused drain family one compiled block; serve tick 0.
+
+        Returns ``None`` when the kernel namespace vanished (the
+        per-step replay then takes over), ``False`` when the kernel's
+        first-tick guard failed (state untouched, family unfrozen, the
+        live path runs this step), ``True`` otherwise.
+
+        The block spans from the current boundary to the next one —
+        never across it, so every boundary check (``_frozen_valid``,
+        metered publications) still runs on live state — bounded by the
+        steps left in the run so the fleet never advances past the final
+        step. A mid-block guard failure returns a short count from the
+        kernel *before* mutating that tick; the cached rows are served
+        and the failing tick is handed to the live path with the state
+        exactly where the per-step replay would have left it.
+        """
+        kernels = get_kernels()
+        if kernels is None:
+            return None
+        period = self._freeze_period
+        assert period is not None
+        n_steps = min(
+            period - self._freeze_step % period,
+            self._total_steps - self._freeze_step,
+        )
+        if n_steps <= 0:
+            return None
+        drain = family.drain
+        scheme = family.scheme
+        fleet = scheme.fleet
+        cells = fleet._cells
+        dt = ctx.dt
+        request = drain["request"]
+        n = len(request)
+        udeb_mode, headroom_udeb = drain["fused"]
+        if drain["cap_need"] is not None:
+            cap_idx = np.ascontiguousarray(drain["cap_idx"], dtype=np.int64)
+            cap_need = np.ascontiguousarray(drain["cap_need"], dtype=float)
+            n_cap = len(cap_idx)
+        else:
+            cap_idx = _UNUSED_I64
+            cap_need = _UNUSED_F64
+            n_cap = 0
+        scalars = scheme._fused_scalar_args(dt)
+        y1 = cells._y1.copy()
+        y2 = cells._y2.copy()
+        disc = fleet._disconnected.copy().view(np.uint8)
+        if scheme._fused_charger_mode == 1:
+            off = getattr(fleet, OfflineCharger.STATE_ATTR, None)
+            off = np.zeros(n, dtype=bool) if off is None else off.copy()
+            off_u8 = off.view(np.uint8)
+            recharge_soc = scheme.charger._recharge_soc
+            full_soc = scheme.charger._full_soc
+        else:
+            off = None
+            off_u8 = _UNUSED_U8
+            recharge_soc = 0.0
+            full_soc = 0.0
+        if udeb_mode == 1:
+            sc_state = scheme.shaver._state
+            sc_cfg = sc_state._config
+            sc_charge = sc_state._charge_j.copy()
+            sc_flags = np.array([1 if sc_state._full else 0], np.int64)
+            sc_args = (
+                sc_charge, sc_state._shave_events, sc_state._shaved_j,
+                sc_flags, sc_state._capacity_j, sc_cfg.efficiency,
+                sc_cfg.max_power_w, sc_cfg.max_charge_w,
+                sc_cfg.efficiency * dt,
+            )
+            hu = np.ascontiguousarray(headroom_udeb, dtype=float)
+            udeb_rows = np.empty(n_steps * n)
+            udeb_charge_rows = np.empty(n_steps * n)
+        else:
+            sc_state = None
+            sc_charge = None
+            sc_flags = None
+            sc_args = (
+                _UNUSED_F64, _UNUSED_I64, _UNUSED_F64, _UNUSED_I64,
+                0.0, 1.0, 0.0, 0.0, 1.0,
+            )
+            hu = _UNUSED_F64
+            udeb_rows = _UNUSED_F64
+            udeb_charge_rows = _UNUSED_F64
+        charge_rows = np.empty(n_steps * n)
+        soc_rows = np.empty(n_steps * n)
+        completed = int(kernels.drain_block(
+            n_steps, n,
+            np.ascontiguousarray(request, dtype=float),
+            np.ascontiguousarray(drain["headroom"], dtype=float),
+            np.ascontiguousarray(drain["active"]).view(np.uint8),
+            np.ascontiguousarray(drain["residual"], dtype=float),
+            hu, n_cap, cap_idx, cap_need,
+            y1, y2, cells._capacity_j, cells._cap_available,
+            cells._cap_bound, disc,
+            fleet._discharged_j, fleet._charged_j,
+            fleet._deep_discharge_events,
+            *scalars,
+            scheme._fused_charger_mode, off_u8, recharge_soc, full_soc,
+            udeb_mode, *sc_args,
+            charge_rows, udeb_rows, udeb_charge_rows, soc_rows,
+        ))
+        if completed == 0:
+            self._unfreeze(family)
+            return False
+        cells._y1 = y1
+        cells._y2 = y2
+        cells._version += completed
+        fleet._disconnected = disc.view(bool)
+        if off is not None:
+            setattr(fleet, OfflineCharger.STATE_ATTR, off)
+        if udeb_mode == 1:
+            sc_state._charge_j = sc_charge
+            sc_state._full = bool(sc_flags[0])
+        block = {
+            "planned": n_steps,
+            "completed": completed,
+            "cursor": 0,
+            "n": n,
+            "charge": charge_rows,
+            "udeb": udeb_rows,
+            "udeb_charge": udeb_charge_rows,
+            "soc": soc_rows,
+        }
+        drain["block"] = block
+        return self._serve_drain_row(family, drain, block)
+
+    def _serve_drain_row(
+        self, family: _Family, drain: dict, block: dict
+    ) -> bool:
+        """Serve one cached drain-block tick into the composite buffers."""
+        cursor = block["cursor"]
+        if cursor >= block["completed"]:
+            # The kernel's guard failed at this tick, pre-mutation: hand
+            # it to the live path exactly as the per-step replay would.
+            self._unfreeze(family)
+            return False
+        sl = family.rack_sl
+        n = block["n"]
+        row = slice(cursor * n, (cursor + 1) * n)
+        # ``delivered == request`` is the drain invariant the guards
+        # enforce, so the battery row is the constant request itself.
+        self._buf_battery[sl] = drain["request"]
+        self._buf_charge[sl] = block["charge"][row]
+        if drain["udeb_live"]:
+            self._buf_udeb[sl] = block["udeb"][row]
+            self._buf_udeb_charge[sl] = block["udeb_charge"][row]
+        block["cursor"] = cursor + 1
+        if block["cursor"] == block["completed"] == block["planned"]:
+            # Block fully consumed exactly at the next boundary; the
+            # fleet state is live again and the next drain step (if the
+            # boundary checks hold) arms a fresh block.
+            drain["block"] = None
         return True
 
     def stage_accounting(self, ctx: StepContext) -> None:
@@ -1401,7 +1603,7 @@ class CohortSimulation(DataCenterSimulation):
         )
         t = ctx.time_s
         for family in self._families:
-            soc = family.scheme.fleet.soc_vector()
+            soc = self._family_soc(family)
             soc_rows = soc.reshape(len(family.cell_ids), cell_racks)
             mean_rows = soc_rows.mean(axis=1).tolist()
             std_rows = soc_rows.std(axis=1).tolist()
@@ -1427,7 +1629,22 @@ class CohortSimulation(DataCenterSimulation):
                     ctx.utility[cid * cell_racks:(cid + 1) * cell_racks],
                 )
 
-    def _down_racks(self, time_s: float) -> "list[int]":
+    def _family_soc(self, family: _Family) -> np.ndarray:
+        """This step's post-step SOC vector for recording, block-aware.
+
+        Mid drain-block the fleet already sits at the block's end, so
+        the recorded SOC comes from the kernel's cached per-step rows
+        (the cursor has advanced past the current tick by the time
+        accounting runs). Everywhere else the live fleet is current.
+        """
+        drain = family.drain
+        if drain is not None:
+            block = drain["block"]
+            if block is not None:
+                n = block["n"]
+                cursor = block["cursor"]
+                return block["soc"][(cursor - 1) * n:cursor * n]
+        return family.scheme.fleet.soc_vector()
         # Vectorized: the parent's per-rack Python loop is a hot-path
         # liability at cohort width. No repair in cohort runs.
         if not self.breakers.any_tripped:
@@ -1610,6 +1827,19 @@ class CohortSimulation(DataCenterSimulation):
             if period > 0 and abs(period_steps - period) < 1e-9
             else None
         )
+        # Exact step count of this run, replicating the loop condition
+        # below, so a compiled drain block can never advance a fleet past
+        # the final step (prefix expansion tiles the state as-is).
+        n_total = max(_start_step, int(math.ceil(
+            max(0.0, end_s - 1e-9 - start_s) / dt
+        )))
+        while start_s + n_total * dt < end_s - 1e-9:
+            n_total += 1
+        while n_total > _start_step and not (
+            start_s + (n_total - 1) * dt < end_s - 1e-9
+        ):
+            n_total -= 1
+        self._total_steps = n_total
         try:
             while start_s + step_index * dt < end_s - 1e-9:
                 time_s = start_s + step_index * dt
@@ -1689,6 +1919,10 @@ _TILE_DROP = frozenset({
     "_max_charge_cache",
     "_max_discharge_cache",
     "_soc_cache",
+    # dt-keyed scalar-coefficient cache for the compiled kernels:
+    # width-independent and derived purely from config, so dropping it
+    # and letting the wide side rebuild is exactly equivalent.
+    "_fused_coeffs",
 })
 
 _TILE_SCALARS = (bool, int, float, str, bytes, np.generic)
@@ -1817,6 +2051,7 @@ def run_cohort_expanded(
     record_every: int = 1,
     management_interval_s: float = 10.0,
     overshoot_tolerance: float = 0.03,
+    kernels: str = "numpy",
 ) -> "list[SimResult]":
     """Run a cohort with its benign prefix deduplicated across siblings.
 
@@ -1833,7 +2068,8 @@ def run_cohort_expanded(
     to the plain single-pass run; results are identical either way.
     """
     wide = CohortSimulation(
-        config, trace, cells, management_interval_s, overshoot_tolerance
+        config, trace, cells, management_interval_s, overshoot_tolerance,
+        kernels=kernels,
     )
     scheme_names = sorted({cell.scheme for cell in cells})
     fork_steps = _prefix_fork_steps(
@@ -1847,6 +2083,7 @@ def run_cohort_expanded(
         [CohortCell(scheme=name, attacker=None) for name in scheme_names],
         management_interval_s,
         overshoot_tolerance,
+        kernels=kernels,
     )
     fork_s = start_s + fork_steps * dt
     narrow_results = narrow.run_cohort(start_s, fork_s, dt, record_every)

@@ -38,6 +38,7 @@ from ..errors import SimulationError
 from ..faults.spec import FaultPlan
 from ..grid.spec import GridPlan
 from ..power.breaker import TripEvent
+from ..kernels import resolve_kernels
 from ..power.breaker_kernels import make_breaker_bank
 from ..power.topology import compile_topology, pdu_breaker_id
 from ..workload.cluster import ClusterModel
@@ -266,6 +267,15 @@ class DataCenterSimulation:
             the default) or ``"scalar"`` (per-object oracle classes). Both
             produce identical results — enforced by the differential
             harness in ``tests/test_vectorized_equivalence.py``.
+        kernels: Step-kernel tier, orthogonal to ``backend``:
+            ``"numpy"`` (default) evaluates the vector expressions;
+            ``"compiled"`` fuses the hot per-step path (defense
+            dispatch, breaker thermals) into numba/C loops over the
+            same arrays — bit-identical by construction, enforced by
+            ``tests/test_kernels.py``. Requesting ``"compiled"``
+            without numba or a C compiler warns once and runs the
+            numpy tier; combined with ``backend="scalar"`` it is a
+            documented no-op (the scalar oracle stays pure Python).
         fault_plan: Optional declarative fault schedule; when given, a
             :class:`~repro.faults.FaultInjector` stage runs between the
             demand and defense stages, degrading telemetry, sensors,
@@ -314,6 +324,7 @@ class DataCenterSimulation:
         repair_time_s: "float | None" = None,
         initial_battery_soc: "float | list[float]" = 1.0,
         backend: str = "vectorized",
+        kernels: str = "numpy",
         fault_plan: "FaultPlan | None" = None,
         grid_plan: "GridPlan | None" = None,
         telemetry_ttl_s: "float | None" = None,
@@ -328,6 +339,10 @@ class DataCenterSimulation:
         if backend not in ("scalar", "vectorized"):
             raise SimulationError(f"unknown backend: {backend!r}")
         self.backend = backend
+        # Kernel tier, resolved once: "compiled" degrades to "numpy"
+        # (with one warning) when no provider is installed, so the rest
+        # of the engine can branch on the effective tier alone.
+        self.kernels = resolve_kernels(kernels)
         self.config = config
         self._overshoot_tolerance = overshoot_tolerance
         self.cluster = ClusterModel(config.cluster)
@@ -369,7 +384,9 @@ class DataCenterSimulation:
         if self._n_mid:
             bank_ratings[racks:-1] = self._pdu_rated_w
         bank_ratings[-1] = self._cluster_rated_w
-        self.breakers = make_breaker_bank(backend, shape, bank_ratings)
+        self.breakers = make_breaker_bank(
+            backend, shape, bank_ratings, kernels=self.kernels
+        )
         if telemetry_ttl_s is None:
             telemetry_ttl_s = 3.0 * management_interval_s
         if telemetry_ttl_s <= 0.0:
@@ -386,6 +403,7 @@ class DataCenterSimulation:
                 backend=backend,
                 telemetry_ttl_s=telemetry_ttl_s,
                 topology=self.topology,
+                kernels=self.kernels,
             )
         )
         self._mgmt_interval = management_interval_s

@@ -699,6 +699,65 @@ def cohort_grids(draw) -> CohortGrid:
 
 
 # ---------------------------------------------------------------------- #
+# Kernel-tier dispatch schedules                                          #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class DispatchSchedule:
+    """A replayable scheme-level drive for the kernel-tier differential.
+
+    The compiled tier fuses the whole defense dispatch (KiBaM fleet,
+    charger, supercap shave, LVD) into one kernel call; its contract is
+    bit-identity with the numpy tier at the :class:`Dispatch` level,
+    every tick, for every scheme. A schedule fixes everything that
+    shapes a run; the demand trajectory itself comes from a seeded
+    generator so examples stay small and shrink to readable knobs.
+
+    Attributes:
+        scheme: Table-III scheme name.
+        charging: ``"online"`` or ``"offline"`` charging policy.
+        racks: Cluster width.
+        dt: Step length in seconds.
+        n_steps: Ticks to replay.
+        seed: Demand-trajectory generator seed.
+        initial_soc: Fleet-wide starting state of charge.
+        demand_span: ``(lo, hi)`` multipliers on the per-rack budget —
+            spans crossing 1.0 exercise shave, battery and recharge.
+        spike_prob: Per-tick probability of a 3x single-rack burst (the
+            Phase-II hidden-spike shape that arms the uDEB path).
+    """
+
+    scheme: str
+    charging: str
+    racks: int
+    dt: float
+    n_steps: int
+    seed: int
+    initial_soc: float
+    demand_span: "tuple[float, float]"
+    spike_prob: float
+
+
+@st.composite
+def dispatch_schedules(draw) -> DispatchSchedule:
+    """Scheme drives straddling quiescence, shave, drain and recharge."""
+    lo = draw(st.floats(0.2, 0.7, allow_nan=False))
+    hi = draw(st.floats(0.9, 1.6, allow_nan=False))
+    return DispatchSchedule(
+        scheme=draw(st.sampled_from(COHORT_SCHEMES)),
+        charging=draw(st.sampled_from(("online", "offline"))),
+        racks=draw(st.integers(min_value=2, max_value=6)),
+        dt=draw(st.sampled_from((0.5, 1.0))),
+        n_steps=draw(st.integers(min_value=20, max_value=60)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        initial_soc=draw(st.sampled_from((0.25, 0.6, 0.95))),
+        demand_span=(lo, hi),
+        spike_prob=draw(st.sampled_from((0.0, 0.05, 0.2))),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Fast-path run toggles                                                   #
 # ---------------------------------------------------------------------- #
 

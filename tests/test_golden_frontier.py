@@ -40,7 +40,7 @@ def _space() -> AttackSpace:
     )
 
 
-def _run(use_cohort: bool) -> dict:
+def _run(use_cohort: bool, kernels: str = "numpy") -> dict:
     setup = standard_setup()
     result = FrontierSearch(
         setup,
@@ -52,6 +52,7 @@ def _run(use_cohort: bool) -> dict:
         # prunes the censored survivors, freezing both mechanisms.
         probe_fractions=(0.75,),
         use_cohort=use_cohort,
+        kernels=kernels,
     ).run()
     document = result.to_json()
     document["schema"] = 1
@@ -83,8 +84,20 @@ def _assert_matches(golden: dict, document: dict) -> None:
         )
 
 
-@pytest.mark.parametrize("use_cohort", [True, False])
-def test_search_matches_golden_frontier(use_cohort: bool) -> None:
+@pytest.mark.parametrize(
+    "use_cohort,kernels",
+    [
+        (True, "numpy"),
+        (False, "numpy"),
+        # The compiled kernel tier must reproduce the same frozen
+        # frontier on both evaluation paths.
+        (True, "compiled"),
+        (False, "compiled"),
+    ],
+)
+def test_search_matches_golden_frontier(
+    use_cohort: bool, kernels: str
+) -> None:
     """Both evaluation paths answer to the same frozen frontier."""
     if not FIXTURE.exists():
         pytest.fail(
@@ -92,7 +105,7 @@ def test_search_matches_golden_frontier(use_cohort: bool) -> None:
             "`PYTHONPATH=src python -m tests.test_golden_frontier`"
         )
     golden = json.loads(FIXTURE.read_text())
-    _assert_matches(golden, _run(use_cohort))
+    _assert_matches(golden, _run(use_cohort, kernels))
 
 
 def _write_fixture() -> None:

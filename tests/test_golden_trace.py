@@ -36,7 +36,7 @@ SAG_WINDOW_S = 150.0
 RECORD_EVERY = 10
 
 
-def _run(backend: str, fast_forward: bool = False):
+def _run(backend: str, fast_forward: bool = False, kernels: str = "numpy"):
     setup = standard_setup()
     scenario = standard_scenarios()[0]
     return run_survival(
@@ -47,10 +47,13 @@ def _run(backend: str, fast_forward: bool = False):
         record_every=RECORD_EVERY,
         backend=backend,
         fast_forward=fast_forward,
+        kernels=kernels,
     )
 
 
-def _run_sag(backend: str, fast_forward: bool = False):
+def _run_sag(
+    backend: str, fast_forward: bool = False, kernels: str = "numpy"
+):
     """A reserve-guarded PAD run with a targeted sag over the attack."""
     from dataclasses import replace
 
@@ -84,6 +87,7 @@ def _run_sag(backend: str, fast_forward: bool = False):
         backend=backend,
         fast_forward=fast_forward,
         grid_plan=plan,
+        kernels=kernels,
     )
 
 
@@ -144,20 +148,26 @@ def _assert_matches(golden: dict, summary: dict) -> None:
 
 
 BACKEND_CASES = [
-    ("scalar", False),
-    ("scalar", True),
-    ("vectorized", False),
-    ("vectorized", True),
+    ("scalar", False, "numpy"),
+    ("scalar", True, "numpy"),
+    ("vectorized", False, "numpy"),
+    ("vectorized", True, "numpy"),
     # The stacked backend answers to the same frozen history as the
     # per-cell pipelines (fast_forward does not apply: the cohort
     # path manages its own quiescent freezing internally).
-    ("cohort", False),
+    ("cohort", False, "numpy"),
+    # The compiled kernel tier is a bitwise drop-in on every backend —
+    # including the scalar one, where it must fall through untouched.
+    ("scalar", False, "compiled"),
+    ("vectorized", False, "compiled"),
+    ("vectorized", True, "compiled"),
+    ("cohort", False, "compiled"),
 ]
 
 
-@pytest.mark.parametrize("backend,fast_forward", BACKEND_CASES)
+@pytest.mark.parametrize("backend,fast_forward,kernels", BACKEND_CASES)
 def test_pad_attack_matches_golden_trace(
-    backend: str, fast_forward: bool
+    backend: str, fast_forward: bool, kernels: str
 ) -> None:
     """The frozen history must hold with every fast path armed too —
     fast-forward may only ever skip work, never move a number."""
@@ -167,12 +177,12 @@ def test_pad_attack_matches_golden_trace(
             "`PYTHONPATH=src python -m tests.test_golden_trace`"
         )
     golden = json.loads(FIXTURE.read_text())
-    _assert_matches(golden, _summary(_run(backend, fast_forward)))
+    _assert_matches(golden, _summary(_run(backend, fast_forward, kernels)))
 
 
-@pytest.mark.parametrize("backend,fast_forward", BACKEND_CASES)
+@pytest.mark.parametrize("backend,fast_forward,kernels", BACKEND_CASES)
 def test_sag_ride_through_matches_golden_trace(
-    backend: str, fast_forward: bool
+    backend: str, fast_forward: bool, kernels: str
 ) -> None:
     """The frozen attack-during-sag history — reserve partition, grid
     event stream included — holds on every backend and fast path."""
@@ -182,7 +192,7 @@ def test_sag_ride_through_matches_golden_trace(
             "`PYTHONPATH=src python -m tests.test_golden_trace`"
         )
     golden = json.loads(SAG_FIXTURE.read_text())
-    summary = _summary(_run_sag(backend, fast_forward))
+    summary = _summary(_run_sag(backend, fast_forward, kernels))
     assert golden["grid_events"], "sag fixture must freeze grid events"
     _assert_matches(golden, summary)
 
